@@ -1,0 +1,378 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 6) and times the mechanized artifacts
+   with bechamel.
+
+   Structure (one bechamel Test group per table/figure):
+
+   - table1/<program>     verification wall-time of each Table 1 row
+                          (the Build-column analogue)
+   - table2/reuse-matrix  computing the concurroid-reuse matrix
+   - fig2/span-replay     the deterministic Figure 2 execution
+   - fig5/dep-graph       computing the dependency diagram
+   - scaling/span-exec:n  executing span on random connected graphs
+   - scaling/stability    the stability checker over the SpanTree universe
+   - scaling/explore      exhaustive exploration of a racy CAS pair
+
+   After the micro-benchmarks, the harness prints the regenerated
+   Table 1 (line counts + verification times + verdicts), Table 2, the
+   Figure 2 stage trace, and Figure 5 — the same rows/series the paper
+   reports. *)
+
+open Bechamel
+open Toolkit
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+module Tables = Fcsl_report.Tables
+module Registry = Fcsl_report.Registry
+
+(* --- Table 1: one benchmark per verified program. --- *)
+
+let table1_tests =
+  List.map
+    (fun (c : Registry.case) ->
+      Test.make ~name:c.Registry.c_name
+        (Staged.stage (fun () ->
+             let reports = c.Registry.c_verify () in
+             if not (List.for_all Verify.ok reports) then
+               failwith (c.Registry.c_name ^ ": verification failed"))))
+    Registry.all
+
+(* --- Table 2 / Figure 5: matrix and diagram computation. --- *)
+
+let table2_test =
+  Test.make ~name:"reuse-matrix"
+    (Staged.stage (fun () ->
+         if not (Tables.table2_matches_paper ()) then
+           failwith "Table 2 deviates from the paper"))
+
+let fig5_test =
+  Test.make ~name:"dep-graph"
+    (Staged.stage (fun () ->
+         if not (Tables.fig5_matches_paper ()) then
+           failwith "Figure 5 deviates from the paper"))
+
+(* --- Figure 2: deterministic replay of the paper's staging. --- *)
+
+let fig2_replay () =
+  let pv = Label.make "bench_fig2_priv" in
+  let sp = Label.make "bench_fig2_span" in
+  let g0 = Graph_catalog.fig2_graph () in
+  let w = World.of_list [ Priv.make pv ] in
+  let st =
+    State.singleton pv
+      (Slice.make
+         ~self:(Aux.heap (Graph.to_heap g0))
+         ~joint:Heap.empty ~other:(Aux.heap Heap.empty))
+  in
+  let genv, mine = Sched.genv_of_state w st in
+  match
+    Sched.run_with_chooser
+      ~choose:(fun ~step:_ _ -> 0)
+      genv mine
+      (Span.span_root ~pv ~sp (Ptr.of_int 1))
+  with
+  | Sched.Finished (true, final) -> (
+    match Graph.of_heap (Priv.pv_self pv final) with
+    | Some g when Graph.spanning g0 g (Ptr.of_int 1) (Graph.dom_set g) -> ()
+    | _ -> failwith "fig2: not a spanning tree")
+  | _ -> failwith "fig2: replay failed"
+
+let fig2_test = Test.make ~name:"span-replay" (Staged.stage fig2_replay)
+
+(* --- Scaling series: span execution on random graphs. --- *)
+
+let span_exec n =
+  Staged.stage (fun () ->
+      let rng = Random.State.make [| 7; n |] in
+      let g0 = Graph_catalog.random_connected_graph ~rng n in
+      let pv = Label.make "bench_scale_priv" in
+      let sp = Label.make "bench_scale_span" in
+      let w = World.of_list [ Priv.make pv ] in
+      let st =
+        State.singleton pv
+          (Slice.make
+             ~self:(Aux.heap (Graph.to_heap g0))
+             ~joint:Heap.empty ~other:(Aux.heap Heap.empty))
+      in
+      let genv, mine = Sched.genv_of_state w st in
+      match
+        Sched.run_random ~seed:n ~fuel:1_000_000 genv mine
+          (Span.span_root ~pv ~sp (Ptr.of_int 1))
+      with
+      | Sched.Finished (true, _) -> ()
+      | _ -> failwith "span exec failed")
+
+let span_scaling_test =
+  Test.make_indexed ~name:"span-exec" ~fmt:"%s:%d" ~args:[ 8; 16; 32 ] span_exec
+
+let stability_test =
+  let sp = Label.make "bench_stab_span" in
+  let conc = Span.concurroid sp in
+  let w = World.of_list [ conc ] in
+  let states =
+    List.map (fun s -> State.singleton sp s) (Concurroid.enum conc)
+  in
+  Test.make ~name:"stability"
+    (Staged.stage (fun () ->
+         if
+           not
+             (Stability.is_stable
+                (Stability.check w ~states
+                   (Span.assert_in_self sp (Ptr.of_int 1))))
+         then failwith "stability bench failed"))
+
+let explore_test =
+  let sp = Label.make "bench_explore_span" in
+  let conc = Span.concurroid sp in
+  let w = World.of_list [ conc ] in
+  let g = Graph_catalog.graph_of [ (Ptr.of_int 1, Ptr.null, Ptr.null) ] in
+  let st =
+    State.singleton sp
+      (Slice.make ~self:(Aux.set Ptr.Set.empty) ~joint:(Graph.to_heap g)
+         ~other:(Aux.set Ptr.Set.empty))
+  in
+  Test.make ~name:"explore"
+    (Staged.stage (fun () ->
+         let genv, mine =
+           Sched.genv_of_state ~interfere:(World.labels w) w st
+         in
+         let prog =
+           Prog.par
+             (Prog.act (Span.trymark sp (Ptr.of_int 1)))
+             (Prog.act (Span.trymark sp (Ptr.of_int 1)))
+         in
+         let outs, _ = Sched.explore genv mine prog in
+         if outs = [] then failwith "explore bench failed"))
+
+(* --- Ablations: the design choices DESIGN.md calls out. --- *)
+
+(* 1. Interference depth: how verification cost scales with the
+   env_budget bound. *)
+let ablation_env_budget =
+  Test.make_indexed ~name:"span-tp-env-budget" ~fmt:"%s:%d" ~args:[ 0; 1; 2 ]
+    (fun budget ->
+      Staged.stage (fun () ->
+          let sp = Span.sp_label in
+          let w = Span.world ~max_nodes:2 () in
+          let init = Span.init_states ~max_nodes:2 () in
+          let r =
+            Verify.check_triple ~fuel:20 ~env_budget:budget ~world:w ~init
+              (Span.span sp (Ptr.of_int 1))
+              (Span.span_spec sp (Ptr.of_int 1))
+          in
+          if not (Verify.ok r) then failwith "ablation: span_tp failed"))
+
+(* 2. The blocking reduction: verifying CG increment with the await-
+   guarded lock (the default) vs the raw spin loop.  The raw spin is
+   exponentially worse; its exploration is capped so the benchmark
+   terminates, demonstrating the gap rather than hanging. *)
+let incr_with_raw_spin () =
+  let module I = Cg_incr.Cas in
+  let open Prog in
+  let raw_lock =
+    Prog.ffix
+      (fun loop () ->
+        let* b = act (Caslock.try_lock ~await:false I.label I.cfg) in
+        if b then ret () else loop ())
+      ()
+  in
+  let prog =
+    let* () = raw_lock in
+    let* v = act (Caslock.read I.label I.cfg Cg_incr.Cas.x_cell) in
+    let v = Option.value (Fcsl_heap.Value.as_int v) ~default:0 in
+    let* () =
+      act (Caslock.write I.label I.cfg Cg_incr.Cas.x_cell (Fcsl_heap.Value.int (v + 1)))
+    in
+    Caslock.unlock I.label I.cfg I.resource ~delta:(Aux.nat 1)
+  in
+  Verify.check_triple ~fuel:12 ~env_budget:1 ~max_outcomes:20_000
+    ~world:(I.world ()) ~init:(I.init_states ()) prog
+    (I.incr_spec I.label ())
+
+let ablation_blocking =
+  [
+    Test.make ~name:"incr-await-lock"
+      (Staged.stage (fun () ->
+           let module I = Cg_incr.Cas in
+           if not (List.for_all Verify.ok (I.verify ~env_budget:1 ())) then
+             failwith "ablation: await incr failed"));
+    Test.make ~name:"incr-raw-spin-capped"
+      (Staged.stage (fun () ->
+           let r = incr_with_raw_spin () in
+           if r.Verify.failures <> [] then failwith "ablation: spin incr failed"));
+  ]
+
+(* 3. Exhaustive vs randomized checking of the same triple. *)
+let ablation_random =
+  [
+    Test.make ~name:"span-root-exhaustive"
+      (Staged.stage (fun () ->
+           if
+             not
+               (List.for_all Verify.ok (Span.verify_span_root ~max_nodes:3 ()))
+           then failwith "ablation: exhaustive failed"));
+    Test.make ~name:"span-root-randomized"
+      (Staged.stage (fun () ->
+           let pv = Span.pv_label and sp = Span.sp_label in
+           let w = World.of_list [ Priv.make pv ] in
+           let g = Graph_catalog.fig2_graph () in
+           let st =
+             State.singleton pv
+               (Slice.make
+                  ~self:(Aux.heap (Graph.to_heap g))
+                  ~joint:Heap.empty ~other:(Aux.heap Heap.empty))
+           in
+           let r =
+             Verify.check_triple_random ~fuel:1000 ~trials:50 ~world:w
+               ~init:[ st ]
+               (Span.span_root ~pv ~sp (Ptr.of_int 1))
+               (Span.span_root_spec ~pv (Ptr.of_int 1))
+           in
+           if not (Verify.ok r) then failwith "ablation: randomized failed"));
+  ]
+
+(* 4. The extension beyond the paper: one client against both stack
+   implementations through the abstract interface. *)
+let extension_tests =
+  [
+    Test.make ~name:"abstract-stack-clients"
+      (Staged.stage (fun () ->
+           if not (List.for_all Verify.ok (Stack_intf.verify ())) then
+             failwith "extension: stack clients failed"));
+  ]
+
+let all_tests =
+  Test.make_grouped ~name:"fcsl" ~fmt:"%s/%s"
+    [
+      Test.make_grouped ~name:"table1" ~fmt:"%s/%s" table1_tests;
+      Test.make_grouped ~name:"table2" ~fmt:"%s/%s" [ table2_test ];
+      Test.make_grouped ~name:"fig2" ~fmt:"%s/%s" [ fig2_test ];
+      Test.make_grouped ~name:"fig5" ~fmt:"%s/%s" [ fig5_test ];
+      Test.make_grouped ~name:"scaling" ~fmt:"%s/%s"
+        [ span_scaling_test; stability_test; explore_test ];
+      Test.make_grouped ~name:"ablation" ~fmt:"%s/%s"
+        ((ablation_env_budget :: ablation_blocking) @ ablation_random);
+      Test.make_grouped ~name:"extension" ~fmt:"%s/%s" extension_tests;
+    ]
+
+let run_benchmarks () =
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances all_tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Fmt.pr "== Micro-benchmarks (bechamel, monotonic clock) ==@.";
+  Fmt.pr "%-42s %13s %8s@." "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, ols) ->
+      let time =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | Some [] | None -> nan
+      in
+      let r2 = Option.value (Analyze.OLS.r_square ols) ~default:nan in
+      let pp_t ppf t =
+        if t > 1e9 then Fmt.pf ppf "%10.2f s " (t /. 1e9)
+        else if t > 1e6 then Fmt.pf ppf "%10.2f ms" (t /. 1e6)
+        else if t > 1e3 then Fmt.pf ppf "%10.2f us" (t /. 1e3)
+        else Fmt.pf ppf "%10.2f ns" t
+      in
+      Fmt.pr "%-42s %a %8.4f@." name pp_t time r2)
+    rows;
+  Fmt.pr "@."
+
+(* --- The regenerated evaluation artifacts. --- *)
+
+let print_figure2 () =
+  Fmt.pr "== Figure 2: stages of concurrent spanning-tree construction ==@.";
+  let pv = Label.make "print_fig2_priv" in
+  let sp = Label.make "print_fig2_span" in
+  let g0 = Graph_catalog.fig2_graph () in
+  let w = World.of_list [ Priv.make pv ] in
+  let st =
+    State.singleton pv
+      (Slice.make
+         ~self:(Aux.heap (Graph.to_heap g0))
+         ~joint:Heap.empty ~other:(Aux.heap Heap.empty))
+  in
+  let genv, mine = Sched.genv_of_state w st in
+  let name_of p =
+    match
+      List.find_opt (fun (_, q) -> Ptr.equal p q) Graph_catalog.fig2_nodes
+    with
+    | Some (n, _) -> n
+    | None -> Ptr.to_string p
+  in
+  let stage = ref 1 in
+  let observe genv' _mine step_name =
+    let interesting prefix =
+      String.length step_name >= String.length prefix
+      && String.sub step_name 0 (String.length prefix) = prefix
+    in
+    if interesting "trymark" || interesting "nullify" then
+      match Label.Map.find_opt sp genv'.Sched.joints with
+      | Some joint -> (
+        match Graph.of_heap joint with
+        | Some g ->
+          let marked =
+            String.concat ""
+              (List.map
+                 (fun x -> if Graph.mark g x then name_of x else "")
+                 (Graph.dom g))
+          in
+          let edges =
+            List.concat_map
+              (fun x ->
+                List.filter_map
+                  (fun y ->
+                    if Graph.edge g x y then Some (name_of x ^ "->" ^ name_of y)
+                    else None)
+                  (Graph.dom g))
+              (Graph.dom g)
+          in
+          Fmt.pr "  (%d) %-22s marked: {%s}  edges: %s@." !stage step_name
+            marked
+            (String.concat ", " edges);
+          incr stage
+        | None -> ())
+      | None -> ()
+  in
+  (match
+     Sched.run_with_chooser
+       ~choose:(fun ~step:_ _ -> 0)
+       ~observe genv mine
+       (Span.span_root ~pv ~sp (Ptr.of_int 1))
+   with
+  | Sched.Finished (true, final) ->
+    let g = Graph.of_heap_exn (Priv.pv_self pv final) in
+    Fmt.pr "  final: spanning tree rooted at a: %b@."
+      (Graph.spanning g0 g (Ptr.of_int 1) (Graph.dom_set g))
+  | _ -> Fmt.pr "  replay failed@.");
+  Fmt.pr "@."
+
+let () =
+  Fmt.pr "FCSL benchmark & evaluation harness (paper: PLDI 2015)@.@.";
+  run_benchmarks ();
+  Fmt.pr "== Table 1: statistics for implemented programs ==@.";
+  Fmt.pr "%a@." Tables.pp_table1 (Tables.table1 ());
+  Fmt.pr "== Table 2: primitive concurroids employed by programs ==@.";
+  Fmt.pr "%a@." Tables.pp_table2 ();
+  Fmt.pr "Table 2 matches the paper's matrix: %b@.@."
+    (Tables.table2_matches_paper ());
+  print_figure2 ();
+  Fmt.pr "== Figure 5: dependencies between concurrent libraries ==@.";
+  Fmt.pr "%a@." Tables.pp_fig5_ascii ();
+  Fmt.pr "DOT form:@.%a@." Tables.pp_fig5 ();
+  Fmt.pr "Figure 5 matches the paper's diagram: %b@."
+    (Tables.fig5_matches_paper ())

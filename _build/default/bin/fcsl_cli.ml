@@ -1,0 +1,262 @@
+(* The fcsl command-line tool.
+
+     fcsl verify [NAME]      mechanically verify case studies
+     fcsl table1             regenerate the paper's Table 1
+     fcsl table2             regenerate the paper's Table 2
+     fcsl deps               regenerate the paper's Figure 5
+     fcsl parse FILE         parse & pretty-print a surface program
+     fcsl run FILE           run a surface program on a random graph
+     fcsl span               spanning-tree demo (model / extracted)
+*)
+
+open Cmdliner
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+module Registry = Fcsl_report.Registry
+module Tables = Fcsl_report.Tables
+
+let exit_ok = 0
+let exit_failed = 1
+
+(* verify *)
+
+let verify_case (c : Registry.case) =
+  Fmt.pr "@[<v2>%s:@ " c.Registry.c_name;
+  let t0 = Unix.gettimeofday () in
+  let reports = c.Registry.c_verify () in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter (fun r -> Fmt.pr "%a@ " Verify.pp_report r) reports;
+  Fmt.pr "(%.2fs)@]@." dt;
+  List.for_all Verify.ok reports
+
+let verify_cmd =
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let run name =
+    let cases =
+      match name with
+      | None -> Registry.all
+      | Some n -> (
+        match Registry.find n with
+        | Some c -> [ c ]
+        | None ->
+          Fmt.epr "unknown case study %S; available:@." n;
+          List.iter
+            (fun c -> Fmt.epr "  %s@." c.Registry.c_name)
+            Registry.all;
+          exit exit_failed)
+    in
+    let ok = List.for_all verify_case cases in
+    if ok then begin
+      Fmt.pr "all verified.@.";
+      exit_ok
+    end
+    else exit_failed
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Mechanically verify case studies (all by default)")
+    Term.(const run $ name_arg)
+
+(* tables *)
+
+let table1_cmd =
+  let run () =
+    Fmt.pr "%a@." Tables.pp_table1 (Tables.table1 ());
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate Table 1 (LoC statistics + verify times)")
+    Term.(const run $ const ())
+
+let table2_cmd =
+  let run () =
+    Fmt.pr "%a@." Tables.pp_table2 ();
+    Fmt.pr "matches the paper: %b@." (Tables.table2_matches_paper ());
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Regenerate Table 2 (concurroid reuse matrix)")
+    Term.(const run $ const ())
+
+let deps_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz DOT output")
+  in
+  let run dot_flag =
+    if dot_flag then Fmt.pr "%a@." Tables.pp_fig5 ()
+    else begin
+      Fmt.pr "%a@." Tables.pp_fig5_ascii ();
+      Fmt.pr "matches the paper: %b@." (Tables.fig5_matches_paper ())
+    end;
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "deps" ~doc:"Regenerate Figure 5 (library dependency diagram)")
+    Term.(const run $ dot)
+
+(* laws *)
+
+let laws_cmd =
+  let run () =
+    Fmt.pr "Metatheory law checks (concurroid & action laws, Sections 3.3-3.4):@.";
+    if Fcsl_report.Laws.run_all () then begin
+      Fmt.pr "all laws hold.@.";
+      exit_ok
+    end
+    else exit_failed
+  in
+  Cmd.v
+    (Cmd.info "laws"
+       ~doc:
+         "Check the FCSL metatheory laws of every concurroid and action in           the case-study suite")
+    Term.(const run $ const ())
+
+(* parse *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    match Fcsl_lang.Parser.parse_program (read_file file) with
+    | prog ->
+      Fmt.pr "%a@." Fcsl_lang.Pp.pp_program prog;
+      exit_ok
+    | exception Fcsl_lang.Parser.Parse_error msg ->
+      Fmt.epr "parse error: %s@." msg;
+      exit_failed
+    | exception Fcsl_lang.Lexer.Error (msg, line) ->
+      Fmt.epr "lex error (line %d): %s@." line msg;
+      exit_failed
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and pretty-print a surface-language file")
+    Term.(const run $ file_arg)
+
+(* run *)
+
+let nodes_arg =
+  Arg.(value & opt int 10 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Graph size")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed")
+
+let extract_flag =
+  Arg.(
+    value & flag
+    & info [ "extract" ]
+        ~doc:"Run the extracted program on real OCaml 5 domains")
+
+let run_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let proc_arg =
+    Arg.(
+      value & opt string "span"
+      & info [ "proc" ] ~docv:"NAME" ~doc:"Procedure to invoke")
+  in
+  let run file proc nodes seed extract =
+    let prog = Fcsl_lang.Parser.parse_program (read_file file) in
+    let rng = Random.State.make [| seed |] in
+    let g0 = Graph_catalog.random_connected_graph ~rng nodes in
+    Fmt.pr "initial graph (%d nodes):@.%a@.@." nodes Graph.pp g0;
+    let h, v =
+      if extract then
+        Fcsl_extract.Extract.run prog ~proc
+          ~args:[ Value.ptr (Ptr.of_int 1) ]
+          (Graph.to_heap g0)
+      else
+        Fcsl_lang.Interp.run ~seed prog ~proc
+          ~args:[ Value.ptr (Ptr.of_int 1) ]
+          (Graph.to_heap g0)
+    in
+    Fmt.pr "%s returned %a; final heap:@." proc Value.pp v;
+    (match Graph.of_heap h with
+    | Some g ->
+      Fmt.pr "%a@.spanning tree: %b@." Graph.pp g
+        (Graph.spanning g0 g (Ptr.of_int 1) (Graph.dom_set g))
+    | None -> Fmt.pr "(final heap is not graph-shaped)@.");
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a surface program on a random connected graph (reference \
+          interpreter, or real domains with --extract)")
+    Term.(const run $ file_arg $ proc_arg $ nodes_arg $ seed_arg $ extract_flag)
+
+(* span demo *)
+
+let span_cmd =
+  let run nodes seed extract =
+    let rng = Random.State.make [| seed |] in
+    let g0 = Graph_catalog.random_connected_graph ~rng nodes in
+    if extract then begin
+      let prog =
+        Fcsl_lang.Parser.parse_program Fcsl_lang.Examples.span_source
+      in
+      let h, v =
+        Fcsl_extract.Extract.run prog ~proc:"span"
+          ~args:[ Value.ptr (Ptr.of_int 1) ]
+          (Graph.to_heap g0)
+      in
+      let g = Graph.of_heap_exn h in
+      Fmt.pr "extracted span on %d nodes: returned %a, spanning %b@." nodes
+        Value.pp v
+        (Graph.spanning g0 g (Ptr.of_int 1) (Graph.dom_set g));
+      exit_ok
+    end
+    else begin
+      let pv = Label.make "cli_priv" and sp = Label.make "cli_span" in
+      let w = World.of_list [ Priv.make pv ] in
+      let st =
+        State.singleton pv
+          (Slice.make
+             ~self:(Aux.heap (Graph.to_heap g0))
+             ~joint:Heap.empty ~other:(Aux.heap Heap.empty))
+      in
+      let genv, mine = Sched.genv_of_state w st in
+      match
+        Sched.run_random ~seed ~fuel:1_000_000 genv mine
+          (Span.span_root ~pv ~sp (Ptr.of_int 1))
+      with
+      | Sched.Finished (r, final) ->
+        let g = Graph.of_heap_exn (Priv.pv_self pv final) in
+        Fmt.pr "model span on %d nodes: returned %b, spanning %b@." nodes r
+          (Graph.spanning g0 g (Ptr.of_int 1) (Graph.dom_set g));
+        exit_ok
+      | Sched.Crashed msg ->
+        Fmt.epr "crash: %s@." msg;
+        exit_failed
+      | Sched.Diverged ->
+        Fmt.epr "diverged@.";
+        exit_failed
+    end
+  in
+  Cmd.v
+    (Cmd.info "span" ~doc:"Spanning-tree demo on a random connected graph")
+    Term.(const run $ nodes_arg $ seed_arg $ extract_flag)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "fcsl" ~version:"1.0.0"
+       ~doc:
+         "Mechanized verification of fine-grained concurrent programs \
+          (FCSL, PLDI 2015) — OCaml reproduction")
+    [
+      verify_cmd; table1_cmd; table2_cmd; deps_cmd; laws_cmd; parse_cmd;
+      run_cmd; span_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/flat_combining.ml: Contrib Fc_stack Fcsl_casestudies Fcsl_core Fcsl_heap Fcsl_pcm Flatcombiner Fmt List Prog Ptr Sched Slice State String Value Verify

@@ -1,0 +1,1 @@
+examples/flat_combining.mli:

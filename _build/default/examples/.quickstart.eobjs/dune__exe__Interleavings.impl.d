@@ -1,0 +1,1 @@
+examples/interleavings.ml: Fcsl_casestudies Fcsl_core Fcsl_heap Fcsl_pcm Fmt Graph Graph_catalog Label List Prog Ptr Sched Slice Span State String Tree World

@@ -1,0 +1,1 @@
+examples/lock_clients.ml: Cg_alloc Cg_incr Fcsl_casestudies Fcsl_core Fmt List Verify

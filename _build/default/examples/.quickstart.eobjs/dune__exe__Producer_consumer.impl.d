@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Fcsl_casestudies Fcsl_core Fcsl_heap Fcsl_pcm Fmt Heap List Priv Sched Stack_clients Treiber Verify

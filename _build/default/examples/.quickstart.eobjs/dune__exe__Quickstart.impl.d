@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fcsl_casestudies Fcsl_core Fcsl_heap Fcsl_pcm Fmt Graph Graph_catalog Heap Label List Priv Ptr Sched Slice Span State Verify World

@@ -1,0 +1,1 @@
+lib/casestudies/caslock.mli: Action Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Heap Label Lock_intf Prog Ptr Slice State Value

@@ -1,0 +1,1 @@
+lib/casestudies/cg_alloc.ml: Action Caslock Fcsl_core Fcsl_heap Fcsl_pcm Fmt Heap Label List Lock_intf Option Priv Prog Ptr Slice Spec State Ticketlock Value Verify World

@@ -1,0 +1,1 @@
+lib/casestudies/cg_incr.ml: Caslock Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Fmt Heap Label List Lock_intf Option Prog Ptr Spec State Ticketlock Value Verify World

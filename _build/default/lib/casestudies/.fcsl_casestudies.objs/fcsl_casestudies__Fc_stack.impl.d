@@ -1,0 +1,1 @@
+lib/casestudies/fc_stack.ml: Contrib Fcsl_core Fcsl_heap Fcsl_pcm Flatcombiner Label List Prog Ptr Slice Spec State String Value Verify World

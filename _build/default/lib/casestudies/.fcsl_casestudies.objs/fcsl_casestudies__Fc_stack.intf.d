@@ -1,0 +1,1 @@
+lib/casestudies/fc_stack.mli: Concurroid Fcsl_core Fcsl_heap Flatcombiner Label Prog State Value Verify World

@@ -1,0 +1,1 @@
+lib/casestudies/flatcombiner.ml: Action Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Fmt Fun Heap List Option Prog Ptr Slice Spec State String Value

@@ -1,0 +1,1 @@
+lib/casestudies/flatcombiner.mli: Action Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Heap Label Prog Ptr Slice Spec State Value

@@ -1,0 +1,1 @@
+lib/casestudies/graph_catalog.ml: Array Fcsl_core Fcsl_heap Fcsl_pcm Graph List Ptr Random

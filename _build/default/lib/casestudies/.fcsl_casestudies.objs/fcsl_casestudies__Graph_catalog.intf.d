@@ -1,0 +1,1 @@
+lib/casestudies/graph_catalog.mli: Fcsl_core Fcsl_heap Graph Ptr Random

@@ -1,0 +1,1 @@
+lib/casestudies/lock_intf.ml: Action Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Fmt Heap Label List Prog Ptr Slice State Value

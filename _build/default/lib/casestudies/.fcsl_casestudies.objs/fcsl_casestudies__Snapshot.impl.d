@@ -1,0 +1,1 @@
+lib/casestudies/snapshot.ml: Action Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Fmt Heap Label List Option Prog Ptr Slice Spec State String Value Verify World

@@ -1,0 +1,1 @@
+lib/casestudies/span.ml: Action Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Fmt Graph Graph_catalog Heap Label List Option Priv Prog Ptr Slice Spec State Value Verify World

@@ -1,0 +1,1 @@
+lib/casestudies/span.mli: Action Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Graph Label Prog Ptr Slice Spec State Verify World

@@ -1,0 +1,1 @@
+lib/casestudies/stack_clients.ml: Fcsl_core Fcsl_heap Fcsl_pcm Heap Int Label List Priv Prog Ptr Slice Spec State Treiber Value Verify World

@@ -1,0 +1,1 @@
+lib/casestudies/stack_clients.mli: Fcsl_core Fcsl_heap Heap Label Prog Ptr Spec State Verify World

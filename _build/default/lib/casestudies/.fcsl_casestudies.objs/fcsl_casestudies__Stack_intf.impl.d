@@ -1,0 +1,1 @@
+lib/casestudies/stack_intf.ml: Fc_stack Fcsl_core Fcsl_heap Fcsl_pcm Flatcombiner Fmt Heap List Prog Ptr Slice Spec State String Treiber Value Verify World

@@ -1,0 +1,1 @@
+lib/casestudies/ticketlock.ml: Action Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Fmt Heap List Lock_intf Option Prog Ptr Slice State Value

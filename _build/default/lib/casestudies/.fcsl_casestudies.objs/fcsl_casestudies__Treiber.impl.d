@@ -1,0 +1,1 @@
+lib/casestudies/treiber.ml: Action Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Fmt Heap Label List Option Priv Prog Ptr Slice Spec State String Value Verify World

@@ -1,0 +1,1 @@
+lib/casestudies/treiber.mli: Action Concurroid Fcsl_core Fcsl_heap Fcsl_pcm Heap Label Prog Ptr Slice Spec State Value Verify World

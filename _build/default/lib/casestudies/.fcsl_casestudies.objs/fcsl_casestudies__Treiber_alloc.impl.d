@@ -1,0 +1,1 @@
+lib/casestudies/treiber_alloc.ml: Caslock Cg_alloc Fcsl_core Fcsl_heap Fcsl_pcm Fmt Label List Option Priv Prog Spec State String Treiber Value Verify World

@@ -1,0 +1,1 @@
+lib/casestudies/treiber_alloc.mli: Fcsl_core Label Prog Spec State Verify World

@@ -1,0 +1,64 @@
+(** The CAS-based spinlock (paper, Section 6): one boolean cell;
+    self = (mutual-exclusion PCM, client ghost).  Implements the
+    abstract lock interface {!Lock_intf.LOCK}. *)
+
+open Fcsl_heap
+open Fcsl_core
+module Aux := Fcsl_pcm.Aux
+module Mutex := Fcsl_pcm.Instances.Mutex
+
+val impl_name : string
+
+type config = { lk : Ptr.t }
+
+val default_config : config
+val config_cells : config -> Ptr.t list
+
+(** {1 State shape} *)
+
+val lock_bit : config -> Heap.t -> bool option
+val protected_heap : config -> Heap.t -> Heap.t
+val split_aux : Aux.t -> (Mutex.t * Aux.t) option
+val mutex_of : Aux.t -> Mutex.t option
+val ghost_of : Aux.t -> Aux.t option
+val pack_aux : Mutex.t -> Aux.t -> Aux.t
+val holds : config -> Label.t -> State.t -> bool
+val self_ghost : config -> Label.t -> State.t -> Aux.t
+
+(** {1 The CLock concurroid} *)
+
+val coh : config -> Lock_intf.resource -> Slice.t -> bool
+val lock_tr : config -> Concurroid.transition
+val unlock_tr : config -> Lock_intf.resource -> Concurroid.transition
+val mutate_tr : config -> Lock_intf.resource -> Concurroid.transition
+val enum : config -> Lock_intf.resource -> unit -> Slice.t list
+val concurroid : label:Label.t -> config -> Lock_intf.resource -> Concurroid.t
+
+(** {1 Actions} *)
+
+val try_lock : ?await:bool -> Label.t -> config -> bool Action.t
+(** Erases to CAS(lk, false, true).  With [await], only scheduled when
+    it will succeed — the blocking reduction of the spin loop. *)
+
+val unlock_act :
+  Label.t -> config -> Lock_intf.resource -> delta:Aux.t -> unit Action.t
+(** Requires the invariant restored for the total ghost plus [delta],
+    which is credited to the caller. *)
+
+val read : Label.t -> config -> Ptr.t -> Value.t Action.t
+val write : Label.t -> config -> Ptr.t -> Value.t -> unit Action.t
+
+(** {1 Stability lemmas} *)
+
+val assert_holds : config -> Label.t -> State.t -> bool
+val assert_protected_pinned : config -> Label.t -> Heap.t -> State.t -> bool
+val assert_ghost_is : config -> Label.t -> Aux.t -> State.t -> bool
+val assert_free : config -> Label.t -> State.t -> bool
+(** NOT stable — the negative control of the test suite. *)
+
+(** {1 Programs} *)
+
+val lock : Label.t -> config -> unit Prog.t
+val unlock :
+  Label.t -> config -> Lock_intf.resource -> delta:Aux.t -> unit Prog.t
+val initial_slice : config -> Lock_intf.resource -> Heap.t -> Aux.t -> Slice.t

@@ -1,0 +1,27 @@
+(** The flat-combining stack (paper, Sections 4.2 and 6): the flat
+    combiner instantiated with a sequential stack.  [flat_combine
+    push/pop] satisfies the same subjective-history spec shape as the
+    Treiber stack — clients cannot tell a helping-based stack from a
+    CAS-based one. *)
+
+open Fcsl_heap
+open Fcsl_core
+
+val encode : int list -> Value.t
+val seq_stack : Flatcombiner.seq_object
+val cfg : Flatcombiner.config
+val fc_label : Label.t
+val concurroid : ?depth:int -> unit -> Concurroid.t
+val fc_push : slot:int -> int -> Value.t Prog.t
+val fc_pop : slot:int -> Value.t Prog.t
+val world : ?depth:int -> unit -> World.t
+val init_states : ?depth:int -> unit -> State.t list
+
+val verify :
+  ?fuel:int -> ?env_budget:int -> ?max_outcomes:int -> unit ->
+  Verify.report list
+
+val verify_pair :
+  ?fuel:int -> ?env_budget:int -> ?max_outcomes:int -> unit -> Verify.report
+(** Two clients, one per slot, in parallel: both histories correctly
+    ascribed even when one thread combines for both. *)

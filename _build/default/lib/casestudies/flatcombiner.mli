@@ -1,0 +1,116 @@
+(** The flat combiner of Hendler et al. (paper, Section 4.2): a
+    universal construction turning a sequential object into a concurrent
+    one via publication slots and a combiner lock — the helping pattern.
+
+    Ascription works as in FCSL: the combiner stamps a helped
+    operation's history entry into the *joint auxiliary* pending map
+    (one cell per slot); the requester later claims it into its own
+    [self] history.  Slot ownership is a token in the owner's self, so
+    effects cannot be stolen. *)
+
+open Fcsl_heap
+open Fcsl_core
+module Aux := Fcsl_pcm.Aux
+module Mutex := Fcsl_pcm.Instances.Mutex
+module Hist := Fcsl_pcm.Hist
+
+(** The sequential object a flat combiner wraps. *)
+type seq_object = {
+  so_name : string;
+  so_init : Value.t;
+  so_apply : string -> Value.t -> Value.t -> (Value.t * Value.t) option;
+      (** op -> arg -> state -> (result, new state) *)
+  so_ops : (string * Value.t list) list;
+      (** operation/argument universe, for transition enumeration *)
+}
+
+type config = { lk : Ptr.t; slots : Ptr.t list; obj : Ptr.t }
+
+val default_config : config
+
+(** {1 Slot encoding and ghost projections} *)
+
+val slot_empty : Value.t
+val slot_request : int -> Value.t -> Value.t
+val slot_done : Value.t -> Value.t
+val decode_slot :
+  Value.t -> [ `Empty | `Request of int * Value.t | `Done of Value.t ] option
+val op_code : seq_object -> string -> int option
+val op_of_code : seq_object -> int -> string option
+
+val split_aux : Aux.t -> (Mutex.t * Ptr.Set.t * Hist.t) option
+(** self = (combiner mutex, (slot tokens, claimed history)). *)
+
+val pack_aux : Mutex.t -> Ptr.Set.t -> Hist.t -> Aux.t
+val pendings_of : config -> Aux.t -> Hist.t list option
+val pack_pendings : Hist.t list -> Aux.t
+val pending_at : config -> Aux.t -> int -> Hist.t option
+val lock_bit : config -> Heap.t -> bool option
+val slot_state :
+  config -> Heap.t -> int ->
+  [ `Empty | `Request of int * Value.t | `Done of Value.t ] option
+val obj_state : config -> Heap.t -> Value.t option
+
+val replay : seq_object -> Hist.t -> Value.t option
+(** Replay the combined history through the sequential object. *)
+
+(** {1 The FlatCombine concurroid} *)
+
+val coh : seq_object -> config -> Slice.t -> bool
+val pass_finished : config -> Slice.t -> bool
+(** A combiner releases only when no slot is applied-but-unresponded. *)
+
+val base_slice : seq_object -> config -> Slice.t
+val transitions : seq_object -> config -> Concurroid.transition list
+val enum : seq_object -> config -> ?depth:int -> unit -> Slice.t list
+val concurroid : seq_object -> config -> ?depth:int -> Label.t -> Concurroid.t
+
+(** {1 Actions} *)
+
+val publish_act :
+  seq_object -> config -> Label.t -> slot:int -> string -> Value.t ->
+  unit Action.t
+
+val poll_act :
+  config -> Label.t -> slot:int -> [ `Done of Value.t | `Pending ] Action.t
+(** Blocks until either the result is ready or the combiner lock is
+    free. *)
+
+val try_lock_act : config -> Label.t -> bool Action.t
+val unlock_act : config -> Label.t -> unit Action.t
+
+val read_slot_act :
+  config -> Label.t -> int ->
+  [ `Empty | `Request of int * Value.t | `Done of Value.t ] Action.t
+
+val apply_act : seq_object -> config -> Label.t -> int -> unit Action.t
+(** Execute slot [i]'s request — the helped linearization point. *)
+
+val respond_act : config -> Label.t -> int -> unit Action.t
+
+val claim_act : config -> Label.t -> slot:int -> Value.t Action.t
+(** Collect the result and the ascribed history entry. *)
+
+(** {1 Stability lemmas} *)
+
+val assert_token : Label.t -> config -> slot:int -> State.t -> bool
+val assert_done_preserved :
+  Label.t -> config -> slot:int -> Value.t -> State.t -> bool
+val assert_hist_owned : Label.t -> Hist.t -> State.t -> bool
+
+(** {1 The construction} *)
+
+val combine_slot : seq_object -> config -> Label.t -> int -> unit Prog.t
+
+val flat_combine :
+  seq_object -> config -> Label.t -> slot:int -> string -> Value.t ->
+  Value.t Prog.t
+(** Publish; then either collect a helped result or become the combiner
+    and run everybody's requests. *)
+
+val flat_combine_spec :
+  seq_object -> config -> Label.t -> slot:int -> string -> Value.t ->
+  Value.t Spec.t
+(** The paper's Section 4.2 spec (weak form): from an empty self
+    history, the call returns [w] with exactly one entry (op, arg, w)
+    ascribed — regardless of who executed it. *)

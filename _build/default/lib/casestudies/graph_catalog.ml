@@ -1,0 +1,141 @@
+(* A catalogue of small heap-represented graphs used as verification
+   universes: exhaustive model checking runs over every shape, every
+   marking and every subjective split.  Includes the five-node graph of
+   the paper's Figure 2. *)
+
+open Fcsl_heap
+module Aux = Fcsl_pcm.Aux
+
+let p n = Ptr.of_int n
+
+(* Named shapes as (node, left, right) adjacency rows. *)
+let shapes_small : (string * (Ptr.t * Ptr.t * Ptr.t) list) list =
+  [
+    ("single", [ (p 1, Ptr.null, Ptr.null) ]);
+    ("self-loop", [ (p 1, p 1, Ptr.null) ]);
+    ("edge", [ (p 1, p 2, Ptr.null); (p 2, Ptr.null, Ptr.null) ]);
+    ("pair-cycle", [ (p 1, p 2, Ptr.null); (p 2, p 1, Ptr.null) ]);
+    ( "fork",
+      [
+        (p 1, p 2, p 3);
+        (p 2, Ptr.null, Ptr.null);
+        (p 3, Ptr.null, Ptr.null);
+      ] );
+    ( "chain3",
+      [ (p 1, p 2, Ptr.null); (p 2, p 3, Ptr.null); (p 3, Ptr.null, Ptr.null) ]
+    );
+    ( "diamondish",
+      (* both parents point at the same child: the racy redundant edge *)
+      [ (p 1, p 2, p 3); (p 2, p 3, Ptr.null); (p 3, Ptr.null, Ptr.null) ] );
+    ( "cycle3",
+      [ (p 1, p 2, Ptr.null); (p 2, p 3, Ptr.null); (p 3, p 1, Ptr.null) ] );
+    ( "dag3",
+      [ (p 1, p 2, p 3); (p 2, p 3, p 3); (p 3, Ptr.null, Ptr.null) ] );
+  ]
+
+(* The graph of Figure 2: a -> {b, c}, b -> {d, e}, c -> {e, c},
+   with a self-loop on c and the shared node e.  Pointers: a=1 b=2 c=3
+   d=4 e=5. *)
+let fig2_nodes = [ ("a", p 1); ("b", p 2); ("c", p 3); ("d", p 4); ("e", p 5) ]
+
+let fig2 : (Ptr.t * Ptr.t * Ptr.t) list =
+  [
+    (p 1, p 2, p 3);
+    (p 2, p 4, p 5);
+    (p 3, p 5, p 3);
+    (p 4, Ptr.null, Ptr.null);
+    (p 5, Ptr.null, Ptr.null);
+  ]
+
+let graph_of rows = Graph.of_adjacency_exn rows
+
+let fig2_graph () = graph_of fig2
+
+(* All subsets of a list. *)
+let subsets xs =
+  List.fold_left (fun acc x -> acc @ List.map (fun s -> x :: s) acc) [ [] ] xs
+
+(* All markings of a shape: mark the nodes of each subset. *)
+let markings rows =
+  let g = graph_of rows in
+  List.map
+    (fun subset ->
+      let g' = List.fold_left Graph.mark_node g subset in
+      (Ptr.Set.of_list subset, g'))
+    (subsets (Graph.dom g))
+
+(* All subjective slices of a marked graph: every split of the marked
+   set into self/other. *)
+let slices_of_marked (marked, g) =
+  List.filter_map
+    (fun (a, b) ->
+      match (a, b) with
+      | Aux.Set s, Aux.Set o ->
+        Some
+          (Fcsl_core.Slice.make ~self:(Aux.set s) ~joint:(Graph.to_heap g)
+             ~other:(Aux.set o))
+      | _ -> None)
+    (Aux.splits (Aux.set marked))
+
+(* Every slice over the catalogue's shapes (bounded): the SpanTree
+   verification universe. *)
+let all_slices ?(max_nodes = 3) () =
+  shapes_small
+  |> List.filter (fun (_, rows) -> List.length rows <= max_nodes)
+  |> List.concat_map (fun (_, rows) ->
+         List.concat_map slices_of_marked (markings rows))
+
+(* Unmarked initial graphs (per shape), for triple checking. *)
+let initial_graphs ?(max_nodes = 3) () =
+  shapes_small
+  |> List.filter (fun (_, rows) -> List.length rows <= max_nodes)
+  |> List.map (fun (name, rows) -> (name, graph_of rows))
+
+(* Random graph over [n] nodes, for property tests and scaling benches:
+   each successor is null or a uniformly chosen node. *)
+let random_graph ~rng n =
+  let pick () =
+    let k = Random.State.int rng (n + 1) in
+    if k = 0 then Ptr.null else p k
+  in
+  let rows = List.init n (fun i -> (p (i + 1), pick (), pick ())) in
+  graph_of rows
+
+(* A random graph guaranteed connected from node 1: build a random
+   spanning skeleton first, then add noise edges. *)
+let random_connected_graph ~rng n =
+  if n < 1 then invalid_arg "random_connected_graph: n >= 1";
+  let parent = Array.make (n + 1) 0 in
+  for i = 2 to n do
+    parent.(i) <- 1 + Random.State.int rng (i - 1)
+  done;
+  (* children lists from the skeleton; a node has at most 2 children, so
+     hang extra children by chaining through the left slot's subtree. *)
+  let left = Array.make (n + 1) 0 and right = Array.make (n + 1) 0 in
+  let attach child =
+    (* walk up/down to find a node with a free slot, starting at the
+       skeleton parent; fall back to scanning. *)
+    let rec find i =
+      if left.(i) = 0 then left.(i) <- child
+      else if right.(i) = 0 then right.(i) <- child
+      else find left.(i)
+    in
+    find parent.(child)
+  in
+  for i = 2 to n do
+    attach i
+  done;
+  let rows =
+    List.init n (fun i ->
+        let x = i + 1 in
+        let l = if left.(x) = 0 then Ptr.null else p left.(x) in
+        let r =
+          if right.(x) = 0 then
+            (* noise edge: points anywhere, or stays null *)
+            let k = Random.State.int rng (n + 1) in
+            if k = 0 then Ptr.null else p k
+          else p right.(x)
+        in
+        (p x, l, r))
+  in
+  graph_of rows

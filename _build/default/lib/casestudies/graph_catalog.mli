@@ -1,0 +1,26 @@
+(** Small heap-represented graphs used as verification universes, plus
+    random-graph generators for property tests and benches.  Includes
+    the five-node graph of the paper's Figure 2. *)
+
+open Fcsl_heap
+
+val shapes_small : (string * (Ptr.t * Ptr.t * Ptr.t) list) list
+val fig2_nodes : (string * Ptr.t) list
+val fig2 : (Ptr.t * Ptr.t * Ptr.t) list
+val graph_of : (Ptr.t * Ptr.t * Ptr.t) list -> Graph.t
+val fig2_graph : unit -> Graph.t
+val subsets : 'a list -> 'a list list
+val markings : (Ptr.t * Ptr.t * Ptr.t) list -> (Ptr.Set.t * Graph.t) list
+
+val slices_of_marked : Ptr.Set.t * Graph.t -> Fcsl_core.Slice.t list
+(** Every subjective split of a marked graph. *)
+
+val all_slices : ?max_nodes:int -> unit -> Fcsl_core.Slice.t list
+(** The SpanTree verification universe. *)
+
+val initial_graphs : ?max_nodes:int -> unit -> (string * Graph.t) list
+
+val random_graph : rng:Random.State.t -> int -> Graph.t
+val random_connected_graph : rng:Random.State.t -> int -> Graph.t
+(** Connected from node 1: a random spanning skeleton plus noise
+    edges. *)

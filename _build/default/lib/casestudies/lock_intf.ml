@@ -1,0 +1,88 @@
+(* The abstract lock interface (paper, Section 6 and Figure 5): both the
+   CAS-based spinlock and the ticketed lock implement this signature, so
+   coarse-grained clients (CG increment, CG allocator, and through the
+   allocator every stack client) are written once, as functors, and
+   verified against either lock — the "3L" interchangeability of
+   Table 2.
+
+   A lock protects a {!resource}: a set of heap cells together with a
+   resource invariant I relating the protected heap to the *total*
+   client ghost (the [self • other] of a client-chosen PCM).  The
+   protocol is the classic one, subjectively stated:
+
+   - when the lock is free, the invariant holds;
+   - holding the lock grants the exclusive right to mutate the protected
+     cells (and break the invariant);
+   - releasing requires the invariant restored, with the holder's ghost
+     contribution updated by a [delta] accounting for its mutation. *)
+
+open Fcsl_heap
+open Fcsl_core
+module Aux = Fcsl_pcm.Aux
+
+type resource = {
+  r_name : string;
+  r_inv : Heap.t -> Aux.t -> bool; (* I(protected heap, total ghost) *)
+  r_heaps : unit -> Heap.t list; (* protected-heap universe *)
+  r_ghosts : unit -> Aux.t list; (* total client-ghost universe *)
+}
+
+(* A trivial resource: one cell, no invariant. *)
+let cell_resource ?(values = [ Value.int 0; Value.int 1 ]) p =
+  {
+    r_name = Fmt.str "cell(%a)" Ptr.pp p;
+    r_inv = (fun _ _ -> true);
+    r_heaps = (fun () -> List.map (fun v -> Heap.singleton p v) values);
+    r_ghosts = (fun () -> [ Aux.Unit ]);
+  }
+
+module type LOCK = sig
+  val impl_name : string
+
+  type config
+  (** Cell layout of the lock's own state (lock bit, ticket counters...). *)
+
+  val default_config : config
+  val config_cells : config -> Ptr.t list
+
+  val concurroid : label:Label.t -> config -> resource -> Concurroid.t
+
+  val holds : config -> Label.t -> State.t -> bool
+  (** The observing thread holds the lock. *)
+
+  val self_ghost : config -> Label.t -> State.t -> Aux.t
+  (** The observing thread's client-ghost contribution. *)
+
+  val lock : Label.t -> config -> unit Prog.t
+  (** Spin until acquired. *)
+
+  val unlock : Label.t -> config -> resource -> delta:Aux.t -> unit Prog.t
+  (** Release; requires the invariant restored for the total ghost
+      augmented by [delta], which is credited to the caller. *)
+
+  val read : Label.t -> config -> Ptr.t -> Value.t Action.t
+  (** Read a protected cell; requires holding the lock. *)
+
+  val write : Label.t -> config -> Ptr.t -> Value.t -> unit Action.t
+  (** Write a protected cell; requires holding the lock. *)
+
+  val initial_slice : config -> resource -> Heap.t -> Aux.t -> Slice.t
+  (** A coherent free-lock slice over the given protected heap and total
+      ghost placed in [other] (the observing thread starts with unit). *)
+end
+
+(* Helpers shared by lock implementations. *)
+
+(* Split a ghost total into all (self, other) pairs. *)
+let ghost_splits total = Aux.splits total
+
+(* Enumerate protected-heap/ghost combinations satisfying a filter. *)
+let protected_states resource ~free =
+  List.concat_map
+    (fun prot ->
+      List.filter_map
+        (fun total ->
+          if (not free) || resource.r_inv prot total then Some (prot, total)
+          else None)
+        (resource.r_ghosts ()))
+    (resource.r_heaps ())

@@ -1,0 +1,60 @@
+(** The atomic pair snapshot (paper, Section 6): two versioned cells;
+    [read_pair] double-collects with a version re-check.  Specs via
+    time-stamped histories: the returned pair occurs as a simultaneous
+    state between call and return. *)
+
+open Fcsl_heap
+open Fcsl_core
+module Hist := Fcsl_pcm.Hist
+
+val x_cell : Ptr.t
+val y_cell : Ptr.t
+val value_domain : int list
+val cell_of : Heap.t -> Ptr.t -> (int * int) option
+(** (value, version). *)
+
+val pack_cell : int -> int -> Value.t
+val pair_state : int -> int -> Value.t
+val entry_pair : Hist.entry -> (int * int) option
+val writes_to : string -> Hist.t -> int
+
+(** {1 The ReadPair concurroid} *)
+
+val coh : Slice.t -> bool
+val write_x_tr : Concurroid.transition
+val write_y_tr : Concurroid.transition
+val enum : ?depth:int -> unit -> Slice.t list
+val concurroid : ?depth:int -> Label.t -> Concurroid.t
+
+(** {1 Actions} *)
+
+val read_cell : Label.t -> Ptr.t -> (int * int) Action.t
+val write_cell : Label.t -> Ptr.t -> int -> unit Action.t
+(** Versioned write: bumps the version and stamps the produced pair. *)
+
+(** {1 Stability lemmas (the version-check argument)} *)
+
+val assert_version_at_least : Label.t -> Ptr.t -> int -> State.t -> bool
+val assert_version_pins : Label.t -> Ptr.t -> int * int -> State.t -> bool
+val assert_hist_extends : Label.t -> Hist.t -> State.t -> bool
+
+(** {1 Programs and specs} *)
+
+val read_pair : Label.t -> (int * int) Prog.t
+val read_pair_unchecked : Label.t -> (int * int) Prog.t
+(** The injected bug: no version re-check.  Must be refuted. *)
+
+val read_pair_spec : Label.t -> (int * int) Spec.t
+val write_spec : Label.t -> Ptr.t -> int -> unit Spec.t
+
+(** {1 Verification drivers} *)
+
+val sp_label : Label.t
+val world : unit -> World.t
+val init_states : unit -> State.t list
+
+val verify :
+  ?fuel:int -> ?env_budget:int -> ?max_outcomes:int -> unit ->
+  Verify.report list
+
+val refute_unchecked : ?fuel:int -> ?env_budget:int -> unit -> Verify.report

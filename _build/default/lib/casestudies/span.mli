@@ -1,0 +1,93 @@
+(** The concurrent spanning-tree construction — the paper's running
+    example (Sections 2 and 3): the SpanTree concurroid, the [trymark] /
+    [read_child] / [nullify] atomic actions, the [span] procedure of
+    Figure 3 with the spec [span_tp] of Figure 4, and the closed-world
+    [span_root] obtained by hiding (Section 3.5). *)
+
+open Fcsl_heap
+open Fcsl_core
+module Aux := Fcsl_pcm.Aux
+
+(** {1 State shape} *)
+
+val graph_of_slice : Slice.t -> Graph.t option
+val self_set : Slice.t -> Ptr.Set.t option
+val other_set : Slice.t -> Ptr.Set.t option
+
+val fresh_marks : Slice.t -> Slice.t -> Ptr.Set.t option
+(** The nodes freshly marked between two slices: self f minus self i. *)
+
+(** {1 The SpanTree concurroid (Section 3.3)} *)
+
+val coh : Slice.t -> bool
+(** Joint is graph-shaped; self/other are disjoint node sets; a node is
+    in [self • other] iff it is marked. *)
+
+val marknode_trans : Concurroid.transition
+(** Physically mark an unmarked node and add it to self. *)
+
+val nullify_trans : Concurroid.transition
+(** A thread owning the marking of a node may sever its out-edges. *)
+
+val concurroid : ?max_nodes:int -> Label.t -> Concurroid.t
+(** The concurroid, with the small-graph catalogue as its law- and
+    stability-checking universe. *)
+
+(** {1 Atomic actions (Sections 2.2.2 and 3.4)} *)
+
+val trymark : Label.t -> Ptr.t -> bool Action.t
+(** Erases to CAS; takes [marknode_trans] on success, idle on
+    failure. *)
+
+val read_child : Label.t -> Ptr.t -> Graph.side -> Ptr.t Action.t
+(** Idle read; requires the node in self, so the result is stable. *)
+
+val nullify : Label.t -> Ptr.t -> Graph.side -> unit Action.t
+(** Erases to a write; takes [nullify_trans]; requires ownership. *)
+
+(** {1 Stability lemmas (Section 3.2)} *)
+
+val assert_in_dom : Label.t -> Ptr.t -> State.t -> bool
+val assert_in_self : Label.t -> Ptr.t -> State.t -> bool
+val assert_marked : Label.t -> Ptr.t -> State.t -> bool
+val assert_edges_of_owned : Label.t -> Ptr.t -> Ptr.t * Ptr.t -> State.t -> bool
+
+val subgraph_steps_holds : Concurroid.t -> Slice.t -> bool
+(** The [subgraph_steps] monotonicity lemma, over env-step closures. *)
+
+(** {1 The program and its specs} *)
+
+val span : Label.t -> Ptr.t -> bool Prog.t
+(** Figure 3, verbatim in structure. *)
+
+val subjective_subgraph : Slice.t -> Slice.t -> bool
+
+val span_spec : Label.t -> Ptr.t -> bool Spec.t
+(** Figure 4's [span_tp] as executable pre/postconditions. *)
+
+val span_root : pv:Label.t -> sp:Label.t -> Ptr.t -> bool Prog.t
+(** The top-level call under [hide] (Section 3.5): install a SpanTree
+    concurroid over the whole private heap, run [span], tear down. *)
+
+val span_root_spec : pv:Label.t -> Ptr.t -> bool Spec.t
+(** [span_root_tp]: from a private unmarked connected graph, the final
+    private heap is a spanning tree. *)
+
+(** {1 Verification drivers} *)
+
+val sp_label : Label.t
+val pv_label : Label.t
+val world : ?max_nodes:int -> unit -> World.t
+val init_states : ?max_nodes:int -> unit -> State.t list
+
+val verify_span :
+  ?max_nodes:int -> ?fuel:int -> ?max_outcomes:int -> unit ->
+  Verify.report list
+(** Exhaustively check [span_tp] for every root over the catalogue,
+    under full interference. *)
+
+val verify_span_root :
+  ?max_nodes:int -> ?fuel:int -> ?max_outcomes:int -> unit ->
+  Verify.report list
+(** Exhaustively check [span_root_tp] on the unmarked connected
+    catalogue graphs (closed world). *)

@@ -1,0 +1,132 @@
+(* The abstract stack interface — the unification exercise the paper
+   mentions but leaves undone (Section 6: "we could implement an
+   abstract interface for stacks, too, to unify the Treiber stack and
+   the FC-stack, although we didn't carry out this exercise").
+
+   A STACK packages: a world of concurroids, push/pop programs, the
+   subjective-history projections, and an enumeration of initial
+   states.  Clients written against this signature — the mixed-workload
+   client below — verify unchanged against both implementations, just
+   like the lock clients verify against both locks. *)
+
+open Fcsl_heap
+open Fcsl_core
+module Aux = Fcsl_pcm.Aux
+module Hist = Fcsl_pcm.Hist
+
+module type STACK = sig
+  val impl_name : string
+
+  val world : unit -> World.t
+  val init_states : unit -> State.t list
+
+  val push : int -> unit Prog.t
+  (** Push a value (implementations source their own node cells). *)
+
+  val pop : unit -> int option Prog.t
+
+  val self_ops : State.t -> (string * Value.t * Value.t) list
+  (** The observing thread's stamped operations: (op, arg, res). *)
+
+  val fresh_thread : State.t -> bool
+  (** Precondition: the observing thread has contributed nothing yet. *)
+end
+
+(*!Main*)
+(* The Treiber stack as a STACK. *)
+module Treiber_stack : STACK = struct
+  let impl_name = "Treiber"
+
+  let world () = Treiber.world ()
+  let init_states () = Treiber.init_states ()
+
+  let push v = Treiber.push Treiber.tb_label Treiber.pv_label Treiber.node1 v
+  let pop () = Treiber.pop Treiber.tb_label
+
+  let self_ops st =
+    List.map
+      (fun e -> (e.Hist.op, e.Hist.arg, e.Hist.res))
+      (Hist.entries (Treiber.self_hist Treiber.tb_label st))
+
+  let fresh_thread st =
+    Hist.is_empty (Treiber.self_hist Treiber.tb_label st)
+    &&
+    match Aux.as_heap (State.self Treiber.pv_label st) with
+    | Some h -> Heap.mem Treiber.node1 h
+    | None -> false
+end
+
+(* The flat-combining stack as a STACK. *)
+module Fc_stack_impl : STACK = struct
+  module Fc = Flatcombiner
+  module Mutex = Fcsl_pcm.Instances.Mutex
+
+  let impl_name = "FC"
+
+  let world () = Fc_stack.world ()
+  let init_states () = Fc_stack.init_states ()
+
+  let push v = Prog.bind (Fc_stack.fc_push ~slot:0 v) (fun _ -> Prog.ret ())
+
+  let pop () =
+    Prog.bind (Fc_stack.fc_pop ~slot:0) (fun r ->
+        Prog.ret (match r with Value.Int n when n >= 0 -> Some n | _ -> None))
+
+  let self_ops st =
+    match State.find Fc_stack.fc_label st with
+    | Some s -> (
+      match Fc.split_aux (Slice.self s) with
+      | Some (_, _, hist) ->
+        List.map
+          (fun e -> (e.Hist.op, e.Hist.arg, e.Hist.res))
+          (Hist.entries hist)
+      | None -> [])
+    | None -> []
+
+  let fresh_thread st =
+    match State.find Fc_stack.fc_label st with
+    | Some s -> (
+      match Fc.split_aux (Slice.self s) with
+      | Some (Mutex.Not_own, tokens, hist) ->
+        Hist.is_empty hist
+        && Ptr.Set.mem (List.nth Fc_stack.cfg.Fc.slots 0) tokens
+        && Fc.slot_state Fc_stack.cfg (Slice.joint s) 0 = Some `Empty
+      | _ -> false)
+    | None -> false
+end
+
+(* A client written once against the interface: push then pop, and
+   require the thread's own stamped history to show exactly those two
+   operations with the pushed value flowing through. *)
+module Client (S : STACK) = struct
+  let push_then_pop v : int option Prog.t =
+    Prog.bind (S.push v) (fun () -> S.pop ())
+
+  let spec v : int option Spec.t =
+    Spec.make
+      ~name:(Fmt.str "%s stack client: push %d; pop" S.impl_name v)
+      ~pre:S.fresh_thread
+      ~post:(fun _r _i f ->
+        let ops = S.self_ops f in
+        let pushes =
+          List.filter (fun (op, _, _) -> String.equal op "push") ops
+        in
+        let pops = List.filter (fun (op, _, _) -> String.equal op "pop") ops in
+        List.length pushes = 1
+        && List.length pops <= 1
+        && List.for_all
+             (fun (_, arg, _) -> Value.equal arg (Value.int v))
+             pushes)
+
+  let verify ?(fuel = 30) ?(env_budget = 1) ?(max_outcomes = 400_000) () :
+      Verify.report =
+    Verify.check_triple ~fuel ~env_budget ~max_outcomes ~world:(S.world ())
+      ~init:(S.init_states ()) (push_then_pop 1) (spec 1)
+end
+
+module Treiber_client = Client (Treiber_stack)
+module Fc_client = Client (Fc_stack_impl)
+
+let verify () : Verify.report list =
+  [ Treiber_client.verify (); Fc_client.verify () ]
+(*!End*)

@@ -1,0 +1,64 @@
+(** The ticketed lock (paper, Section 6): a ticket dispenser [next] and
+    a serving counter [owner]; self = (drawn-ticket set, client ghost);
+    a thread holds the lock when the served ticket is in its set.
+    Implements the abstract lock interface {!Lock_intf.LOCK}. *)
+
+open Fcsl_heap
+open Fcsl_core
+module Aux := Fcsl_pcm.Aux
+
+val impl_name : string
+
+type config = { next : Ptr.t; owner : Ptr.t }
+
+val default_config : config
+val config_cells : config -> Ptr.t list
+
+(** {1 State shape} *)
+
+val ticket : int -> Ptr.t
+val next_of : config -> Heap.t -> int option
+val owner_of : config -> Heap.t -> int option
+val protected_heap : config -> Heap.t -> Heap.t
+val split_aux : Aux.t -> (Ptr.Set.t * Aux.t) option
+val pack_aux : Ptr.Set.t -> Aux.t -> Aux.t
+val holds : config -> Label.t -> State.t -> bool
+val self_ghost : config -> Label.t -> State.t -> Aux.t
+
+(** {1 The TLock concurroid} *)
+
+val coh : config -> Lock_intf.resource -> Slice.t -> bool
+val take_ticket_tr : config -> Concurroid.transition
+val unlock_tr : config -> Lock_intf.resource -> Concurroid.transition
+val mutate_tr : config -> Lock_intf.resource -> Concurroid.transition
+val enum : config -> Lock_intf.resource -> unit -> Slice.t list
+val concurroid : label:Label.t -> config -> Lock_intf.resource -> Concurroid.t
+
+(** {1 Actions} *)
+
+val take_ticket : Label.t -> config -> int Action.t
+(** Erases to FAA(next, 1). *)
+
+val read_owner : ?awaiting:int -> Label.t -> config -> int Action.t
+(** With [awaiting t], only scheduled once the counter reaches [t] —
+    the blocking reduction of the wait loop. *)
+
+val unlock_act :
+  Label.t -> config -> Lock_intf.resource -> delta:Aux.t -> unit Action.t
+
+val read : Label.t -> config -> Ptr.t -> Value.t Action.t
+val write : Label.t -> config -> Ptr.t -> Value.t -> unit Action.t
+
+(** {1 Stability lemmas} *)
+
+val assert_ticket_owned : config -> Label.t -> int -> State.t -> bool
+val assert_owner_at_least : config -> Label.t -> int -> State.t -> bool
+val assert_being_served : config -> Label.t -> int -> State.t -> bool
+val assert_protected_pinned : config -> Label.t -> Heap.t -> State.t -> bool
+
+(** {1 Programs} *)
+
+val lock : Label.t -> config -> unit Prog.t
+val unlock :
+  Label.t -> config -> Lock_intf.resource -> delta:Aux.t -> unit Prog.t
+val initial_slice : config -> Lock_intf.resource -> Heap.t -> Aux.t -> Slice.t

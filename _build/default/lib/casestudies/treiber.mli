@@ -1,0 +1,98 @@
+(** Treiber's non-blocking stack (paper, Section 6): a [top] pointer
+    CAS-swung over a linked list of nodes; popped nodes are retired in
+    place (that is what rules out ABA).  Specs use the PCM of
+    time-stamped histories: every successful push/pop stamps an entry
+    owned by the performing thread; coherence forces the combined
+    history to be a legal LIFO run matching the physical list. *)
+
+open Fcsl_heap
+open Fcsl_core
+module Hist := Fcsl_pcm.Hist
+
+(** {1 Physical and abstract shapes} *)
+
+val top_cell : Ptr.t
+val env_node_cells : Ptr.t list
+(** Pointers the environment uses for its own pushes during
+    interference. *)
+
+val encode_stack : int list -> Value.t
+val decode_stack : Value.t -> int list option
+val node_of : Heap.t -> Ptr.t -> (int * Ptr.t) option
+val pack_node : int -> Ptr.t -> Value.t
+val list_from : Heap.t -> Ptr.t -> (Ptr.t * int) list option
+val top_of : Heap.t -> Ptr.t option
+
+val contents : Heap.t -> int list option
+(** The abstract stack: the values along the list from [top]. *)
+
+val replay : Hist.t -> int list option
+(** Replay a history from the empty stack, checking LIFO legality;
+    [Some final_contents] iff legal. *)
+
+val hist_of : Fcsl_pcm.Aux.t -> Hist.t option
+
+(** {1 The Treiber concurroid} *)
+
+val coh : Slice.t -> bool
+val push_tr : Concurroid.transition
+(** External transition: the environment publishes a node from its own
+    pool. *)
+
+val pop_tr : Concurroid.transition
+val enum : ?depth:int -> unit -> Slice.t list
+val concurroid : ?depth:int -> Label.t -> Concurroid.t
+
+(** {1 Atomic actions} *)
+
+val read_top : Label.t -> Ptr.t Action.t
+val read_top_nonempty : Label.t -> Ptr.t Action.t
+(** Blocking variant for consumers awaiting an element. *)
+
+val read_node : Label.t -> Ptr.t -> (int * Ptr.t) Action.t
+(** Reading retired nodes is safe — nodes are never deallocated. *)
+
+val set_node : Label.t -> Ptr.t -> int -> Ptr.t -> unit Action.t
+(** Prepare a private cell as a node (Priv business). *)
+
+val cas_push : Label.t -> Label.t -> Ptr.t -> int -> Ptr.t -> bool Action.t
+(** The publishing CAS; on success the node migrates from the private
+    heap into the stack (communicating action) and the push is
+    stamped. *)
+
+val cas_pop : Label.t -> Ptr.t -> Ptr.t -> bool Action.t
+
+(** {1 Stability lemmas} *)
+
+val assert_node_pinned : Label.t -> Ptr.t -> int * Ptr.t -> State.t -> bool
+val assert_hist_owned : Label.t -> Hist.t -> State.t -> bool
+val assert_ts_at_least : Label.t -> int -> State.t -> bool
+
+(** {1 Programs and specs} *)
+
+val push : Label.t -> Label.t -> Ptr.t -> int -> unit Prog.t
+(** Retry loop; retries are bounded by interference (lock-freedom). *)
+
+val pop : Label.t -> int option Prog.t
+val pop_wait : Label.t -> int Prog.t
+val self_hist : Label.t -> State.t -> Hist.t
+val total_hist : Label.t -> State.t -> Hist.t
+val push_spec : Label.t -> Label.t -> Ptr.t -> int -> unit Spec.t
+val pop_spec : Label.t -> int option Spec.t
+
+(** {1 Verification drivers} *)
+
+val tb_label : Label.t
+val pv_label : Label.t
+val priv_enum : unit -> Slice.t list
+val world : ?depth:int -> unit -> World.t
+val init_states : ?depth:int -> unit -> State.t list
+val node1 : Ptr.t
+val node2 : Ptr.t
+
+val verify :
+  ?fuel:int -> ?env_budget:int -> ?max_outcomes:int -> unit ->
+  Verify.report list
+
+val verify_push_pop :
+  ?fuel:int -> ?env_budget:int -> ?max_outcomes:int -> unit -> Verify.report

@@ -1,0 +1,60 @@
+(* The paper's full Treiber-stack configuration (Table 2 row "Treiber
+   stack"): node cells come from the lock-based CG allocator, so a push
+   runs in the entangled world [Priv ⋈ ALock ⋈ Treiber] and the stack
+   inherits the abstract-lock dependency of Figure 5
+   (allocator -> Treiber stack). *)
+
+open Fcsl_heap
+open Fcsl_core
+module Aux = Fcsl_pcm.Aux
+module Hist = Fcsl_pcm.Hist
+module Alloc = Cg_alloc.Cas
+
+(*!Main*)
+let pv_label = Alloc.pv_label (* share the allocator's Priv instance *)
+let al_label = Alloc.al_label
+let tb_label = Label.make "treiber_alloc"
+
+(* push_fresh: allocate a node cell, then push through it.  The paper's
+   composition: alloc's postcondition hands the client reasoning exactly
+   what push's precondition needs. *)
+let push_fresh v : unit Prog.t =
+  let open Prog in
+  let* p = Alloc.alloc al_label pv_label in
+  Treiber.push tb_label pv_label p v
+
+let push_fresh_spec v : unit Spec.t =
+  Spec.make
+    ~name:(Fmt.str "push_fresh(%d)" v)
+    ~pre:(fun st ->
+      Hist.is_empty (Treiber.self_hist tb_label st)
+      && (not (Caslock.holds Alloc.cfg al_label st))
+      && Option.is_some (Aux.as_heap (State.self pv_label st)))
+    ~post:(fun () i f ->
+      let hi = Treiber.total_hist tb_label i in
+      let hs = Treiber.self_hist tb_label f in
+      Hist.cardinal hs = 1
+      && List.for_all
+           (fun (ts, e) ->
+             ts > Hist.last_ts hi
+             && String.equal e.Fcsl_pcm.Hist.op "push"
+             && Value.equal e.Fcsl_pcm.Hist.arg (Value.int v))
+           (Hist.bindings hs))
+
+let world () =
+  World.of_list
+    [
+      Priv.make pv_label;
+      Alloc.concurroid ~label:al_label;
+      Treiber.concurroid ~depth:1 tb_label;
+    ]
+
+let init_states () = World.enum ~cap:4000 (world ())
+
+let verify ?(fuel = 26) ?(env_budget = 1) ?(max_outcomes = 400_000) () :
+    Verify.report list =
+  [
+    Verify.check_triple ~fuel ~env_budget ~max_outcomes ~world:(world ())
+      ~init:(init_states ()) (push_fresh 1) (push_fresh_spec 1);
+  ]
+(*!End*)

@@ -1,0 +1,21 @@
+(** The paper's full Treiber-stack configuration (Table 2): node cells
+    come from the lock-based CG allocator, so a push runs in the
+    entangled world [Priv ⋈ ALock ⋈ Treiber] and the stack inherits the
+    abstract-lock dependency of Figure 5. *)
+
+open Fcsl_core
+
+val pv_label : Label.t
+val al_label : Label.t
+val tb_label : Label.t
+
+val push_fresh : int -> unit Prog.t
+(** Allocate a node cell, then push through it. *)
+
+val push_fresh_spec : int -> unit Spec.t
+val world : unit -> World.t
+val init_states : unit -> State.t list
+
+val verify :
+  ?fuel:int -> ?env_budget:int -> ?max_outcomes:int -> unit ->
+  Verify.report list

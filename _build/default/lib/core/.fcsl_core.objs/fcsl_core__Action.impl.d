@@ -1,0 +1,1 @@
+lib/core/action.ml: Concurroid Fcsl_heap Fcsl_pcm Fmt Heap List Option Ptr Slice State Value World

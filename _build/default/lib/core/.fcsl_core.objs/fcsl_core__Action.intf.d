@@ -1,0 +1,1 @@
+lib/core/action.mli: Fcsl_heap Format Heap Ptr State Value World

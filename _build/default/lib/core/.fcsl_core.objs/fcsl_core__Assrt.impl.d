@@ -1,0 +1,1 @@
+lib/core/assrt.ml: Fcsl_heap Fcsl_pcm Fmt Heap Label List Ptr Slice Stability State Stdlib Value World

@@ -1,0 +1,1 @@
+lib/core/assrt.mli: Fcsl_heap Fcsl_pcm Format Heap Label Ptr Stability State Value World

@@ -1,0 +1,1 @@
+lib/core/concurroid.ml: Fcsl_heap Fcsl_pcm Fmt Heap Label List Option Ptr Set Slice State

@@ -1,0 +1,1 @@
+lib/core/concurroid.mli: Format Label Slice

@@ -1,0 +1,1 @@
+lib/core/contrib.ml: Fcsl_pcm Label List Option

@@ -1,0 +1,1 @@
+lib/core/contrib.mli: Fcsl_pcm Format Label

@@ -1,0 +1,1 @@
+lib/core/label.ml: Fmt Hashtbl Int List Map Set

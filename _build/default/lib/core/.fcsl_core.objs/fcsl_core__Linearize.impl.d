@@ -1,0 +1,1 @@
+lib/core/linearize.ml: Fcsl_heap Fcsl_pcm List Option Value

@@ -1,0 +1,1 @@
+lib/core/linearize.mli: Fcsl_heap Fcsl_pcm Value

@@ -1,0 +1,1 @@
+lib/core/priv.ml: Concurroid Fcsl_heap Fcsl_pcm Heap List Option Ptr Slice State Value

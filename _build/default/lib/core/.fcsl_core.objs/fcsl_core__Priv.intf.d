@@ -1,0 +1,1 @@
+lib/core/priv.mli: Concurroid Fcsl_heap Heap Label Slice State

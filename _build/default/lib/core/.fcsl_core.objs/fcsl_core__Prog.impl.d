@@ -1,0 +1,1 @@
+lib/core/prog.ml: Action Concurroid Contrib Fcsl_heap Fcsl_pcm Fmt Format Heap Label List Option

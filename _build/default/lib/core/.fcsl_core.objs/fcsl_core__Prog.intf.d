@@ -1,0 +1,1 @@
+lib/core/prog.mli: Action Concurroid Contrib Fcsl_heap Fcsl_pcm Format Heap Label Ptr

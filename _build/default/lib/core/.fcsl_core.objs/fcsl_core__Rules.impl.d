@@ -1,0 +1,1 @@
+lib/core/rules.ml: Action Fmt List Prog Spec Stability State Verify World

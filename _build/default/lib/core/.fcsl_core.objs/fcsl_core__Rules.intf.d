@@ -1,0 +1,1 @@
+lib/core/rules.mli: Action Format Prog Spec State World

@@ -1,0 +1,1 @@
+lib/core/sched.ml: Action Concurroid Contrib Fcsl_heap Fcsl_pcm Fmt Heap Label List Option Prog Random Result Slice State String World

@@ -1,0 +1,1 @@
+lib/core/sched.mli: Contrib Fcsl_heap Format Heap Label Prog State World

@@ -1,0 +1,1 @@
+lib/core/slice.ml: Fcsl_heap Fcsl_pcm Fmt Heap Stdlib

@@ -1,0 +1,1 @@
+lib/core/slice.mli: Fcsl_heap Fcsl_pcm Format Heap

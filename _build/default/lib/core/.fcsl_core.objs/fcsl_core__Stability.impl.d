@@ -1,0 +1,1 @@
+lib/core/stability.ml: Fmt List Spec State World

@@ -1,0 +1,1 @@
+lib/core/state.ml: Fcsl_heap Fcsl_pcm Fmt Heap Label Option Slice

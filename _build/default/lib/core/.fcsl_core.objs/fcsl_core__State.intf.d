@@ -1,0 +1,1 @@
+lib/core/state.mli: Fcsl_heap Fcsl_pcm Format Heap Label Slice

@@ -1,0 +1,1 @@
+lib/core/tree.ml: Contrib Fmt List Prog Sched State String

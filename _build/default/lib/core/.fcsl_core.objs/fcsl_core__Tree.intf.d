@@ -1,0 +1,1 @@
+lib/core/tree.mli: Contrib Format Prog Sched

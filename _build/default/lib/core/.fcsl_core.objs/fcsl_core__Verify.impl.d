@@ -1,0 +1,1 @@
+lib/core/verify.ml: Fmt List Prog Sched Spec State World

@@ -1,0 +1,155 @@
+(* Assertion combinators with declared footprints: the analogue of the
+   paper's planned "proof automation for stability-related facts via
+   lemma overloading" (Section 7).
+
+   An assertion built from these combinators carries a footprint — which
+   components of which labels it reads.  Environment steps never change
+   a thread's [self] components (that is the other-fixity law, checked
+   for every concurroid), so an assertion whose footprint is
+   self-only is stable *by construction*: no enumeration needed.
+   Assertions touching [joint] or [other] components fall back to the
+   semantic checker.  [check_auto] implements this dispatch; the test
+   suite validates that the syntactic fast path never disagrees with
+   semantic checking. *)
+
+module Aux = Fcsl_pcm.Aux
+open Fcsl_heap
+
+type component = Cself | Cjoint | Cother
+
+type footprint = (Label.t * component) list
+
+type t = {
+  a_name : string;
+  a_pred : State.t -> bool;
+  a_fp : footprint;
+}
+
+let name a = a.a_name
+let holds a st = a.a_pred st
+let footprint a = a.a_fp
+
+(* Primitive assertions: each reads exactly one component of one
+   label.  A missing label falsifies the assertion. *)
+
+let pure name b = { a_name = name; a_pred = (fun _ -> b); a_fp = [] }
+
+let on_self l name f =
+  {
+    a_name = name;
+    a_pred =
+      (fun st ->
+        match State.find l st with
+        | Some s -> f (Slice.self s)
+        | None -> false);
+    a_fp = [ (l, Cself) ];
+  }
+
+let on_joint l name f =
+  {
+    a_name = name;
+    a_pred =
+      (fun st ->
+        match State.find l st with
+        | Some s -> f (Slice.joint s) (Slice.jaux s)
+        | None -> false);
+    a_fp = [ (l, Cjoint) ];
+  }
+
+let on_other l name f =
+  {
+    a_name = name;
+    a_pred =
+      (fun st ->
+        match State.find l st with
+        | Some s -> f (Slice.other s)
+        | None -> false);
+    a_fp = [ (l, Cother) ];
+  }
+
+(* Connectives: footprints accumulate. *)
+
+let merge_fp a b =
+  List.sort_uniq Stdlib.compare (a @ b)
+
+let conj a b =
+  {
+    a_name = Fmt.str "(%s /\\ %s)" a.a_name b.a_name;
+    a_pred = (fun st -> a.a_pred st && b.a_pred st);
+    a_fp = merge_fp a.a_fp b.a_fp;
+  }
+
+let disj a b =
+  {
+    a_name = Fmt.str "(%s \\/ %s)" a.a_name b.a_name;
+    a_pred = (fun st -> a.a_pred st || b.a_pred st);
+    a_fp = merge_fp a.a_fp b.a_fp;
+  }
+
+(* Negation preserves the footprint (it reads the same components). *)
+let neg a =
+  {
+    a_name = Fmt.str "~%s" a.a_name;
+    a_pred = (fun st -> not (a.a_pred st));
+    a_fp = a.a_fp;
+  }
+
+let conj_all = function
+  | [] -> pure "true" true
+  | a :: rest -> List.fold_left conj a rest
+
+(* Convenience primitives. *)
+
+let self_contains l x =
+  on_self l
+    (Fmt.str "%a in self(%a)" Ptr.pp x Label.pp l)
+    (fun a ->
+      match Aux.as_set a with Some s -> Ptr.Set.mem x s | None -> false)
+
+let self_is_unit l =
+  on_self l (Fmt.str "self(%a) = unit" Label.pp l) Aux.is_unit
+
+let self_heap_has l p =
+  on_self l
+    (Fmt.str "%a in pv_self(%a)" Ptr.pp p Label.pp l)
+    (fun a -> match Aux.as_heap a with Some h -> Heap.mem p h | None -> false)
+
+let joint_cell_is l p v =
+  on_joint l
+    (Fmt.str "%a :-> %a @@ %a" Ptr.pp p Value.pp v Label.pp l)
+    (fun joint _ ->
+      match Heap.find p joint with Some w -> Value.equal v w | None -> false)
+
+(* Stability dispatch. *)
+
+type verdict =
+  | Stable_by_footprint
+      (* self-only footprint: stable by other-fixity, no search *)
+  | Stable_checked (* semantic check ran and succeeded *)
+  | Unstable of Stability.result
+
+let self_only a =
+  List.for_all (fun (_, c) -> c = Cself) a.a_fp
+
+(* Interference can also only come from labels the world actually
+   contains; reads of absent labels are vacuously stable. *)
+let check_auto (w : World.t) ~states (a : t) : verdict =
+  let touched_interferable =
+    List.exists
+      (fun (l, c) -> c <> Cself && World.mem w l)
+      a.a_fp
+  in
+  if (not touched_interferable) || self_only a then Stable_by_footprint
+  else
+    match Stability.check w ~states a.a_pred with
+    | Stability.Stable -> Stable_checked
+    | Stability.Unstable _ as r -> Unstable r
+
+let is_stable = function
+  | Stable_by_footprint | Stable_checked -> true
+  | Unstable _ -> false
+
+let pp_verdict ppf = function
+  | Stable_by_footprint -> Fmt.string ppf "stable (by footprint)"
+  | Stable_checked -> Fmt.string ppf "stable (checked)"
+  | Unstable r -> Stability.pp_result ppf r

@@ -1,0 +1,52 @@
+(** Assertion combinators with declared footprints: the analogue of the
+    paper's planned stability-proof automation (Section 7).
+
+    An assertion whose footprint reads only [self] components is stable
+    by construction (environment steps fix [self] — the other-fixity
+    law); other assertions fall back to the semantic checker.  The test
+    suite validates that the fast path never disagrees with semantic
+    checking. *)
+
+open Fcsl_heap
+module Aux := Fcsl_pcm.Aux
+
+type component = Cself | Cjoint | Cother
+type footprint = (Label.t * component) list
+type t
+
+val name : t -> string
+val holds : t -> State.t -> bool
+val footprint : t -> footprint
+
+(** {1 Primitive assertions} *)
+
+val pure : string -> bool -> t
+val on_self : Label.t -> string -> (Aux.t -> bool) -> t
+val on_joint : Label.t -> string -> (Heap.t -> Aux.t -> bool) -> t
+val on_other : Label.t -> string -> (Aux.t -> bool) -> t
+
+(** {1 Connectives (footprints accumulate)} *)
+
+val conj : t -> t -> t
+val disj : t -> t -> t
+val neg : t -> t
+val conj_all : t list -> t
+
+(** {1 Convenience} *)
+
+val self_contains : Label.t -> Ptr.t -> t
+val self_is_unit : Label.t -> t
+val self_heap_has : Label.t -> Ptr.t -> t
+val joint_cell_is : Label.t -> Ptr.t -> Value.t -> t
+
+(** {1 Stability dispatch} *)
+
+type verdict =
+  | Stable_by_footprint  (** self-only footprint: no search needed *)
+  | Stable_checked  (** semantic check ran and succeeded *)
+  | Unstable of Stability.result
+
+val self_only : t -> bool
+val check_auto : World.t -> states:State.t list -> t -> verdict
+val is_stable : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit

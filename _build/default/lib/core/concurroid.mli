@@ -1,0 +1,68 @@
+(** Concurroids (paper, Sections 2.2.1 and 3.3): labelled
+    state-transition systems over subjective slices, with a coherence
+    predicate and enumerable transitions.
+
+    The FCSL metatheory laws are executable checks here, run over a
+    finite enumeration of coherent slices that each instance supplies:
+    transitions preserve coherence, fix the [other] component, preserve
+    the real footprint (unless marked external — the paper's
+    heap-exchanging communication channels), and the state space is
+    fork-join closed. *)
+
+type transition = {
+  tr_name : string;
+  tr_external : bool;
+      (** External (communication) transitions exchange heap ownership
+          with other concurroids and are exempt from footprint
+          preservation. *)
+  tr_step : Slice.t -> Slice.t list;
+      (** All successor slices via this transition; idle is implicit. *)
+}
+
+val internal : name:string -> (Slice.t -> Slice.t list) -> transition
+val external_ : name:string -> (Slice.t -> Slice.t list) -> transition
+
+type t
+
+val make :
+  ?justifies:(Slice.t -> Slice.t -> bool) ->
+  label:Label.t ->
+  name:string ->
+  coh:(Slice.t -> bool) ->
+  transitions:transition list ->
+  enum:(unit -> Slice.t list) ->
+  unit ->
+  t
+(** [justifies] is an optional semantic transition relation for
+    concurroids whose transitions quantify over unenumerable data (e.g.
+    Priv lets a thread rewrite its own cells with arbitrary values). *)
+
+val label : t -> Label.t
+val name : t -> string
+val coh : t -> Slice.t -> bool
+val transitions : t -> transition list
+val transition_names : t -> string list
+
+val enum : t -> Slice.t list
+(** The instance's law/stability-checking universe. *)
+
+val justified : t -> Slice.t -> Slice.t -> bool
+
+val steps : t -> Slice.t -> (string * Slice.t) list
+(** All slices reachable in one non-idle self step. *)
+
+val env_steps : t -> Slice.t -> (string * Slice.t) list
+(** The paper's [env_steps], one step: transitions taken from the
+    transposed viewpoint — [self] fixed, [joint]/[other] may change. *)
+
+val env_steps_closure : ?fuel:int -> t -> Slice.t -> Slice.t list
+(** Bounded reflexive-transitive closure of environment stepping. *)
+
+(** {1 Law checking} *)
+
+type violation = { law : string; witness : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+val check_laws : ?max_violations:int -> t -> violation list
+val well_formed : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(* Per-label PCM contributions of a thread.  A missing label means the
+   unit contribution, so forked children start empty and fold back in on
+   join (the subjective Par rule, Section 2.2.1). *)
+
+module Aux = Fcsl_pcm.Aux
+
+type t = Aux.t Label.Map.t
+
+let empty : t = Label.Map.empty
+let get l (c : t) = Option.value (Label.Map.find_opt l c) ~default:Aux.Unit
+let set l a (c : t) = Label.Map.add l a c
+let remove l (c : t) = Label.Map.remove l c
+let of_list bindings : t = Label.Map.of_seq (List.to_seq bindings)
+
+let labels (c : t) = Label.Map.keys c
+
+(* PCM join, pointwise; [None] on any per-label incompatibility. *)
+let join (c1 : t) (c2 : t) : t option =
+  Label.Map.fold
+    (fun l a acc ->
+      Option.bind acc (fun c ->
+          Option.map (fun joined -> Label.Map.add l joined c)
+            (Aux.join (get l c) a)))
+    c2 (Some c1)
+
+let join_exn c1 c2 =
+  match join c1 c2 with
+  | Some c -> c
+  | None -> invalid_arg "Contrib.join_exn: incompatible contributions"
+
+let join_all cs = List.fold_left (fun acc c -> Option.bind acc (join c)) (Some empty) cs
+
+let is_empty (c : t) = Label.Map.for_all (fun _ a -> Aux.is_unit a) c
+
+let equal (c1 : t) (c2 : t) =
+  let labels =
+    Label.Set.union
+      (Label.Set.of_list (Label.Map.keys c1))
+      (Label.Set.of_list (Label.Map.keys c2))
+  in
+  Label.Set.for_all (fun l -> Aux.equal (get l c1) (get l c2)) labels
+
+let pp ppf (c : t) = Label.Map.pp Aux.pp ppf c

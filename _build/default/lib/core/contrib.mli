@@ -1,0 +1,23 @@
+(** Per-label PCM contributions of a thread.  A missing label means the
+    unit contribution, so forked children start empty and fold back in
+    on join (the subjective Par rule). *)
+
+module Aux := Fcsl_pcm.Aux
+
+type t = Aux.t Label.Map.t
+
+val empty : t
+val get : Label.t -> t -> Aux.t
+val set : Label.t -> Aux.t -> t -> t
+val remove : Label.t -> t -> t
+val of_list : (Label.t * Aux.t) list -> t
+val labels : t -> Label.t list
+
+val join : t -> t -> t option
+(** Pointwise PCM join; [None] on any per-label incompatibility. *)
+
+val join_exn : t -> t -> t
+val join_all : t list -> t option
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

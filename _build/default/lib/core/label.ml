@@ -1,0 +1,41 @@
+(* Concurroid labels (paper, Section 3.3): semantically natural numbers
+   that differentiate instances of a concurroid within an entangled
+   state.  A global registry maps labels back to names for printing. *)
+
+type t = int
+
+let registry : (int, string) Hashtbl.t = Hashtbl.create 16
+let counter = ref 0
+
+let make name =
+  incr counter;
+  let l = !counter in
+  Hashtbl.replace registry l name;
+  l
+
+let name l =
+  match Hashtbl.find_opt registry l with
+  | Some n -> n
+  | None -> Fmt.str "l%d" l
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b
+let pp ppf l = Fmt.pf ppf "%s#%d" (name l) l
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = struct
+  include Map.Make (Ord)
+
+  let keys m = List.map fst (bindings m)
+
+  let pp pp_v ppf m =
+    let pp_binding ppf (k, v) = Fmt.pf ppf "%a: %a" pp k pp_v v in
+    Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_binding) (bindings m)
+end
+
+module Set = Set.Make (Ord)

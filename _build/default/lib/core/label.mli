@@ -1,0 +1,21 @@
+(** Concurroid labels (paper, Section 3.3): names that differentiate
+    instances of a concurroid within an entangled state. *)
+
+type t
+
+val make : string -> t
+(** [make name] mints a fresh label; [name] is kept for printing. *)
+
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : sig
+  include Map.S with type key = t
+
+  val keys : 'a t -> key list
+  val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+end
+
+module Set : Set.S with type elt = t

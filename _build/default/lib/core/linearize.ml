@@ -1,0 +1,114 @@
+(* Linearizability support for history-based specs (paper, Section 6:
+   "given specs via a PCM of time-stamped action histories in the spirit
+   of linearizability").
+
+   A [seq_spec] is a sequential object: an initial abstract state and a
+   step function.  A stamped history is *legal* when replaying its
+   entries in timestamp order through the object reproduces every
+   recorded result and state — the check the stack/snapshot coherence
+   predicates build on.  For unstamped entry multisets,
+   [linearizable_multiset] searches for some legal order (brute force;
+   intended for the small histories produced by verification runs). *)
+
+open Fcsl_heap
+module Hist = Fcsl_pcm.Hist
+
+type seq_spec = {
+  init : Value.t;
+  step : string -> Value.t -> Value.t -> (Value.t * Value.t) option;
+      (* op -> arg -> state -> (result, state') *)
+}
+
+(* Replay a stamped history; [Some final_state] iff legal. *)
+let replay (spec : seq_spec) (h : Hist.t) : Value.t option =
+  let rec go ts state =
+    if ts > Hist.last_ts h then Some state
+    else
+      match Hist.find ts h with
+      | None -> None
+      | Some e -> (
+        match spec.step e.Hist.op e.Hist.arg state with
+        | Some (res, state')
+          when Value.equal res e.Hist.res && Value.equal state' e.Hist.state ->
+          go (ts + 1) state'
+        | Some _ | None -> None)
+  in
+  if Hist.continuous h then go 1 spec.init else None
+
+let legal spec h = Option.is_some (replay spec h)
+
+(* All interleavings-respecting insertions for the permutation search. *)
+let rec insertions x = function
+  | [] -> [ [ x ] ]
+  | y :: rest -> (x :: y :: rest) :: List.map (fun l -> y :: l) (insertions x rest)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | x :: rest -> List.concat_map (insertions x) (permutations rest)
+
+(* Does some order of the given (op, arg, res) observations replay
+   legally?  States are recomputed, so observations need not carry
+   them. *)
+let linearizable_multiset (spec : seq_spec)
+    (obs : (string * Value.t * Value.t) list) : bool =
+  if List.length obs > 8 then
+    invalid_arg "Linearize.linearizable_multiset: history too large";
+  let replay_order order =
+    let rec go state = function
+      | [] -> true
+      | (op, arg, res) :: rest -> (
+        match spec.step op arg state with
+        | Some (res', state') when Value.equal res res' -> go state' rest
+        | Some _ | None -> false)
+    in
+    go spec.init order
+  in
+  List.exists replay_order (permutations obs)
+
+(* The observations recorded in a stamped history. *)
+let observations (h : Hist.t) : (string * Value.t * Value.t) list =
+  List.map (fun e -> (e.Hist.op, e.Hist.arg, e.Hist.res)) (Hist.entries h)
+
+(* Standard sequential objects. *)
+
+let counter_spec : seq_spec =
+  {
+    init = Value.int 0;
+    step =
+      (fun op arg state ->
+        match (op, arg, state) with
+        | "incr", Value.Int n, Value.Int c ->
+          Some (Value.int c, Value.int (c + n))
+        | "read", Value.Unit, Value.Int c -> Some (Value.int c, state)
+        | _ -> None);
+  }
+
+let stack_spec : seq_spec =
+  {
+    init = Value.Unit;
+    step =
+      (fun op arg state ->
+        match op with
+        | "push" -> Some (Value.unit, Value.Pair (arg, state))
+        | "pop" -> (
+          match state with
+          | Value.Pair (v, rest) -> Some (v, rest)
+          | _ -> None)
+        | _ -> None);
+  }
+
+let register_pair_spec : seq_spec =
+  {
+    init = Value.pair (Value.int 0) (Value.int 0);
+    step =
+      (fun op arg state ->
+        match (op, state) with
+        | "wx", Value.Pair (_, y) ->
+          let state' = Value.Pair (arg, y) in
+          Some (Value.unit, state')
+        | "wy", Value.Pair (x, _) ->
+          let state' = Value.Pair (x, arg) in
+          Some (Value.unit, state')
+        | "read", Value.Pair _ -> Some (state, state)
+        | _ -> None);
+  }

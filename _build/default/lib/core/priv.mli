@@ -1,0 +1,26 @@
+(** The concurroid of thread-private state (paper, Sections 3.5 and
+    4.1): [self] and [other] are the private real heaps of the observing
+    thread and its environment, the joint component is empty.
+
+    The semantic transition relation lets a thread rewrite the contents
+    of its own cells at will (the paper's quantified Priv transitions);
+    growth and shrinkage of private heaps go through communicating
+    actions (e.g. the allocator's transfer). *)
+
+open Fcsl_heap
+
+val coh : Slice.t -> bool
+
+val justifies : Slice.t -> Slice.t -> bool
+(** Own-cell mutation: other and joint fixed, self heap same-domain. *)
+
+val make : ?enum:(unit -> Slice.t list) -> Label.t -> Concurroid.t
+(** Build a Priv instance; case studies pass an enumeration matching
+    their own private-heap shapes. *)
+
+val enum_default : unit -> Slice.t list
+
+val pv_self : Label.t -> State.t -> Heap.t
+(** The paper's [pv_self] projection.  Raises on non-heap aux. *)
+
+val pv_other : Label.t -> State.t -> Heap.t

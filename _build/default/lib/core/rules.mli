@@ -1,0 +1,78 @@
+(** The deductive layer: FCSL's structural rules as combinators over
+    verified triples (paper, Section 5.2).
+
+    [ret]/[act] are leaf rules whose obligations are checked directly;
+    [bind]/[conseq] glue triples by checking only spec entailments (the
+    paper's compositionality: a library is verified once, clients reason
+    from its spec); [par]/[ffix] are discharged by bounded semantic
+    exploration (DESIGN.md explains why).  Every rule also requires the
+    concluded spec to be stable under the world's interference. *)
+
+type ctx
+
+val ctx : world:World.t -> states:State.t list -> ctx
+
+type 'a triple
+
+val prog : 'a triple -> 'a Prog.t
+val spec : 'a triple -> 'a Spec.t
+
+type rule_error = { rule : string; detail : string }
+
+val pp_rule_error : Format.formatter -> rule_error -> unit
+
+val ret :
+  ctx -> ?results:'a list -> 'a -> 'a Spec.t -> ('a triple, rule_error) result
+
+val act : ctx -> 'a Action.t -> 'a Spec.t -> ('a triple, rule_error) result
+
+val bind :
+  ctx ->
+  rands:'b list ->
+  'b triple ->
+  ('b -> 'a triple) ->
+  'a Spec.t ->
+  ('a triple, rule_error) result
+(** [rands] enumerates the intermediate results the continuation may
+    receive; only spec entailments are checked, the sub-programs are not
+    re-explored. *)
+
+val bind_post_entails :
+  ctx ->
+  rands:'b list ->
+  finals:'a list ->
+  'b triple ->
+  ('b -> 'a triple) ->
+  'a Spec.t ->
+  (unit, rule_error) result
+(** The final entailment of [bind], quantified over the goal's result
+    type via [finals]. *)
+
+val conseq :
+  ctx ->
+  results:'a list ->
+  'a triple ->
+  'a Spec.t ->
+  ('a triple, rule_error) result
+
+val par_semantic :
+  ctx ->
+  ?fuel:int ->
+  ?max_outcomes:int ->
+  'b triple ->
+  'c triple ->
+  ('b * 'c) Spec.t ->
+  (('b * 'c) triple, rule_error) result
+
+val ffix_semantic :
+  ctx ->
+  ?fuel:int ->
+  ?max_outcomes:int ->
+  (('i -> 'o Prog.t) -> 'i -> 'o Prog.t) ->
+  'i ->
+  'o Spec.t ->
+  ('o triple, rule_error) result
+
+val trusted : 'a Prog.t -> 'a Spec.t -> 'a triple
+(** An explicitly trusted triple (library import whose verification
+    happened elsewhere). *)

@@ -1,0 +1,531 @@
+(* Operational semantics of the DSL: a small-step interleaving scheduler
+   over configurations, with optional environment interference.
+
+   A configuration is a global environment (the shared joint heaps, the
+   external environment's contribution, and the ambient world of
+   concurroids) plus a tree of running threads.  Each [Par] node carries
+   the PCM contributions of its two children; a thread's subjective view
+   of label [l] is
+
+     self  = its own contribution at l
+     joint = the shared joint heap at l
+     other = external contribution • all sibling contributions at l
+
+   which is exactly FCSL's subjective split.  Forked children start with
+   unit contributions and fold their earnings back into the parent on
+   join.
+
+   Administrative steps (monad laws, recursion unfolding, hide
+   installation, joins) are performed eagerly — they commute with every
+   other thread's steps — so scheduling choice points are exactly the
+   atomic actions and (when enabled) environment interference, keeping
+   exhaustive exploration tractable. *)
+
+open Fcsl_heap
+module Aux = Fcsl_pcm.Aux
+
+type genv = {
+  joints : Heap.t Label.Map.t;
+  jauxs : Contrib.t; (* per-label joint auxiliary state *)
+  ext_other : Contrib.t;
+  world : World.t; (* ambient + dynamically installed concurroids *)
+  interfere : Label.Set.t; (* labels open to environment interference *)
+}
+
+(* Runtime thread trees. *)
+type _ rt =
+  | RRet : 'a -> 'a rt
+  | RBind : 'b rt * ('b -> 'a Prog.t) -> 'a rt
+  | RAct : 'a Action.t -> 'a rt
+  | RPar : 'b rt * Contrib.t * 'c rt * Contrib.t -> ('b * 'c) rt
+  | RParP : Prog.split * 'b Prog.t * 'c Prog.t -> ('b * 'c) rt
+      (* pending fork split *)
+  | RHideP : Prog.hide_spec * 'a Prog.t -> 'a rt (* pending installation *)
+  | RHideI : Prog.hide_spec * 'a rt -> 'a rt (* installed, body running *)
+
+let rec inject : type a. a Prog.t -> a rt = function
+  | Prog.Ret v -> RRet v
+  | Prog.Bind (p, k) -> RBind (inject p, k)
+  | Prog.Act a -> RAct a
+  | Prog.Par (p, q) -> RPar (inject p, Contrib.empty, inject q, Contrib.empty)
+  | Prog.ParSplit (split, p, q) -> RParP (split, p, q)
+  | Prog.Ffix (f, x) -> inject (Prog.unfold_ffix f x)
+  | Prog.Hide (spec, body) -> RHideP (spec, body)
+
+(* The sum of all contributions held inside a thread tree (excluding the
+   root's own contribution, which the caller holds). *)
+let rec inner_contribs : type a. a rt -> Contrib.t option = function
+  | RRet _ | RAct _ -> Some Contrib.empty
+  | RBind (p, _) -> inner_contribs p
+  | RParP _ -> Some Contrib.empty
+  | RHideP _ -> Some Contrib.empty
+  | RHideI (_, body) -> inner_contribs body
+  | RPar (l, cl, r, cr) ->
+    Option.bind (inner_contribs l) (fun il ->
+        Option.bind (inner_contribs r) (fun ir ->
+            Contrib.join_all [ cl; cr; il; ir ]))
+
+(* The subjective state a thread with contribution [mine] and sibling
+   contributions [around] sees. *)
+let view genv ~around ~mine : State.t option =
+  Label.Map.fold
+    (fun l joint acc ->
+      Option.bind acc (fun st ->
+          Option.map
+            (fun other ->
+              State.add l
+                (Slice.make_jaux
+                   ~jaux:(Contrib.get l genv.jauxs)
+                   ~self:(Contrib.get l mine) ~joint ~other)
+                st)
+            (Aux.join (Contrib.get l around) (Contrib.get l genv.ext_other))))
+    genv.joints (Some State.empty)
+
+(* Decompose an action's output state back into joints and self
+   contributions. *)
+let unview st ~(genv : genv) ~(mine : Contrib.t) =
+  let joints =
+    List.fold_left
+      (fun j l -> Label.Map.add l (State.joint l st) j)
+      genv.joints (State.labels st)
+  in
+  let jauxs =
+    List.fold_left
+      (fun c l -> Contrib.set l (State.jaux l st) c)
+      genv.jauxs (State.labels st)
+  in
+  let mine =
+    List.fold_left (fun c l -> Contrib.set l (State.self l st) c) mine
+      (State.labels st)
+  in
+  ({ genv with joints; jauxs }, mine)
+
+let as_ret : type a. a rt -> a option = function
+  | RRet v -> Some v
+  | RBind _ | RAct _ | RPar _ | RParP _ | RHideP _ | RHideI _ -> None
+
+type 'a norm = Norm of genv * Contrib.t * 'a rt | Norm_crash of string
+
+(* Eager administrative reduction: monadic redexes, joins, hide
+   installation/uninstallation.  Returns a tree whose every leaf is an
+   [RAct] (or the whole tree is [RRet]). *)
+let rec normalize : type a. genv -> Contrib.t -> a rt -> a norm =
+ fun genv mine rt ->
+  match rt with
+  | RRet _ -> Norm (genv, mine, rt)
+  | RAct _ -> Norm (genv, mine, rt)
+  | RBind (p, k) -> (
+    match normalize genv mine p with
+    | Norm_crash _ as c -> c
+    | Norm (genv, mine, RRet v) -> normalize genv mine (inject (k v))
+    | Norm (genv, mine, p') -> Norm (genv, mine, RBind (p', k)))
+  | RPar (l, cl, r, cr) -> (
+    match normalize genv cl l with
+    | Norm_crash _ as c -> c
+    | Norm (genv, cl, l') -> (
+      match normalize genv cr r with
+      | Norm_crash _ as c -> c
+      | Norm (genv, cr, r') -> (
+        match (l', r') with
+        | RRet vl, RRet vr -> (
+          match Contrib.join_all [ mine; cl; cr ] with
+          | Some mine -> Norm (genv, mine, RRet (vl, vr))
+          | None -> Norm_crash "par join: incompatible contributions")
+        | _ -> Norm (genv, mine, RPar (l', cl, r', cr)))))
+  | RParP (split, p, q) -> (
+    match split mine with
+    | None -> Norm_crash "par: requested fork split unavailable"
+    | Some (reserve, cl, cr) -> (
+      match Contrib.join_all [ reserve; cl; cr ] with
+      | Some total when Contrib.equal total mine ->
+        normalize genv reserve (RPar (inject p, cl, inject q, cr))
+      | Some _ | None -> Norm_crash "par: fork split does not rejoin"))
+  | RHideP (spec, body) -> install genv mine spec body
+  | RHideI (spec, body) -> (
+    match normalize genv mine body with
+    | Norm_crash _ as c -> c
+    | Norm (genv, mine, RRet v) -> uninstall genv mine spec v
+    | Norm (genv, mine, body') -> Norm (genv, mine, RHideI (spec, body')))
+
+(* Installation (Section 3.5): carve the decorated subheap out of this
+   thread's private heap and erect the new concurroid's slice over it,
+   with the given initial [self] and unit [other] (no interference). *)
+and install : type a. genv -> Contrib.t -> Prog.hide_spec -> a Prog.t -> a norm
+    =
+ fun genv mine spec body ->
+  let l = Concurroid.label spec.hs_conc in
+  if Label.Map.mem l genv.joints then
+    Norm_crash
+      (Fmt.str "hide: label %a already installed" Label.pp l)
+  else
+    match Aux.as_heap (Contrib.get spec.hs_priv mine) with
+    | None -> Norm_crash "hide: private contribution is not a heap"
+    | Some priv_heap ->
+      let donated = spec.hs_decor priv_heap in
+      if not (Heap.subheap donated priv_heap) then
+        Norm_crash "hide: decoration selects outside the private heap"
+      else
+        let slice =
+          Slice.make_jaux ~jaux:spec.hs_jaux ~self:spec.hs_init ~joint:donated
+            ~other:Aux.Unit
+        in
+        if not (Concurroid.coh spec.hs_conc slice) then
+          Norm_crash
+            (Fmt.str "hide: initial %s slice incoherent"
+               (Concurroid.name spec.hs_conc))
+        else
+          let remaining = Heap.diff priv_heap donated in
+          let genv =
+            {
+              genv with
+              joints = Label.Map.add l donated genv.joints;
+              jauxs = Contrib.set l spec.hs_jaux genv.jauxs;
+              world = World.entangle genv.world (World.of_list [ spec.hs_conc ]);
+            }
+          in
+          let mine =
+            mine
+            |> Contrib.set spec.hs_priv (Aux.heap remaining)
+            |> Contrib.set l spec.hs_init
+          in
+          normalize genv mine (RHideI (spec, inject body))
+
+(* Uninstallation: return the hidden label's real heap (joint plus any
+   heap-sorted auxiliaries) to the thread's private heap and retract the
+   concurroid from the world. *)
+and uninstall : type a. genv -> Contrib.t -> Prog.hide_spec -> a -> a norm =
+ fun genv mine spec v ->
+  let l = Concurroid.label spec.hs_conc in
+  let joint = Option.value (Label.Map.find_opt l genv.joints) ~default:Heap.empty in
+  let self_aux = Contrib.get l mine in
+  let other_aux = Contrib.get l genv.ext_other in
+  match (State.heap_part self_aux, State.heap_part other_aux) with
+  | Some hs, Some ho -> (
+    match
+      Option.bind (Heap.union joint hs) (fun h -> Heap.union h ho)
+    with
+    | None -> Norm_crash "unhide: colliding heaps"
+    | Some returned -> (
+      match Aux.as_heap (Contrib.get spec.hs_priv mine) with
+      | None -> Norm_crash "unhide: private contribution is not a heap"
+      | Some priv_heap -> (
+        match Heap.union priv_heap returned with
+        | None -> Norm_crash "unhide: returned heap collides with private"
+        | Some priv' ->
+          let genv =
+            {
+              genv with
+              joints = Label.Map.remove l genv.joints;
+              jauxs = Contrib.remove l genv.jauxs;
+              ext_other = Contrib.remove l genv.ext_other;
+              world =
+                World.of_list
+                  (List.filter
+                     (fun c -> not (Label.equal (Concurroid.label c) l))
+                     (World.concurroids genv.world));
+            }
+          in
+          let mine =
+            mine |> Contrib.remove l |> Contrib.set spec.hs_priv (Aux.heap priv')
+          in
+          Norm (genv, mine, RRet v))))
+  | _ -> Norm_crash "unhide: auxiliary state has no heap erasure"
+
+(* One scheduling move: an atomic action at some leaf.  Returns all
+   enabled moves as continuations, or a crash witness if some enabled
+   leaf is unsafe (a verification failure). *)
+type 'a move = { mv_name : string; mv_next : (genv * Contrib.t * 'a rt, string) result }
+
+let move_name mv = mv.mv_name
+let move_next mv = mv.mv_next
+
+let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
+ fun genv around mine rt ->
+  match rt with
+  | RRet _ -> []
+  | RParP _ -> [] (* eliminated by normalize *)
+  | RHideP _ -> [] (* eliminated by normalize *)
+  | RAct a -> (
+    match view genv ~around ~mine with
+    | None ->
+      [ { mv_name = Action.name a; mv_next = Error "invalid subjective view" } ]
+    | Some st ->
+      if not (Action.safe a st) then
+        [
+          {
+            mv_name = Action.name a;
+            mv_next =
+              Error (Fmt.str "action %s unsafe in %a" (Action.name a) State.pp st);
+          };
+        ]
+      else if not (Action.enabled a st) then [] (* blocked, not crashed *)
+      else
+        let r, st' = Action.step_exn a st in
+        let genv', mine' = unview st' ~genv ~mine in
+        [ { mv_name = Action.name a; mv_next = Ok (genv', mine', RRet r) } ])
+  | RBind (p, k) ->
+    List.map
+      (fun mv ->
+        {
+          mv with
+          mv_next =
+            Result.map (fun (g, m, p') -> (g, m, RBind (p', k))) mv.mv_next;
+        })
+      (moves genv around mine p)
+  | RHideI (spec, body) ->
+    List.map
+      (fun mv ->
+        {
+          mv with
+          mv_next =
+            Result.map (fun (g, m, b') -> (g, m, RHideI (spec, b'))) mv.mv_next;
+        })
+      (moves genv around mine body)
+  | RPar (l, cl, r, cr) ->
+    let around_of sibling_contrib sibling_tree =
+      Option.bind (inner_contribs sibling_tree) (fun inner ->
+          Contrib.join_all [ around; mine; sibling_contrib; inner ])
+    in
+    let left =
+      match around_of cr r with
+      | None -> [ { mv_name = "par"; mv_next = Error "incompatible contributions" } ]
+      | Some around_l ->
+        List.map
+          (fun mv ->
+            {
+              mv with
+              mv_next =
+                Result.map
+                  (fun (g, m_l, l') -> (g, mine, RPar (l', m_l, r, cr)))
+                  mv.mv_next;
+            })
+          (moves genv around_l cl l)
+    in
+    let right =
+      match around_of cl l with
+      | None -> [ { mv_name = "par"; mv_next = Error "incompatible contributions" } ]
+      | Some around_r ->
+        List.map
+          (fun mv ->
+            {
+              mv with
+              mv_next =
+                Result.map
+                  (fun (g, m, r') -> (g, mine, RPar (l, cl, r', m)))
+                  mv.mv_next;
+            })
+          (moves genv around_r cr r)
+    in
+    left @ right
+
+(* Environment interference: at any label open to interference, the
+   environment may take any transition of that label's concurroid from
+   its own viewpoint ([self] = external contribution, [other] = the sum
+   of all our threads' contributions).  From the program's side this
+   changes [joint] and the external contribution, never our selves. *)
+let env_moves : type a. genv -> Contrib.t -> a rt -> (string * genv) list =
+ fun genv mine rt ->
+  match Option.bind (inner_contribs rt) (Contrib.join mine) with
+  | None -> []
+  | Some ours ->
+    List.concat_map
+      (fun c ->
+        let l = Concurroid.label c in
+        if not (Label.Set.mem l genv.interfere) then []
+        else
+          match Label.Map.find_opt l genv.joints with
+          | None -> []
+          | Some joint ->
+            let env_slice =
+              Slice.make_jaux
+                ~jaux:(Contrib.get l genv.jauxs)
+                ~self:(Contrib.get l genv.ext_other)
+                ~joint ~other:(Contrib.get l ours)
+            in
+            List.map
+              (fun (n, s') ->
+                ( Fmt.str "env:%s.%s" (Concurroid.name c) n,
+                  {
+                    genv with
+                    joints = Label.Map.add l (Slice.joint s') genv.joints;
+                    jauxs = Contrib.set l (Slice.jaux s') genv.jauxs;
+                    ext_other =
+                      Contrib.set l (Slice.self s') genv.ext_other;
+                  } ))
+              (Concurroid.steps c env_slice))
+      (World.concurroids genv.world)
+
+(* Exploration. *)
+
+type 'a outcome =
+  | Finished of 'a * State.t (* result and final subjective root view *)
+  | Crashed of string
+  | Diverged (* fuel exhausted along this path *)
+
+let pp_outcome pp_res ppf = function
+  | Finished (r, st) -> Fmt.pf ppf "finished %a in %a" pp_res r State.pp st
+  | Crashed msg -> Fmt.pf ppf "CRASH: %s" msg
+  | Diverged -> Fmt.string ppf "diverged (out of fuel)"
+
+exception Stop
+
+(* Depth-first exploration of all interleavings (and, when [interference]
+   holds, all environment-step insertions), up to [fuel] steps per path
+   and at most [max_outcomes] recorded outcomes.  Returns the recorded
+   outcomes and a completeness flag. *)
+(* Render a schedule prefix for counterexample reports (most recent
+   last). *)
+let pp_trace trace =
+  String.concat " ; " (List.rev trace)
+
+let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
+    ?(env_budget = max_int) (genv0 : genv) (mine0 : Contrib.t)
+    (prog : 'a Prog.t) : 'a outcome list * bool =
+  let outcomes = ref [] in
+  let count = ref 0 in
+  let record o =
+    outcomes := o :: !outcomes;
+    incr count;
+    if !count >= max_outcomes then raise Stop
+  in
+  let rec go : genv -> Contrib.t -> 'a rt -> int -> int -> string list -> unit
+      =
+   fun genv mine rt depth budget trace ->
+    match normalize genv mine rt with
+    | Norm_crash msg ->
+      record (Crashed (Fmt.str "%s [schedule: %s]" msg (pp_trace trace)))
+    | Norm (genv, mine, RRet v) -> (
+      match view genv ~around:Contrib.empty ~mine with
+      | Some st -> record (Finished (v, st))
+      | None -> record (Crashed "final view invalid"))
+    | Norm (genv, mine, rt) ->
+      if depth >= fuel then record Diverged
+      else begin
+        let mvs = moves genv Contrib.empty mine rt in
+        let envs =
+          if interference && budget > 0 then env_moves genv mine rt else []
+        in
+        if mvs = [] && envs = [] then
+          (* every thread blocked on a disabled action: divergence *)
+          record Diverged
+        else begin
+          List.iter
+            (fun mv ->
+              match mv.mv_next with
+              | Error msg ->
+                record
+                  (Crashed
+                     (Fmt.str "%s [schedule: %s]" msg
+                        (pp_trace (mv.mv_name :: trace))))
+              | Ok (genv', mine', rt') ->
+                go genv' mine' rt' (depth + 1) budget (mv.mv_name :: trace))
+            mvs;
+          List.iter
+            (fun (n, genv') ->
+              go genv' mine rt (depth + 1) (budget - 1) (n :: trace))
+            envs
+        end
+      end
+  in
+  let complete =
+    match go genv0 mine0 (inject prog) 0 env_budget [] with
+    | () -> true
+    | exception Stop -> false
+  in
+  (List.rev !outcomes, complete)
+
+(* Run a single schedule chosen by [choose] (given the enabled move
+   names, return the index to take); environment moves are not injected.
+   Used for deterministic replays such as the Figure 2 staging. *)
+let run_with_chooser ?(fuel = 1000)
+    ~(choose : step:int -> string list -> int)
+    ?(observe : genv -> Contrib.t -> string -> unit = fun _ _ _ -> ())
+    (genv0 : genv) (mine0 : Contrib.t) (prog : 'a Prog.t) : 'a outcome =
+  let rec go genv mine rt depth =
+    match normalize genv mine rt with
+    | Norm_crash msg -> Crashed msg
+    | Norm (genv, mine, RRet v) -> (
+      match view genv ~around:Contrib.empty ~mine with
+      | Some st -> Finished (v, st)
+      | None -> Crashed "final view invalid")
+    | Norm (genv, mine, rt) ->
+      if depth >= fuel then Diverged
+      else
+        let mvs = moves genv Contrib.empty mine rt in
+        if mvs = [] then Diverged
+        else
+          let names = List.map (fun mv -> mv.mv_name) mvs in
+          let i = choose ~step:depth names in
+          let mv = List.nth mvs (i mod List.length mvs) in
+          (match mv.mv_next with
+          | Error msg -> Crashed msg
+          | Ok (genv', mine', rt') ->
+            observe genv' mine' mv.mv_name;
+            go genv' mine' rt' (depth + 1))
+  in
+  go genv0 mine0 (inject prog) 0
+
+(* Run one pseudo-random schedule; with [interference], environment
+   steps are inserted with probability ~1/4 at each point. *)
+let run_random ?(fuel = 1000) ?(interference = false) ~seed (genv0 : genv)
+    (mine0 : Contrib.t) (prog : 'a Prog.t) : 'a outcome =
+  let rng = Random.State.make [| seed |] in
+  let rec go genv mine rt depth =
+    match normalize genv mine rt with
+    | Norm_crash msg -> Crashed msg
+    | Norm (genv, mine, RRet v) -> (
+      match view genv ~around:Contrib.empty ~mine with
+      | Some st -> Finished (v, st)
+      | None -> Crashed "final view invalid")
+    | Norm (genv, mine, rt) ->
+      if depth >= fuel then Diverged
+      else begin
+        let envs = if interference then env_moves genv mine rt else [] in
+        if envs <> [] && Random.State.int rng 4 = 0 then
+          let _, genv' = List.nth envs (Random.State.int rng (List.length envs)) in
+          go genv' mine rt (depth + 1)
+        else
+          let mvs = moves genv Contrib.empty mine rt in
+          if mvs = [] then Diverged
+          else
+            let mv = List.nth mvs (Random.State.int rng (List.length mvs)) in
+            match mv.mv_next with
+            | Error msg -> Crashed msg
+            | Ok (genv', mine', rt') -> go genv' mine' rt' (depth + 1)
+      end
+  in
+  go genv0 mine0 (inject prog) 0
+
+(* Helpers for setting up configurations from a subjective initial
+   state: the state's selves seed the root thread's contribution, the
+   others seed the external environment. *)
+let genv_of_state ?(interfere = []) (w : World.t) (st : State.t) :
+    genv * Contrib.t =
+  let joints =
+    List.fold_left
+      (fun j l -> Label.Map.add l (State.joint l st) j)
+      Label.Map.empty (State.labels st)
+  in
+  let jauxs =
+    List.fold_left
+      (fun c l -> Contrib.set l (State.jaux l st) c)
+      Contrib.empty (State.labels st)
+  in
+  let ext_other =
+    List.fold_left
+      (fun c l -> Contrib.set l (State.other l st) c)
+      Contrib.empty (State.labels st)
+  in
+  let mine =
+    List.fold_left
+      (fun c l -> Contrib.set l (State.self l st) c)
+      Contrib.empty (State.labels st)
+  in
+  ( {
+      joints;
+      jauxs;
+      ext_other;
+      world = w;
+      interfere = Label.Set.of_list interfere;
+    },
+    mine )

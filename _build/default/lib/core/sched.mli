@@ -1,0 +1,114 @@
+(** Operational semantics of the DSL: a small-step interleaving
+    scheduler over configurations, with optional environment
+    interference.
+
+    A thread's subjective view of label [l] is
+    [self = its own contribution], [joint = the shared heap],
+    [other = external contribution • sibling contributions] — FCSL's
+    subjective split, realized by per-thread PCM contributions that fork
+    and rejoin at [par].
+
+    Administrative steps (monad laws, recursion unfolding, hide
+    installation, joins) are performed eagerly — they commute with other
+    threads' steps — so scheduling choice points are exactly the atomic
+    actions and environment-interference insertions. *)
+
+open Fcsl_heap
+
+type genv = {
+  joints : Heap.t Label.Map.t;
+  jauxs : Contrib.t;  (** per-label joint auxiliary state *)
+  ext_other : Contrib.t;  (** the external environment's contribution *)
+  world : World.t;  (** ambient + dynamically installed concurroids *)
+  interfere : Label.Set.t;  (** labels open to environment interference *)
+}
+
+type _ rt
+(** Runtime thread trees. *)
+
+val inject : 'a Prog.t -> 'a rt
+
+val as_ret : 'a rt -> 'a option
+(** The result, if the whole tree has terminated. *)
+
+val view : genv -> around:Contrib.t -> mine:Contrib.t -> State.t option
+(** The subjective state of a thread with contribution [mine] among
+    sibling contributions [around]. *)
+
+(** {1 Single-step interface}
+
+    Exposed so that {!Tree} can build denotational unfoldings from the
+    same step relation the scheduler uses. *)
+
+type 'a norm = Norm of genv * Contrib.t * 'a rt | Norm_crash of string
+
+val normalize : genv -> Contrib.t -> 'a rt -> 'a norm
+(** Eager administrative reduction (monad laws, joins, hide
+    installation); the result's leaves are all atomic actions, or the
+    whole tree is a return. *)
+
+type 'a move
+
+val move_name : 'a move -> string
+val move_next : 'a move -> (genv * Contrib.t * 'a rt, string) result
+
+val moves : genv -> Contrib.t -> Contrib.t -> 'a rt -> 'a move list
+(** The enabled atomic-action moves of every leaf (args: genv, sibling
+    contributions, own contribution, tree). *)
+
+val env_moves : genv -> Contrib.t -> 'a rt -> (string * genv) list
+(** The enabled environment-interference steps. *)
+
+type 'a outcome =
+  | Finished of 'a * State.t
+      (** result and the root thread's final subjective view *)
+  | Crashed of string
+      (** an enabled action was unsafe, or ghost algebra failed: a
+          verification failure with its witness *)
+  | Diverged  (** fuel exhausted or all threads blocked *)
+
+val pp_outcome :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a outcome -> unit
+
+val explore :
+  ?fuel:int ->
+  ?max_outcomes:int ->
+  ?interference:bool ->
+  ?env_budget:int ->
+  genv ->
+  Contrib.t ->
+  'a Prog.t ->
+  'a outcome list * bool
+(** Depth-first exploration of all interleavings and (bounded by
+    [env_budget]) all environment-step insertions, up to [fuel] steps
+    per path.  Returns the outcomes and a completeness flag ([false]
+    when [max_outcomes] was hit). *)
+
+val run_with_chooser :
+  ?fuel:int ->
+  choose:(step:int -> string list -> int) ->
+  ?observe:(genv -> Contrib.t -> string -> unit) ->
+  genv ->
+  Contrib.t ->
+  'a Prog.t ->
+  'a outcome
+(** Run one schedule selected by [choose] over the enabled move names;
+    [observe] sees each configuration after each step (used by the
+    Figure 2 staging replay).  No environment moves are injected. *)
+
+val run_random :
+  ?fuel:int ->
+  ?interference:bool ->
+  seed:int ->
+  genv ->
+  Contrib.t ->
+  'a Prog.t ->
+  'a outcome
+(** Run one pseudo-random schedule; with [interference], environment
+    steps are inserted with probability ~1/4 at each point. *)
+
+val genv_of_state :
+  ?interfere:Label.t list -> World.t -> State.t -> genv * Contrib.t
+(** Set up a configuration from a subjective initial state: its selves
+    seed the root thread's contribution, its others the external
+    environment. *)

@@ -1,0 +1,63 @@
+(* Stability (paper, Sections 1 and 2.2.3): an assertion about a shared
+   resource must remain valid under any interference the protocol allows
+   the environment, i.e. under [env_steps] of the governing world.
+
+   Stability is checked semantically: over a supplied universe of
+   representative coherent states, every state satisfying the assertion
+   must keep satisfying it after every single environment step (single
+   steps suffice — invariance under one step gives invariance under the
+   closure). *)
+
+type result = Stable | Unstable of { state : State.t; step : string; after : State.t }
+
+let pp_result ppf = function
+  | Stable -> Fmt.string ppf "stable"
+  | Unstable { state; step; after } ->
+    Fmt.pf ppf "unstable under %s:@ %a@ ~>@ %a" step State.pp state State.pp
+      after
+
+let is_stable = function Stable -> true | Unstable _ -> false
+
+(* [check w ~states p]: stability of the unary assertion [p]. *)
+let check (w : World.t) ~(states : State.t list) (p : State.t -> bool) : result
+    =
+  let exception Found of result in
+  try
+    List.iter
+      (fun st ->
+        if World.coh w st && p st then
+          List.iter
+            (fun (step, st') ->
+              if not (p st') then
+                raise (Found (Unstable { state = st; step; after = st' })))
+            (World.env_steps w st))
+      states;
+    Stable
+  with Found r -> r
+
+(* Stability of a spec: its precondition, and its postcondition for each
+   fixed result drawn from [results] and each initial state (the
+   postcondition must be stable in its final-state argument: the
+   environment may keep running after the program finishes). *)
+let check_spec (w : World.t) ~(states : State.t list) ~(results : 'a list)
+    (spec : 'a Spec.t) : (string * result) list =
+  let pre = ("pre", check w ~states (Spec.pre spec)) in
+  let posts =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun i ->
+            if World.coh w i && Spec.pre spec i then
+              Some
+                ( Fmt.str "post(%s)" (Spec.name spec),
+                  check w ~states (fun f -> Spec.post spec r i f) )
+            else None)
+          states)
+      results
+  in
+  pre :: posts
+
+let all_stable rs = List.for_all (fun (_, r) -> is_stable r) rs
+
+let first_unstable rs =
+  List.find_opt (fun (_, r) -> not (is_stable r)) rs

@@ -1,0 +1,30 @@
+(** Stability (paper, Sections 1 and 2.2.3): an assertion must remain
+    valid under any environment interference the protocol allows.
+    Checked semantically over a universe of representative coherent
+    states; single env steps suffice (invariance under one step gives
+    invariance under the closure). *)
+
+type result =
+  | Stable
+  | Unstable of { state : State.t; step : string; after : State.t }
+      (** a counterexample: the state, the offending environment
+          transition, and the state it leads to *)
+
+val pp_result : Format.formatter -> result -> unit
+val is_stable : result -> bool
+
+val check : World.t -> states:State.t list -> (State.t -> bool) -> result
+(** Stability of a unary assertion. *)
+
+val check_spec :
+  World.t ->
+  states:State.t list ->
+  results:'a list ->
+  'a Spec.t ->
+  (string * result) list
+(** Stability of a spec: its pre, and its post for each result in
+    [results] and each initial state (the environment may keep running
+    after the program finishes). *)
+
+val all_stable : (string * result) list -> bool
+val first_unstable : (string * result) list -> (string * result) option

@@ -1,0 +1,80 @@
+(* Subjective states: finite maps from concurroid labels to slices.  An
+   entangled state (Section 4.1) is simply a state with several labels;
+   a single concurroid's state has one. *)
+
+open Fcsl_heap
+module Aux = Fcsl_pcm.Aux
+
+type t = Slice.t Label.Map.t
+
+let empty : t = Label.Map.empty
+let singleton l s : t = Label.Map.singleton l s
+let add l s (st : t) = Label.Map.add l s st
+let remove l (st : t) = Label.Map.remove l st
+let mem l (st : t) = Label.Map.mem l st
+let find l (st : t) = Label.Map.find_opt l st
+
+let find_exn l (st : t) =
+  match Label.Map.find_opt l st with
+  | Some s -> s
+  | None -> invalid_arg (Fmt.str "State.find_exn: no label %a" Label.pp l)
+
+let labels (st : t) = Label.Map.keys st
+let bindings (st : t) = Label.Map.bindings st
+
+let self l st = Slice.self (find_exn l st)
+let joint l st = Slice.joint (find_exn l st)
+let jaux l st = Slice.jaux (find_exn l st)
+let other l st = Slice.other (find_exn l st)
+
+let update l f (st : t) = add l (f (find_exn l st)) st
+let with_self l a st = update l (Slice.with_self a) st
+let with_joint l h st = update l (Slice.with_joint h) st
+let with_jaux l a st = update l (Slice.with_jaux a) st
+let with_other l a st = update l (Slice.with_other a) st
+
+let valid (st : t) = Label.Map.for_all (fun _ s -> Slice.valid s) st
+
+let transpose (st : t) = Label.Map.map Slice.transpose st
+
+(* Erasure (Section 3.4): the real, physical heap of a state is the
+   disjoint union of all joint heaps plus all heap-sorted parts of the
+   auxiliary self/other components (thread-private real heaps live in
+   the aux of the Priv concurroid).  [None] when the pieces collide,
+   which a coherent state never exhibits. *)
+
+let rec heap_part (a : Aux.t) : Heap.t option =
+  match a with
+  | Aux.Heap h -> Some h
+  | Aux.Pair (x, y) ->
+    Option.bind (heap_part x) (fun hx ->
+        Option.bind (heap_part y) (fun hy -> Heap.union hx hy))
+  | Aux.Unit | Aux.Nat _ | Aux.Mutex _ | Aux.Set _ | Aux.Hist _ ->
+    Some Heap.empty
+
+let erase (st : t) : Heap.t option =
+  Label.Map.fold
+    (fun _ s acc ->
+      Option.bind acc (fun h ->
+          Option.bind (Heap.union h (Slice.joint s)) (fun h ->
+              Option.bind (heap_part (Slice.self s)) (fun hs ->
+                  Option.bind (Heap.union h hs) (fun h ->
+                      Option.bind (heap_part (Slice.other s)) (fun ho ->
+                          Heap.union h ho))))))
+    st (Some Heap.empty)
+
+let erase_exn st =
+  match erase st with
+  | Some h -> h
+  | None -> invalid_arg "State.erase_exn: colliding heaps"
+
+let equal (st1 : t) (st2 : t) = Label.Map.equal Slice.equal st1 st2
+
+(* Disjoint-label union, for entangled states. *)
+let union (st1 : t) (st2 : t) : t option =
+  if Label.Map.for_all (fun l _ -> not (mem l st2)) st1 then
+    Some (Label.Map.union (fun _ s _ -> Some s) st1 st2)
+  else None
+
+let pp ppf (st : t) = Label.Map.pp Slice.pp ppf st
+let to_string st = Fmt.str "%a" pp st

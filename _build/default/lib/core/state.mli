@@ -1,0 +1,52 @@
+(** Subjective states: finite maps from concurroid labels to slices.
+    An entangled state (paper, Section 4.1) simply has several
+    labels. *)
+
+open Fcsl_heap
+module Aux := Fcsl_pcm.Aux
+
+type t = Slice.t Label.Map.t
+
+val empty : t
+val singleton : Label.t -> Slice.t -> t
+val add : Label.t -> Slice.t -> t -> t
+val remove : Label.t -> t -> t
+val mem : Label.t -> t -> bool
+val find : Label.t -> t -> Slice.t option
+val find_exn : Label.t -> t -> Slice.t
+val labels : t -> Label.t list
+val bindings : t -> (Label.t * Slice.t) list
+
+val self : Label.t -> t -> Aux.t
+val joint : Label.t -> t -> Heap.t
+val jaux : Label.t -> t -> Aux.t
+val other : Label.t -> t -> Aux.t
+
+val update : Label.t -> (Slice.t -> Slice.t) -> t -> t
+val with_self : Label.t -> Aux.t -> t -> t
+val with_joint : Label.t -> Heap.t -> t -> t
+val with_jaux : Label.t -> Aux.t -> t -> t
+val with_other : Label.t -> Aux.t -> t -> t
+
+val valid : t -> bool
+(** Every slice's [self • other] is defined. *)
+
+val transpose : t -> t
+
+val heap_part : Aux.t -> Heap.t option
+(** The real-heap content of an auxiliary value (thread-private heaps
+    live in the aux of the Priv concurroid); [None] on collisions. *)
+
+val erase : t -> Heap.t option
+(** Erasure (paper, Section 3.4): the physical heap of a state — all
+    joint heaps plus all heap-sorted auxiliary parts.  [None] if pieces
+    collide, which coherent states never exhibit. *)
+
+val erase_exn : t -> Heap.t
+val equal : t -> t -> bool
+
+val union : t -> t -> t option
+(** Disjoint-label union, for entangled states. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,119 @@
+(* Action trees (paper, Section 5.1): finite, partial approximations of
+   the behaviour of FCSL commands, a structured version of Brookes's
+   action traces.
+
+   In the Coq development programs *denote* sets of action trees; here
+   the denotation of a program in a configuration is its bounded
+   unfolding — a tree whose internal nodes are the enabled atomic
+   actions (and environment steps) and whose leaves are outcomes.  The
+   adequacy check ([agrees_with_explore], exercised by the test suite)
+   states that flattening the tree yields exactly the scheduler's
+   outcome multiset. *)
+
+type 'a t =
+  | Leaf of 'a Sched.outcome
+  | Node of (string * 'a t) list
+      (* enabled moves: action name (or "env:..." label) and the
+         subtree after taking it *)
+
+(* Bounded denotation: unfold all schedules (and environment insertions,
+   within [env_budget]) to depth [fuel]. *)
+let rec denote ?(fuel = 16) ?(interference = false) ?(env_budget = 0)
+    (genv : Sched.genv) (mine : Contrib.t) (prog : 'a Prog.t) : 'a t =
+  denote_rt ~fuel ~interference ~env_budget genv mine (Sched.inject prog)
+
+and denote_rt :
+    type a.
+    fuel:int ->
+    interference:bool ->
+    env_budget:int ->
+    Sched.genv ->
+    Contrib.t ->
+    a Sched.rt ->
+    a t =
+ fun ~fuel ~interference ~env_budget genv mine rt ->
+  match Sched.normalize genv mine rt with
+  | Sched.Norm_crash msg -> Leaf (Sched.Crashed msg)
+  | Sched.Norm (genv, mine, rt) -> (
+    match Sched.as_ret rt with
+    | Some v -> (
+      match Sched.view genv ~around:Contrib.empty ~mine with
+      | Some st -> Leaf (Sched.Finished (v, st))
+      | None -> Leaf (Sched.Crashed "final view invalid"))
+    | None ->
+      if fuel = 0 then Leaf Sched.Diverged
+      else
+        let mvs = Sched.moves genv Contrib.empty mine rt in
+        let envs =
+          if interference && env_budget > 0 then
+            Sched.env_moves genv mine rt
+          else []
+        in
+        if mvs = [] && envs = [] then Leaf Sched.Diverged
+        else
+          Node
+            (List.map
+               (fun mv ->
+                 match Sched.move_next mv with
+                 | Error msg -> (Sched.move_name mv, Leaf (Sched.Crashed msg))
+                 | Ok (genv', mine', rt') ->
+                   ( Sched.move_name mv,
+                     denote_rt ~fuel:(fuel - 1) ~interference ~env_budget
+                       genv' mine' rt' ))
+               mvs
+            @ List.map
+                (fun (n, genv') ->
+                  ( n,
+                    denote_rt ~fuel:(fuel - 1) ~interference
+                      ~env_budget:(env_budget - 1) genv' mine rt ))
+                envs))
+
+(* Structure. *)
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node children ->
+    List.fold_left (fun acc (_, t) -> acc + size t) 1 children
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node children ->
+    1 + List.fold_left (fun acc (_, t) -> max acc (depth t)) 0 children
+
+(* All outcomes at the leaves, in traversal order. *)
+let rec outcomes = function
+  | Leaf o -> [ o ]
+  | Node children -> List.concat_map (fun (_, t) -> outcomes t) children
+
+(* All root-to-leaf action traces. *)
+let rec traces = function
+  | Leaf o -> [ ([], o) ]
+  | Node children ->
+    List.concat_map
+      (fun (name, t) ->
+        List.map (fun (path, o) -> (name :: path, o)) (traces t))
+      children
+
+(* Adequacy: the tree's leaf outcomes are exactly the scheduler's
+   outcome list (same order: both traverse moves depth-first). *)
+let agrees_with_explore ~result_equal tree (outs : 'a Sched.outcome list) =
+  let leaf_outs = outcomes tree in
+  List.length leaf_outs = List.length outs
+  && List.for_all2
+       (fun a b ->
+         match (a, b) with
+         | Sched.Finished (r1, s1), Sched.Finished (r2, s2) ->
+           result_equal r1 r2 && State.equal s1 s2
+         | Sched.Crashed m1, Sched.Crashed m2 -> String.equal m1 m2
+         | Sched.Diverged, Sched.Diverged -> true
+         | _ -> false)
+       leaf_outs outs
+
+let rec pp pp_result ppf = function
+  | Leaf o -> Fmt.pf ppf "%a" (Sched.pp_outcome pp_result) o
+  | Node children ->
+    Fmt.pf ppf "@[<v2>{%a}@]"
+      Fmt.(
+        list ~sep:cut (fun ppf (n, t) ->
+            Fmt.pf ppf "%s:@ %a" n (pp pp_result) t))
+      children

@@ -1,0 +1,39 @@
+(** Action trees (paper, Section 5.1): finite partial approximations of
+    program behaviour, a structured version of Brookes's action traces.
+
+    The denotation of a program in a configuration is its bounded
+    unfolding: internal nodes are the enabled atomic actions (and
+    environment steps), leaves are outcomes.  Adequacy — flattening the
+    tree yields exactly the scheduler's outcomes — is checked by the
+    test suite. *)
+
+type 'a t =
+  | Leaf of 'a Sched.outcome
+  | Node of (string * 'a t) list
+      (** enabled moves: action name (or "env:..." label) and the
+          subtree after taking it *)
+
+val denote :
+  ?fuel:int ->
+  ?interference:bool ->
+  ?env_budget:int ->
+  Sched.genv ->
+  Contrib.t ->
+  'a Prog.t ->
+  'a t
+
+val size : 'a t -> int
+val depth : 'a t -> int
+
+val outcomes : 'a t -> 'a Sched.outcome list
+(** Leaf outcomes, in depth-first traversal order. *)
+
+val traces : 'a t -> (string list * 'a Sched.outcome) list
+(** All root-to-leaf action traces. *)
+
+val agrees_with_explore :
+  result_equal:('a -> 'a -> bool) -> 'a t -> 'a Sched.outcome list -> bool
+(** Adequacy against {!Sched.explore} (same depth-first order). *)
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

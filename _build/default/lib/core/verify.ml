@@ -1,0 +1,131 @@
+(* The verifier: discharges a Hoare triple {pre} prog {post} against a
+   world of concurroids by exhaustive exploration of schedules and
+   environment interference from every supplied initial state.
+
+   This is the semantic replacement for Coq type checking (see
+   DESIGN.md): the same obligations FCSL discharges by dependent types —
+   safety of every atomic action, the postcondition in every terminal
+   state, under every admissible interference — are established by
+   enumeration over finite configurations. *)
+
+type failure = {
+  initial : State.t;
+  reason : string;
+}
+
+type report = {
+  spec_name : string;
+  initial_states : int; (* initial states satisfying the precondition *)
+  outcomes : int; (* terminal outcomes examined *)
+  diverged : int; (* paths cut by fuel (partial correctness: not failures) *)
+  complete : bool; (* exploration exhausted every path *)
+  failures : failure list;
+}
+
+let ok r = r.failures = []
+
+let pp_failure ppf f =
+  Fmt.pf ppf "@[<v2>from %a:@ %s@]" State.pp f.initial f.reason
+
+let pp_report ppf r =
+  if ok r then
+    Fmt.pf ppf "%s: OK (%d initial states, %d outcomes%s%s)" r.spec_name
+      r.initial_states r.outcomes
+      (if r.diverged > 0 then Fmt.str ", %d fuel-cut" r.diverged else "")
+      (if r.complete then "" else ", exploration capped")
+  else
+    Fmt.pf ppf "@[<v2>%s: FAILED (%d failures)@ %a@]" r.spec_name
+      (List.length r.failures)
+      Fmt.(list ~sep:cut pp_failure)
+      (List.filteri (fun i _ -> i < 3) r.failures)
+
+(* [check_triple ~world ~init prog spec] explores every schedule of
+   [prog] (with environment interference at all world labels unless
+   [interference] is [false]) from every coherent initial state in
+   [init] satisfying the precondition. *)
+let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
+    ?(env_budget = max_int) ?(max_failures = 5) ~(world : World.t)
+    ~(init : State.t list) (prog : 'a Prog.t) (spec : 'a Spec.t) : report =
+  let interfere = if interference then World.labels world else [] in
+  let initial_states = ref 0 in
+  let outcomes = ref 0 in
+  let diverged = ref 0 in
+  let complete = ref true in
+  let failures = ref [] in
+  let add_failure st reason =
+    if List.length !failures < max_failures then
+      failures := { initial = st; reason } :: !failures
+  in
+  List.iter
+    (fun st ->
+      if World.coh world st && Spec.pre spec st && !failures = [] then begin
+        incr initial_states;
+        let genv, mine = Sched.genv_of_state ~interfere world st in
+        let outs, compl =
+          Sched.explore ~fuel ~max_outcomes ~interference ~env_budget genv mine
+            prog
+        in
+        if not compl then complete := false;
+        List.iter
+          (fun out ->
+            incr outcomes;
+            match out with
+            | Sched.Finished (r, final) ->
+              if not (Spec.post spec r st final) then
+                add_failure st
+                  (Fmt.str "postcondition violated in final state %a" State.pp
+                     final)
+            | Sched.Crashed msg -> add_failure st ("crash: " ^ msg)
+            | Sched.Diverged -> incr diverged)
+          outs
+      end)
+    init;
+  {
+    spec_name = Spec.name spec;
+    initial_states = !initial_states;
+    outcomes = !outcomes;
+    diverged = !diverged;
+    complete = !complete;
+    failures = List.rev !failures;
+  }
+
+(* Randomized checking for configurations too large to exhaust: [trials]
+   random schedules per initial state. *)
+let check_triple_random ?(fuel = 2000) ?(trials = 100) ?(interference = false)
+    ?(max_failures = 5) ~(world : World.t) ~(init : State.t list)
+    (prog : 'a Prog.t) (spec : 'a Spec.t) : report =
+  let interfere = if interference then World.labels world else [] in
+  let initial_states = ref 0 in
+  let outcomes = ref 0 in
+  let diverged = ref 0 in
+  let failures = ref [] in
+  let add_failure st reason =
+    if List.length !failures < max_failures then
+      failures := { initial = st; reason } :: !failures
+  in
+  List.iter
+    (fun st ->
+      if World.coh world st && Spec.pre spec st then begin
+        incr initial_states;
+        let genv, mine = Sched.genv_of_state ~interfere world st in
+        for seed = 1 to trials do
+          incr outcomes;
+          match Sched.run_random ~fuel ~interference ~seed genv mine prog with
+          | Sched.Finished (r, final) ->
+            if not (Spec.post spec r st final) then
+              add_failure st
+                (Fmt.str "postcondition violated (seed %d) in %a" seed State.pp
+                   final)
+          | Sched.Crashed msg -> add_failure st ("crash: " ^ msg)
+          | Sched.Diverged -> incr diverged
+        done
+      end)
+    init;
+  {
+    spec_name = Spec.name spec;
+    initial_states = !initial_states;
+    outcomes = !outcomes;
+    diverged = !diverged;
+    complete = false;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,48 @@
+(** The verifier: discharges Hoare triples against a world of
+    concurroids by exhaustive exploration of schedules and environment
+    interference from every supplied initial state — the semantic
+    replacement for Coq type checking (see DESIGN.md). *)
+
+type failure = { initial : State.t; reason : string }
+
+type report = {
+  spec_name : string;
+  initial_states : int;  (** initial states satisfying the precondition *)
+  outcomes : int;  (** terminal outcomes examined *)
+  diverged : int;  (** fuel-cut paths (partial correctness: not failures) *)
+  complete : bool;  (** exploration exhausted every path *)
+  failures : failure list;
+}
+
+val ok : report -> bool
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val check_triple :
+  ?fuel:int ->
+  ?max_outcomes:int ->
+  ?interference:bool ->
+  ?env_budget:int ->
+  ?max_failures:int ->
+  world:World.t ->
+  init:State.t list ->
+  'a Prog.t ->
+  'a Spec.t ->
+  report
+(** Explore every schedule (and, unless [interference] is [false],
+    every environment-step insertion up to [env_budget]) from every
+    coherent initial state satisfying the precondition; check the
+    postcondition in every terminal state and safety of every enabled
+    action along the way. *)
+
+val check_triple_random :
+  ?fuel:int ->
+  ?trials:int ->
+  ?interference:bool ->
+  ?max_failures:int ->
+  world:World.t ->
+  init:State.t list ->
+  'a Prog.t ->
+  'a Spec.t ->
+  report
+(** Randomized checking for configurations too large to exhaust. *)

@@ -1,0 +1,83 @@
+(* Worlds: entangled compositions of concurroids (paper, Section 4.1).
+
+   Entangling concurroids yields a new concurroid whose states are maps
+   over the component labels; since our states are label-indexed already,
+   a world is a label-distinct list of concurroids.  Coherence and
+   interference lift pointwise; heap exchange between components is
+   performed by communicating atomic actions (Section 4.1), which step
+   several labels at once. *)
+
+type t = Concurroid.t list
+
+let of_list cs : t =
+  let labels = List.map Concurroid.label cs in
+  let distinct =
+    List.length labels = List.length (List.sort_uniq Label.compare labels)
+  in
+  if distinct then cs else invalid_arg "World.of_list: duplicate labels"
+
+let entangle (w1 : t) (w2 : t) = of_list (w1 @ w2)
+let labels (w : t) = List.map Concurroid.label w
+let concurroids (w : t) = w
+
+let find (w : t) l =
+  List.find_opt (fun c -> Label.equal (Concurroid.label c) l) w
+
+let find_exn w l =
+  match find w l with
+  | Some c -> c
+  | None -> invalid_arg (Fmt.str "World.find_exn: no label %a" Label.pp l)
+
+let mem w l = Option.is_some (find w l)
+
+(* A state is coherent for a world when it has exactly the world's
+   labels, each slice is coherent for its concurroid, and each slice's
+   self/other contributions are compatible. *)
+let coh (w : t) (st : State.t) =
+  List.for_all
+    (fun c ->
+      match State.find (Concurroid.label c) st with
+      | Some s -> Slice.valid s && Concurroid.coh c s
+      | None -> false)
+    w
+  && List.for_all (fun l -> mem w l) (State.labels st)
+
+(* One environment step of the entangled world: some component label
+   takes an env transition, the rest idle. *)
+let env_steps (w : t) (st : State.t) : (string * State.t) list =
+  List.concat_map
+    (fun c ->
+      let l = Concurroid.label c in
+      match State.find l st with
+      | None -> []
+      | Some s ->
+        List.map
+          (fun (n, s') ->
+            (Fmt.str "%s.%s" (Concurroid.name c) n, State.add l s' st))
+          (Concurroid.env_steps c s))
+    w
+
+(* The product enumeration of representative coherent states, used for
+   law and stability checking.  Bounded: the cross product of component
+   enumerations can be large, so a cap keeps checking tractable; checks
+   additionally run on case-study-supplied initial states. *)
+let enum ?(cap = 20_000) (w : t) : State.t list =
+  let rec go = function
+    | [] -> [ State.empty ]
+    | c :: rest ->
+      let tails = go rest in
+      let slices = List.filter (Concurroid.coh c) (Concurroid.enum c) in
+      let products =
+        List.concat_map
+          (fun s ->
+            List.map (fun st -> State.add (Concurroid.label c) s st) tails)
+          slices
+      in
+      if List.length products > cap then
+        List.filteri (fun i _ -> i < cap) products
+      else products
+  in
+  go w
+
+let pp ppf (w : t) =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Concurroid.pp) w

@@ -1,0 +1,30 @@
+(** Worlds: entangled compositions of concurroids (paper, Section 4.1).
+    A world is a label-distinct list of concurroids; coherence and
+    interference lift pointwise, and heap exchange happens through
+    communicating actions. *)
+
+type t
+
+val of_list : Concurroid.t list -> t
+(** Raises [Invalid_argument] on duplicate labels. *)
+
+val entangle : t -> t -> t
+val labels : t -> Label.t list
+val concurroids : t -> Concurroid.t list
+val find : t -> Label.t -> Concurroid.t option
+val find_exn : t -> Label.t -> Concurroid.t
+val mem : t -> Label.t -> bool
+
+val coh : t -> State.t -> bool
+(** The state has exactly the world's labels, each slice coherent and
+    valid. *)
+
+val env_steps : t -> State.t -> (string * State.t) list
+(** One environment step of the entangled world: some component label
+    takes an env transition, the rest idle. *)
+
+val enum : ?cap:int -> t -> State.t list
+(** The (capped) product of component enumerations: representative
+    coherent states for law and stability checking. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/extract/extract.ml: Domain Fcsl_heap Fcsl_lang Fmt Heap List Ptr Real_heap String Value

@@ -1,0 +1,1 @@
+lib/extract/extract.mli: Fcsl_heap Fcsl_lang Heap Value

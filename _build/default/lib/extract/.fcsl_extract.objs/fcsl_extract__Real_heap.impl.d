@@ -1,0 +1,1 @@
+lib/extract/real_heap.ml: Atomic Fcsl_heap Fmt Hashtbl Heap Mutex Ptr Value

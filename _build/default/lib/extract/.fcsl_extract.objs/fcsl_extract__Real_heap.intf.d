@@ -1,0 +1,1 @@
+lib/extract/real_heap.mli: Fcsl_heap Heap Ptr Value

@@ -1,0 +1,168 @@
+(* Program extraction: compile surface-language procedures into directly
+   executable OCaml running on the real atomic heap, with parallel
+   composition realized by OCaml 5 domains.
+
+   This erases all auxiliary state — exactly the paper's erasure story
+   (Section 3.4): the verified program's physical projection runs on
+   actual hardware.  Domains are heavyweight, so forks deeper than
+   [domain_budget] degrade to sequential left-then-right execution
+   (which is one of the admissible schedules, hence still correct). *)
+
+open Fcsl_heap
+open Fcsl_lang.Ast
+
+exception Extraction_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Extraction_error s)) fmt
+
+type env = (string * Value.t) list
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> error "unbound variable %s" x
+
+let as_ptr = function
+  | Value.Ptr p -> p
+  | v -> error "expected pointer, got %a" Value.pp v
+
+let as_bool = function
+  | Value.Bool b -> b
+  | v -> error "expected boolean, got %a" Value.pp v
+
+let field_get f v =
+  match Value.as_node v with
+  | Some (m, l, r) -> (
+    match f with
+    | Mark -> Value.bool m
+    | Left -> Value.ptr l
+    | Right -> Value.ptr r)
+  | None -> error "not a graph node: %a" Value.pp v
+
+let field_set f x v =
+  match Value.as_node v with
+  | Some (m, l, r) -> (
+    match (f, x) with
+    | Mark, Value.Bool b -> Value.node ~marked:b ~left:l ~right:r
+    | Left, Value.Ptr q -> Value.node ~marked:m ~left:q ~right:r
+    | Right, Value.Ptr q -> Value.node ~marked:m ~left:l ~right:q
+    | _ -> error "ill-typed field write")
+  | None -> error "not a graph node: %a" Value.pp v
+
+(* A single field read is one atomic load of the node cell plus a pure
+   projection. *)
+let read_field rh p f =
+  if Ptr.is_null p then error "null dereference"
+  else field_get f (Real_heap.read rh p)
+
+let rec eval rh env = function
+  | Null -> Value.ptr Ptr.null
+  | Bool b -> Value.bool b
+  | Int n -> Value.int n
+  | Var x -> lookup env x
+  | Field (e, f) -> read_field rh (as_ptr (eval rh env e)) f
+  | Eq (a, b) -> Value.bool (Value.equal (eval rh env a) (eval rh env b))
+  | Not e -> Value.bool (not (as_bool (eval rh env e)))
+  | And (a, b) ->
+    Value.bool (as_bool (eval rh env a) && as_bool (eval rh env b))
+  | Or (a, b) -> Value.bool (as_bool (eval rh env a) || as_bool (eval rh env b))
+  | Pair_fst e -> (
+    match eval rh env e with
+    | Value.Pair (a, _) -> a
+    | v -> error "expected pair, got %a" Value.pp v)
+  | Pair_snd e -> (
+    match eval rh env e with
+    | Value.Pair (_, b) -> b
+    | v -> error "expected pair, got %a" Value.pp v)
+
+exception Returned of Value.t
+
+(* Execute a command for its effects; raises [Returned] on return. *)
+let rec exec_cmd rh procs ~budget env cmd : env =
+  match cmd with
+  | Skip -> env
+  | Return e -> raise (Returned (eval rh env e))
+  | Seq (a, b) ->
+    let env = exec_cmd rh procs ~budget env a in
+    exec_cmd rh procs ~budget env b
+  | If (e, t, f) ->
+    exec_cmd rh procs ~budget env (if as_bool (eval rh env e) then t else f)
+  | Assign (e, f, v) ->
+    let p = as_ptr (eval rh env e) in
+    if Ptr.is_null p then error "null dereference";
+    let value = eval rh env v in
+    (* read-modify-write of one node field, retried atomically: the only
+       program that writes a node's l/r fields is its marker, so a plain
+       blind update of the projected field is what the algorithms mean;
+       we still perform it with a CAS loop to stay phys-accurate. *)
+    let rec update () =
+      let current = Real_heap.read rh p in
+      let updated = field_set f value current in
+      if Real_heap.cas rh p ~expect:current ~replace:updated then ()
+      else update ()
+    in
+    update ();
+    env
+  | BindCmd (pat, rhs, k) ->
+    let v = exec_rhs rh procs ~budget env rhs in
+    let env =
+      match (pat, v) with
+      | Pvar x, v -> (x, v) :: env
+      | Ppair (a, b), Value.Pair (va, vb) -> (a, va) :: (b, vb) :: env
+      | Ppair _, v -> error "pattern expects a pair, got %a" Value.pp v
+    in
+    exec_cmd rh procs ~budget env k
+
+and exec_rhs rh procs ~budget env rhs : Value.t =
+  match rhs with
+  | Expr e -> eval rh env e
+  | Cas (e, f, old_v, new_v) ->
+    let p = as_ptr (eval rh env e) in
+    if Ptr.is_null p then error "null dereference";
+    let expected_field = eval rh env old_v in
+    let replacement_field = eval rh env new_v in
+    (* CAS on one field of the node: witness the whole cell, check the
+       field, swing the whole cell — a single hardware CAS. *)
+    let current = Real_heap.read rh p in
+    if Value.equal (field_get f current) expected_field then
+      Value.bool
+        (Real_heap.cas rh p ~expect:current
+           ~replace:(field_set f replacement_field current))
+    else Value.bool false
+  | Call (name, args) ->
+    let vargs = List.map (eval rh env) args in
+    call rh procs ~budget name vargs
+  | Par (r1, r2) ->
+    if budget > 0 then begin
+      let d =
+        Domain.spawn (fun () -> exec_rhs rh procs ~budget:(budget - 1) env r1)
+      in
+      let v2 = exec_rhs rh procs ~budget:(budget - 1) env r2 in
+      let v1 = Domain.join d in
+      Value.pair v1 v2
+    end
+    else
+      let v1 = exec_rhs rh procs ~budget env r1 in
+      let v2 = exec_rhs rh procs ~budget env r2 in
+      Value.pair v1 v2
+
+and call rh procs ~budget name vargs : Value.t =
+  let p =
+    match List.find_opt (fun p -> String.equal p.p_name name) procs with
+    | Some p -> p
+    | None -> error "unknown procedure %s" name
+  in
+  if List.length vargs <> List.length p.p_params then
+    error "%s: arity mismatch" name;
+  let env = List.map2 (fun (param, _) v -> (param, v)) p.p_params vargs in
+  match exec_cmd rh procs ~budget env p.p_body with
+  | _ -> Value.unit
+  | exception Returned v -> v
+
+(* Entry point: run [proc] on a functional heap snapshot with real
+   parallelism, returning the result and the final heap snapshot. *)
+let run ?(domain_budget = 3) (procs : program) ~proc ~(args : Value.t list)
+    (heap : Heap.t) : Heap.t * Value.t =
+  let rh = Real_heap.of_heap heap in
+  let v = call rh procs ~budget:domain_budget proc args in
+  (Real_heap.to_heap rh, v)

@@ -1,0 +1,21 @@
+(** Program extraction: compile surface-language procedures into
+    directly executable code on the real atomic heap, with parallel
+    composition realized by OCaml 5 domains — the paper's future-work
+    extraction mechanism (Section 7, [32]).  All auxiliary state is
+    erased; only the physical operations run. *)
+
+open Fcsl_heap
+
+exception Extraction_error of string
+
+val run :
+  ?domain_budget:int ->
+  Fcsl_lang.Ast.program ->
+  proc:string ->
+  args:Value.t list ->
+  Heap.t ->
+  Heap.t * Value.t
+(** Run [proc] with real parallelism ([domain_budget] bounds the fork
+    depth that spawns domains; deeper forks run sequentially, which is
+    one of the admissible schedules).  Returns the final heap snapshot
+    and the result. *)

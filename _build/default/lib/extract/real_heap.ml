@@ -1,0 +1,73 @@
+(* A real shared-memory heap: each cell is an [Atomic.t], so the
+   extracted programs run with genuine compare-and-swap on OCaml 5
+   domains.  This realizes the paper's future-work item of a program
+   extraction mechanism (Section 7, [32]): auxiliary state is erased and
+   the physical operations execute on actual parallel hardware.
+
+   Structural CAS: OCaml's [Atomic.compare_and_set] compares physically,
+   so the structural CAS reads the current (boxed) value, compares it
+   structurally, and swings on physical equality of the witnessed read —
+   the standard idiom, with retry pushed to the caller (exactly how the
+   fine-grained algorithms use it). *)
+
+open Fcsl_heap
+
+type t = {
+  cells : (Ptr.t, Value.t Atomic.t) Hashtbl.t;
+  lock : Mutex.t; (* protects the table structure only, never cell data *)
+}
+
+let create () = { cells = Hashtbl.create 64; lock = Mutex.create () }
+
+let of_heap (h : Heap.t) : t =
+  let rh = create () in
+  Heap.iter (fun p v -> Hashtbl.replace rh.cells p (Atomic.make v)) h;
+  rh
+
+(* Snapshot back into a functional heap (quiescent use only). *)
+let to_heap (rh : t) : Heap.t =
+  Hashtbl.fold (fun p cell h -> Heap.add p (Atomic.get cell) h) rh.cells
+    Heap.empty
+
+let cell rh p =
+  match Hashtbl.find_opt rh.cells p with
+  | Some c -> c
+  | None -> invalid_arg (Fmt.str "Real_heap: %a unbound" Ptr.pp p)
+
+let read rh p = Atomic.get (cell rh p)
+let write rh p v = Atomic.set (cell rh p) v
+
+(* One structural CAS attempt: true iff the cell held a value
+   structurally equal to [expect] and the swing landed. *)
+let cas rh p ~expect ~replace =
+  let c = cell rh p in
+  let current = Atomic.get c in
+  Value.equal current expect && Atomic.compare_and_set c current replace
+
+(* Fetch-and-add on an integer cell. *)
+let faa rh p n =
+  let c = cell rh p in
+  let rec go () =
+    let current = Atomic.get c in
+    match Value.as_int current with
+    | Some k ->
+      if Atomic.compare_and_set c current (Value.int (k + n)) then k else go ()
+    | None -> invalid_arg "Real_heap.faa: not an integer cell"
+  in
+  go ()
+
+(* Allocation: thread-safe insertion of a fresh cell. *)
+let alloc rh v =
+  Mutex.lock rh.lock;
+  let p =
+    let top =
+      Hashtbl.fold (fun p _ acc -> max acc (Ptr.to_int p)) rh.cells 0
+    in
+    Ptr.of_int (top + 1)
+  in
+  Hashtbl.replace rh.cells p (Atomic.make v);
+  Mutex.unlock rh.lock;
+  p
+
+let mem rh p = Hashtbl.mem rh.cells p
+let size rh = Hashtbl.length rh.cells

@@ -1,0 +1,28 @@
+(** A real shared-memory heap: each cell is an [Atomic.t], so extracted
+    programs run genuine compare-and-swap on OCaml 5 domains. *)
+
+open Fcsl_heap
+
+type t
+
+val create : unit -> t
+val of_heap : Heap.t -> t
+
+val to_heap : t -> Heap.t
+(** Snapshot back into a functional heap (quiescent use only). *)
+
+val read : t -> Ptr.t -> Value.t
+val write : t -> Ptr.t -> Value.t -> unit
+
+val cas : t -> Ptr.t -> expect:Value.t -> replace:Value.t -> bool
+(** One structural CAS attempt: compare the witnessed read structurally,
+    swing on physical equality of the witness — the standard idiom. *)
+
+val faa : t -> Ptr.t -> int -> int
+(** Fetch-and-add on an integer cell (internal retry loop). *)
+
+val alloc : t -> Value.t -> Ptr.t
+(** Thread-safe allocation of a fresh cell. *)
+
+val mem : t -> Ptr.t -> bool
+val size : t -> int

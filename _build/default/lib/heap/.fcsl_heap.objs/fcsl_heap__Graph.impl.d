@@ -1,0 +1,1 @@
+lib/heap/graph.ml: Fmt Heap List Ptr Value

@@ -1,0 +1,1 @@
+lib/heap/graph.mli: Format Heap Ptr

@@ -1,0 +1,1 @@
+lib/heap/heap.mli: Format Ptr Value

@@ -1,0 +1,1 @@
+lib/heap/ptr.ml: Fmt Hashtbl Int List Map Set

@@ -1,0 +1,1 @@
+lib/heap/ptr.mli: Format Map Set

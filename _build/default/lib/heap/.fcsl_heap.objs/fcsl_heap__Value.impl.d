@@ -1,0 +1,1 @@
+lib/heap/value.ml: Bool Fmt Int Ptr

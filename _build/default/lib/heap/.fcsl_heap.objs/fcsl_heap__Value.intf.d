@@ -1,0 +1,1 @@
+lib/heap/value.mli: Format Ptr

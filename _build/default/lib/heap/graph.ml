@@ -1,0 +1,235 @@
+(* Heap-represented binary directed graphs (paper, Sections 2.1 and 3.2).
+
+   A heap [h] represents a graph when every cell stores a triple
+   (marked-bit, left successor, right successor) and both successors are
+   null or in [h]'s domain.  Mirroring the Coq development's
+   [g : graph h] proof witnesses, [t] packages a heap together with a
+   check of the graph shape: constructing a [t] validates the shape, and
+   all accessors below are the paper's partial functions [mark], [edgl],
+   [edgr], [cont], total on a validated graph (defaulting to
+   [false]/[null] outside the domain, exactly as in Section 3.2). *)
+
+type t = { heap : Heap.t }
+
+let well_formed_cell h _p v =
+  match Value.as_node v with
+  | None -> false
+  | Some (_, l, r) ->
+    let ok q = Ptr.is_null q || Heap.mem q h in
+    ok l && ok r
+
+(* The paper's [graph h] predicate. *)
+let well_formed (h : Heap.t) = Heap.for_all (well_formed_cell h) h
+
+let of_heap h = if well_formed h then Some { heap = h } else None
+
+let of_heap_exn h =
+  match of_heap h with
+  | Some g -> g
+  | None -> invalid_arg "Graph.of_heap_exn: heap is not graph-shaped"
+
+let to_heap g = g.heap
+let dom g = Heap.dom g.heap
+let dom_set g = Heap.dom_set g.heap
+let mem p g = Heap.mem p g.heap
+let size g = Heap.cardinal g.heap
+
+(* Accessors: [cont g x] is the triple stored at [x]; [mark], [edgl],
+   [edgr] project it.  Default (false, null, null) outside the domain. *)
+
+let cont g x =
+  match Heap.find x g.heap with
+  | Some v -> (
+    match Value.as_node v with
+    | Some triple -> triple
+    | None -> (false, Ptr.null, Ptr.null))
+  | None -> (false, Ptr.null, Ptr.null)
+
+let mark g x =
+  let m, _, _ = cont g x in
+  m
+
+let edgl g x =
+  let _, l, _ = cont g x in
+  l
+
+let edgr g x =
+  let _, _, r = cont g x in
+  r
+
+let succs g x =
+  let _, l, r = cont g x in
+  List.filter (fun q -> not (Ptr.is_null q)) [ l; r ]
+
+(* The incidence relation [edge g x y] (Section 3.2): [y] is a non-null
+   successor of a node [x] in the domain. *)
+let edge g x y =
+  mem x g && (not (Ptr.is_null y)) && (Ptr.equal y (edgl g x) || Ptr.equal y (edgr g x))
+
+(* Physical updates, as used by the SpanTree transitions. *)
+
+(* [mark_node g x] sets the mark bit of [x]. *)
+let mark_node g x =
+  let m, l, r = cont g x in
+  if not (mem x g) then invalid_arg "Graph.mark_node: node not in graph"
+  else begin
+    ignore m;
+    { heap = Heap.update x (Value.node ~marked:true ~left:l ~right:r) g.heap }
+  end
+
+type side = Left | Right
+
+let pp_side ppf = function
+  | Left -> Fmt.string ppf "Left"
+  | Right -> Fmt.string ppf "Right"
+
+(* [null_edge g side x] severs the [side] successor of [x]. *)
+let null_edge g side x =
+  let m, l, r = cont g x in
+  if not (mem x g) then invalid_arg "Graph.null_edge: node not in graph"
+  else
+    let l, r = match side with Left -> (Ptr.null, r) | Right -> (l, Ptr.null) in
+    { heap = Heap.update x (Value.node ~marked:m ~left:l ~right:r) g.heap }
+
+let child g side x = match side with Left -> edgl g x | Right -> edgr g x
+
+let marked_nodes g =
+  List.filter (fun x -> mark g x) (dom g)
+
+let unmarked_nodes g =
+  List.filter (fun x -> not (mark g x)) (dom g)
+
+(* Paths.  [path g x p] holds when the list of nodes [p] is traversable
+   from [x] via [edge] links; [last x p] is the endpoint. *)
+
+let rec path g x p =
+  match p with
+  | [] -> true
+  | y :: rest -> edge g x y && path g y rest
+
+let last x p = match List.rev p with [] -> x | y :: _ -> y
+
+(* Reachability: nodes reachable from [x] (via any path, [x] included
+   when in the domain). *)
+let reachable g x =
+  let rec go visited = function
+    | [] -> visited
+    | y :: frontier when Ptr.Set.mem y visited -> go visited frontier
+    | y :: frontier ->
+      if mem y g then go (Ptr.Set.add y visited) (succs g y @ frontier)
+      else go visited frontier
+  in
+  go Ptr.Set.empty [ x ]
+
+(* [connected g x] (Section 3.2): every node in the graph is reachable
+   from [x]. *)
+let connected g x = Ptr.Set.equal (reachable g x) (dom_set g)
+
+(* Path enumeration within a node set, used by the [tree] predicate: all
+   simple paths from [x] to [y] whose nodes stay inside [t]. *)
+let paths_within g t x y =
+  let rec go current seen acc =
+    List.fold_left
+      (fun acc next ->
+        if not (Ptr.Set.mem next t) then acc
+        else
+          let acc =
+            if Ptr.equal next y then List.rev (next :: seen) :: acc else acc
+          in
+          if List.exists (Ptr.equal next) seen || Ptr.equal next x then acc
+          else go next (next :: seen) acc)
+      acc (succs g current)
+  in
+  if Ptr.Set.mem x t then
+    let base = if Ptr.equal x y then [ [] ] else [] in
+    go x [] base
+  else []
+
+(* [tree g x t] (Section 3.2): [t] contains [x], and every node of [t] is
+   reached from [x] by a unique path lying within [t].  (For [y = x] the
+   unique path is the empty one; a cycle back to [x] would add a second.) *)
+let tree g x t =
+  Ptr.Set.mem x t
+  && Ptr.Set.for_all
+       (fun y ->
+         let ps = paths_within g t x y in
+         List.length ps = 1)
+       t
+
+(* [front g t t'] (Section 3.2): every node of [t], and every node
+   immediately reachable from [t], is in [t']. *)
+let front g t t' =
+  Ptr.Set.subset t t'
+  && Ptr.Set.for_all
+       (fun x ->
+         List.for_all
+           (fun y -> (not (edge g x y)) || Ptr.Set.mem y t')
+           (succs g x))
+       t
+
+(* [maximal g t]: [t] includes its own front — no edge leaves [t]. *)
+let maximal g t = front g t t
+
+(* [subgraph g1 g2] (Section 3.2, restricted to its graph components):
+   same nodes, unmarked nodes untouched, and edges only nullified. *)
+let subgraph g1 g2 =
+  Ptr.Set.equal (dom_set g1) (dom_set g2)
+  && List.for_all
+       (fun y -> if not (mark g2 y) then cont g1 y = cont g2 y else true)
+       (dom g1)
+  && List.for_all
+       (fun x ->
+         let l2 = edgl g2 x and r2 = edgr g2 x in
+         (Ptr.is_null l2 || Ptr.equal l2 (edgl g1 x))
+         && (Ptr.is_null r2 || Ptr.equal r2 (edgr g1 x)))
+       (dom g1)
+
+(* [spanning g1 g2 x t]: in the final graph [g2], [t] is a tree rooted at
+   [x] covering all nodes, and [g2] refines [g1] by edge removal only —
+   the paper's [span_root_tp] postcondition. *)
+let spanning g1 g2 x t =
+  subgraph g1 g2 && tree g2 x t && Ptr.Set.equal t (dom_set g2)
+
+(* Lemma [max_tree2] (Section 3.2) as a checkable implication: if x's
+   successor set is {y1, y2}, ty1/ty2 are disjoint maximal trees rooted at
+   y1/y2, then #x ∪ ty1 ∪ ty2 is a tree rooted at x. *)
+let max_tree2 g x y1 y2 ty1 ty2 =
+  let hypotheses =
+    (not (Ptr.is_null y1))
+    && (not (Ptr.is_null y2))
+    && edge g x y1 && edge g x y2
+    && tree g y1 ty1 && maximal g ty1
+    && tree g y2 ty2 && maximal g ty2
+    && Ptr.Set.is_empty (Ptr.Set.inter ty1 ty2)
+    && (not (Ptr.Set.mem x ty1))
+    && not (Ptr.Set.mem x ty2)
+  in
+  if not hypotheses then true
+  else tree g x (Ptr.Set.add x (Ptr.Set.union ty1 ty2))
+
+(* Construction helpers. *)
+
+let of_adjacency nodes =
+  let heap =
+    List.fold_left
+      (fun h (x, l, r) -> Heap.add x (Value.node ~marked:false ~left:l ~right:r) h)
+      Heap.empty nodes
+  in
+  of_heap heap
+
+let of_adjacency_exn nodes =
+  match of_adjacency nodes with
+  | Some g -> g
+  | None -> invalid_arg "Graph.of_adjacency_exn: dangling successor"
+
+let equal g1 g2 = Heap.equal g1.heap g2.heap
+
+let pp ppf g =
+  let pp_node ppf x =
+    let m, l, r = cont g x in
+    Fmt.pf ppf "%a%s -> (%a, %a)" Ptr.pp x (if m then "*" else "") Ptr.pp l
+      Ptr.pp r
+  in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_node) (dom g)
+
+let to_string g = Fmt.str "%a" pp g

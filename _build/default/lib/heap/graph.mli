@@ -1,0 +1,87 @@
+(** Heap-represented binary directed graphs (paper, Sections 2.1 and 3.2).
+
+    A value of type {!t} packages a heap with a validated graph shape:
+    every cell stores a (marked, left, right) triple whose successors are
+    null or in the domain.  The accessors are the paper's partial
+    functions [mark]/[edgl]/[edgr]/[cont], total on validated graphs. *)
+
+type t
+
+val well_formed : Heap.t -> bool
+(** The paper's [graph h] predicate. *)
+
+val of_heap : Heap.t -> t option
+val of_heap_exn : Heap.t -> t
+val to_heap : t -> Heap.t
+
+val dom : t -> Ptr.t list
+val dom_set : t -> Ptr.Set.t
+val mem : Ptr.t -> t -> bool
+val size : t -> int
+
+val cont : t -> Ptr.t -> bool * Ptr.t * Ptr.t
+(** The triple stored at a node; [(false, null, null)] outside the
+    domain. *)
+
+val mark : t -> Ptr.t -> bool
+val edgl : t -> Ptr.t -> Ptr.t
+val edgr : t -> Ptr.t -> Ptr.t
+
+val succs : t -> Ptr.t -> Ptr.t list
+(** Non-null successors. *)
+
+val edge : t -> Ptr.t -> Ptr.t -> bool
+(** The incidence relation of Section 3.2. *)
+
+val mark_node : t -> Ptr.t -> t
+(** Set the mark bit; the physical effect of [marknode_trans]. *)
+
+type side = Left | Right
+
+val pp_side : Format.formatter -> side -> unit
+
+val null_edge : t -> side -> Ptr.t -> t
+(** Sever one successor edge; the physical effect of [nullify_trans]. *)
+
+val child : t -> side -> Ptr.t -> Ptr.t
+
+val marked_nodes : t -> Ptr.t list
+val unmarked_nodes : t -> Ptr.t list
+
+val path : t -> Ptr.t -> Ptr.t list -> bool
+(** [path g x p]: [p] is traversable from [x] via [edge] links. *)
+
+val last : Ptr.t -> Ptr.t list -> Ptr.t
+
+val reachable : t -> Ptr.t -> Ptr.Set.t
+val connected : t -> Ptr.t -> bool
+
+val paths_within : t -> Ptr.Set.t -> Ptr.t -> Ptr.t -> Ptr.t list list
+(** All simple paths from [x] to [y] whose nodes stay inside the set. *)
+
+val tree : t -> Ptr.t -> Ptr.Set.t -> bool
+(** [tree g x t]: unique in-set paths from [x] to every node of [t]. *)
+
+val front : t -> Ptr.Set.t -> Ptr.Set.t -> bool
+(** [front g t t']: [t] and its one-step successors are inside [t']. *)
+
+val maximal : t -> Ptr.Set.t -> bool
+(** No edge leaves [t]. *)
+
+val subgraph : t -> t -> bool
+(** Same nodes; unmarked nodes untouched; edges only nullified. *)
+
+val spanning : t -> t -> Ptr.t -> Ptr.Set.t -> bool
+(** The [span_root_tp] postcondition: [t] is a spanning tree of the
+    final graph rooted at [x], refining the initial graph. *)
+
+val max_tree2 : t -> Ptr.t -> Ptr.t -> Ptr.t -> Ptr.Set.t -> Ptr.Set.t -> bool
+(** The paper's lemma [max_tree2] as a checkable implication. *)
+
+val of_adjacency : (Ptr.t * Ptr.t * Ptr.t) list -> t option
+(** Build an unmarked graph from (node, left, right) rows. *)
+
+val of_adjacency_exn : (Ptr.t * Ptr.t * Ptr.t) list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,98 @@
+(* Heaps: finite maps from non-null pointers to dynamic values, forming a
+   partial commutative monoid under disjoint union (paper, Section 2.2.1).
+
+   Unlike the Coq development — where invalid heaps are an explicit
+   "undefined" element of the PCM — we keep heaps valid by construction
+   and make the PCM join partial ([union] returns [None] on overlap).
+   The [Undef] case of the paper's heap PCM is recovered in the [Pcm]
+   layer by option-lifting. *)
+
+type t = Value.t Ptr.Map.t
+
+let empty : t = Ptr.Map.empty
+let is_empty = Ptr.Map.is_empty
+let cardinal = Ptr.Map.cardinal
+
+let singleton p v =
+  if Ptr.is_null p then invalid_arg "Heap.singleton: null pointer"
+  else Ptr.Map.singleton p v
+
+let mem p (h : t) = Ptr.Map.mem p h
+let find p (h : t) = Ptr.Map.find_opt p h
+
+let find_exn p (h : t) =
+  match Ptr.Map.find_opt p h with
+  | Some v -> v
+  | None -> invalid_arg (Fmt.str "Heap.find_exn: %a unbound" Ptr.pp p)
+
+let dom (h : t) = Ptr.Map.keys h
+let dom_set (h : t) = Ptr.Map.fold (fun p _ s -> Ptr.Set.add p s) h Ptr.Set.empty
+
+let add p v (h : t) =
+  if Ptr.is_null p then invalid_arg "Heap.add: null pointer"
+  else Ptr.Map.add p v h
+
+let update p v (h : t) =
+  if Ptr.Map.mem p h then Ptr.Map.add p v h
+  else invalid_arg (Fmt.str "Heap.update: %a unbound" Ptr.pp p)
+
+(* [free p h] deallocates [p]; the paper's [free x h] (Section 3.2). *)
+let free p (h : t) = Ptr.Map.remove p h
+
+let disjoint (h1 : t) (h2 : t) =
+  Ptr.Map.for_all (fun p _ -> not (Ptr.Map.mem p h2)) h1
+
+(* Disjoint union: the heap PCM join.  [None] when domains overlap. *)
+let union (h1 : t) (h2 : t) : t option =
+  if disjoint h1 h2 then Some (Ptr.Map.union (fun _ v _ -> Some v) h1 h2)
+  else None
+
+let union_exn h1 h2 =
+  match union h1 h2 with
+  | Some h -> h
+  | None -> invalid_arg "Heap.union_exn: overlapping domains"
+
+(* [subheap h1 h2] holds when [h1] is a subheap of [h2] (same values on
+   [h1]'s domain). *)
+let subheap (h1 : t) (h2 : t) =
+  Ptr.Map.for_all
+    (fun p v -> match find p h2 with Some w -> Value.equal v w | None -> false)
+    h1
+
+(* [diff h1 h2] removes [h2]'s domain from [h1]: the frame left after
+   carving out [h2]. *)
+let diff (h1 : t) (h2 : t) = Ptr.Map.filter (fun p _ -> not (mem p h2)) h1
+
+(* [restrict dom h] keeps only the cells of [h] whose pointer satisfies
+   [dom]; used by hide decorations to select the donated subheap. *)
+let restrict pred (h : t) = Ptr.Map.filter (fun p _ -> pred p) h
+
+let equal (h1 : t) (h2 : t) = Ptr.Map.equal Value.equal h1 h2
+
+let compare (h1 : t) (h2 : t) = Ptr.Map.compare Value.compare h1 h2
+
+let of_list bindings =
+  List.fold_left
+    (fun h (p, v) ->
+      if mem p h then invalid_arg "Heap.of_list: duplicate pointer"
+      else add p v h)
+    empty bindings
+
+let bindings (h : t) = Ptr.Map.bindings h
+let fold f (h : t) acc = Ptr.Map.fold f h acc
+let iter f (h : t) = Ptr.Map.iter f h
+let for_all f (h : t) = Ptr.Map.for_all f h
+let exists f (h : t) = Ptr.Map.exists f h
+let filter f (h : t) = Ptr.Map.filter f h
+
+(* A fresh pointer strictly greater than everything allocated in [h]. *)
+let fresh_ptr (h : t) =
+  let top = fold (fun p _ acc -> max acc (Ptr.to_int p)) h 0 in
+  Ptr.of_int (top + 1)
+
+let pp ppf (h : t) =
+  let pp_cell ppf (p, v) = Fmt.pf ppf "%a :-> %a" Ptr.pp p Value.pp v in
+  if is_empty h then Fmt.string ppf "emp"
+  else Fmt.pf ppf "@[<hv>%a@]" Fmt.(list ~sep:(any " \\+@ ") pp_cell) (bindings h)
+
+let to_string h = Fmt.str "%a" pp h

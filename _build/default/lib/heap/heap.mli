@@ -1,0 +1,67 @@
+(** Heaps: finite maps from non-null pointers to dynamic values, forming a
+    partial commutative monoid under disjoint union.
+
+    Heaps are valid by construction (no null and no duplicate pointers);
+    the PCM join {!union} is partial and returns [None] on domain
+    overlap. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val singleton : Ptr.t -> Value.t -> t
+(** Raises [Invalid_argument] on [null]. *)
+
+val mem : Ptr.t -> t -> bool
+val find : Ptr.t -> t -> Value.t option
+val find_exn : Ptr.t -> t -> Value.t
+val dom : t -> Ptr.t list
+val dom_set : t -> Ptr.Set.t
+
+val add : Ptr.t -> Value.t -> t -> t
+(** [add p v h] binds [p] to [v], overwriting any previous binding.
+    Raises [Invalid_argument] on [null]. *)
+
+val update : Ptr.t -> Value.t -> t -> t
+(** Like {!add} but requires [p] to be already bound. *)
+
+val free : Ptr.t -> t -> t
+(** Deallocation; the paper's [free x h]. *)
+
+val disjoint : t -> t -> bool
+
+val union : t -> t -> t option
+(** Disjoint union — the heap PCM join; [None] when domains overlap. *)
+
+val union_exn : t -> t -> t
+
+val subheap : t -> t -> bool
+(** [subheap h1 h2]: [h1]'s bindings all occur in [h2]. *)
+
+val diff : t -> t -> t
+(** [diff h1 h2] removes [h2]'s domain from [h1]. *)
+
+val restrict : (Ptr.t -> bool) -> t -> t
+(** Keep only cells whose pointer satisfies the predicate; used by hide
+    decorations to select the donated subheap. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_list : (Ptr.t * Value.t) list -> t
+(** Raises [Invalid_argument] on duplicate or null pointers. *)
+
+val bindings : t -> (Ptr.t * Value.t) list
+val fold : (Ptr.t -> Value.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Ptr.t -> Value.t -> unit) -> t -> unit
+val for_all : (Ptr.t -> Value.t -> bool) -> t -> bool
+val exists : (Ptr.t -> Value.t -> bool) -> t -> bool
+val filter : (Ptr.t -> Value.t -> bool) -> t -> t
+
+val fresh_ptr : t -> Ptr.t
+(** A pointer strictly greater than everything allocated in the heap. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

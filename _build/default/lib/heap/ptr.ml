@@ -1,0 +1,64 @@
+(* Pointers are abstract names for heap cells.  [null] is a distinguished
+   pointer that never belongs to any heap domain; fresh pointers are drawn
+   from a strictly positive supply, so [null] can be used as the "no
+   successor" marker in heap-represented graphs (paper, Section 2.1). *)
+
+type t = int
+
+let null : t = 0
+let is_null p = p = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Ptr.of_int: negative pointer" else n
+
+let to_int p = p
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b
+let hash (p : t) = Hashtbl.hash p
+
+let pp ppf p =
+  if is_null p then Fmt.string ppf "null" else Fmt.pf ppf "x%d" p
+
+let to_string p = Fmt.str "%a" pp p
+
+(* A deterministic supply of fresh pointers, used by allocators and by
+   test-state generators.  Supplies are first-class so that independent
+   verification runs do not interfere. *)
+module Supply = struct
+  type t = { mutable next : int }
+
+  let create ?(from = 1) () =
+    if from < 1 then invalid_arg "Ptr.Supply.create: from must be >= 1";
+    { next = from }
+
+  let fresh s =
+    let p = s.next in
+    s.next <- s.next + 1;
+    p
+
+  let fresh_many s n = List.init n (fun _ -> fresh s)
+  let peek s = s.next
+end
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = struct
+  include Set.Make (Ord)
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp) (elements s)
+end
+
+module Map = struct
+  include Map.Make (Ord)
+
+  let keys m = List.map fst (bindings m)
+
+  let pp pp_v ppf m =
+    let pp_binding ppf (k, v) = Fmt.pf ppf "%a %a" pp k pp_v v in
+    Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp_binding) (bindings m)
+end

@@ -1,0 +1,50 @@
+(** Pointers: abstract names for heap cells.
+
+    [null] is a distinguished pointer that never belongs to a heap domain.
+    Fresh pointers are strictly positive, so [null] doubles as the "no
+    successor" marker in heap-represented graphs. *)
+
+type t
+
+val null : t
+val is_null : t -> bool
+
+val of_int : int -> t
+(** [of_int n] is the pointer named [n].  Raises [Invalid_argument] when
+    [n < 0]; [of_int 0] is [null]. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** A deterministic supply of fresh (never-null) pointers. *)
+module Supply : sig
+  type ptr := t
+  type t
+
+  val create : ?from:int -> unit -> t
+  (** [create ?from ()] starts the supply at [from] (default 1, must be
+      [>= 1]). *)
+
+  val fresh : t -> ptr
+  val fresh_many : t -> int -> ptr list
+  val peek : t -> int
+end
+
+(** Finite sets of pointers. *)
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Finite maps keyed by pointers. *)
+module Map : sig
+  include Map.S with type key = t
+
+  val keys : 'a t -> key list
+  val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+end

@@ -1,0 +1,84 @@
+(* Dynamic values stored in heap cells.  FCSL heaps are heterogeneous
+   (each cell may store a value of a different type); in the absence of
+   dependent types we reproduce this with a closed universe of runtime
+   values, sufficient for every structure in the paper's case-study suite
+   (graph nodes, stack nodes, lock bits, tickets, snapshot cells). *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Ptr of Ptr.t
+  | Pair of t * t
+  | Triple of t * t * t
+
+let unit = Unit
+let bool b = Bool b
+let int n = Int n
+let ptr p = Ptr p
+let pair a b = Pair (a, b)
+let triple a b c = Triple (a, b, c)
+
+(* A graph node is the triple (marked-bit, left successor, right
+   successor) of Section 2.1. *)
+let node ~marked ~left ~right = Triple (Bool marked, Ptr left, Ptr right)
+
+let rec equal v w =
+  match (v, w) with
+  | Unit, Unit -> true
+  | Bool a, Bool b -> Bool.equal a b
+  | Int a, Int b -> Int.equal a b
+  | Ptr a, Ptr b -> Ptr.equal a b
+  | Pair (a1, a2), Pair (b1, b2) -> equal a1 b1 && equal a2 b2
+  | Triple (a1, a2, a3), Triple (b1, b2, b3) ->
+    equal a1 b1 && equal a2 b2 && equal a3 b3
+  | (Unit | Bool _ | Int _ | Ptr _ | Pair _ | Triple _), _ -> false
+
+let rec compare v w =
+  let tag = function
+    | Unit -> 0
+    | Bool _ -> 1
+    | Int _ -> 2
+    | Ptr _ -> 3
+    | Pair _ -> 4
+    | Triple _ -> 5
+  in
+  match (v, w) with
+  | Unit, Unit -> 0
+  | Bool a, Bool b -> Bool.compare a b
+  | Int a, Int b -> Int.compare a b
+  | Ptr a, Ptr b -> Ptr.compare a b
+  | Pair (a1, a2), Pair (b1, b2) ->
+    let c = compare a1 b1 in
+    if c <> 0 then c else compare a2 b2
+  | Triple (a1, a2, a3), Triple (b1, b2, b3) ->
+    let c = compare a1 b1 in
+    if c <> 0 then c
+    else
+      let c = compare a2 b2 in
+      if c <> 0 then c else compare a3 b3
+  | (Unit | Bool _ | Int _ | Ptr _ | Pair _ | Triple _), _ ->
+    Int.compare (tag v) (tag w)
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int n -> Fmt.int ppf n
+  | Ptr p -> Ptr.pp ppf p
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | Triple (a, b, c) -> Fmt.pf ppf "(%a, %a, %a)" pp a pp b pp c
+
+let to_string v = Fmt.str "%a" pp v
+
+(* Checked projections: verification code uses these to state that a cell
+   has the expected shape; a [None] result signals a shape violation. *)
+
+let as_bool = function Bool b -> Some b | _ -> None
+let as_int = function Int n -> Some n | _ -> None
+let as_ptr = function Ptr p -> Some p | _ -> None
+let as_pair = function Pair (a, b) -> Some (a, b) | _ -> None
+let as_triple = function Triple (a, b, c) -> Some (a, b, c) | _ -> None
+
+let as_node = function
+  | Triple (Bool m, Ptr l, Ptr r) -> Some (m, l, r)
+  | _ -> None

@@ -1,0 +1,39 @@
+(** Dynamic values stored in heap cells.
+
+    FCSL heaps are heterogeneous; this closed universe of runtime values
+    covers every structure in the paper's case-study suite. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Ptr of Ptr.t
+  | Pair of t * t
+  | Triple of t * t * t
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val ptr : Ptr.t -> t
+val pair : t -> t -> t
+val triple : t -> t -> t -> t
+
+val node : marked:bool -> left:Ptr.t -> right:Ptr.t -> t
+(** A graph node: the triple (marked-bit, left successor, right successor)
+    of the paper's Section 2.1. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Checked projections}
+
+    A [None] result signals a cell-shape violation. *)
+
+val as_bool : t -> bool option
+val as_int : t -> int option
+val as_ptr : t -> Ptr.t option
+val as_pair : t -> (t * t) option
+val as_triple : t -> (t * t * t) option
+val as_node : t -> (bool * Ptr.t * Ptr.t) option

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Ast Fcsl_heap Fmt Heap List Option Ptr Random String Value

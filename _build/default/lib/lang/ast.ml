@@ -1,0 +1,164 @@
+(* Abstract syntax of the FCSL surface language — the concrete notation
+   of the paper's Figure 1.  The language is deliberately small: it
+   covers the fine-grained heap programs of the case-study suite
+   (field reads and writes, CAS, parallel composition, recursion), and
+   elaborates into the embedded DSL or runs on the untyped reference
+   interpreter for differential testing. *)
+
+(* Node fields: the components of the (m, l, r) triple of Section 2.1. *)
+type field = Mark | Left | Right
+
+let pp_field ppf = function
+  | Mark -> Fmt.string ppf "m"
+  | Left -> Fmt.string ppf "l"
+  | Right -> Fmt.string ppf "r"
+
+type expr =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Var of string
+  | Field of expr * field (* x->m, x->l, x->r *)
+  | Eq of expr * expr
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Pair_fst of expr (* rs.1 *)
+  | Pair_snd of expr (* rs.2 *)
+
+type rhs =
+  | Expr of expr
+  | Cas of expr * field * expr * expr (* CAS(x->m, old, new) *)
+  | Call of string * expr list
+  | Par of rhs * rhs (* (span(a) || span(b)) *)
+
+type cmd =
+  | Skip
+  | Return of expr
+  | Seq of cmd * cmd
+  | BindCmd of pattern * rhs * cmd (* p <- rhs; rest *)
+  | If of expr * cmd * cmd
+  | Assign of expr * field * expr (* x->l := e *)
+
+and pattern = Pvar of string | Ppair of string * string
+
+type proc = {
+  p_name : string;
+  p_params : (string * string) list; (* name : type (types are labels) *)
+  p_return : string;
+  p_body : cmd;
+}
+
+type program = proc list
+
+(* Structural equality (modulo nothing — used by round-trip tests). *)
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Field (e, f), Field (e', f') -> equal_expr e e' && f = f'
+  | Eq (a1, a2), Eq (b1, b2) | And (a1, a2), And (b1, b2)
+  | Or (a1, a2), Or (b1, b2) ->
+    equal_expr a1 b1 && equal_expr a2 b2
+  | Not e, Not e' | Pair_fst e, Pair_fst e' | Pair_snd e, Pair_snd e' ->
+    equal_expr e e'
+  | ( ( Null | Bool _ | Int _ | Var _ | Field _ | Eq _ | Not _ | And _ | Or _
+      | Pair_fst _ | Pair_snd _ ),
+      _ ) ->
+    false
+
+let rec equal_rhs a b =
+  match (a, b) with
+  | Expr e, Expr e' -> equal_expr e e'
+  | Cas (e, f, o, n), Cas (e', f', o', n') ->
+    equal_expr e e' && f = f' && equal_expr o o' && equal_expr n n'
+  | Call (n, args), Call (n', args') ->
+    String.equal n n'
+    && List.length args = List.length args'
+    && List.for_all2 equal_expr args args'
+  | Par (a1, a2), Par (b1, b2) -> equal_rhs a1 b1 && equal_rhs a2 b2
+  | (Expr _ | Cas _ | Call _ | Par _), _ -> false
+
+let equal_pattern a b =
+  match (a, b) with
+  | Pvar x, Pvar y -> String.equal x y
+  | Ppair (x1, x2), Ppair (y1, y2) -> String.equal x1 y1 && String.equal x2 y2
+  | (Pvar _ | Ppair _), _ -> false
+
+let rec equal_cmd a b =
+  match (a, b) with
+  | Skip, Skip -> true
+  | Return e, Return e' -> equal_expr e e'
+  | Seq (a1, a2), Seq (b1, b2) -> equal_cmd a1 b1 && equal_cmd a2 b2
+  | BindCmd (p, r, k), BindCmd (p', r', k') ->
+    equal_pattern p p' && equal_rhs r r' && equal_cmd k k'
+  | If (e, t, f), If (e', t', f') ->
+    equal_expr e e' && equal_cmd t t' && equal_cmd f f'
+  | Assign (e, fl, v), Assign (e', fl', v') ->
+    equal_expr e e' && fl = fl' && equal_expr v v'
+  | (Skip | Return _ | Seq _ | BindCmd _ | If _ | Assign _), _ -> false
+
+let equal_proc a b =
+  String.equal a.p_name b.p_name
+  && a.p_params = b.p_params
+  && String.equal a.p_return b.p_return
+  && equal_cmd a.p_body b.p_body
+
+let equal_program a b =
+  List.length a = List.length b && List.for_all2 equal_proc a b
+
+(* Sequencing normal form: [Seq] right-associated and binds absorbing
+   their continuations — the shape the parser produces.  Printing
+   reshuffles these without changing meaning, so round-trip tests
+   compare normal forms. *)
+let rec normalize = function
+  | Seq (a, b) -> seq_comb (normalize a) (normalize b)
+  | BindCmd (p, r, k) -> BindCmd (p, r, normalize k)
+  | If (e, t, f) -> If (e, normalize t, normalize f)
+  | (Skip | Return _ | Assign _) as c -> c
+
+and seq_comb a b =
+  match a with
+  | Seq (x, y) -> seq_comb x (seq_comb y b)
+  | BindCmd (p, r, Skip) -> BindCmd (p, r, b)
+  | BindCmd (p, r, k) -> BindCmd (p, r, seq_comb k b)
+  | Skip | Return _ | Assign _ | If _ -> Seq (a, b)
+
+(* The canonical span procedure (Figure 1), as an AST value: the parsing
+   tests check that the concrete syntax file elaborates to exactly
+   this. *)
+let span_ast : proc =
+  {
+    p_name = "span";
+    p_params = [ ("x", "ptr") ];
+    p_return = "bool";
+    p_body =
+      If
+        ( Eq (Var "x", Null),
+          Return (Bool false),
+          BindCmd
+            ( Pvar "b",
+              Cas (Var "x", Mark, Bool false, Bool true),
+              If
+                ( Var "b",
+                  BindCmd
+                    ( Ppair ("rl", "rr"),
+                      Par
+                        ( Call ("span", [ Field (Var "x", Left) ]),
+                          Call ("span", [ Field (Var "x", Right) ]) ),
+                      Seq
+                        ( If
+                            ( Not (Var "rl"),
+                              Assign (Var "x", Left, Null),
+                              Skip ),
+                          Seq
+                            ( If
+                                ( Not (Var "rr"),
+                                  Assign (Var "x", Right, Null),
+                                  Skip ),
+                              Return (Bool true) ) ) ),
+                  Return (Bool false) ) ) );
+  }

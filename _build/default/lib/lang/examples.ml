@@ -1,0 +1,37 @@
+(* Surface-language sources shipped with the library.  [span_source] is
+   the program of the paper's Figure 1, in our concrete syntax. *)
+
+let span_source =
+  {|
+span (x : ptr) : bool {
+  if x == null then return false
+  else {
+    b <- CAS(x->m, false, true);
+    if b then {
+      (rl, rr) <- (span(x->l) || span(x->r));
+      if !rl then x->l := null;
+      if !rr then x->r := null;
+      return true
+    }
+    else return false
+  }
+}
+|}
+
+(* A two-procedure program: mark both successors of a node in
+   parallel. *)
+let mark_children_source =
+  {|
+mark (x : ptr) : bool {
+  if x == null then return false
+  else {
+    b <- CAS(x->m, false, true);
+    return b
+  }
+}
+
+mark_children (x : ptr) : bool {
+  (rl, rr) <- (mark(x->l) || mark(x->r));
+  return rl && rr
+}
+|}

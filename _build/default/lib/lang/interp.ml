@@ -1,0 +1,217 @@
+(* A definitional interpreter for the surface language: programs run
+   against a heap of graph nodes with a randomized interleaving
+   scheduler.  It is intentionally independent of the embedded DSL — the
+   test suite runs the parsed Figure 1 [span] here and the Figure 3 DSL
+   [span] on the core scheduler and cross-checks the results
+   (differential testing of the two semantics).
+
+   Granularity: CAS and assignment are atomic, as in the DSL; expression
+   evaluation (which may read several fields) is also performed in one
+   step, which is harmless for the span-shaped programs this interpreter
+   is used on (their expressions read fields of nodes the thread owns). *)
+
+open Fcsl_heap
+open Ast
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type env = (string * Value.t) list
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> error "unbound variable %s" x
+
+let as_ptr = function
+  | Value.Ptr p -> p
+  | v -> error "expected pointer, got %a" Value.pp v
+
+let as_bool = function
+  | Value.Bool b -> b
+  | v -> error "expected boolean, got %a" Value.pp v
+
+let read_field h p f =
+  if Ptr.is_null p then error "null dereference"
+  else
+    match Option.bind (Heap.find p h) Value.as_node with
+    | Some (m, l, r) -> (
+      match f with
+      | Mark -> Value.bool m
+      | Left -> Value.ptr l
+      | Right -> Value.ptr r)
+    | None -> error "%a is not a graph node" Ptr.pp p
+
+let write_field h p f v =
+  if Ptr.is_null p then error "null dereference"
+  else
+    match Option.bind (Heap.find p h) Value.as_node with
+    | Some (m, l, r) ->
+      let m, l, r =
+        match (f, v) with
+        | Mark, Value.Bool b -> (b, l, r)
+        | Left, Value.Ptr q -> (m, q, r)
+        | Right, Value.Ptr q -> (m, l, q)
+        | _ -> error "ill-typed field write"
+      in
+      Heap.update p (Value.node ~marked:m ~left:l ~right:r) h
+    | None -> error "%a is not a graph node" Ptr.pp p
+
+let rec eval h env = function
+  | Null -> Value.ptr Ptr.null
+  | Bool b -> Value.bool b
+  | Int n -> Value.int n
+  | Var x -> lookup env x
+  | Field (e, f) -> read_field h (as_ptr (eval h env e)) f
+  | Eq (a, b) -> Value.bool (Value.equal (eval h env a) (eval h env b))
+  | Not e -> Value.bool (not (as_bool (eval h env e)))
+  | And (a, b) -> Value.bool (as_bool (eval h env a) && as_bool (eval h env b))
+  | Or (a, b) -> Value.bool (as_bool (eval h env a) || as_bool (eval h env b))
+  | Pair_fst e -> (
+    match eval h env e with
+    | Value.Pair (a, _) -> a
+    | v -> error "expected pair, got %a" Value.pp v)
+  | Pair_snd e -> (
+    match eval h env e with
+    | Value.Pair (_, b) -> b
+    | v -> error "expected pair, got %a" Value.pp v)
+
+(* Task trees: the running configuration of one program.  [TAtomic] is a
+   scheduling point. *)
+type task =
+  | TDone of Value.t
+  | TAtomic of string * (Heap.t -> Heap.t * task)
+  | TPar of task * task * (Value.t -> Value.t -> task)
+
+let procs_find procs name =
+  match List.find_opt (fun p -> String.equal p.p_name name) procs with
+  | Some p -> p
+  | None -> error "unknown procedure %s" name
+
+let rec exec procs env cmd ~(kret : Value.t -> task) ~(knext : env -> task) :
+    task =
+  match cmd with
+  | Skip -> knext env
+  | Return e ->
+    TAtomic ("return", fun h -> (h, kret (eval h env e)))
+  | Seq (a, b) ->
+    exec procs env a ~kret ~knext:(fun env ->
+        exec procs env b ~kret ~knext)
+  | If (e, t, f) ->
+    TAtomic
+      ( "if",
+        fun h ->
+          let branch = if as_bool (eval h env e) then t else f in
+          (h, exec procs env branch ~kret ~knext) )
+  | Assign (e, f, v) ->
+    TAtomic
+      ( "assign",
+        fun h ->
+          let p = as_ptr (eval h env e) in
+          let value = eval h env v in
+          (write_field h p f value, knext env) )
+  | BindCmd (pat, rhs, k) ->
+    eval_rhs procs env rhs (fun v ->
+        let env =
+          match (pat, v) with
+          | Pvar x, v -> (x, v) :: env
+          | Ppair (a, b), Value.Pair (va, vb) -> (a, va) :: (b, vb) :: env
+          | Ppair _, v -> error "pattern expects a pair, got %a" Value.pp v
+        in
+        exec procs env k ~kret ~knext)
+
+and eval_rhs procs env rhs (kv : Value.t -> task) : task =
+  match rhs with
+  | Expr e -> TAtomic ("eval", fun h -> (h, kv (eval h env e)))
+  | Cas (e, f, old_v, new_v) ->
+    TAtomic
+      ( "cas",
+        fun h ->
+          let p = as_ptr (eval h env e) in
+          let current = read_field h p f in
+          let expected = eval h env old_v in
+          if Value.equal current expected then
+            (write_field h p f (eval h env new_v), kv (Value.bool true))
+          else (h, kv (Value.bool false)) )
+  | Call (name, args) ->
+    TAtomic
+      ( "call:" ^ name,
+        fun h ->
+          let p = procs_find procs name in
+          if List.length args <> List.length p.p_params then
+            error "%s: arity mismatch" name;
+          let env0 =
+            List.map2
+              (fun (param, _) arg -> (param, eval h env arg))
+              p.p_params args
+          in
+          ( h,
+            exec procs env0 p.p_body ~kret:kv
+              ~knext:(fun _ -> kv Value.unit) ) )
+  | Par (r1, r2) ->
+    TPar
+      ( eval_rhs procs env r1 (fun v -> TDone v),
+        eval_rhs procs env r2 (fun v -> TDone v),
+        fun v1 v2 -> kv (Value.pair v1 v2) )
+
+(* The randomized interleaving scheduler. *)
+
+let rec schedule rng h task =
+  match task with
+  | TDone v -> (h, v)
+  | TAtomic (_, step) ->
+    let h, task = step h in
+    schedule rng h task
+  | TPar (l, r, join) -> (
+    match (l, r) with
+    | TDone v1, TDone v2 -> schedule rng h (join v1 v2)
+    | TDone _, _ ->
+      let h, r = step_one rng h r in
+      schedule rng h (TPar (l, r, join))
+    | _, TDone _ ->
+      let h, l = step_one rng h l in
+      schedule rng h (TPar (l, r, join))
+    | _, _ ->
+      if Random.State.bool rng then
+        let h, l = step_one rng h l in
+        schedule rng h (TPar (l, r, join))
+      else
+        let h, r = step_one rng h r in
+        schedule rng h (TPar (l, r, join)))
+
+and step_one rng h task =
+  match task with
+  | TDone _ -> (h, task)
+  | TAtomic (_, step) -> step h
+  | TPar (l, r, join) -> (
+    match (l, r) with
+    | TDone v1, TDone v2 -> (h, join v1 v2)
+    | TDone _, _ ->
+      let h, r = step_one rng h r in
+      (h, TPar (l, r, join))
+    | _, TDone _ ->
+      let h, l = step_one rng h l in
+      (h, TPar (l, r, join))
+    | _, _ ->
+      if Random.State.bool rng then
+        let h, l = step_one rng h l in
+        (h, TPar (l, r, join))
+      else
+        let h, r = step_one rng h r in
+        (h, TPar (l, r, join)))
+
+(* Run a procedure call under a random schedule. *)
+let run ?(seed = 1) (procs : program) ~proc ~(args : Value.t list)
+    (heap : Heap.t) : Heap.t * Value.t =
+  let rng = Random.State.make [| seed |] in
+  let p = procs_find procs proc in
+  if List.length args <> List.length p.p_params then
+    error "%s: arity mismatch" proc;
+  let env0 = List.map2 (fun (param, _) v -> (param, v)) p.p_params args in
+  let task =
+    exec procs env0 p.p_body
+      ~kret:(fun v -> TDone v)
+      ~knext:(fun _ -> TDone Value.unit)
+  in
+  schedule rng heap task

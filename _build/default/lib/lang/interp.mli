@@ -1,0 +1,20 @@
+(** A definitional interpreter for the surface language: programs run
+    against a heap of graph nodes with a randomized interleaving
+    scheduler.  Independent of the embedded DSL, so the two semantics
+    can be tested against each other. *)
+
+open Fcsl_heap
+
+exception Runtime_error of string
+
+val run :
+  ?seed:int ->
+  Ast.program ->
+  proc:string ->
+  args:Value.t list ->
+  Heap.t ->
+  Heap.t * Value.t
+(** Run [proc] on [args] under one pseudo-random schedule; returns the
+    final heap and the procedure's result.  Raises {!Runtime_error} on
+    unbound procedures, arity mismatches, null dereferences and
+    ill-typed field access. *)

@@ -1,0 +1,68 @@
+(* Lexer for the FCSL surface language (ocamllex; menhir is not
+   available in the sealed environment, so parsing is recursive
+   descent over this token stream — see DESIGN.md). *)
+
+{
+open Token
+
+exception Error of string * int (* message, line *)
+
+let line = ref 1
+}
+
+let ident = ['a'-'z' 'A'-'Z' '_'] ['a'-'z' 'A'-'Z' '0'-'9' '_' '\'']*
+let digits = ['0'-'9']+
+
+rule token = parse
+  | [' ' '\t' '\r'] { token lexbuf }
+  | '\n'            { incr line; token lexbuf }
+  | "(*"            { comment 0 lexbuf }
+  | "//" [^ '\n']*  { token lexbuf }
+  | "->"            { ARROW }
+  | "<-"            { LARROW }
+  | ":="            { ASSIGN }
+  | "=="            { EQEQ }
+  | "&&"            { ANDAND }
+  | "||"            { OROR }
+  | ".1"            { DOT1 }
+  | ".2"            { DOT2 }
+  | "("             { LPAREN }
+  | ")"             { RPAREN }
+  | "{"             { LBRACE }
+  | "}"             { RBRACE }
+  | ","             { COMMA }
+  | ";"             { SEMI }
+  | ":"             { COLON }
+  | "!"             { BANG }
+  | "CAS"           { KW_CAS }
+  | "if"            { KW_IF }
+  | "then"          { KW_THEN }
+  | "else"          { KW_ELSE }
+  | "return"        { KW_RETURN }
+  | "true"          { KW_TRUE }
+  | "false"         { KW_FALSE }
+  | "null"          { KW_NULL }
+  | "skip"          { KW_SKIP }
+  | digits as n     { INT (int_of_string n) }
+  | ident as s      { IDENT s }
+  | eof             { EOF }
+  | _ as c          { raise (Error (Printf.sprintf "unexpected character %C" c, !line)) }
+
+and comment depth = parse
+  | "(*"  { comment (depth + 1) lexbuf }
+  | "*)"  { if depth = 0 then token lexbuf else comment (depth - 1) lexbuf }
+  | '\n'  { incr line; comment depth lexbuf }
+  | eof   { raise (Error ("unterminated comment", !line)) }
+  | _     { comment depth lexbuf }
+
+{
+let tokenize src =
+  line := 1;
+  let lexbuf = Lexing.from_string src in
+  let rec go acc =
+    match token lexbuf with
+    | EOF -> List.rev (EOF :: acc)
+    | t -> go (t :: acc)
+  in
+  go []
+}

@@ -1,0 +1,295 @@
+(* Recursive-descent parser for the FCSL surface language.  (Menhir is
+   not available in the sealed build environment, so the grammar is
+   implemented by hand over the ocamllex token stream; the grammar is
+   LL with one backtracking point, the parenthesised parallel
+   composition in bind position.) *)
+
+open Ast
+
+exception Parse_error of string
+
+type state = { toks : Token.t array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else Token.EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise
+    (Parse_error
+       (Fmt.str "%s (at token %s, position %d)" msg
+          (Token.to_string (peek st))
+          st.pos))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail st (Fmt.str "expected %s" (Token.to_string tok))
+
+let ident st =
+  match peek st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | _ -> fail st "expected identifier"
+
+let field_of_ident st =
+  match ident st with
+  | "m" -> Mark
+  | "l" -> Left
+  | "r" -> Right
+  | s -> fail st (Fmt.str "expected field m/l/r, got %s" s)
+
+(* Expressions. *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek st = Token.OROR then begin
+    advance st;
+    Or (lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if peek st = Token.ANDAND then begin
+    advance st;
+    And (lhs, parse_and st)
+  end
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_unary st in
+  if peek st = Token.EQEQ then begin
+    advance st;
+    Eq (lhs, parse_unary st)
+  end
+  else lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.BANG ->
+    advance st;
+    Not (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match peek st with
+    | Token.ARROW ->
+      advance st;
+      go (Field (e, field_of_ident st))
+    | Token.DOT1 ->
+      advance st;
+      go (Pair_fst e)
+    | Token.DOT2 ->
+      advance st;
+      go (Pair_snd e)
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Token.KW_NULL ->
+    advance st;
+    Null
+  | Token.KW_TRUE ->
+    advance st;
+    Bool true
+  | Token.KW_FALSE ->
+    advance st;
+    Bool false
+  | Token.INT n ->
+    advance st;
+    Int n
+  | Token.IDENT s ->
+    advance st;
+    Var s
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | _ -> fail st "expected expression"
+
+(* Right-hand sides of binds. *)
+
+let rec parse_rhs st =
+  match peek st with
+  | Token.KW_CAS ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expr st in
+    let e, f =
+      match e with
+      | Field (b, f) -> (b, f)
+      | _ -> fail st "CAS expects a field location"
+    in
+    expect st Token.COMMA;
+    let old_v = parse_expr st in
+    expect st Token.COMMA;
+    let new_v = parse_expr st in
+    expect st Token.RPAREN;
+    Cas (e, f, old_v, new_v)
+  | Token.IDENT _ when peek2 st = Token.LPAREN -> parse_call st
+  | Token.LPAREN ->
+    (* backtracking point: '(' rhs '||' rhs ')' is parallel composition;
+       otherwise re-parse as an expression *)
+    let saved = st.pos in
+    advance st;
+    (try
+       let lhs = parse_rhs st in
+       if peek st = Token.OROR then begin
+         advance st;
+         let rhs = parse_rhs st in
+         expect st Token.RPAREN;
+         Par (lhs, rhs)
+       end
+       else raise Exit
+     with Exit | Parse_error _ ->
+       st.pos <- saved;
+       Expr (parse_expr st))
+  | _ -> Expr (parse_expr st)
+
+and parse_call st =
+  let name = ident st in
+  expect st Token.LPAREN;
+  let rec args acc =
+    if peek st = Token.RPAREN then List.rev acc
+    else
+      let a = parse_expr st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        args (a :: acc)
+      end
+      else List.rev (a :: acc)
+  in
+  let arguments = args [] in
+  expect st Token.RPAREN;
+  Call (name, arguments)
+
+(* Statements and command sequences. *)
+
+type stmt = Sbind of pattern * rhs | Splain of cmd
+
+let rec parse_block st =
+  if peek st = Token.LBRACE then begin
+    advance st;
+    let c = parse_cmd st in
+    expect st Token.RBRACE;
+    c
+  end
+  else
+    match parse_stmt st with
+    | Sbind (p, r) -> BindCmd (p, r, Skip)
+    | Splain c -> c
+
+and parse_stmt st : stmt =
+  match peek st with
+  | Token.KW_SKIP ->
+    advance st;
+    Splain Skip
+  | Token.KW_RETURN ->
+    advance st;
+    Splain (Return (parse_expr st))
+  | Token.KW_IF ->
+    advance st;
+    let cond = parse_expr st in
+    expect st Token.KW_THEN;
+    let then_branch = parse_block st in
+    let else_branch =
+      if peek st = Token.KW_ELSE then begin
+        advance st;
+        parse_block st
+      end
+      else Skip
+    in
+    Splain (If (cond, then_branch, else_branch))
+  | Token.LPAREN
+    when (match peek2 st with Token.IDENT _ -> true | _ -> false)
+         && st.pos + 2 < Array.length st.toks
+         && st.toks.(st.pos + 2) = Token.COMMA ->
+    (* (a, b) <- rhs *)
+    advance st;
+    let a = ident st in
+    expect st Token.COMMA;
+    let b = ident st in
+    expect st Token.RPAREN;
+    expect st Token.LARROW;
+    Sbind (Ppair (a, b), parse_rhs st)
+  | Token.IDENT _ when peek2 st = Token.LARROW ->
+    let x = ident st in
+    expect st Token.LARROW;
+    Sbind (Pvar x, parse_rhs st)
+  | _ -> (
+    (* assignment: expr -> field := expr *)
+    let e = parse_expr st in
+    match e with
+    | Field (base, f) when peek st = Token.ASSIGN ->
+      advance st;
+      Splain (Assign (base, f, parse_expr st))
+    | _ -> fail st "expected a statement")
+
+and parse_cmd st : cmd =
+  let s = parse_stmt st in
+  let more =
+    if peek st = Token.SEMI then begin
+      advance st;
+      match peek st with
+      | Token.RBRACE | Token.EOF -> None
+      | _ -> Some (parse_cmd st)
+    end
+    else None
+  in
+  match (s, more) with
+  | Sbind (p, r), Some k -> BindCmd (p, r, k)
+  | Sbind (p, r), None -> BindCmd (p, r, Skip)
+  | Splain c, Some k -> Seq (c, k)
+  | Splain c, None -> c
+
+(* Procedures and programs. *)
+
+let parse_proc st : proc =
+  let name = ident st in
+  expect st Token.LPAREN;
+  let rec params acc =
+    match peek st with
+    | Token.RPAREN -> List.rev acc
+    | Token.IDENT _ ->
+      let p = ident st in
+      expect st Token.COLON;
+      let ty = ident st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        params ((p, ty) :: acc)
+      end
+      else List.rev ((p, ty) :: acc)
+    | _ -> fail st "expected parameter"
+  in
+  let ps = params [] in
+  expect st Token.RPAREN;
+  expect st Token.COLON;
+  let ret = ident st in
+  expect st Token.LBRACE;
+  let body = parse_cmd st in
+  expect st Token.RBRACE;
+  { p_name = name; p_params = ps; p_return = ret; p_body = body }
+
+let parse_program_tokens toks : program =
+  let st = { toks = Array.of_list toks; pos = 0 } in
+  let rec go acc =
+    if peek st = Token.EOF then List.rev acc else go (parse_proc st :: acc)
+  in
+  go []
+
+let parse_program (src : string) : program =
+  parse_program_tokens (Lexer.tokenize src)
+
+let parse_proc_string (src : string) : proc =
+  match parse_program src with
+  | [ p ] -> p
+  | _ -> raise (Parse_error "expected exactly one procedure")

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the FCSL surface language (menhir is
+    unavailable in the sealed environment; the grammar is LL with one
+    backtracking point, the parenthesised parallel composition). *)
+
+exception Parse_error of string
+
+val parse_program_tokens : Token.t list -> Ast.program
+val parse_program : string -> Ast.program
+
+val parse_proc_string : string -> Ast.proc
+(** Raises {!Parse_error} unless the source holds exactly one
+    procedure. *)

@@ -1,0 +1,69 @@
+(* Pretty-printer for the surface language, reproducing the layout of
+   the paper's Figure 1.  Printing a parsed program and re-parsing it
+   yields the same AST (the round-trip property tested in the suite). *)
+
+open Ast
+
+let rec pp_expr ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int n -> Fmt.int ppf n
+  | Var x -> Fmt.string ppf x
+  | Field (e, f) -> Fmt.pf ppf "%a->%a" pp_atom e pp_field f
+  | Eq (a, b) -> Fmt.pf ppf "%a == %a" pp_atom a pp_atom b
+  | Not e -> Fmt.pf ppf "!%a" pp_atom e
+  | And (a, b) -> Fmt.pf ppf "%a && %a" pp_atom a pp_atom b
+  | Or (a, b) -> Fmt.pf ppf "%a || %a" pp_atom a pp_atom b
+  | Pair_fst e -> Fmt.pf ppf "%a.1" pp_atom e
+  | Pair_snd e -> Fmt.pf ppf "%a.2" pp_atom e
+
+and pp_atom ppf e =
+  match e with
+  | Null | Bool _ | Int _ | Var _ | Field _ | Not _ | Pair_fst _ | Pair_snd _
+    ->
+    pp_expr ppf e
+  | Eq _ | And _ | Or _ -> Fmt.pf ppf "(%a)" pp_expr e
+
+let rec pp_rhs ppf = function
+  | Expr e -> pp_expr ppf e
+  | Cas (e, f, old_v, new_v) ->
+    Fmt.pf ppf "CAS(%a->%a, %a, %a)" pp_atom e pp_field f pp_expr old_v
+      pp_expr new_v
+  | Call (name, args) ->
+    Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") pp_expr) args
+  | Par (a, b) -> Fmt.pf ppf "(%a || %a)" pp_rhs a pp_rhs b
+
+let pp_pattern ppf = function
+  | Pvar x -> Fmt.string ppf x
+  | Ppair (a, b) -> Fmt.pf ppf "(%s, %s)" a b
+
+let rec pp_cmd ppf = function
+  | Skip -> Fmt.string ppf "skip"
+  | Return e -> Fmt.pf ppf "return %a" pp_expr e
+  | Seq (a, b) -> Fmt.pf ppf "%a;@ %a" pp_cmd a pp_cmd b
+  | BindCmd (p, r, Skip) -> Fmt.pf ppf "%a <- %a" pp_pattern p pp_rhs r
+  | BindCmd (p, r, k) ->
+    Fmt.pf ppf "%a <- %a;@ %a" pp_pattern p pp_rhs r pp_cmd k
+  | If (e, t, Skip) -> Fmt.pf ppf "if %a then %a" pp_expr e pp_block t
+  | If (e, t, f) ->
+    Fmt.pf ppf "if %a then %a@ else %a" pp_expr e pp_block t pp_block f
+  | Assign (e, f, v) ->
+    Fmt.pf ppf "%a->%a := %a" pp_atom e pp_field f pp_expr v
+
+and pp_block ppf c =
+  match c with
+  | Skip | Return _ | Assign _ -> pp_cmd ppf c
+  | If _ | Seq _ | BindCmd _ ->
+    Fmt.pf ppf "{@;<1 2>@[<v>%a@]@ }" pp_cmd c
+
+let pp_proc ppf p =
+  let pp_param ppf (name, ty) = Fmt.pf ppf "%s : %s" name ty in
+  Fmt.pf ppf "@[<v>%s (%a) : %s {@;<1 2>@[<v>%a@]@ }@]" p.p_name
+    Fmt.(list ~sep:(any ", ") pp_param)
+    p.p_params p.p_return pp_cmd p.p_body
+
+let pp_program ppf prog =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@ @ ") pp_proc) prog
+
+let proc_to_string p = Fmt.str "%a" pp_proc p
+let program_to_string p = Fmt.str "%a" pp_program p

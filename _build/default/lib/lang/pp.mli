@@ -1,0 +1,12 @@
+(** Pretty-printer for the surface language, reproducing the layout of
+    the paper's Figure 1.  Printing then re-parsing yields the same AST
+    (up to sequencing normal form — see {!Ast.normalize}). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_rhs : Format.formatter -> Ast.rhs -> unit
+val pp_pattern : Format.formatter -> Ast.pattern -> unit
+val pp_cmd : Format.formatter -> Ast.cmd -> unit
+val pp_proc : Format.formatter -> Ast.proc -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val proc_to_string : Ast.proc -> string
+val program_to_string : Ast.program -> string

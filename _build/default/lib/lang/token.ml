@@ -1,0 +1,61 @@
+(* Tokens of the surface language. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_RETURN
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_SKIP
+  | KW_CAS
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | ARROW (* -> *)
+  | LARROW (* <- *)
+  | ASSIGN (* := *)
+  | EQEQ (* == *)
+  | BANG (* ! *)
+  | ANDAND (* && *)
+  | OROR (* || as boolean; also used for par in rhs position *)
+  | DOT1 (* .1 *)
+  | DOT2 (* .2 *)
+  | EOF
+
+let to_string = function
+  | IDENT s -> Fmt.str "ident %S" s
+  | INT n -> Fmt.str "int %d" n
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_RETURN -> "return"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_NULL -> "null"
+  | KW_SKIP -> "skip"
+  | KW_CAS -> "CAS"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | ARROW -> "->"
+  | LARROW -> "<-"
+  | ASSIGN -> ":="
+  | EQEQ -> "=="
+  | BANG -> "!"
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | DOT1 -> ".1"
+  | DOT2 -> ".2"
+  | EOF -> "<eof>"

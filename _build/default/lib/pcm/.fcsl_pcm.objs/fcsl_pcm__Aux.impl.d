@@ -1,0 +1,1 @@
+lib/pcm/aux.ml: Fcsl_heap Fmt Heap Hist Instances List Option Pcm Ptr

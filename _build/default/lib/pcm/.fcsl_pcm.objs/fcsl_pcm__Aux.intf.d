@@ -1,0 +1,1 @@
+lib/pcm/aux.mli: Fcsl_heap Format Heap Hist Instances Pcm Ptr

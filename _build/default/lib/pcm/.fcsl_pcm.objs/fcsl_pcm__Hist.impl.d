@@ -1,0 +1,1 @@
+lib/pcm/hist.ml: Fcsl_heap Fmt Int List Map Pcm String Value

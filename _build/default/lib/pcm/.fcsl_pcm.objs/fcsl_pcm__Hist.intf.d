@@ -1,0 +1,1 @@
+lib/pcm/hist.mli: Fcsl_heap Format Pcm Value

@@ -1,0 +1,1 @@
+lib/pcm/instances.ml: Fcsl_heap Fmt Heap Int Pcm Ptr

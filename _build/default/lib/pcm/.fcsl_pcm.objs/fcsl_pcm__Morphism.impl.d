@@ -1,0 +1,1 @@
+lib/pcm/morphism.ml: Fcsl_heap Fun Heap Hist Pcm Ptr

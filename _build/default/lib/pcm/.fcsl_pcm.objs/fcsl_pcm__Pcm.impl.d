@@ -1,0 +1,1 @@
+lib/pcm/pcm.ml: Format List Option

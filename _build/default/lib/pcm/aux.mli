@@ -1,0 +1,61 @@
+(** The universal auxiliary-state PCM.
+
+    In the Coq development each concurroid fixes its own PCM type;
+    OCaml states flow through one interpreter, so auxiliary values are
+    drawn from this closed sum of all the PCMs used by the case-study
+    suite.  It is itself a PCM: [Unit] is the shared unit, same-sort
+    joins delegate to the underlying instance, and cross-sort joins are
+    undefined — the coproduct of PCMs with units identified. *)
+
+open Fcsl_heap
+
+type t =
+  | Unit
+  | Nat of int
+  | Mutex of Instances.Mutex.t
+  | Set of Ptr.Set.t
+  | Heap of Heap.t
+  | Hist of Hist.t
+  | Pair of t * t
+
+val unit : t
+val nat : int -> t
+val own : t
+val not_own : t
+val set : Ptr.Set.t -> t
+val set_of_list : Ptr.t list -> t
+val singleton : Ptr.t -> t
+val heap : Heap.t -> t
+val hist : Hist.t -> t
+val pair : t -> t -> t
+
+val join : t -> t -> t option
+(** The PCM join; [None] on incompatible sorts or incompatible values. *)
+
+val join_exn : t -> t -> t
+val defined : t -> t -> bool
+val equal : t -> t -> bool
+
+val is_unit : t -> bool
+(** Sort-aware: [Nat 0], empty sets/heaps/histories all count. *)
+
+(** {1 Checked projections}
+
+    Used by coherence predicates to pin the sort of a component;
+    [Unit] projects to every sort's unit. *)
+
+val as_nat : t -> int option
+val as_mutex : t -> Instances.Mutex.t option
+val as_set : t -> Ptr.Set.t option
+val as_heap : t -> Heap.t option
+val as_hist : t -> Hist.t option
+val as_pair : t -> (t * t) option
+
+val splits : ?cap:int -> t -> (t * t) list
+(** All two-way splits [(a, b)] with [a • b = x]; used to check the
+    fork-join closure law.  Set/heap/history splits are capped. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Pcm_instance : Pcm.S with type t = t

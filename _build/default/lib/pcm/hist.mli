@@ -1,0 +1,60 @@
+(** Time-stamped action histories (Sergey et al., ESOP 2015): the PCM
+    used to specify the pair snapshot, Treiber stack and
+    producer/consumer "in the spirit of linearizability" (paper,
+    Section 6).
+
+    A history maps strictly positive timestamps to entries; the join is
+    disjoint union of timestamp domains.  A thread's [self] history
+    records the operations it performed; [self • other] is the complete
+    linear history of the shared structure. *)
+
+open Fcsl_heap
+
+(** One abstract operation: name, argument, result, and the abstract
+    state of the structure just after it. *)
+type entry = { op : string; arg : Value.t; res : Value.t; state : Value.t }
+
+val entry : ?arg:Value.t -> ?res:Value.t -> ?state:Value.t -> string -> entry
+val entry_equal : entry -> entry -> bool
+val pp_entry : Format.formatter -> entry -> unit
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val add : int -> entry -> t -> t
+(** Raises [Invalid_argument] on a non-positive or taken timestamp. *)
+
+val find : int -> t -> entry option
+val mem : int -> t -> bool
+val timestamps : t -> int list
+val entries : t -> entry list
+val bindings : t -> (int * entry) list
+val last_ts : t -> int
+
+val fresh_ts : t -> int
+(** The next free timestamp of [h]; with [h = self • other] this is the
+    linearization point a new operation claims. *)
+
+val disjoint : t -> t -> bool
+
+val join : t -> t -> t option
+(** The PCM join: disjoint union of stamped entries. *)
+
+val join_exn : t -> t -> t
+val unit : t
+val equal : t -> t -> bool
+
+val continuous : t -> bool
+(** Timestamps form the contiguous range 1..n — the invariant of a
+    complete history. *)
+
+val subhist : t -> t -> bool
+val fold : (int -> entry -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : (int -> entry -> bool) -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Pcm_instance : Pcm.S with type t = t

@@ -1,0 +1,135 @@
+(* The PCM instances used across the paper's case studies (Section 6):
+   natural numbers with addition (CG increment), mutual exclusion
+   (locks, flat combiner), disjoint pointer sets (spanning tree, FC,
+   ticketed lock), heaps (thread-local state), products and lifting
+   (client-provided compositions). *)
+
+open Fcsl_heap
+
+(* Natural numbers under addition; join is total. *)
+module Nat : sig
+  include Pcm.S with type t = int
+
+  val of_int : int -> t
+end = struct
+  type t = int
+
+  let unit = 0
+  let of_int n = if n < 0 then invalid_arg "Nat.of_int: negative" else n
+  let join a b = Some (a + b)
+  let equal = Int.equal
+  let pp = Fmt.int
+end
+
+(* Mutual-exclusion PCM: [Own] joins only with [Not_own]. *)
+module Mutex : sig
+  type t = Own | Not_own
+
+  include Pcm.S with type t := t
+end = struct
+  type t = Own | Not_own
+
+  let unit = Not_own
+
+  let join a b =
+    match (a, b) with
+    | Own, Own -> None
+    | Own, Not_own | Not_own, Own -> Some Own
+    | Not_own, Not_own -> Some Not_own
+
+  let equal a b =
+    match (a, b) with
+    | Own, Own | Not_own, Not_own -> true
+    | Own, Not_own | Not_own, Own -> false
+
+  let pp ppf = function
+    | Own -> Fmt.string ppf "Own"
+    | Not_own -> Fmt.string ppf "NotOwn"
+end
+
+(* Finite pointer sets under disjoint union: the PCM of marked nodes in
+   the spanning-tree proof. *)
+module Ptr_set : sig
+  include Pcm.S with type t = Ptr.Set.t
+
+  val singleton : Ptr.t -> t
+  val of_list : Ptr.t list -> t
+end = struct
+  type t = Ptr.Set.t
+
+  let unit = Ptr.Set.empty
+
+  let join a b =
+    if Ptr.Set.is_empty (Ptr.Set.inter a b) then Some (Ptr.Set.union a b)
+    else None
+
+  let equal = Ptr.Set.equal
+  let singleton = Ptr.Set.singleton
+  let of_list ps = Ptr.Set.of_list ps
+  let pp = Ptr.Set.pp
+end
+
+(* Heaps under disjoint union: thread-private state (the Priv
+   concurroid). *)
+module Heap_pcm : Pcm.S with type t = Heap.t = struct
+  type t = Heap.t
+
+  let unit = Heap.empty
+  let join = Heap.union
+  let equal = Heap.equal
+  let pp = Heap.pp
+end
+
+(* Binary product, join componentwise. *)
+module Prod (A : Pcm.S) (B : Pcm.S) : Pcm.S with type t = A.t * B.t = struct
+  type t = A.t * B.t
+
+  let unit = (A.unit, B.unit)
+
+  let join (a1, b1) (a2, b2) =
+    match (A.join a1 a2, B.join b1 b2) with
+    | Some a, Some b -> Some (a, b)
+    | None, _ | _, None -> None
+
+  let equal (a1, b1) (a2, b2) = A.equal a1 a2 && B.equal b1 b2
+  let pp ppf (a, b) = Fmt.pf ppf "(%a, %a)" A.pp a B.pp b
+end
+
+(* Lifting: adjoins an explicit undefined element, making join total on
+   the lifted carrier.  This recovers the Coq development's heaps-with-
+   [Undef] presentation. *)
+module Lift (A : Pcm.S) : sig
+  type t = Def of A.t | Undef
+
+  include Pcm.S with type t := t
+end = struct
+  type t = Def of A.t | Undef
+
+  let unit = Def A.unit
+
+  let join a b =
+    match (a, b) with
+    | Def x, Def y -> (
+      match A.join x y with Some z -> Some (Def z) | None -> Some Undef)
+    | Undef, _ | _, Undef -> Some Undef
+
+  let equal a b =
+    match (a, b) with
+    | Def x, Def y -> A.equal x y
+    | Undef, Undef -> true
+    | Def _, Undef | Undef, Def _ -> false
+
+  let pp ppf = function
+    | Def x -> A.pp ppf x
+    | Undef -> Fmt.string ppf "Undef"
+end
+
+(* The trivial PCM. *)
+module Unit : Pcm.S with type t = unit = struct
+  type t = unit
+
+  let unit = ()
+  let join () () = Some ()
+  let equal () () = true
+  let pp ppf () = Fmt.string ppf "tt"
+end

@@ -1,0 +1,52 @@
+(* PCM morphisms: structure-preserving maps between PCMs, part of the
+   FCSL algebraic vocabulary (the Coq development uses them to relate
+   client ghosts to library ghosts; here they are first-class values
+   with executable law checks, exercised by the property suite). *)
+
+type ('a, 'b) t = {
+  m_name : string;
+  m_map : 'a -> 'b;
+}
+
+let make name f = { m_name = name; m_map = f }
+let apply m x = m.m_map x
+let name m = m.m_name
+
+let compose g f =
+  { m_name = f.m_name ^ ";" ^ g.m_name; m_map = (fun x -> g.m_map (f.m_map x)) }
+
+let id name = { m_name = "id_" ^ name; m_map = Fun.id }
+
+(* Law checkers for a morphism between two first-class PCMs:
+   unit preservation and join preservation (on defined joins; a
+   morphism may *undefine* a join only if it is partial — these
+   are total morphisms, so defined joins must map to defined joins). *)
+module Laws (A : Pcm.S) (B : Pcm.S) = struct
+  let preserves_unit (m : (A.t, B.t) t) = B.equal (m.m_map A.unit) B.unit
+
+  let preserves_join (m : (A.t, B.t) t) a1 a2 =
+    match A.join a1 a2 with
+    | None -> true (* nothing to preserve *)
+    | Some a -> (
+      match B.join (m.m_map a1) (m.m_map a2) with
+      | Some b -> B.equal (m.m_map a) b
+      | None -> false)
+end
+
+(* Stock morphisms used by the case studies. *)
+
+open Fcsl_heap
+
+(* The cardinality morphism: pointer sets to naturals — maps the
+   spanning tree's marked-set ghost to a counting ghost. *)
+let card : (Ptr.Set.t, int) t = make "card" Ptr.Set.cardinal
+
+(* The domain morphism: heaps to pointer sets. *)
+let dom : (Heap.t, Ptr.Set.t) t = make "dom" Heap.dom_set
+
+(* The length morphism: histories to naturals. *)
+let hist_length : (Hist.t, int) t = make "length" Hist.cardinal
+
+(* Forgetting the second component of a product. *)
+let fst_morphism name : ('a * 'b, 'a) t = make ("fst_" ^ name) fst
+let snd_morphism name : ('a * 'b, 'b) t = make ("snd_" ^ name) snd

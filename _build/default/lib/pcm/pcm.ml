@@ -1,0 +1,64 @@
+(* Partial commutative monoids (paper, Section 2.2.1): a carrier with a
+   partial, associative, commutative join and a unit.  PCMs give the
+   uniform algebra of thread-owned state: [self] and [other] components
+   of every concurroid are PCM elements, and parallel composition splits
+   and rejoins them via the join. *)
+
+module type S = sig
+  type t
+
+  val unit : t
+  val join : t -> t -> t option
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(* Derived operations over any PCM. *)
+module Ops (P : S) = struct
+  let defined a b = Option.is_some (P.join a b)
+
+  let join_exn a b =
+    match P.join a b with
+    | Some c -> c
+    | None -> invalid_arg "Pcm.join_exn: undefined join"
+
+  let join_all xs =
+    List.fold_left
+      (fun acc x -> Option.bind acc (fun a -> P.join a x))
+      (Some P.unit) xs
+
+  let is_unit x = P.equal x P.unit
+
+  (* [precise a b]: [a] is a sub-element of [b], i.e. some frame [f]
+     satisfies [a • f = b].  Only decidable by search in general; PCM
+     instances override it where a direct test exists. *)
+  let valid_triple a b c =
+    match P.join a b with Some ab -> defined ab c | None -> false
+end
+
+(* Law checkers, used by the property-test suites.  Each returns [true]
+   when the law holds on the supplied elements. *)
+module Laws (P : S) = struct
+  let opt_equal a b =
+    match (a, b) with
+    | Some x, Some y -> P.equal x y
+    | None, None -> true
+    | Some _, None | None, Some _ -> false
+
+  let commutative a b = opt_equal (P.join a b) (P.join b a)
+
+  let associative a b c =
+    let left = Option.bind (P.join a b) (fun ab -> P.join ab c) in
+    let right = Option.bind (P.join b c) (fun bc -> P.join a bc) in
+    opt_equal left right
+
+  let unit_law a = opt_equal (P.join a P.unit) (Some a)
+
+  (* Validity is downward closed: if a • b is defined then so is a • unit
+     (trivially) — the interesting instance is cancellativity-adjacent:
+     if (a • b) • c is defined then b • c is defined. *)
+  let validity_monotone a b c =
+    match Option.bind (P.join a b) (fun ab -> P.join ab c) with
+    | Some _ -> Option.is_some (P.join b c)
+    | None -> true
+end

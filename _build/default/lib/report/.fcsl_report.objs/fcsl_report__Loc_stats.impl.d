@@ -1,0 +1,1 @@
+lib/report/loc_stats.ml: Filename List Option Registry String Sys

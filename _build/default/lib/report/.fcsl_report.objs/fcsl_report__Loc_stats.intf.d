@@ -1,0 +1,1 @@
+lib/report/loc_stats.mli: Registry

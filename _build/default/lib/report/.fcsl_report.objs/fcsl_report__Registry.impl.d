@@ -1,0 +1,1 @@
+lib/report/registry.ml: Cg_alloc Cg_incr Fc_stack Fcsl_casestudies Fcsl_core Fmt List Snapshot Span Stack_clients State Stdlib String Treiber Treiber_alloc Verify

@@ -1,0 +1,1 @@
+lib/report/tables.ml: Fcsl_core Fmt List Loc_stats Registry Stdlib String Unix Verify

@@ -1,0 +1,1 @@
+lib/report/tables.mli: Fcsl_core Format Loc_stats Registry

@@ -1,0 +1,157 @@
+(* The metatheory-law registry: every concurroid instance and every
+   atomic action of the case-study suite, with their law checks — the
+   obligations the FCSL metatheory imposes (paper, Sections 3.3 and
+   3.4), runnable in one sweep from the CLI and the test suite. *)
+
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+
+type entry = {
+  l_name : string;
+  l_check : unit -> string list; (* violation descriptions; [] = all laws hold *)
+}
+
+let concurroid_entry name c =
+  {
+    l_name = Fmt.str "concurroid %s" name;
+    l_check =
+      (fun () ->
+        List.map
+          (Fmt.str "%a" Concurroid.pp_violation)
+          (Concurroid.check_laws c));
+  }
+
+let action_entry name w a ~states =
+  {
+    l_name = Fmt.str "action %s" name;
+    l_check =
+      (fun () ->
+        List.map (Fmt.str "%a" Action.pp_violation)
+          (Action.check_laws w a ~states));
+  }
+
+let counter_resource : Lock_intf.resource =
+  {
+    r_name = "counter";
+    r_inv =
+      (fun h total ->
+        match (Heap.find (Ptr.of_int 50) h, Aux.as_nat total) with
+        | Some v, Some n -> Value.equal v (Value.int n)
+        | _ -> false);
+    r_heaps =
+      (fun () ->
+        List.init 3 (fun n -> Heap.singleton (Ptr.of_int 50) (Value.int n)));
+    r_ghosts = (fun () -> List.init 3 (fun n -> Aux.nat n));
+  }
+
+let all () : entry list =
+  (* SpanTree *)
+  let sp = Label.make "laws_span" in
+  let span_c = Span.concurroid sp in
+  let span_w = World.of_list [ span_c ] in
+  let span_states =
+    List.map (fun s -> State.singleton sp s) (Concurroid.enum span_c)
+  in
+  (* Priv *)
+  let pv = Label.make "laws_priv" in
+  let priv_c = Priv.make pv in
+  (* CAS lock *)
+  let cl = Label.make "laws_clock" in
+  let ccfg = Caslock.default_config in
+  let clock_c = Caslock.concurroid ~label:cl ccfg counter_resource in
+  let clock_w = World.of_list [ clock_c ] in
+  let clock_states =
+    List.map (fun s -> State.singleton cl s) (Concurroid.enum clock_c)
+  in
+  (* Ticketed lock *)
+  let tl = Label.make "laws_tlock" in
+  let tcfg = Ticketlock.default_config in
+  let tlock_c = Ticketlock.concurroid ~label:tl tcfg counter_resource in
+  let tlock_w = World.of_list [ tlock_c ] in
+  let tlock_states =
+    List.map (fun s -> State.singleton tl s) (Concurroid.enum tlock_c)
+  in
+  (* Snapshot *)
+  let sn = Label.make "laws_snapshot" in
+  let snap_c = Snapshot.concurroid sn in
+  let snap_w = World.of_list [ snap_c ] in
+  let snap_states =
+    List.map (fun s -> State.singleton sn s) (Concurroid.enum snap_c)
+  in
+  (* Treiber (entangled with Priv for the communicating push) *)
+  let treiber_c = Treiber.concurroid (Label.make "laws_treiber") in
+  let treiber_w = Treiber.world () in
+  let treiber_states = Treiber.init_states () in
+  (* Flat combiner *)
+  let fc = Label.make "laws_fc" in
+  let fc_c = Flatcombiner.concurroid Fc_stack.seq_stack Fc_stack.cfg fc in
+  let fc_w = World.of_list [ fc_c ] in
+  let fc_states =
+    List.map (fun s -> State.singleton fc s) (Concurroid.enum fc_c)
+  in
+  [
+    concurroid_entry "SpanTree" span_c;
+    concurroid_entry "Priv" priv_c;
+    concurroid_entry "CLock" clock_c;
+    concurroid_entry "TLock" tlock_c;
+    concurroid_entry "ReadPair" snap_c;
+    concurroid_entry "Treiber" treiber_c;
+    concurroid_entry "FlatCombine" fc_c;
+    action_entry "trymark" span_w
+      (Action.map ignore (Span.trymark sp (Ptr.of_int 1)))
+      ~states:span_states;
+    action_entry "read_child" span_w
+      (Action.map ignore (Span.read_child sp (Ptr.of_int 1) Graph.Left))
+      ~states:span_states;
+    action_entry "nullify" span_w
+      (Span.nullify sp (Ptr.of_int 1) Graph.Left)
+      ~states:span_states;
+    action_entry "try_lock" clock_w
+      (Action.map ignore (Caslock.try_lock cl ccfg))
+      ~states:clock_states;
+    action_entry "cl_unlock" clock_w
+      (Caslock.unlock_act cl ccfg counter_resource ~delta:(Aux.nat 1))
+      ~states:clock_states;
+    action_entry "take_ticket" tlock_w
+      (Action.map ignore (Ticketlock.take_ticket tl tcfg))
+      ~states:tlock_states;
+    action_entry "tl_unlock" tlock_w
+      (Ticketlock.unlock_act tl tcfg counter_resource ~delta:(Aux.nat 1))
+      ~states:tlock_states;
+    action_entry "write_x" snap_w
+      (Snapshot.write_cell sn Snapshot.x_cell 1)
+      ~states:snap_states;
+    action_entry "read_cell" snap_w
+      (Action.map ignore (Snapshot.read_cell sn Snapshot.x_cell))
+      ~states:snap_states;
+    action_entry "cas_push" treiber_w
+      (Action.map ignore
+         (Treiber.cas_push Treiber.tb_label Treiber.pv_label Treiber.node1 1
+            Ptr.null))
+      ~states:treiber_states;
+    action_entry "cas_pop" treiber_w
+      (Action.map ignore (Treiber.cas_pop Treiber.tb_label Treiber.node1 Ptr.null))
+      ~states:treiber_states;
+    action_entry "fc_apply" fc_w
+      (Flatcombiner.apply_act Fc_stack.seq_stack Fc_stack.cfg fc 0)
+      ~states:fc_states;
+    action_entry "fc_claim" fc_w
+      (Action.map ignore (Flatcombiner.claim_act Fc_stack.cfg fc ~slot:0))
+      ~states:fc_states;
+  ]
+
+(* Run everything; true iff every law of every entry holds. *)
+let run_all ?(pp = Fmt.pr) () : bool =
+  List.fold_left
+    (fun ok e ->
+      match e.l_check () with
+      | [] ->
+        pp "  %-28s all laws hold@." e.l_name;
+        ok
+      | violations ->
+        pp "  %-28s VIOLATIONS:@." e.l_name;
+        List.iter (fun v -> pp "    %s@." v) violations;
+        false)
+    true (all ())

@@ -1,0 +1,131 @@
+(* Line counting for the Table 1 reproduction.  Case-study sources carry
+   region markers on their own lines:
+
+     (*!Libs*)  (*!Conc*)  (*!Acts*)  (*!Stab*)  (*!Main*)  (*!End*)
+
+   A region runs from its marker to the next marker (or end of file);
+   untagged text (module headers) is not counted.  Counts are non-blank
+   physical lines, like coqwc's treatment in the paper. *)
+
+type component = Libs | Conc | Acts | Stab | Main
+
+let components = [ Libs; Conc; Acts; Stab; Main ]
+
+let component_name = function
+  | Libs -> "Libs"
+  | Conc -> "Conc"
+  | Acts -> "Acts"
+  | Stab -> "Stab"
+  | Main -> "Main"
+
+type counts = {
+  libs : int;
+  conc : int;
+  acts : int;
+  stab : int;
+  main : int;
+}
+
+let zero = { libs = 0; conc = 0; acts = 0; stab = 0; main = 0 }
+
+let get c = function
+  | Libs -> c.libs
+  | Conc -> c.conc
+  | Acts -> c.acts
+  | Stab -> c.stab
+  | Main -> c.main
+
+let bump c n = function
+  | Libs -> { c with libs = c.libs + n }
+  | Conc -> { c with conc = c.conc + n }
+  | Acts -> { c with acts = c.acts + n }
+  | Stab -> { c with stab = c.stab + n }
+  | Main -> { c with main = c.main + n }
+
+let total c = c.libs + c.conc + c.acts + c.stab + c.main
+
+let add a b =
+  {
+    libs = a.libs + b.libs;
+    conc = a.conc + b.conc;
+    acts = a.acts + b.acts;
+    stab = a.stab + b.stab;
+    main = a.main + b.main;
+  }
+
+(* Locate the repository root by probing for dune-project upwards from
+   the working directory and from the executable's location. *)
+let repo_root () =
+  let exists_in dir = Sys.file_exists (Filename.concat dir "dune-project") in
+  let rec up dir n =
+    if n = 0 then None
+    else if exists_in dir then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent (n - 1)
+  in
+  match up (Sys.getcwd ()) 8 with
+  | Some d -> Some d
+  | None -> up (Filename.dirname Sys.executable_name) 8
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let marker_of line =
+  match String.trim line with
+  | "(*!Libs*)" -> Some (Some Libs)
+  | "(*!Conc*)" -> Some (Some Conc)
+  | "(*!Acts*)" -> Some (Some Acts)
+  | "(*!Stab*)" -> Some (Some Stab)
+  | "(*!Main*)" -> Some (Some Main)
+  | "(*!End*)" -> Some None
+  | _ -> None
+
+let nonblank line = String.trim line <> ""
+
+(* Count the tagged regions of one file. *)
+let count_file path : counts option =
+  match repo_root () with
+  | None -> None
+  | Some root ->
+    let full = Filename.concat root path in
+    if not (Sys.file_exists full) then None
+    else
+      let _, counts =
+        List.fold_left
+          (fun (current, counts) line ->
+            match marker_of line with
+            | Some next -> (next, counts)
+            | None -> (
+              match current with
+              | Some comp when nonblank line -> (current, bump counts 1 comp)
+              | _ -> (current, counts)))
+          (None, zero) (read_lines full)
+      in
+      Some counts
+
+(* Count a whole untagged file into one component. *)
+let count_whole path comp : counts option =
+  match repo_root () with
+  | None -> None
+  | Some root ->
+    let full = Filename.concat root path in
+    if not (Sys.file_exists full) then None
+    else
+      let n = List.length (List.filter nonblank (read_lines full)) in
+      Some (bump zero n comp)
+
+let counts_of_case (c : Registry.case) : counts =
+  let base = Option.value (count_file c.c_file) ~default:zero in
+  List.fold_left
+    (fun acc f ->
+      match count_whole f Libs with Some x -> add acc x | None -> acc)
+    base c.c_extra_libs

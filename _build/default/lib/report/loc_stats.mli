@@ -1,0 +1,23 @@
+(** Line counting for the Table 1 reproduction: case-study sources carry
+    the region markers [(*!Libs*)], [(*!Conc*)], [(*!Acts*)],
+    [(*!Stab*)], [(*!Main*)], [(*!End*)]; a region runs to the next
+    marker; counts are non-blank physical lines. *)
+
+type component = Libs | Conc | Acts | Stab | Main
+
+val components : component list
+val component_name : component -> string
+
+type counts = { libs : int; conc : int; acts : int; stab : int; main : int }
+
+val zero : counts
+val get : counts -> component -> int
+val total : counts -> int
+val add : counts -> counts -> counts
+
+val repo_root : unit -> string option
+(** Probe for dune-project upwards from cwd and the executable. *)
+
+val count_file : string -> counts option
+val count_whole : string -> component -> counts option
+val counts_of_case : Registry.case -> counts

@@ -1,0 +1,35 @@
+(** The case-study registry: one entry per Table 1 row — where the
+    implementation lives (line-count columns), which primitive
+    concurroids it uses (Table 2), its dependencies (Figure 5), and how
+    to verify it (the Build-time analogue). *)
+
+open Fcsl_core
+
+type concurroid_use =
+  | Priv
+  | CLock
+  | TLock
+  | Lock_interface  (** either lock, through the interface: "3L" *)
+  | Read_pair
+  | Treiber
+  | Span_tree
+  | Flat_combine
+
+val pp_concurroid_use : Format.formatter -> concurroid_use -> unit
+
+type case = {
+  c_name : string;
+  c_file : string;  (** tagged source file, relative to the repo root *)
+  c_extra_libs : string list;  (** whole files counted as Libs *)
+  c_uses : concurroid_use list;
+  c_deps : string list;  (** Figure 5 edges *)
+  c_verify : unit -> Verify.report list;
+}
+
+val all : case list
+val find : string -> case option
+val interface_edges : (string * string) list
+
+val transitive_uses : case -> concurroid_use list
+(** Direct usage plus what a case inherits through its dependencies
+    (the paper's matrix is transitive). *)

@@ -1,0 +1,30 @@
+(** Regeneration of the paper's evaluation artifacts: Table 1 (line
+    counts + verification times), Table 2 (concurroid reuse, checked for
+    equality against the paper's matrix), Figure 5 (the dependency
+    diagram, also checked). *)
+
+type row1 = {
+  r_name : string;
+  r_counts : Loc_stats.counts;
+  r_verify_time : float;  (** seconds — the Build-column analogue *)
+  r_reports : Fcsl_core.Verify.report list;
+}
+
+val table1_row : Registry.case -> row1
+val table1 : unit -> row1 list
+val pp_time : Format.formatter -> float -> unit
+val pp_table1 : Format.formatter -> row1 list -> unit
+
+val columns : Registry.concurroid_use list
+val column_header : Registry.concurroid_use -> string
+val cell : Registry.concurroid_use list -> Registry.concurroid_use -> string
+val pp_table2 : Format.formatter -> unit -> unit
+val paper_table2 : (string * string list) list
+val our_table2 : unit -> (string * string list) list
+val table2_matches_paper : unit -> bool
+
+val fig5_edges : unit -> (string * string) list
+val paper_fig5 : (string * string) list
+val fig5_matches_paper : unit -> bool
+val pp_fig5 : Format.formatter -> unit -> unit
+val pp_fig5_ascii : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+test/test_assrt.ml: Alcotest Assrt Concurroid Fcsl_casestudies Fcsl_core Fcsl_heap Fcsl_pcm Graph Heap Label List Ptr QCheck2 QCheck_alcotest Slice Span Stability State World

@@ -1,0 +1,1 @@
+test/test_core.ml: Action Alcotest Concurroid Fcsl_casestudies Fcsl_core Fcsl_heap Fcsl_pcm Fmt Graph Graph_catalog Heap Label List Option Priv Prog Ptr Sched Slice Span State Stdlib Value World

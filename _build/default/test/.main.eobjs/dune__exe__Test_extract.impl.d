@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Domain Examples Extract Fcsl_casestudies Fcsl_extract Fcsl_heap Fcsl_lang Graph Graph_catalog Heap List Parser Ptr QCheck2 QCheck_alcotest Random Real_heap Value

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Fcsl_casestudies Fcsl_heap Graph Heap List Option Ptr QCheck2 QCheck_alcotest Random Value

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Buffer Fcsl_casestudies Fcsl_core Fcsl_heap Fcsl_pcm Fcsl_report Fmt Graph Graph_catalog Heap Label List Ptr QCheck2 QCheck_alcotest Random Slice Spec State String Value

@@ -1,0 +1,1 @@
+test/test_pcm.ml: Alcotest Aux Fcsl_heap Fcsl_pcm Heap Hist Instances List Morphism Option Pcm Ptr QCheck2 QCheck_alcotest String Value

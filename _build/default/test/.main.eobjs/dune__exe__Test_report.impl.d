@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Fcsl_core Fcsl_report Filename Fmt List Loc_stats Registry String Tables

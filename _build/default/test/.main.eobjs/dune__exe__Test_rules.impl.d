@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Concurroid Fcsl_casestudies Fcsl_core Fcsl_heap Fcsl_pcm Fmt Graph Label List Prog Ptr Result Rules Span Spec State Verify World

@@ -1,0 +1,97 @@
+(* Footprint-based stability automation: self-only assertions are stable
+   by construction; the syntactic fast path never disagrees with the
+   semantic checker (validated over the SpanTree universe). *)
+
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+
+let check = Alcotest.(check bool)
+let p = Ptr.of_int
+
+let sp = Label.make "ta_span"
+let conc = Span.concurroid sp
+let world = World.of_list [ conc ]
+
+let states () =
+  List.map (fun s -> State.singleton sp s) (Concurroid.enum conc)
+
+let test_footprint_fast_path () =
+  (* self-membership: discharged with no enumeration at all *)
+  let a = Assrt.self_contains sp (p 1) in
+  (match Assrt.check_auto world ~states:[] a with
+  | Assrt.Stable_by_footprint -> ()
+  | v -> Alcotest.failf "expected footprint verdict, got %a" Assrt.pp_verdict v);
+  (* conjunction of self-only assertions stays in the fast path *)
+  let b = Assrt.conj a (Assrt.neg (Assrt.self_is_unit sp)) in
+  check "conj stays syntactic" true
+    (match Assrt.check_auto world ~states:[] b with
+    | Assrt.Stable_by_footprint -> true
+    | _ -> false)
+
+let test_joint_needs_semantics () =
+  (* a joint-reading assertion leaves the fast path; markedness is
+     semantically stable, a pinned cell value is not *)
+  let marked =
+    Assrt.on_joint sp "x1 marked" (fun joint _ ->
+        match Graph.of_heap joint with
+        | Some g -> Graph.mark g (p 1)
+        | None -> false)
+  in
+  (match Assrt.check_auto world ~states:(states ()) marked with
+  | Assrt.Stable_checked -> ()
+  | v -> Alcotest.failf "expected semantic stable, got %a" Assrt.pp_verdict v);
+  let unmarked = Assrt.neg marked in
+  check "negation re-checked, found unstable" true
+    (match
+       Assrt.check_auto world
+         ~states:
+           (List.filter
+              (fun st ->
+                match State.find sp st with
+                | Some s -> Heap.mem (p 1) (Slice.joint s)
+                | None -> false)
+              (states ()))
+         (Assrt.conj unmarked
+            (Assrt.on_joint sp "x1 present" (fun joint _ -> Heap.mem (p 1) joint)))
+     with
+    | Assrt.Unstable _ -> true
+    | _ -> false)
+
+let test_absent_label_vacuous () =
+  let ghost_label = Label.make "ta_ghost" in
+  let a =
+    Assrt.on_joint ghost_label "reads absent label" (fun _ _ -> true)
+  in
+  check "absent label is vacuously stable" true
+    (match Assrt.check_auto world ~states:(states ()) a with
+    | Assrt.Stable_by_footprint -> true
+    | _ -> false)
+
+(* Soundness of the fast path: for randomly assembled self-only
+   assertions, the semantic checker agrees they are stable. *)
+let prop_fast_path_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"footprint fast path agrees with semantics"
+       QCheck2.Gen.(list_size (int_range 1 4) (int_range 1 3))
+       (fun nodes ->
+         let atoms =
+           List.map (fun n -> Assrt.self_contains sp (p n)) nodes
+         in
+         let a = Assrt.conj_all atoms in
+         match Assrt.check_auto world ~states:(states ()) a with
+         | Assrt.Stable_by_footprint ->
+           (* semantic agreement *)
+           Stability.is_stable
+             (Stability.check world ~states:(states ()) (Assrt.holds a))
+         | _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "self-only fast path" `Quick test_footprint_fast_path;
+    Alcotest.test_case "joint assertions re-checked" `Quick
+      test_joint_needs_semantics;
+    Alcotest.test_case "absent labels vacuous" `Quick test_absent_label_vacuous;
+    prop_fast_path_sound;
+  ]

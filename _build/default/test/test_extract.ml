@@ -1,0 +1,126 @@
+(* Program extraction: the erased span runs on OCaml 5 domains with real
+   atomic cells and still computes spanning trees — on the Figure 2
+   graph, on random connected graphs, and at sizes far beyond what the
+   model checker enumerates. *)
+
+open Fcsl_heap
+open Fcsl_lang
+open Fcsl_extract
+open Fcsl_casestudies
+
+let check = Alcotest.(check bool)
+let p = Ptr.of_int
+let span_prog = Parser.parse_program Examples.span_source
+
+let test_real_heap () =
+  let rh = Real_heap.of_heap (Heap.singleton (p 1) (Value.int 5)) in
+  check "read" true (Value.equal (Real_heap.read rh (p 1)) (Value.int 5));
+  Real_heap.write rh (p 1) (Value.int 6);
+  check "write" true (Value.equal (Real_heap.read rh (p 1)) (Value.int 6));
+  check "cas hit" true
+    (Real_heap.cas rh (p 1) ~expect:(Value.int 6) ~replace:(Value.int 7));
+  check "cas miss" false
+    (Real_heap.cas rh (p 1) ~expect:(Value.int 6) ~replace:(Value.int 8));
+  Alcotest.(check int) "faa" 7 (Real_heap.faa rh (p 1) 3);
+  check "faa stored" true
+    (Value.equal (Real_heap.read rh (p 1)) (Value.int 10));
+  let q = Real_heap.alloc rh Value.unit in
+  check "alloc fresh" true (not (Ptr.equal q (p 1)));
+  check "roundtrip" true (Heap.cardinal (Real_heap.to_heap rh) = 2)
+
+let test_parallel_faa () =
+  (* 4 domains x 500 increments: the atomic cell counts them all. *)
+  let rh = Real_heap.of_heap (Heap.singleton (p 1) (Value.int 0)) in
+  let worker () =
+    for _ = 1 to 500 do
+      ignore (Real_heap.faa rh (p 1) 1)
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  check "no lost updates" true
+    (Value.equal (Real_heap.read rh (p 1)) (Value.int 2000))
+
+let test_span_fig2 () =
+  let g0 = Graph_catalog.fig2_graph () in
+  let h, v =
+    Extract.run span_prog ~proc:"span"
+      ~args:[ Value.ptr (p 1) ]
+      (Graph.to_heap g0)
+  in
+  check "returns true" true (Value.equal v (Value.bool true));
+  let g = Graph.of_heap_exn h in
+  check "spanning tree" true (Graph.spanning g0 g (p 1) (Graph.dom_set g))
+
+(* Repeated real-parallel runs on random connected graphs: every run
+   yields a spanning tree (different trees on different runs are fine —
+   and expected, that is the nondeterminism of the algorithm). *)
+let prop_random_graphs =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:20 ~name:"extracted span spans random graphs"
+       QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 1 40))
+       (fun (seed, n) ->
+         let rng = Random.State.make [| seed |] in
+         let g0 = Graph_catalog.random_connected_graph ~rng n in
+         let h, v =
+           Extract.run span_prog ~proc:"span"
+             ~args:[ Value.ptr (p 1) ]
+             (Graph.to_heap g0)
+         in
+         Value.equal v (Value.bool true)
+         &&
+         match Graph.of_heap h with
+         | Some g -> Graph.spanning g0 g (p 1) (Graph.dom_set g)
+         | None -> false))
+
+let test_span_large () =
+  (* A graph two orders of magnitude beyond the model checker's
+     configurations. *)
+  let rng = Random.State.make [| 2026 |] in
+  let g0 = Graph_catalog.random_connected_graph ~rng 500 in
+  let h, v =
+    Extract.run ~domain_budget:4 span_prog ~proc:"span"
+      ~args:[ Value.ptr (p 1) ]
+      (Graph.to_heap g0)
+  in
+  check "returns true" true (Value.equal v (Value.bool true));
+  let g = Graph.of_heap_exn h in
+  check "spanning tree of 500 nodes" true
+    (Graph.spanning g0 g (p 1) (Graph.dom_set g))
+
+let test_sequential_budget () =
+  (* domain_budget 0: fully sequential execution is one admissible
+     schedule and must still produce a spanning tree. *)
+  let g0 = Graph_catalog.fig2_graph () in
+  let h, v =
+    Extract.run ~domain_budget:0 span_prog ~proc:"span"
+      ~args:[ Value.ptr (p 1) ]
+      (Graph.to_heap g0)
+  in
+  check "returns true" true (Value.equal v (Value.bool true));
+  let g = Graph.of_heap_exn h in
+  check "spanning tree" true (Graph.spanning g0 g (p 1) (Graph.dom_set g))
+
+let test_extraction_errors () =
+  check "null deref surfaces" true
+    (try
+       ignore
+         (Extract.run
+            (Parser.parse_program
+               "f (x : ptr) : bool { x->l := null; return true }")
+            ~proc:"f"
+            ~args:[ Value.ptr Ptr.null ]
+            Heap.empty);
+       false
+     with Extract.Extraction_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "real heap primitives" `Quick test_real_heap;
+    Alcotest.test_case "parallel fetch-and-add" `Quick test_parallel_faa;
+    Alcotest.test_case "extracted span on Figure 2" `Quick test_span_fig2;
+    prop_random_graphs;
+    Alcotest.test_case "extracted span, 500 nodes" `Quick test_span_large;
+    Alcotest.test_case "sequential degradation" `Quick test_sequential_budget;
+    Alcotest.test_case "extraction errors" `Quick test_extraction_errors;
+  ]

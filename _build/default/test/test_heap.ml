@@ -1,0 +1,181 @@
+(* Heap model and graph theory: unit tests plus property tests of the
+   lemmas the spanning-tree proof relies on (max_tree2, front/maximal
+   interaction, subgraph refinement). *)
+
+open Fcsl_heap
+
+let check = Alcotest.(check bool)
+let p = Ptr.of_int
+
+let test_heap_basics () =
+  let h = Heap.of_list [ (p 1, Value.int 5); (p 2, Value.bool true) ] in
+  check "mem" true (Heap.mem (p 1) h);
+  check "find" true (Value.equal (Heap.find_exn (p 2) h) (Value.bool true));
+  check "free" false (Heap.mem (p 1) (Heap.free (p 1) h));
+  check "null add rejected" true
+    (try
+       ignore (Heap.add Ptr.null Value.unit h);
+       false
+     with Invalid_argument _ -> true);
+  check "dup of_list rejected" true
+    (try
+       ignore (Heap.of_list [ (p 1, Value.unit); (p 1, Value.unit) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_heap_union () =
+  let h1 = Heap.singleton (p 1) Value.unit in
+  let h2 = Heap.singleton (p 2) Value.unit in
+  check "disjoint union" true (Option.is_some (Heap.union h1 h2));
+  check "overlap undefined" false (Option.is_some (Heap.union h1 h1));
+  let h = Heap.union_exn h1 h2 in
+  check "subheap" true (Heap.subheap h1 h);
+  check "diff" true (Heap.equal (Heap.diff h h2) h1);
+  check "fresh" true (Ptr.equal (Heap.fresh_ptr h) (p 3))
+
+let test_value_projections () =
+  check "as_node" true
+    (Value.as_node (Value.node ~marked:true ~left:(p 1) ~right:Ptr.null)
+    = Some (true, p 1, Ptr.null));
+  check "as_node on int" true (Value.as_node (Value.int 3) = None);
+  check "compare total" true
+    (Value.compare (Value.int 1) (Value.ptr (p 1)) <> 0)
+
+let test_graph_shape () =
+  let ok = Graph.of_adjacency [ (p 1, p 2, Ptr.null); (p 2, p 1, p 2) ] in
+  check "well-formed" true (Option.is_some ok);
+  let dangling = Graph.of_adjacency [ (p 1, p 9, Ptr.null) ] in
+  check "dangling rejected" true (Option.is_none dangling);
+  let bad_cell =
+    Heap.of_list [ (p 1, Value.int 3) ] |> Graph.of_heap
+  in
+  check "ill-shaped cell rejected" true (Option.is_none bad_cell)
+
+let fig2 () = Fcsl_casestudies.Graph_catalog.fig2_graph ()
+
+let test_graph_accessors () =
+  let g = fig2 () in
+  check "edge a->b" true (Graph.edge g (p 1) (p 2));
+  check "no edge b->a" false (Graph.edge g (p 2) (p 1));
+  check "self-loop edge" true (Graph.edge g (p 3) (p 3));
+  check "mark initially false" false (Graph.mark g (p 1));
+  let g' = Graph.mark_node g (p 1) in
+  check "marked" true (Graph.mark g' (p 1));
+  let g'' = Graph.null_edge g' Graph.Left (p 1) in
+  check "left severed" true (Ptr.is_null (Graph.edgl g'' (p 1)));
+  check "right kept" true (Ptr.equal (Graph.edgr g'' (p 1)) (p 3))
+
+let test_reachability () =
+  let g = fig2 () in
+  check "connected from a" true (Graph.connected g (p 1));
+  check "not connected from b" false (Graph.connected g (p 2));
+  check "reachable from c" true
+    (Ptr.Set.equal (Graph.reachable g (p 3)) (Ptr.Set.of_list [ p 3; p 5 ]))
+
+let test_tree_predicate () =
+  let g = fig2 () in
+  (* Nodes {d} form a leaf tree; {a,b,c} is a tree only if paths are
+     unique and in-set. *)
+  check "singleton leaf tree" true (Graph.tree g (p 4) (Ptr.Set.of_list [ p 4 ]));
+  check "c not a tree (self-loop)" false
+    (Graph.tree g (p 3) (Ptr.Set.of_list [ p 3 ]));
+  check "a,b is a tree" true
+    (Graph.tree g (p 1) (Ptr.Set.of_list [ p 1; p 2 ]));
+  (* The final graph of Figure 2(6): all redundant edges removed. *)
+  let gf =
+    let unmarked =
+      Graph.of_adjacency_exn
+        [
+          (p 1, p 2, p 3);
+          (p 2, p 4, p 5);
+          (p 3, Ptr.null, Ptr.null);
+          (p 4, Ptr.null, Ptr.null);
+          (p 5, Ptr.null, Ptr.null);
+        ]
+    in
+    (* span marks every node it keeps *)
+    List.fold_left Graph.mark_node unmarked (Graph.dom unmarked)
+  in
+  check "final spanning tree" true
+    (Graph.spanning g gf (p 1) (Graph.dom_set gf));
+  check "maximal" true (Graph.maximal gf (Graph.dom_set gf))
+
+let test_front () =
+  let g = fig2 () in
+  let t = Ptr.Set.of_list [ p 2 ] in
+  check "front of b includes d,e" true
+    (Graph.front g t (Ptr.Set.of_list [ p 2; p 4; p 5 ]));
+  check "front fails without e" false
+    (Graph.front g t (Ptr.Set.of_list [ p 2; p 4 ]))
+
+let test_subgraph () =
+  let g = fig2 () in
+  let g1 = Graph.mark_node g (p 1) in
+  let g2 = Graph.null_edge g1 Graph.Left (p 1) in
+  check "refinement" true (Graph.subgraph g g2);
+  check "not reverse" false (Graph.subgraph g2 g);
+  (* Changing an unmarked node's content breaks refinement. *)
+  let bad =
+    Graph.of_heap_exn
+      (Heap.update (p 2)
+         (Value.node ~marked:false ~left:Ptr.null ~right:Ptr.null)
+         (Graph.to_heap g))
+  in
+  check "unmarked change rejected" false (Graph.subgraph g bad)
+
+(* Property: max_tree2 holds on random graphs (it is an implication, so
+   vacuous cases pass; the generator aims at its hypotheses by building
+   two-subtree roots). *)
+let prop_max_tree2 =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"max_tree2 on random graphs"
+       QCheck2.Gen.(int_range 1 1_000_000)
+       (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let g = Fcsl_casestudies.Graph_catalog.random_graph ~rng 6 in
+         List.for_all
+           (fun x ->
+             let y1 = Graph.edgl g x and y2 = Graph.edgr g x in
+             List.for_all
+               (fun (ty1, ty2) -> Graph.max_tree2 g x y1 y2 ty1 ty2)
+               [
+                 (Graph.reachable g y1, Graph.reachable g y2);
+                 (Ptr.Set.of_list [ y1 ], Ptr.Set.of_list [ y2 ]);
+               ])
+           (Graph.dom g)))
+
+(* Property: random span-like refinements stay subgraphs. *)
+let prop_subgraph_refinement =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"mark/nullify steps refine"
+       QCheck2.Gen.(int_range 1 1_000_000)
+       (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let g0 = Fcsl_casestudies.Graph_catalog.random_graph ~rng 5 in
+         let g = ref g0 in
+         for _ = 1 to 10 do
+           let nodes = Graph.dom !g in
+           let x = List.nth nodes (Random.State.int rng (List.length nodes)) in
+           if Random.State.bool rng then g := Graph.mark_node !g x
+           else if Graph.mark !g x then
+             g :=
+               Graph.null_edge !g
+                 (if Random.State.bool rng then Graph.Left else Graph.Right)
+                 x
+         done;
+         Graph.subgraph g0 !g))
+
+let suite =
+  [
+    Alcotest.test_case "heap basics" `Quick test_heap_basics;
+    Alcotest.test_case "heap union PCM" `Quick test_heap_union;
+    Alcotest.test_case "value projections" `Quick test_value_projections;
+    Alcotest.test_case "graph shape validation" `Quick test_graph_shape;
+    Alcotest.test_case "graph accessors" `Quick test_graph_accessors;
+    Alcotest.test_case "reachability" `Quick test_reachability;
+    Alcotest.test_case "tree predicate" `Quick test_tree_predicate;
+    Alcotest.test_case "front predicate" `Quick test_front;
+    Alcotest.test_case "subgraph refinement" `Quick test_subgraph;
+    prop_max_tree2;
+    prop_subgraph_refinement;
+  ]

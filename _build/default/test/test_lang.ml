@@ -1,0 +1,222 @@
+(* Surface language: lexing, parsing (including that Figure 1 parses to
+   the canonical AST), printing round-trips, interpreter runs, and the
+   differential test against the embedded DSL's span. *)
+
+open Fcsl_heap
+open Fcsl_lang
+open Fcsl_casestudies
+module Core = Fcsl_core
+module Aux = Fcsl_pcm.Aux
+
+let check = Alcotest.(check bool)
+let p = Ptr.of_int
+
+let test_lexer () =
+  let toks = Lexer.tokenize "if x == null then return false" in
+  Alcotest.(check int) "token count" 8 (List.length toks);
+  check "keywords" true
+    (toks
+    = Token.[ KW_IF; IDENT "x"; EQEQ; KW_NULL; KW_THEN; KW_RETURN; KW_FALSE; EOF ]);
+  let toks = Lexer.tokenize "b <- CAS(x->m, 0, 1); x->l := null" in
+  check "operators" true (List.mem Token.LARROW toks && List.mem Token.ASSIGN toks);
+  check "comments skipped" true
+    (Lexer.tokenize "(* hi (* nested *) *) x // trailing\n"
+     = Token.[ IDENT "x"; EOF ])
+
+let test_lexer_error () =
+  check "bad char rejected" true
+    (try
+       ignore (Lexer.tokenize "x # y");
+       false
+     with Lexer.Error _ -> true)
+
+let test_parse_span () =
+  let prog = Parser.parse_program Examples.span_source in
+  Alcotest.(check int) "one procedure" 1 (List.length prog);
+  check "parses to the canonical Figure 1 AST" true
+    (Ast.equal_proc (List.hd prog) Ast.span_ast)
+
+let test_parse_errors () =
+  let fails src =
+    try
+      ignore (Parser.parse_program src);
+      false
+    with Parser.Parse_error _ | Lexer.Error _ -> true
+  in
+  check "missing brace" true (fails "f (x : ptr) : bool { return true");
+  check "bad statement" true (fails "f () : bool { x + }");
+  check "CAS needs field" true (fails "f (x : ptr) : bool { b <- CAS(x, 0, 1); return b }")
+
+let test_roundtrip () =
+  List.iter
+    (fun src ->
+      let prog = Parser.parse_program src in
+      let printed = Pp.program_to_string prog in
+      let reparsed = Parser.parse_program printed in
+      check "print/parse round-trip" true (Ast.equal_program prog reparsed))
+    [ Examples.span_source; Examples.mark_children_source ]
+
+(* Property: round-trip on randomly generated commands. *)
+let gen_expr_leaf =
+  QCheck2.Gen.oneofl
+    Ast.[ Null; Bool true; Bool false; Var "x"; Var "y"; Field (Var "x", Left) ]
+
+let rec gen_cmd_sized n =
+  let open QCheck2.Gen in
+  if n = 0 then
+    oneof
+      [
+        return Ast.Skip;
+        map (fun e -> Ast.Return e) gen_expr_leaf;
+        map (fun e -> Ast.Assign (Var "x", Ast.Left, e)) gen_expr_leaf;
+      ]
+  else
+    oneof
+      [
+        gen_cmd_sized 0;
+        map2 (fun a b -> Ast.Seq (a, b)) (gen_cmd_sized (n - 1)) (gen_cmd_sized (n - 1));
+        map3
+          (fun e t f -> Ast.If (e, t, f))
+          gen_expr_leaf (gen_cmd_sized (n - 1)) (gen_cmd_sized (n - 1));
+        map2
+          (fun r k -> Ast.BindCmd (Pvar "b", r, k))
+          (oneof
+             [
+               map (fun e -> Ast.Expr e) gen_expr_leaf;
+               return (Ast.Cas (Var "x", Ast.Mark, Bool false, Bool true));
+               return (Ast.Call ("f", [ Ast.Var "x" ]));
+             ])
+          (gen_cmd_sized (n - 1));
+      ]
+
+let prop_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"random cmd round-trips"
+       (gen_cmd_sized 3)
+       (fun cmd ->
+         let proc =
+           Ast.
+             { p_name = "f"; p_params = [ ("x", "ptr") ]; p_return = "bool";
+               p_body = cmd }
+         in
+         let printed = Pp.proc_to_string proc in
+         match Parser.parse_proc_string printed with
+         | reparsed ->
+           Ast.equal_cmd
+             (Ast.normalize reparsed.Ast.p_body)
+             (Ast.normalize cmd)
+         | exception _ -> false))
+
+(* Interpreter: running span on the Figure 2 graph yields a spanning
+   tree (all schedules sampled randomly). *)
+let test_interp_span () =
+  let prog = Parser.parse_program Examples.span_source in
+  let g0 = Graph_catalog.fig2_graph () in
+  for seed = 1 to 25 do
+    let h, v =
+      Interp.run ~seed prog ~proc:"span"
+        ~args:[ Value.ptr (p 1) ]
+        (Graph.to_heap g0)
+    in
+    check "returns true" true (Value.equal v (Value.bool true));
+    match Graph.of_heap h with
+    | Some g ->
+      check "spanning tree" true
+        (Graph.spanning g0 g (p 1) (Graph.dom_set g))
+    | None -> Alcotest.fail "final heap not a graph"
+  done
+
+(* Differential test: the surface interpreter and the embedded DSL agree
+   on span over random connected graphs. *)
+let prop_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30 ~name:"surface vs DSL span agree"
+       QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 1 8))
+       (fun (seed, n) ->
+         let rng = Random.State.make [| seed |] in
+         let g0 = Graph_catalog.random_connected_graph ~rng n in
+         (* surface run *)
+         let prog = Parser.parse_program Examples.span_source in
+         let h_surface, v_surface =
+           Interp.run ~seed prog ~proc:"span"
+             ~args:[ Value.ptr (p 1) ]
+             (Graph.to_heap g0)
+         in
+         (* DSL run *)
+         let pv = Core.Label.make "diff_priv" in
+         let sp = Core.Label.make "diff_span" in
+         let w = Core.World.of_list [ Core.Priv.make pv ] in
+         let st =
+           Core.State.singleton pv
+             (Core.Slice.make
+                ~self:(Aux.heap (Graph.to_heap g0))
+                ~joint:Heap.empty ~other:(Aux.heap Heap.empty))
+         in
+         let genv, mine = Core.Sched.genv_of_state w st in
+         match
+           Core.Sched.run_random ~seed ~fuel:100_000 genv mine
+             (Span.span_root ~pv ~sp (p 1))
+         with
+         | Core.Sched.Finished (v_dsl, final) -> (
+           let h_dsl = Core.Priv.pv_self pv final in
+           (* both yield spanning trees of g0; the particular tree may
+              differ (schedules differ), but the verdicts agree and both
+              heaps are spanning trees *)
+           Value.equal v_surface (Value.bool v_dsl)
+           &&
+           match (Graph.of_heap h_surface, Graph.of_heap h_dsl) with
+           | Some gs, Some gd ->
+             Graph.spanning g0 gs (p 1) (Graph.dom_set gs)
+             && Graph.spanning g0 gd (p 1) (Graph.dom_set gd)
+           | _ -> false)
+         | _ -> false))
+
+let test_interp_mark_children () =
+  let prog = Parser.parse_program Examples.mark_children_source in
+  let g =
+    Graph_catalog.graph_of
+      [ (p 1, p 2, p 3); (p 2, Ptr.null, Ptr.null); (p 3, Ptr.null, Ptr.null) ]
+  in
+  let h, v =
+    Interp.run ~seed:5 prog ~proc:"mark_children"
+      ~args:[ Value.ptr (p 1) ]
+      (Graph.to_heap g)
+  in
+  check "both children marked" true (Value.equal v (Value.bool true));
+  let g' = Graph.of_heap_exn h in
+  check "marks placed" true (Graph.mark g' (p 2) && Graph.mark g' (p 3));
+  check "root unmarked" false (Graph.mark g' (p 1))
+
+let test_interp_errors () =
+  let prog = Parser.parse_program Examples.span_source in
+  check "null arg returns false" true
+    (let _, v =
+       Interp.run prog ~proc:"span" ~args:[ Value.ptr Ptr.null ] Heap.empty
+     in
+     Value.equal v (Value.bool false));
+  check "unknown proc rejected" true
+    (try
+       ignore (Interp.run prog ~proc:"nope" ~args:[] Heap.empty);
+       false
+     with Interp.Runtime_error _ -> true);
+  check "arity mismatch rejected" true
+    (try
+       ignore (Interp.run prog ~proc:"span" ~args:[] Heap.empty);
+       false
+     with Interp.Runtime_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "lexer" `Quick test_lexer;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_error;
+    Alcotest.test_case "Figure 1 parses to canonical AST" `Quick
+      test_parse_span;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "print/parse round-trip" `Quick test_roundtrip;
+    prop_roundtrip;
+    Alcotest.test_case "interpreter: span on Figure 2" `Quick test_interp_span;
+    prop_differential;
+    Alcotest.test_case "interpreter: parallel marking" `Quick
+      test_interp_mark_children;
+    Alcotest.test_case "interpreter errors" `Quick test_interp_errors;
+  ]

@@ -1,0 +1,221 @@
+(* Locks and their coarse-grained clients: concurroid/action laws for
+   both lock implementations, stability lemmas, the CG increment and CG
+   allocator triples against either lock (the abstract-interface reuse),
+   and failure injection. *)
+
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+module Mutex = Fcsl_pcm.Instances.Mutex
+
+let check = Alcotest.(check bool)
+
+(* A small counter resource shared by the law tests. *)
+let x_cell = Ptr.of_int 50
+
+let counter_resource : Lock_intf.resource =
+  {
+    r_name = "counter";
+    r_inv =
+      (fun h total ->
+        match (Heap.find x_cell h, Aux.as_nat total) with
+        | Some v, Some n -> Value.equal v (Value.int n)
+        | _ -> false);
+    r_heaps =
+      (fun () -> List.init 3 (fun n -> Heap.singleton x_cell (Value.int n)));
+    r_ghosts = (fun () -> List.init 3 (fun n -> Aux.nat n));
+  }
+
+(* CAS lock laws. *)
+
+let cas_setup () =
+  let l = Label.make "tl_caslock" in
+  let cfg = Caslock.default_config in
+  let c = Caslock.concurroid ~label:l cfg counter_resource in
+  let states = List.map (fun s -> State.singleton l s) (Concurroid.enum c) in
+  (l, cfg, c, World.of_list [ c ], states)
+
+let test_caslock_laws () =
+  let _, _, c, _, _ = cas_setup () in
+  Alcotest.(check (list string))
+    "no violations" []
+    (List.map (Fmt.str "%a" Concurroid.pp_violation) (Concurroid.check_laws c))
+
+let test_caslock_action_laws () =
+  let l, cfg, _, w, states = cas_setup () in
+  let actions =
+    [
+      ("try_lock", Action.map ignore (Caslock.try_lock l cfg));
+      ( "unlock",
+        Caslock.unlock_act l cfg counter_resource ~delta:(Aux.nat 1) );
+      ("read", Action.map ignore (Caslock.read l cfg x_cell));
+      ("write", Caslock.write l cfg x_cell (Value.int 2));
+    ]
+  in
+  List.iter
+    (fun (name, a) ->
+      Alcotest.(check (list string))
+        (name ^ " laws") []
+        (List.map (Fmt.str "%a" Action.pp_violation)
+           (Action.check_laws w a ~states)))
+    actions
+
+let test_caslock_stability () =
+  let l, cfg, _, w, states = cas_setup () in
+  let stable p = Stability.is_stable (Stability.check w ~states p) in
+  check "holds stable" true (stable (Caslock.assert_holds cfg l));
+  check "ghost stable" true (stable (Caslock.assert_ghost_is cfg l (Aux.nat 1)));
+  check "protected pinned while held" true
+    (stable
+       (Caslock.assert_protected_pinned cfg l
+          (Heap.singleton x_cell (Value.int 2))));
+  (* negative control: freeness is not stable *)
+  check "freeness unstable" false (stable (Caslock.assert_free cfg l))
+
+(* Ticketed lock laws. *)
+
+let ticket_setup () =
+  let l = Label.make "tl_ticketlock" in
+  let cfg = Ticketlock.default_config in
+  let c = Ticketlock.concurroid ~label:l cfg counter_resource in
+  let states = List.map (fun s -> State.singleton l s) (Concurroid.enum c) in
+  (l, cfg, c, World.of_list [ c ], states)
+
+let test_ticketlock_laws () =
+  let _, _, c, _, _ = ticket_setup () in
+  Alcotest.(check (list string))
+    "no violations" []
+    (List.map (Fmt.str "%a" Concurroid.pp_violation) (Concurroid.check_laws c))
+
+let test_ticketlock_action_laws () =
+  let l, cfg, _, w, states = ticket_setup () in
+  let actions =
+    [
+      ("take_ticket", Action.map ignore (Ticketlock.take_ticket l cfg));
+      ("read_owner", Action.map ignore (Ticketlock.read_owner l cfg));
+      ( "unlock",
+        Ticketlock.unlock_act l cfg counter_resource ~delta:(Aux.nat 1) );
+      ("read", Action.map ignore (Ticketlock.read l cfg x_cell));
+      ("write", Ticketlock.write l cfg x_cell (Value.int 2));
+    ]
+  in
+  List.iter
+    (fun (name, a) ->
+      Alcotest.(check (list string))
+        (name ^ " laws") []
+        (List.map (Fmt.str "%a" Action.pp_violation)
+           (Action.check_laws w a ~states)))
+    actions
+
+let test_ticketlock_stability () =
+  let l, cfg, _, w, states = ticket_setup () in
+  let stable p = Stability.is_stable (Stability.check w ~states p) in
+  check "drawn ticket stays mine" true
+    (stable (Ticketlock.assert_ticket_owned cfg l 1));
+  check "owner only grows" true
+    (stable (Ticketlock.assert_owner_at_least cfg l 2));
+  check "being-served is stable" true
+    (stable (Ticketlock.assert_being_served cfg l 1));
+  check "protected pinned while held" true
+    (stable
+       (Ticketlock.assert_protected_pinned cfg l
+          (Heap.singleton x_cell (Value.int 2))));
+  (* negative control: an exact owner value is not stable in general *)
+  check "exact owner value unstable" false
+    (stable (fun st ->
+         match State.find l st with
+         | Some s -> Ticketlock.owner_of cfg (Slice.joint s) = Some 1
+         | None -> false))
+
+(* CG increment / allocator triples, against both locks. *)
+
+let test_incr_cas () =
+  List.iter
+    (fun r -> check (Fmt.str "%a" Verify.pp_report r) true (Verify.ok r))
+    (Cg_incr.Cas.verify ())
+
+let test_incr_ticketed () =
+  List.iter
+    (fun r -> check (Fmt.str "%a" Verify.pp_report r) true (Verify.ok r))
+    (Cg_incr.Ticketed.verify ())
+
+let test_alloc_cas () =
+  List.iter
+    (fun r -> check (Fmt.str "%a" Verify.pp_report r) true (Verify.ok r))
+    (Cg_alloc.Cas.verify ())
+
+let test_alloc_ticketed () =
+  List.iter
+    (fun r -> check (Fmt.str "%a" Verify.pp_report r) true (Verify.ok r))
+    (Cg_alloc.Ticketed.verify ())
+
+(* Failure injection 1: releasing without restoring the invariant is
+   unsafe — the verifier crashes the offending schedule. *)
+let test_unlock_without_invariant_refuted () =
+  let module I = Cg_incr.Cas in
+  let w = I.world () in
+  let init = I.init_states () in
+  let broken : unit Prog.t =
+    let open Prog in
+    let* () = Caslock.lock I.label I.cfg in
+    let* v = act (Caslock.read I.label I.cfg Cg_incr.Cas.x_cell) in
+    let v = Option.value (Value.as_int v) ~default:0 in
+    let* () =
+      act (Caslock.write I.label I.cfg Cg_incr.Cas.x_cell (Value.int (v + 1)))
+    in
+    (* forgets to credit the delta: invariant not restored *)
+    Caslock.unlock I.label I.cfg I.resource ~delta:Aux.Unit
+  in
+  let report =
+    Verify.check_triple ~fuel:16 ~env_budget:1 ~world:w ~init broken
+      (I.incr_spec I.label ())
+  in
+  check "uncredited unlock refuted" false (Verify.ok report)
+
+(* Failure injection 2: a "lock" that skips the ticket check and enters
+   the critical section immediately.  Its protected write is unsafe (it
+   does not hold the lock) — mutual exclusion violation caught. *)
+let test_barging_ticketlock_refuted () =
+  let module I = Cg_incr.Ticketed in
+  let w = I.world () in
+  let init = I.init_states () in
+  let cfg = Ticketlock.default_config in
+  let barging : unit Prog.t =
+    let open Prog in
+    let* _t = act (Ticketlock.take_ticket I.label cfg) in
+    (* no wait loop: straight into the critical section *)
+    let* v = act (Ticketlock.read I.label cfg Cg_incr.Ticketed.x_cell) in
+    let v = Option.value (Value.as_int v) ~default:0 in
+    act (Ticketlock.write I.label cfg Cg_incr.Ticketed.x_cell (Value.int (v + 1)))
+  in
+  let report =
+    Verify.check_triple ~fuel:16 ~env_budget:1 ~world:w ~init barging
+      (Spec.make ~name:"barging"
+         ~pre:(Spec.pre (I.incr_spec I.label ()))
+         ~post:(fun () _ _ -> true))
+  in
+  check "barging refuted" false (Verify.ok report)
+
+let suite =
+  [
+    Alcotest.test_case "CAS-lock concurroid laws" `Quick test_caslock_laws;
+    Alcotest.test_case "CAS-lock action laws" `Quick test_caslock_action_laws;
+    Alcotest.test_case "CAS-lock stability lemmas" `Quick test_caslock_stability;
+    Alcotest.test_case "Ticketed lock concurroid laws" `Quick
+      test_ticketlock_laws;
+    Alcotest.test_case "Ticketed lock action laws" `Quick
+      test_ticketlock_action_laws;
+    Alcotest.test_case "Ticketed lock stability lemmas" `Quick
+      test_ticketlock_stability;
+    Alcotest.test_case "CG increment via CAS lock" `Quick test_incr_cas;
+    Alcotest.test_case "CG increment via ticketed lock" `Slow
+      test_incr_ticketed;
+    Alcotest.test_case "CG allocator via CAS lock" `Quick test_alloc_cas;
+    Alcotest.test_case "CG allocator via ticketed lock" `Slow
+      test_alloc_ticketed;
+    Alcotest.test_case "injected: uncredited unlock refuted" `Quick
+      test_unlock_without_invariant_refuted;
+    Alcotest.test_case "injected: barging ticket lock refuted" `Quick
+      test_barging_ticketlock_refuted;
+  ]

@@ -1,0 +1,136 @@
+(* Remaining coverage: the law registry sweep, spec combinators, value
+   ordering, graph-theory properties, and label bookkeeping. *)
+
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+
+let check = Alcotest.(check bool)
+let p = Ptr.of_int
+
+(* Every concurroid and action in the suite satisfies the metatheory
+   laws (the CLI's `fcsl laws`, as a test). *)
+let test_laws_registry () =
+  let buf = Buffer.create 256 in
+  let pp fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  check (Buffer.contents buf) true (Fcsl_report.Laws.run_all ~pp ())
+
+(* Spec combinators. *)
+let test_spec_combinators () =
+  let sp = Label.make "tm_span" in
+  let base =
+    Spec.make ~name:"base"
+      ~pre:(fun _ -> true)
+      ~post:(fun r _ _ -> r > 0)
+  in
+  ignore sp;
+  let stronger = Spec.strengthen_post (fun r _ _ -> r < 10) base in
+  check "strengthened post conjoins" true
+    (Spec.post stronger 5 State.empty State.empty
+    && not (Spec.post stronger 50 State.empty State.empty)
+    && not (Spec.post stronger 0 State.empty State.empty));
+  let narrowed = Spec.strengthen_pre (fun _ -> false) base in
+  check "strengthened pre conjoins" false (Spec.pre narrowed State.empty);
+  check "implies over universe" true
+    (Spec.implies (fun _ -> false) (fun _ -> true) [ State.empty ]);
+  check "implies counterexample" false
+    (Spec.implies (fun _ -> true) (fun _ -> false) [ State.empty ])
+
+(* Value ordering is a total order on samples (antisymmetry &
+   transitivity). *)
+let prop_value_order =
+  let gen =
+    QCheck2.Gen.(
+      let base =
+        oneof
+          [
+            return Value.Unit; map Value.bool bool;
+            map Value.int (int_range (-3) 3);
+            map (fun n -> Value.ptr (p n)) (int_range 1 4);
+          ]
+      in
+      oneof [ base; map2 Value.pair base base ])
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"value compare is a total order"
+       QCheck2.Gen.(triple gen gen gen)
+       (fun (a, b, c) ->
+         let sgn x = compare x 0 in
+         let antisymmetric =
+           Value.equal a b
+           || sgn (Value.compare a b) = -sgn (Value.compare b a)
+         in
+         let transitive =
+           (not (Value.compare a b <= 0 && Value.compare b c <= 0))
+           || Value.compare a c <= 0
+         in
+         antisymmetric && transitive))
+
+(* Graph-theory properties on random graphs. *)
+let prop_graph_theory =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"graph theory invariants"
+       QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 1 6))
+       (fun (seed, n) ->
+         let rng = Random.State.make [| seed |] in
+         let g = Graph_catalog.random_graph ~rng n in
+         let dom = Graph.dom_set g in
+         List.for_all
+           (fun x ->
+             let r = Graph.reachable g x in
+             (* reachable stays within the domain and contains x *)
+             Ptr.Set.subset r dom && Ptr.Set.mem x r
+             (* the front of the reachable set is itself: maximality *)
+             && Graph.maximal g r
+             (* front is monotone in its second argument *)
+             && Graph.front g r dom)
+           (Graph.dom g)))
+
+(* mark_node / null_edge leave all other nodes untouched. *)
+let prop_graph_locality =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"graph updates are local"
+       QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 2 6))
+       (fun (seed, n) ->
+         let rng = Random.State.make [| seed |] in
+         let g = Graph_catalog.random_graph ~rng n in
+         let x = p (1 + Random.State.int rng n) in
+         let g' = Graph.mark_node g x in
+         let g'' = Graph.null_edge g' Graph.Left x in
+         List.for_all
+           (fun y ->
+             Ptr.equal y x || Graph.cont g y = Graph.cont g'' y)
+           (Graph.dom g)))
+
+(* Labels: names survive, identities are fresh. *)
+let test_labels () =
+  let a = Label.make "same_name" and b = Label.make "same_name" in
+  check "fresh identities" false (Label.equal a b);
+  check "name kept" true (String.equal (Label.name a) "same_name");
+  check "map keyed by identity" true
+    (Label.Map.cardinal
+       (Label.Map.add b 2 (Label.Map.singleton a 1))
+    = 2)
+
+(* Slice pretty-printing covers the jaux form (smoke). *)
+let test_pp_smoke () =
+  let s =
+    Slice.make_jaux ~self:(Aux.nat 1)
+      ~joint:(Heap.singleton (p 1) Value.unit)
+      ~jaux:(Aux.hist Fcsl_pcm.Hist.empty) ~other:Aux.Unit
+  in
+  check "prints" true (String.length (Slice.to_string s) > 0);
+  check "state prints" true
+    (String.length (State.to_string (State.singleton (Label.make "pp") s)) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "law registry sweep" `Slow test_laws_registry;
+    Alcotest.test_case "spec combinators" `Quick test_spec_combinators;
+    prop_value_order;
+    prop_graph_theory;
+    prop_graph_locality;
+    Alcotest.test_case "labels" `Quick test_labels;
+    Alcotest.test_case "printers" `Quick test_pp_smoke;
+  ]

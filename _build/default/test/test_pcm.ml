@@ -1,0 +1,207 @@
+(* PCM algebra: unit tests for every instance plus qcheck property tests
+   of the PCM laws (commutativity, associativity, unit, validity
+   monotonicity) over randomly generated elements. *)
+
+open Fcsl_heap
+open Fcsl_pcm
+
+let check = Alcotest.(check bool)
+
+(* Generators. *)
+
+let gen_ptr = QCheck2.Gen.(map Ptr.of_int (int_range 1 20))
+
+let gen_ptr_set =
+  QCheck2.Gen.(map Ptr.Set.of_list (list_size (int_range 0 6) gen_ptr))
+
+let gen_value =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Value.Unit;
+        map Value.bool bool;
+        map Value.int (int_range (-5) 5);
+        map Value.ptr gen_ptr;
+      ])
+
+let gen_heap =
+  QCheck2.Gen.(
+    map
+      (fun cells ->
+        List.fold_left (fun h (p, v) -> Heap.add p v h) Heap.empty cells)
+      (list_size (int_range 0 6) (pair gen_ptr gen_value)))
+
+let gen_hist =
+  QCheck2.Gen.(
+    map
+      (fun ops ->
+        List.fold_left
+          (fun h op -> Hist.add (Hist.fresh_ts h) (Hist.entry op) h)
+          Hist.empty ops)
+      (list_size (int_range 0 5) (oneofl [ "push"; "pop"; "write" ])))
+
+let gen_mutex =
+  QCheck2.Gen.oneofl [ Instances.Mutex.Own; Instances.Mutex.Not_own ]
+
+let rec gen_aux_sized n =
+  let open QCheck2.Gen in
+  if n = 0 then
+    oneof
+      [
+        return Aux.Unit;
+        map Aux.nat (int_range 0 5);
+        map (fun m -> Aux.Mutex m) gen_mutex;
+        map Aux.set gen_ptr_set;
+        map Aux.heap gen_heap;
+        map Aux.hist gen_hist;
+      ]
+  else
+    frequency
+      [
+        (3, gen_aux_sized 0);
+        (1, map2 Aux.pair (gen_aux_sized (n - 1)) (gen_aux_sized (n - 1)));
+      ]
+
+let gen_aux = gen_aux_sized 2
+
+(* A law suite for a first-class PCM module. *)
+let law_tests (type a) (module P : Pcm.S with type t = a) name gen =
+  let module L = Pcm.Laws (P) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:(name ^ ": commutative")
+         QCheck2.Gen.(pair gen gen)
+         (fun (a, b) -> L.commutative a b));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:(name ^ ": associative")
+         QCheck2.Gen.(triple gen gen gen)
+         (fun (a, b, c) -> L.associative a b c));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:(name ^ ": unit") gen L.unit_law);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:(name ^ ": validity monotone")
+         QCheck2.Gen.(triple gen gen gen)
+         (fun (a, b, c) -> L.validity_monotone a b c));
+  ]
+
+(* Unit tests for instance-specific behaviour. *)
+
+let test_mutex () =
+  let open Instances.Mutex in
+  check "own+own undefined" false (Option.is_some (join Own Own));
+  check "own+notown" true (equal (Option.get (join Own Not_own)) Own)
+
+let test_ptr_set () =
+  let open Instances.Ptr_set in
+  let a = of_list [ Ptr.of_int 1; Ptr.of_int 2 ] in
+  let b = of_list [ Ptr.of_int 2 ] in
+  check "overlapping sets undefined" false (Option.is_some (join a b));
+  check "disjoint ok" true
+    (Option.is_some (join a (of_list [ Ptr.of_int 3 ])))
+
+let test_hist () =
+  let h1 = Hist.add 1 (Hist.entry "a") Hist.empty in
+  let h2 = Hist.add 2 (Hist.entry "b") Hist.empty in
+  let h = Option.get (Hist.join h1 h2) in
+  check "continuous" true (Hist.continuous h);
+  check "fresh is 3" true (Hist.fresh_ts h = 3);
+  check "clashing stamps undefined" false
+    (Option.is_some (Hist.join h1 h1));
+  check "subhist" true (Hist.subhist h1 h);
+  check "not subhist" false (Hist.subhist h h1)
+
+let test_lift () =
+  let module L = Instances.Lift (Instances.Mutex) in
+  let open Instances.Mutex in
+  check "lifted own+own = undef" true
+    (L.equal (Option.get (L.join (L.Def Own) (L.Def Own))) L.Undef);
+  check "undef absorbs" true
+    (L.equal (Option.get (L.join L.Undef (L.Def Not_own))) L.Undef)
+
+let test_aux_cross_sort () =
+  check "nat+set undefined" false
+    (Option.is_some (Aux.join (Aux.nat 1) (Aux.singleton (Ptr.of_int 1))));
+  check "unit joins anything" true
+    (Aux.equal (Aux.join_exn Aux.Unit (Aux.nat 3)) (Aux.nat 3))
+
+let test_aux_splits () =
+  let x = Aux.nat 3 in
+  let splits = Aux.splits x in
+  check "nat 3 has 4 splits" true (List.length splits = 4);
+  List.iter
+    (fun (a, b) ->
+      check "split rejoins" true (Aux.equal (Aux.join_exn a b) x))
+    splits;
+  let s = Aux.set_of_list [ Ptr.of_int 1; Ptr.of_int 2 ] in
+  check "set of 2 has 4 splits" true (List.length (Aux.splits s) = 4)
+
+let test_aux_projections () =
+  check "unit as heap" true
+    (Heap.is_empty (Option.get (Aux.as_heap Aux.Unit)));
+  check "heap as set fails" false
+    (Option.is_some (Aux.as_set (Aux.heap (Heap.singleton (Ptr.of_int 1) Value.unit))))
+
+(* PCM morphisms: unit/join preservation for the stock morphisms. *)
+let morphism_tests =
+  let t name gen prop =
+    QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen prop)
+  in
+  let module MCard = Morphism.Laws (Instances.Ptr_set) (Instances.Nat) in
+  let module MDom = Morphism.Laws (Instances.Heap_pcm) (Instances.Ptr_set) in
+  let module MLen = Morphism.Laws (Hist.Pcm_instance) (Instances.Nat) in
+  [
+    Alcotest.test_case "morphism units" `Quick (fun () ->
+        check "card unit" true (MCard.preserves_unit Morphism.card);
+        check "dom unit" true (MDom.preserves_unit Morphism.dom);
+        check "length unit" true (MLen.preserves_unit Morphism.hist_length);
+        check "compose keeps names" true
+          (String.length
+             (Morphism.name (Morphism.compose Morphism.card Morphism.dom))
+          > 0));
+    t "card preserves joins"
+      QCheck2.Gen.(pair gen_ptr_set gen_ptr_set)
+      (fun (a, b) -> MCard.preserves_join Morphism.card a b);
+    t "dom preserves joins"
+      QCheck2.Gen.(pair gen_heap gen_heap)
+      (fun (a, b) -> MDom.preserves_join Morphism.dom a b);
+    t "hist length preserves joins"
+      QCheck2.Gen.(pair gen_hist gen_hist)
+      (fun (a, b) -> MLen.preserves_join Morphism.hist_length a b);
+    t "dom;card composition preserves joins"
+      QCheck2.Gen.(pair gen_heap gen_heap)
+      (fun (a, b) ->
+        let module M = Morphism.Laws (Instances.Heap_pcm) (Instances.Nat) in
+        M.preserves_join (Morphism.compose Morphism.card Morphism.dom) a b);
+  ]
+
+let suite =
+  let module ProdNM = Instances.Prod (Instances.Nat) (Instances.Mutex) in
+  let module LiftH = Instances.Lift (Instances.Heap_pcm) in
+  List.concat
+    [
+      law_tests (module Instances.Nat) "nat" QCheck2.Gen.(int_range 0 10);
+      law_tests (module Instances.Mutex) "mutex" gen_mutex;
+      law_tests (module Instances.Ptr_set) "ptr-set" gen_ptr_set;
+      law_tests (module Instances.Heap_pcm) "heap" gen_heap;
+      law_tests (module Hist.Pcm_instance) "history" gen_hist;
+      law_tests
+        (module ProdNM)
+        "nat*mutex"
+        QCheck2.Gen.(pair (int_range 0 5) gen_mutex);
+      law_tests
+        (module LiftH)
+        "lift(heap)"
+        QCheck2.Gen.(
+          frequency [ (5, map (fun h -> LiftH.Def h) gen_heap); (1, return LiftH.Undef) ]);
+      law_tests (module Aux.Pcm_instance) "aux" gen_aux;
+      morphism_tests;
+      [
+        Alcotest.test_case "mutex exclusivity" `Quick test_mutex;
+        Alcotest.test_case "ptr-set disjointness" `Quick test_ptr_set;
+        Alcotest.test_case "history stamps" `Quick test_hist;
+        Alcotest.test_case "lifting" `Quick test_lift;
+        Alcotest.test_case "aux cross-sort joins" `Quick test_aux_cross_sort;
+        Alcotest.test_case "aux splits rejoin" `Quick test_aux_splits;
+        Alcotest.test_case "aux projections" `Quick test_aux_projections;
+      ];
+    ]

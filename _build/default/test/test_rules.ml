@@ -1,0 +1,243 @@
+(* The deductive layer (Rules): leaf rules check their obligations,
+   gluing rules check entailments without re-exploring sub-programs,
+   broken applications are rejected, and the rule verdicts agree with
+   direct model checking (differential soundness test). *)
+
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+
+let check = Alcotest.(check bool)
+let p = Ptr.of_int
+
+let sp = Label.make "tr_span"
+let conc = Span.concurroid sp
+let world = World.of_list [ conc ]
+
+let states () =
+  List.map (fun s -> State.singleton sp s) (Concurroid.enum conc)
+
+let ctx () = Rules.ctx ~world ~states:(states ())
+
+(* Leaf rule: RET. *)
+
+let test_ret_ok () =
+  let spec =
+    Spec.make ~name:"ret42"
+      ~pre:(fun _ -> true)
+      ~post:(fun r _ _ -> r = 42)
+  in
+  match Rules.ret (ctx ()) 42 spec with
+  | Ok t -> check "spec kept" true (Spec.name (Rules.spec t) = "ret42")
+  | Error e -> Alcotest.failf "unexpected: %a" Rules.pp_rule_error e
+
+let test_ret_bad_post () =
+  let spec =
+    Spec.make ~name:"ret-wrong"
+      ~pre:(fun _ -> true)
+      ~post:(fun r _ _ -> r = 43)
+  in
+  check "wrong ret post rejected" true
+    (Result.is_error (Rules.ret (ctx ()) 42 spec))
+
+let test_ret_unstable_post_rejected () =
+  (* post says node 1 is unmarked — unstable under marknode. *)
+  let spec =
+    Spec.make ~name:"ret-unstable"
+      ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+      ~post:(fun () _ f -> not (Span.assert_marked sp (p 1) f))
+  in
+  check "unstable post rejected" true
+    (Result.is_error (Rules.ret (ctx ()) () spec))
+
+(* Leaf rule: ACT. *)
+
+let trymark_spec x =
+  Spec.make
+    ~name:(Fmt.str "trymark_tp(%a)" Ptr.pp x)
+    ~pre:(fun st -> Span.assert_in_dom sp x st)
+    ~post:(fun r _i f ->
+      Span.assert_marked sp x f && ((not r) || Span.assert_in_self sp x f))
+
+let test_act_ok () =
+  match Rules.act (ctx ()) (Span.trymark sp (p 1)) (trymark_spec (p 1)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Rules.pp_rule_error e
+
+let test_act_unsafe_rejected () =
+  (* read_child requires ownership; a pre that doesn't provide it lets
+     the rule catch the unsafe state. *)
+  let bad_spec =
+    Spec.make ~name:"read-unowned"
+      ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+      ~post:(fun _ _ _ -> true)
+  in
+  check "unsafe act rejected" true
+    (Result.is_error
+       (Rules.act (ctx ()) (Span.read_child sp (p 1) Graph.Left) bad_spec))
+
+let test_act_wrong_post_rejected () =
+  let bad_spec =
+    Spec.make ~name:"trymark-wrong"
+      ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+      ~post:(fun r _ _ -> r = true) (* trymark may fail *)
+  in
+  check "wrong act post rejected" true
+    (Result.is_error (Rules.act (ctx ()) (Span.trymark sp (p 1)) bad_spec))
+
+(* Gluing: BIND and CONSEQ. *)
+
+let test_bind_ok () =
+  let c = ctx () in
+  let t1 = Result.get_ok (Rules.act c (Span.trymark sp (p 1)) (trymark_spec (p 1))) in
+  (* continuation: just return the boolean; its spec remembers the mark *)
+  let k_spec r =
+    Spec.make ~name:"k"
+      ~pre:(fun st -> Span.assert_marked sp (p 1) st)
+      ~post:(fun r' _i f -> r' = r && Span.assert_marked sp (p 1) f)
+  in
+  let k r = Result.get_ok (Rules.ret c r (k_spec r)) in
+  let goal =
+    Spec.make ~name:"trymark;ret"
+      ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+      ~post:(fun _ _i f -> Span.assert_marked sp (p 1) f)
+  in
+  (match Rules.bind c ~rands:[ true; false ] t1 k goal with
+  | Ok t -> check "composed" true (Prog.size (Rules.prog t) >= 2)
+  | Error e -> Alcotest.failf "unexpected: %a" Rules.pp_rule_error e);
+  match
+    Rules.bind_post_entails c ~rands:[ true; false ] ~finals:[ true; false ]
+      t1 k goal
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Rules.pp_rule_error e
+
+let test_bind_broken_glue_rejected () =
+  let c = ctx () in
+  let t1 = Result.get_ok (Rules.act c (Span.trymark sp (p 1)) (trymark_spec (p 1))) in
+  (* continuation demanding something trymark's post does not give *)
+  let k_spec _ =
+    Spec.make ~name:"k-needs-self"
+      ~pre:(fun st -> Span.assert_in_self sp (p 1) st)
+      ~post:(fun _ _ _ -> true)
+  in
+  let k r =
+    Rules.trusted (Prog.ret r) (k_spec r)
+  in
+  let goal =
+    Spec.make ~name:"bad-glue"
+      ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+      ~post:(fun _ _ _ -> true)
+  in
+  check "broken glue rejected" true
+    (Result.is_error (Rules.bind c ~rands:[ true; false ] t1 k goal))
+
+let test_conseq () =
+  let c = ctx () in
+  let t = Result.get_ok (Rules.act c (Span.trymark sp (p 1)) (trymark_spec (p 1))) in
+  let weaker =
+    Spec.make ~name:"weaker"
+      ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+      ~post:(fun _ _i f -> Span.assert_marked sp (p 1) f)
+  in
+  check "weakening ok" true
+    (Result.is_ok (Rules.conseq c ~results:[ true; false ] t weaker));
+  let stronger =
+    Spec.make ~name:"stronger"
+      ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+      ~post:(fun _ _i f -> Span.assert_in_self sp (p 1) f)
+  in
+  check "strengthening rejected" true
+    (Result.is_error (Rules.conseq c ~results:[ true; false ] t stronger))
+
+(* Semantic rules: PAR and FFIX. *)
+
+let test_par_semantic () =
+  let c = ctx () in
+  let t1 = Result.get_ok (Rules.act c (Span.trymark sp (p 1)) (trymark_spec (p 1))) in
+  let goal =
+    Spec.make ~name:"race"
+      ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+      ~post:(fun (_, _) _i f -> Span.assert_marked sp (p 1) f)
+  in
+  match Rules.par_semantic c ~fuel:8 t1 t1 goal with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Rules.pp_rule_error e
+
+let test_par_semantic_rejects () =
+  let c = ctx () in
+  let t1 = Result.get_ok (Rules.act c (Span.trymark sp (p 1)) (trymark_spec (p 1))) in
+  let bad =
+    Spec.make ~name:"both-win"
+      ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+      ~post:(fun (a, b) _i _f -> a && b) (* impossible: one CAS loses *)
+  in
+  check "impossible par post rejected" true
+    (Result.is_error (Rules.par_semantic c ~fuel:8 t1 t1 bad))
+
+let test_ffix_semantic () =
+  let c = ctx () in
+  match
+    Rules.ffix_semantic c ~fuel:24
+      (fun loop x ->
+        let open Prog in
+        if Ptr.is_null x then ret false
+        else
+          let* b = act (Span.trymark sp x) in
+          if b then
+            let* xl = act (Span.read_child sp x Graph.Left) in
+            let* _ = loop xl in
+            ret true
+          else ret false)
+      (p 1)
+      (Spec.make ~name:"left-spine"
+         ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+         ~post:(fun _ _i f -> Span.assert_marked sp (p 1) f))
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Rules.pp_rule_error e
+
+(* Differential soundness: for a batch of (program, spec) pairs, the
+   rule verdict agrees with direct model checking. *)
+let test_differential () =
+  let c = ctx () in
+  let direct prog spec =
+    Verify.ok
+      (Verify.check_triple ~fuel:12 ~world ~init:(states ()) prog spec)
+  in
+  (* accepted by rules => accepted by the checker *)
+  let t = Result.get_ok (Rules.act c (Span.trymark sp (p 1)) (trymark_spec (p 1))) in
+  check "act verdict agrees" true (direct (Rules.prog t) (Rules.spec t));
+  (* rejected by rules (wrong post) => rejected by the checker *)
+  let bad =
+    Spec.make ~name:"bad"
+      ~pre:(fun st -> Span.assert_in_dom sp (p 1) st)
+      ~post:(fun r _ _ -> r = true)
+  in
+  check "rules reject" true
+    (Result.is_error (Rules.act c (Span.trymark sp (p 1)) bad));
+  check "checker rejects too" false
+    (direct (Prog.act (Span.trymark sp (p 1))) bad)
+
+let suite =
+  [
+    Alcotest.test_case "ret rule" `Quick test_ret_ok;
+    Alcotest.test_case "ret: wrong post rejected" `Quick test_ret_bad_post;
+    Alcotest.test_case "ret: unstable post rejected" `Quick
+      test_ret_unstable_post_rejected;
+    Alcotest.test_case "act rule" `Quick test_act_ok;
+    Alcotest.test_case "act: unsafe rejected" `Quick test_act_unsafe_rejected;
+    Alcotest.test_case "act: wrong post rejected" `Quick
+      test_act_wrong_post_rejected;
+    Alcotest.test_case "bind rule glues specs" `Quick test_bind_ok;
+    Alcotest.test_case "bind: broken glue rejected" `Quick
+      test_bind_broken_glue_rejected;
+    Alcotest.test_case "consequence rule" `Quick test_conseq;
+    Alcotest.test_case "par (semantic)" `Quick test_par_semantic;
+    Alcotest.test_case "par: impossible post rejected" `Quick
+      test_par_semantic_rejects;
+    Alcotest.test_case "ffix (semantic)" `Slow test_ffix_semantic;
+    Alcotest.test_case "differential: rules vs checker" `Quick
+      test_differential;
+  ]

@@ -1,0 +1,136 @@
+(* Pair snapshot: concurroid/action laws, the stability lemmas behind
+   the version-check argument, the read_pair triple, and refutation of
+   the unchecked double-read. *)
+
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+module Hist = Fcsl_pcm.Hist
+
+let check = Alcotest.(check bool)
+
+let setup () =
+  let l = Label.make "ts_snapshot" in
+  let c = Snapshot.concurroid ~depth:2 l in
+  let states = List.map (fun s -> State.singleton l s) (Concurroid.enum c) in
+  (l, c, World.of_list [ c ], states)
+
+let test_laws () =
+  let _, c, _, _ = setup () in
+  Alcotest.(check (list string))
+    "no violations" []
+    (List.map (Fmt.str "%a" Concurroid.pp_violation) (Concurroid.check_laws c))
+
+let test_action_laws () =
+  let l, _, w, states = setup () in
+  let actions =
+    [
+      ("read_x", Action.map ignore (Snapshot.read_cell l Snapshot.x_cell));
+      ("write_x", Snapshot.write_cell l Snapshot.x_cell 1);
+      ("write_y", Snapshot.write_cell l Snapshot.y_cell 0);
+    ]
+  in
+  List.iter
+    (fun (name, a) ->
+      Alcotest.(check (list string))
+        (name ^ " laws") []
+        (List.map (Fmt.str "%a" Action.pp_violation)
+           (Action.check_laws w a ~states)))
+    actions
+
+let test_stability () =
+  let l, _, w, states = setup () in
+  let stable p = Stability.is_stable (Stability.check w ~states p) in
+  check "version grows" true
+    (stable (Snapshot.assert_version_at_least l Snapshot.x_cell 1));
+  check "version pins value" true
+    (stable (Snapshot.assert_version_pins l Snapshot.x_cell (1, 2)));
+  check "history extends" true
+    (stable
+       (Snapshot.assert_hist_extends l
+          (Hist.add 1
+             (Hist.entry ~arg:(Value.int 1)
+                ~state:(Value.pair (Value.int 1) (Value.int 0))
+                "wx")
+             Hist.empty)));
+  (* negative control: the raw value of x is unstable *)
+  check "raw value unstable" false
+    (stable (fun st ->
+         match State.find l st with
+         | Some s -> (
+           match Snapshot.cell_of (Slice.joint s) Snapshot.x_cell with
+           | Some (v, _) -> v = 0
+           | None -> false)
+         | None -> false))
+
+let test_triples () =
+  List.iter
+    (fun r -> check (Fmt.str "%a" Verify.pp_report r) true (Verify.ok r))
+    (Snapshot.verify ())
+
+let test_unchecked_refuted () =
+  check "unchecked double-read refuted" false
+    (Verify.ok (Snapshot.refute_unchecked ()))
+
+(* Property: on random interleaved schedules of read_pair against many
+   writers, the returned pair is always a recorded simultaneous state. *)
+let prop_random_snapshots =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"random schedules: snapshot valid"
+       QCheck2.Gen.(int_range 1 1_000_000)
+       (fun seed ->
+         let l = Label.make "rand_snapshot" in
+         let c = Snapshot.concurroid ~depth:1 l in
+         let w = World.of_list [ c ] in
+         let st =
+           State.singleton l
+             (Slice.make ~self:(Aux.hist Hist.empty)
+                ~joint:
+                  (Heap.of_list
+                     [
+                       (Snapshot.x_cell, Value.pair (Value.int 0) (Value.int 0));
+                       (Snapshot.y_cell, Value.pair (Value.int 0) (Value.int 0));
+                     ])
+                ~other:(Aux.hist Hist.empty))
+         in
+         let interfere = World.labels w in
+         let genv, mine = Sched.genv_of_state ~interfere w st in
+         let prog =
+           Prog.par (Snapshot.read_pair l)
+             (Prog.par
+                (Prog.act (Snapshot.write_cell l Snapshot.x_cell 1))
+                (Prog.act (Snapshot.write_cell l Snapshot.y_cell 1)))
+         in
+         match Sched.run_random ~seed ~interference:true genv mine prog with
+         | Sched.Finished (((a, b), _), final) ->
+           (* the returned pair occurs among the recorded states *)
+           let total =
+             match State.find l final with
+             | Some s -> (
+               match
+                 ( Aux.as_hist (Slice.self s), Aux.as_hist (Slice.other s) )
+               with
+               | Some hs, Some ho ->
+                 Option.value (Hist.join hs ho) ~default:Hist.empty
+               | _ -> Hist.empty)
+             | None -> Hist.empty
+           in
+           let states =
+             (0, 0)
+             :: List.filter_map Snapshot.entry_pair (Hist.entries total)
+           in
+           List.mem (a, b) states
+         | Sched.Crashed _ -> false
+         | Sched.Diverged -> true))
+
+let suite =
+  [
+    Alcotest.test_case "concurroid laws" `Quick test_laws;
+    Alcotest.test_case "action laws" `Quick test_action_laws;
+    Alcotest.test_case "stability lemmas" `Quick test_stability;
+    Alcotest.test_case "read_pair & writer triples" `Slow test_triples;
+    Alcotest.test_case "injected: unchecked read refuted" `Quick
+      test_unchecked_refuted;
+    prop_random_snapshots;
+  ]
