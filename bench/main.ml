@@ -123,7 +123,10 @@ let stability_test =
                    (Span.assert_in_self sp (Ptr.of_int 1))))
          then failwith "stability bench failed"))
 
-let explore_test =
+(* Exhaustive exploration of a racy CAS pair under interference, with
+   and without configuration memoization (the naive/memoized engine
+   comparison of DESIGN.md). *)
+let explore_tests =
   let sp = Label.make "bench_explore_span" in
   let conc = Span.concurroid sp in
   let w = World.of_list [ conc ] in
@@ -133,18 +136,20 @@ let explore_test =
       (Slice.make ~self:(Aux.set Ptr.Set.empty) ~joint:(Graph.to_heap g)
          ~other:(Aux.set Ptr.Set.empty))
   in
-  Test.make ~name:"explore"
-    (Staged.stage (fun () ->
-         let genv, mine =
-           Sched.genv_of_state ~interfere:(World.labels w) w st
-         in
-         let prog =
-           Prog.par
-             (Prog.act (Span.trymark sp (Ptr.of_int 1)))
-             (Prog.act (Span.trymark sp (Ptr.of_int 1)))
-         in
-         let outs, _ = Sched.explore genv mine prog in
-         if outs = [] then failwith "explore bench failed"))
+  let body ~dedup () =
+    let genv, mine = Sched.genv_of_state ~interfere:(World.labels w) w st in
+    let prog =
+      Prog.par
+        (Prog.act (Span.trymark sp (Ptr.of_int 1)))
+        (Prog.act (Span.trymark sp (Ptr.of_int 1)))
+    in
+    let outs, _ = Sched.explore ~dedup genv mine prog in
+    if outs = [] then failwith "explore bench failed"
+  in
+  [
+    Test.make ~name:"explore-naive" (Staged.stage (body ~dedup:false));
+    Test.make ~name:"explore-dedup" (Staged.stage (body ~dedup:true));
+  ]
 
 (* --- Ablations: the design choices DESIGN.md calls out. --- *)
 
@@ -251,36 +256,50 @@ let all_tests =
       Test.make_grouped ~name:"fig2" ~fmt:"%s/%s" [ fig2_test ];
       Test.make_grouped ~name:"fig5" ~fmt:"%s/%s" [ fig5_test ];
       Test.make_grouped ~name:"scaling" ~fmt:"%s/%s"
-        [ span_scaling_test; stability_test; explore_test ];
+        ([ span_scaling_test; stability_test ] @ explore_tests);
       Test.make_grouped ~name:"ablation" ~fmt:"%s/%s"
         ((ablation_env_budget :: ablation_blocking) @ ablation_random);
       Test.make_grouped ~name:"extension" ~fmt:"%s/%s" extension_tests;
     ]
 
-let run_benchmarks () =
+(* Runs the bechamel suite and returns one row per benchmark:
+   (name, ns/run, major-words/run) — also what BENCH_explore.json
+   records. *)
+let run_benchmarks () : (string * float * float) list =
   let cfg =
     Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None
       ~stabilize:false ()
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; major_allocated ] in
   let raw = Benchmark.all cfg instances all_tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | None -> nan
+    | Some ols -> (
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) -> t
+      | Some [] | None -> nan)
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let words = Analyze.all ols Instance.major_allocated raw in
   let rows =
-    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) times []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, ols) ->
+           let time =
+             match Analyze.OLS.estimates ols with
+             | Some (t :: _) -> t
+             | Some [] | None -> nan
+           in
+           (name, ols, time, estimate words name))
   in
   Fmt.pr "== Micro-benchmarks (bechamel, monotonic clock) ==@.";
-  Fmt.pr "%-42s %13s %8s@." "benchmark" "time/run" "r^2";
+  Fmt.pr "%-42s %13s %8s %14s@." "benchmark" "time/run" "r^2" "major-w/run";
   List.iter
-    (fun (name, ols) ->
-      let time =
-        match Analyze.OLS.estimates ols with
-        | Some (t :: _) -> t
-        | Some [] | None -> nan
-      in
+    (fun (name, ols, time, mw) ->
       let r2 = Option.value (Analyze.OLS.r_square ols) ~default:nan in
       let pp_t ppf t =
         if t > 1e9 then Fmt.pf ppf "%10.2f s " (t /. 1e9)
@@ -288,9 +307,123 @@ let run_benchmarks () =
         else if t > 1e3 then Fmt.pf ppf "%10.2f us" (t /. 1e3)
         else Fmt.pf ppf "%10.2f ns" t
       in
-      Fmt.pr "%-42s %a %8.4f@." name pp_t time r2)
+      Fmt.pr "%-42s %a %8.4f %14.0f@." name pp_t time r2 mw)
     rows;
-  Fmt.pr "@."
+  Fmt.pr "@.";
+  List.map (fun (name, _, time, mw) -> (name, time, mw)) rows
+
+(* --- Engine comparison: naive vs memoized vs memoized+parallel. ---
+
+   Wall-clock of every Table 1 verification under the three engine
+   configurations, with the verdict summaries cross-checked for
+   equality (memoized replay is exact; the parallel merge reproduces
+   the sequential accounting). *)
+
+type engine_row = {
+  er_name : string;
+  er_naive : float;
+  er_dedup : float;
+  er_dedup_par : float;
+  er_verdicts_equal : bool;
+}
+
+let verdict_summary reports =
+  List.map
+    (fun (r : Verify.report) ->
+      ( r.Verify.spec_name,
+        Verify.ok r,
+        r.Verify.initial_states,
+        r.Verify.outcomes,
+        r.Verify.diverged,
+        r.Verify.complete ))
+    reports
+
+let engine_comparison ~jobs () : engine_row list =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sweep ~dedup ~jobs =
+    Verify.with_engine ~dedup ~jobs (fun () ->
+        List.map
+          (fun (c : Registry.case) -> timed c.Registry.c_verify)
+          Registry.all)
+  in
+  let naive = sweep ~dedup:false ~jobs:1 in
+  let dedup = sweep ~dedup:true ~jobs:1 in
+  let dedup_par = sweep ~dedup:true ~jobs in
+  List.map2
+    (fun (c : Registry.case) ((rn, tn), ((rd, td), (rp, tp))) ->
+      {
+        er_name = c.Registry.c_name;
+        er_naive = tn;
+        er_dedup = td;
+        er_dedup_par = tp;
+        er_verdicts_equal =
+          verdict_summary rn = verdict_summary rd
+          && verdict_summary rd = verdict_summary rp;
+      })
+    Registry.all
+    (List.map2 (fun a (b, c) -> (a, (b, c))) naive
+       (List.map2 (fun a b -> (a, b)) dedup dedup_par))
+
+let pp_engine_rows ppf rows =
+  Fmt.pf ppf "%-14s %9s %9s %11s %8s@." "Program" "naive" "memoized"
+    "memo+par" "verdicts";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-14s %8.3fs %8.3fs %10.3fs %8s@." r.er_name r.er_naive
+        r.er_dedup r.er_dedup_par
+        (if r.er_verdicts_equal then "equal" else "DIFFER"))
+    rows;
+  let tot f = List.fold_left (fun a r -> a +. f r) 0. rows in
+  Fmt.pf ppf "%-14s %8.3fs %8.3fs %10.3fs@." "TOTAL"
+    (tot (fun r -> r.er_naive))
+    (tot (fun r -> r.er_dedup))
+    (tot (fun r -> r.er_dedup_par))
+
+(* --- BENCH_explore.json: the machine-readable record. --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_num x = if Float.is_nan x then "null" else Printf.sprintf "%.1f" x
+
+let write_bench_json ~path ~jobs (bench_rows : (string * float * float) list)
+    (engine_rows : engine_row list) =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ns, mw) ->
+      pr "    {\"name\": \"%s\", \"ns_per_run\": %s, \"major_words\": %s}%s\n"
+        (json_escape name) (json_num ns) (json_num mw)
+        (if i = List.length bench_rows - 1 then "" else ","))
+    bench_rows;
+  pr "  ],\n  \"engine_comparison\": {\n";
+  pr "    \"jobs\": %d,\n    \"cases\": [\n" jobs;
+  List.iteri
+    (fun i r ->
+      pr
+        "      {\"name\": \"%s\", \"naive_s\": %.4f, \"memoized_s\": %.4f, \
+         \"memoized_parallel_s\": %.4f, \"verdicts_equal\": %b}%s\n"
+        (json_escape r.er_name) r.er_naive r.er_dedup r.er_dedup_par
+        r.er_verdicts_equal
+        (if i = List.length engine_rows - 1 then "" else ","))
+    engine_rows;
+  pr "    ]\n  }\n}\n";
+  close_out oc
 
 (* --- The regenerated evaluation artifacts. --- *)
 
@@ -363,7 +496,14 @@ let print_figure2 () =
 
 let () =
   Fmt.pr "FCSL benchmark & evaluation harness (paper: PLDI 2015)@.@.";
-  run_benchmarks ();
+  let bench_rows = run_benchmarks () in
+  let jobs = Pool.recommended_jobs () in
+  Fmt.pr "== Engine comparison: naive vs memoized vs memoized+parallel (-j %d) ==@."
+    jobs;
+  let engine_rows = engine_comparison ~jobs () in
+  Fmt.pr "%a@." pp_engine_rows engine_rows;
+  write_bench_json ~path:"BENCH_explore.json" ~jobs bench_rows engine_rows;
+  Fmt.pr "wrote BENCH_explore.json@.@.";
   Fmt.pr "== Table 1: statistics for implemented programs ==@.";
   Fmt.pr "%a@." Tables.pp_table1 (Tables.table1 ());
   Fmt.pr "== Table 2: primitive concurroids employed by programs ==@.";

@@ -22,20 +22,42 @@ let exit_failed = 1
 
 (* verify *)
 
-let verify_case (c : Registry.case) =
-  Fmt.pr "@[<v2>%s:@ " c.Registry.c_name;
+(* Renders one case's verification to a string so that parallel runs
+   (-j) can print whole-case blocks in registry order instead of
+   interleaving lines from several domains. *)
+let verify_case (c : Registry.case) : string * bool =
   let t0 = Unix.gettimeofday () in
   let reports = c.Registry.c_verify () in
   let dt = Unix.gettimeofday () -. t0 in
-  List.iter (fun r -> Fmt.pr "%a@ " Verify.pp_report r) reports;
-  Fmt.pr "(%.2fs)@]@." dt;
-  List.for_all Verify.ok reports
+  let out =
+    Fmt.str "@[<v2>%s:@ %a(%.2fs)@]@." c.Registry.c_name
+      (Fmt.list ~sep:Fmt.cut (fun ppf r -> Fmt.pf ppf "%a@ " Verify.pp_report r))
+      reports dt
+  in
+  (out, List.for_all Verify.ok reports)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Verify on $(docv) domains in parallel (case studies fan out \
+           over a domain pool; output order is unchanged)")
+
+let no_dedup_flag =
+  Arg.(
+    value & flag
+    & info [ "no-dedup" ]
+        ~doc:
+          "Disable configuration memoization in the scheduler and \
+           re-explore every interleaving naively (slower; useful for \
+           cross-checking the memoized engine)")
 
 let verify_cmd =
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
   in
-  let run name =
+  let run name jobs no_dedup =
     let cases =
       match name with
       | None -> Registry.all
@@ -49,7 +71,15 @@ let verify_cmd =
             Registry.all;
           exit exit_failed)
     in
-    let ok = List.for_all verify_case cases in
+    Verify.with_engine ~dedup:(not no_dedup) @@ fun () ->
+    let results = Pool.map ~jobs verify_case cases in
+    let ok =
+      List.fold_left
+        (fun acc (out, case_ok) ->
+          print_string out;
+          acc && case_ok)
+        true results
+    in
     if ok then begin
       Fmt.pr "all verified.@.";
       exit_ok
@@ -58,18 +88,18 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Mechanically verify case studies (all by default)")
-    Term.(const run $ name_arg)
+    Term.(const run $ name_arg $ jobs_arg $ no_dedup_flag)
 
 (* tables *)
 
 let table1_cmd =
-  let run () =
-    Fmt.pr "%a@." Tables.pp_table1 (Tables.table1 ());
+  let run jobs =
+    Fmt.pr "%a@." Tables.pp_table1 (Tables.table1 ~jobs ());
     exit_ok
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate Table 1 (LoC statistics + verify times)")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let table2_cmd =
   let run () =

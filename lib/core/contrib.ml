@@ -40,4 +40,24 @@ let equal (c1 : t) (c2 : t) =
   in
   Label.Set.for_all (fun l -> Aux.equal (get l c1) (get l c2)) labels
 
+(* A binding to the structural [Aux.Unit] is indistinguishable from a
+   missing one (see {!get}), so comparisons and hashing go through this
+   canonical form.  Sort-specific units ([Nat 0], empty sets, ...) are
+   NOT dropped: [equal] distinguishes them from [Unit] too. *)
+let canon (c : t) =
+  Label.Map.filter (fun _ a -> match a with Aux.Unit -> false | _ -> true) c
+
+let compare (c1 : t) (c2 : t) =
+  Label.Map.compare Aux.compare (canon c1) (canon c2)
+
+(* Canonical: skips structural-Unit bindings and folds in ascending
+   label order, consistent with {!equal}. *)
+let hash (c : t) =
+  Label.Map.fold
+    (fun l a acc ->
+      match a with
+      | Aux.Unit -> acc
+      | _ -> (((acc * 33) lxor Label.hash l) * 33) lxor Aux.hash a)
+    c 5381
+
 let pp ppf (c : t) = Label.Map.pp Aux.pp ppf c

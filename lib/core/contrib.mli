@@ -20,4 +20,16 @@ val join_exn : t -> t -> t
 val join_all : t list -> t option
 val is_empty : t -> bool
 val equal : t -> t -> bool
+
+val canon : t -> t
+(** Drop bindings to the structural [Aux.Unit], which {!get} cannot
+    distinguish from missing ones. *)
+
+val compare : t -> t -> int
+(** Semantic total order on canonical forms, consistent with
+    {!equal}. *)
+
+val hash : t -> int
+(** Consistent with {!equal}; used by memoized exploration. *)
+
 val pp : Format.formatter -> t -> unit

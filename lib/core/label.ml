@@ -4,22 +4,27 @@
 
 type t = int
 
+(* The registry is global mutable state; verification now fans work out
+   across domains (see [Pool]), so every access goes through a mutex. *)
+let lock = Mutex.create ()
 let registry : (int, string) Hashtbl.t = Hashtbl.create 16
 let counter = ref 0
 
 let make name =
-  incr counter;
-  let l = !counter in
-  Hashtbl.replace registry l name;
-  l
+  Mutex.protect lock (fun () ->
+      incr counter;
+      let l = !counter in
+      Hashtbl.replace registry l name;
+      l)
 
 let name l =
-  match Hashtbl.find_opt registry l with
+  match Mutex.protect lock (fun () -> Hashtbl.find_opt registry l) with
   | Some n -> n
   | None -> Fmt.str "l%d" l
 
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Int.compare a b
+let hash (l : t) = l
 let pp ppf l = Fmt.pf ppf "%s#%d" (name l) l
 
 module Ord = struct

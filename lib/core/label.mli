@@ -9,6 +9,10 @@ val make : string -> t
 val name : t -> string
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Consistent with {!equal}; used by memoized exploration. *)
+
 val pp : Format.formatter -> t -> unit
 
 module Map : sig

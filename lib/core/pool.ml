@@ -1,0 +1,40 @@
+(* A minimal fixed-size domain pool (OCaml 5 [Domain.spawn], no external
+   dependencies) used to fan verification work out across cores: initial
+   states in [Verify.check_triple], Table 1 rows in the report layer.
+
+   Work items are claimed off a shared atomic counter, so long and short
+   items balance across domains without any up-front partitioning. *)
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let map ~jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let n = List.length xs in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let errors = Atomic.make [] in
+    let rec push_error e bt =
+      let cur = Atomic.get errors in
+      if not (Atomic.compare_and_set errors cur ((e, bt) :: cur)) then
+        push_error e bt
+    in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f input.(i) with
+        | v -> results.(i) <- Some v
+        | exception e -> push_error e (Printexc.get_raw_backtrace ()));
+        worker ()
+      end
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get errors with
+    | (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+    | [] -> ());
+    Array.to_list (Array.map Option.get results)
+  end

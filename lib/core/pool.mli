@@ -1,0 +1,15 @@
+(** A minimal fixed-size domain pool (OCaml 5 domains, no external
+    dependencies) for fanning verification work out across cores. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs]
+    domains (the caller's domain included); items are claimed off a
+    shared counter, so uneven items balance across domains.  Order is
+    preserved.  If any application raises, one such exception is
+    re-raised (with its backtrace) after all domains have joined.
+
+    [f] must therefore be safe to run concurrently with itself.
+    [jobs <= 1] degrades to a plain sequential map. *)

@@ -322,8 +322,13 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
    environment may take any transition of that label's concurroid from
    its own viewpoint ([self] = external contribution, [other] = the sum
    of all our threads' contributions).  From the program's side this
-   changes [joint] and the external contribution, never our selves. *)
-let env_moves : type a. genv -> Contrib.t -> a rt -> (string * genv) list =
+   changes [joint] and the external contribution, never our selves.
+
+   Move names are lazy: exhaustive exploration only renders a schedule
+   when it reports a crash, so the (hot) happy paths never pay for the
+   formatting. *)
+let env_moves_aux : type a. genv -> Contrib.t -> a rt -> (string Lazy.t * genv) list
+    =
  fun genv mine rt ->
   match Option.bind (inner_contribs rt) (Contrib.join mine) with
   | None -> []
@@ -344,7 +349,7 @@ let env_moves : type a. genv -> Contrib.t -> a rt -> (string * genv) list =
             in
             List.map
               (fun (n, s') ->
-                ( Fmt.str "env:%s.%s" (Concurroid.name c) n,
+                ( lazy (Fmt.str "env:%s.%s" (Concurroid.name c) n),
                   {
                     genv with
                     joints = Label.Map.add l (Slice.joint s') genv.joints;
@@ -354,6 +359,230 @@ let env_moves : type a. genv -> Contrib.t -> a rt -> (string * genv) list =
                   } ))
               (Concurroid.steps c env_slice))
       (World.concurroids genv.world)
+
+let env_moves genv mine rt =
+  List.map (fun (n, g) -> (Lazy.force n, g)) (env_moves_aux genv mine rt)
+
+(* Configuration fingerprinting, the backbone of memoized exploration.
+
+   A configuration is (genv, mine, rt).  The state-like parts (joint
+   heaps, auxiliary contributions) have canonical semantic compare/hash
+   functions.  The thread tree does not: its leaves embed OCaml closures
+   (bind continuations, actions) that two interleavings of the same
+   commuting steps rebuild independently, so physical identity misses
+   them.  We identify tree atoms by a per-exploration registry that
+   compares the runtime representations structurally — descending
+   through blocks and, crucially, through closures, whose code pointers
+   are compared as raw words and whose captured environments are
+   compared recursively.  Same code and structurally equal captures
+   means the same behaviour (captures are immutable throughout this
+   codebase), so identification is sound; anything unrecognized
+   (pathological depth, infix pointers of mutually recursive closure
+   blocks) conservatively compares unequal, which only forfeits a
+   pruning opportunity. *)
+module Keyer = struct
+  (* Start-of-environment index of a closure block, decoded from the
+     closinfo word as laid out by the OCaml 5 runtime: arity in the top
+     8 bits, start-of-env in the remaining bits, shifted by 1. *)
+  let start_env (o : Obj.t) =
+    let info = Obj.raw_field o 1 in
+    Nativeint.to_int
+      (Nativeint.shift_right_logical (Nativeint.shift_left info 8) 9)
+
+  let raw_prefix_eq a b n =
+    let rec go i =
+      i >= n
+      || (Nativeint.equal (Obj.raw_field a i) (Obj.raw_field b i)
+         && go (i + 1))
+    in
+    go 0
+
+  (* Structural equality of runtime representations.  [fuel] bounds the
+     number of visited nodes (cycles through recursive closures, huge
+     captured structures); exhaustion answers [false]. *)
+  let rec obj_eq fuel (a : Obj.t) (b : Obj.t) =
+    a == b
+    || (!fuel > 0
+       &&
+       (decr fuel;
+        (not (Obj.is_int a))
+        && (not (Obj.is_int b))
+        &&
+        let ta = Obj.tag a in
+        ta = Obj.tag b
+        &&
+        if ta = Obj.string_tag then String.equal (Obj.obj a) (Obj.obj b)
+        else if ta = Obj.double_tag then Float.equal (Obj.obj a) (Obj.obj b)
+        else if ta = Obj.double_array_tag then
+          (Obj.obj a : float array) = (Obj.obj b : float array)
+        else if ta = Obj.custom_tag then
+          (try Stdlib.compare a b = 0 with Invalid_argument _ -> false)
+        else if ta = Obj.closure_tag then
+          let sa = Obj.size a in
+          sa = Obj.size b
+          &&
+          let se = start_env a in
+          2 <= se && se <= sa && raw_prefix_eq a b se
+          && fields_eq fuel a b se sa
+        else if ta = Obj.infix_tag then false
+        else if ta < Obj.no_scan_tag then
+          let sa = Obj.size a in
+          sa = Obj.size b && fields_eq fuel a b 0 sa
+        else false))
+
+  and fields_eq fuel a b i n =
+    i >= n
+    || (obj_eq fuel (Obj.field a i) (Obj.field b i)
+       && fields_eq fuel a b (i + 1) n)
+
+  let eq_fuel = 4096
+
+  let same (a : Obj.t) (b : Obj.t) = obj_eq (ref eq_fuel) a b
+
+  type t = {
+    buckets : (int, (Obj.t * int) list) Hashtbl.t;
+    mutable next : int;
+    mutable stored : int;
+  }
+
+  (* Registered atoms are kept alive for the whole exploration, so cap
+     the registry; atoms past the cap get fresh (never-matching) ids. *)
+  let max_stored = 1 lsl 16
+
+  let create () = { buckets = Hashtbl.create 256; next = 0; stored = 0 }
+
+  (* Immediates map to odd codes, registered blocks to even ones, so the
+     two can never collide.  [Hashtbl.hash] is total (closures hash by
+     code address and captured environment) and consistent with
+     [obj_eq]-equal values in practice; a stray inconsistency would only
+     duplicate an atom id, never identify distinct atoms. *)
+  let atom t (o : Obj.t) : int =
+    if Obj.is_int o then (2 * (Obj.obj o : int)) + 1
+    else begin
+      let h = Hashtbl.hash o in
+      let bucket = Option.value (Hashtbl.find_opt t.buckets h) ~default:[] in
+      match List.find_opt (fun (o', _) -> same o o') bucket with
+      | Some (_, id) -> id
+      | None ->
+        let id = 2 * t.next in
+        t.next <- t.next + 1;
+        if t.stored < max_stored then begin
+          Hashtbl.replace t.buckets h ((o, id) :: bucket);
+          t.stored <- t.stored + 1
+        end;
+        id
+    end
+end
+
+type keyer = Keyer.t
+
+let new_keyer = Keyer.create
+
+(* The shape of a thread tree, with atoms replaced by registry codes and
+   the per-branch contributions kept as comparable values. *)
+type rt_key =
+  | KRet of int
+  | KAct of int
+  | KBind of rt_key * int
+  | KPar of rt_key * Contrib.t * rt_key * Contrib.t
+  | KParP of int * int * int
+  | KHideP of int * int
+  | KHideI of int * rt_key
+
+let rec rt_key : type a. keyer -> a rt -> rt_key =
+ fun kr rt ->
+  let atom v = Keyer.atom kr (Obj.repr v) in
+  match rt with
+  | RRet v -> KRet (atom v)
+  | RAct a -> KAct (atom a)
+  | RBind (p, k) -> KBind (rt_key kr p, atom k)
+  | RPar (l, cl, r, cr) -> KPar (rt_key kr l, cl, rt_key kr r, cr)
+  | RParP (s, p, q) -> KParP (atom s, atom p, atom q)
+  | RHideP (s, b) -> KHideP (atom s, atom b)
+  | RHideI (s, b) -> KHideI (atom s, rt_key kr b)
+
+let rec rt_key_equal k1 k2 =
+  match (k1, k2) with
+  | KRet i, KRet j | KAct i, KAct j -> i = j
+  | KBind (p, i), KBind (q, j) -> i = j && rt_key_equal p q
+  | KPar (l1, cl1, r1, cr1), KPar (l2, cl2, r2, cr2) ->
+    rt_key_equal l1 l2 && rt_key_equal r1 r2 && Contrib.equal cl1 cl2
+    && Contrib.equal cr1 cr2
+  | KParP (s1, p1, q1), KParP (s2, p2, q2) -> s1 = s2 && p1 = p2 && q1 = q2
+  | KHideP (s1, b1), KHideP (s2, b2) -> s1 = s2 && b1 = b2
+  | KHideI (s1, b1), KHideI (s2, b2) -> s1 = s2 && rt_key_equal b1 b2
+  | (KRet _ | KAct _ | KBind _ | KPar _ | KParP _ | KHideP _ | KHideI _), _ ->
+    false
+
+let rec rt_key_hash = function
+  | KRet i -> (3 * 33) lxor i
+  | KAct i -> (5 * 33) lxor i
+  | KBind (p, i) -> (((7 * 33) lxor rt_key_hash p) * 33) lxor i
+  | KPar (l, cl, r, cr) ->
+    (((((((11 * 33) lxor rt_key_hash l) * 33) lxor Contrib.hash cl) * 33)
+      lxor rt_key_hash r)
+     * 33)
+    lxor Contrib.hash cr
+  | KParP (s, p, q) -> (((((13 * 33) lxor s) * 33) lxor p) * 33) lxor q
+  | KHideP (s, b) -> (((17 * 33) lxor s) * 33) lxor b
+  | KHideI (s, b) -> (((19 * 33) lxor s) * 33) lxor rt_key_hash b
+
+type config_key = {
+  ck_rt : rt_key;
+  ck_joints : Heap.t Label.Map.t;
+  ck_jauxs : Contrib.t;
+  ck_ext : Contrib.t;
+  ck_world : int list; (* concurroid identities, in world order *)
+  ck_mine : Contrib.t;
+  ck_hash : int; (* precomputed: keys are hashed more than once *)
+}
+
+let config_key (kr : keyer) (genv : genv) (mine : Contrib.t) rt : config_key =
+  let ck_rt = rt_key kr rt in
+  let ck_world =
+    List.map (fun c -> Keyer.atom kr (Obj.repr c)) (World.concurroids genv.world)
+  in
+  let ck_joints = genv.joints in
+  let ck_jauxs = genv.jauxs in
+  let ck_ext = genv.ext_other in
+  let ck_mine = mine in
+  let joints_hash =
+    Label.Map.fold
+      (fun l h acc -> (((acc * 33) lxor Label.hash l) * 33) lxor Heap.hash h)
+      ck_joints 5381
+  in
+  let ck_hash =
+    List.fold_left
+      (fun acc w -> (acc * 33) lxor w)
+      ((((((((rt_key_hash ck_rt * 33) lxor joints_hash) * 33)
+          lxor Contrib.hash ck_jauxs)
+         * 33)
+        lxor Contrib.hash ck_ext)
+       * 33)
+      lxor Contrib.hash ck_mine)
+      ck_world
+  in
+  { ck_rt; ck_joints; ck_jauxs; ck_ext; ck_world; ck_mine; ck_hash }
+
+let config_key_hash k = k.ck_hash
+
+let config_key_equal k1 k2 =
+  k1.ck_hash = k2.ck_hash
+  && rt_key_equal k1.ck_rt k2.ck_rt
+  && Label.Map.equal Heap.equal k1.ck_joints k2.ck_joints
+  && Contrib.equal k1.ck_jauxs k2.ck_jauxs
+  && Contrib.equal k1.ck_ext k2.ck_ext
+  && List.equal Int.equal k1.ck_world k2.ck_world
+  && Contrib.equal k1.ck_mine k2.ck_mine
+
+let fingerprint kr genv mine rt = config_key_hash (config_key kr genv mine rt)
+
+module Memo = Hashtbl.Make (struct
+  type t = config_key
+
+  let equal = config_key_equal
+  let hash = config_key_hash
+end)
 
 (* Exploration. *)
 
@@ -369,18 +598,62 @@ let pp_outcome pp_res ppf = function
 
 exception Stop
 
+(* Render a schedule prefix for counterexample reports (most recent
+   last).  Names are accumulated lazily and only forced here, on the
+   crash paths. *)
+let pp_trace trace =
+  String.concat " ; " (List.rev_map Lazy.force trace)
+
+(* What the memo table remembers about an exhausted configuration: the
+   remaining fuel and environment budget it was explored with, what its
+   subtree actually NEEDED of them, and the outcomes the subtree
+   recorded (in order).
+
+   A revisit is pruned by replaying the cached outcomes when the replay
+   is provably exact — i.e. a fresh exploration would record the same
+   outcome sequence.  That holds in two cases:
+
+   - the revisit has the same remaining fuel and budget (commuting-step
+     diamonds: equal move multisets reach equal configurations at equal
+     depth and equal env usage); or
+   - the cached subtree was never truncated and the revisit's allowances
+     cover its recorded needs: nodes below the deepest point and env
+     branches beyond the low-water budget simply do not exist, so any
+     larger-or-equal allowance explores the identical tree.  ([e_need_*]
+     is [max_int] when the subtree WAS cut by that limit, disabling this
+     arm.)
+
+   Either way the replayed outcomes are exactly the naive ones, so
+   failure sets, outcome counts and completeness are preserved; only the
+   schedule annotations inside crash messages keep their first-discovery
+   trace. *)
+type 'a memo_entry = {
+  e_fuel : int; (* remaining fuel at the recorded visit *)
+  e_budget : int; (* env budget at the recorded visit *)
+  e_need_fuel : int; (* deepest relative depth reached; max_int if cut *)
+  e_need_env : int; (* most env steps used on a path; max_int if cut *)
+  e_outs : 'a outcome list;
+}
+
+(* Entries above this many outcomes are not stored: their memory cost
+   outweighs the re-emission saving, and their subtrees are pruned
+   through their (cached) children anyway. *)
+let memo_store_cap = 4096
+
 (* Depth-first exploration of all interleavings (and, when [interference]
    holds, all environment-step insertions), up to [fuel] steps per path
    and at most [max_outcomes] recorded outcomes.  Returns the recorded
-   outcomes and a completeness flag. *)
-(* Render a schedule prefix for counterexample reports (most recent
-   last). *)
-let pp_trace trace =
-  String.concat " ; " (List.rev trace)
+   outcomes and a completeness flag.
 
+   With [dedup], configurations are fingerprinted (see {!config_key})
+   and a configuration already exhausted at no less fuel and budget is
+   pruned by replaying its recorded outcomes.  Interleavings of
+   commuting steps — the diamonds behind the exponential blow-up — reach
+   identical configurations at identical depth, so this collapses them
+   while reporting exactly what the naive search reports. *)
 let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
-    ?(env_budget = max_int) (genv0 : genv) (mine0 : Contrib.t)
-    (prog : 'a Prog.t) : 'a outcome list * bool =
+    ?(env_budget = max_int) ?(dedup = false) (genv0 : genv)
+    (mine0 : Contrib.t) (prog : 'a Prog.t) : 'a outcome list * bool =
   let outcomes = ref [] in
   let count = ref 0 in
   let record o =
@@ -388,9 +661,27 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
     incr count;
     if !count >= max_outcomes then raise Stop
   in
-  let rec go : genv -> Contrib.t -> 'a rt -> int -> int -> string list -> unit
-      =
+  let keyer = Keyer.create () in
+  let memo : 'a memo_entry Memo.t = Memo.create (if dedup then 4096 else 1) in
+  (* Subtree-need accounting: absolute-depth high-water mark, budget
+     low-water mark, and whether the fuel limit was hit.  Saved and
+     restored around every memoized subtree. *)
+  let deepest = ref 0 in
+  let shallow_budget = ref env_budget in
+  let fuel_cut = ref false in
+  (* The first [n] cells of the (newest-first) outcome list, oldest
+     first: the outcomes a subtree just recorded. *)
+  let take_rev n l =
+    let rec aux n acc l =
+      match l with x :: tl when n > 0 -> aux (n - 1) (x :: acc) tl | _ -> acc
+    in
+    aux n [] l
+  in
+  let rec go :
+      genv -> Contrib.t -> 'a rt -> int -> int -> string Lazy.t list -> unit =
    fun genv mine rt depth budget trace ->
+    if depth > !deepest then deepest := depth;
+    if budget < !shallow_budget then shallow_budget := budget;
     match normalize genv mine rt with
     | Norm_crash msg ->
       record (Crashed (Fmt.str "%s [schedule: %s]" msg (pp_trace trace)))
@@ -399,33 +690,86 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
       | Some st -> record (Finished (v, st))
       | None -> record (Crashed "final view invalid"))
     | Norm (genv, mine, rt) ->
-      if depth >= fuel then record Diverged
-      else begin
-        let mvs = moves genv Contrib.empty mine rt in
-        let envs =
-          if interference && budget > 0 then env_moves genv mine rt else []
-        in
-        if mvs = [] && envs = [] then
-          (* every thread blocked on a disabled action: divergence *)
-          record Diverged
-        else begin
-          List.iter
-            (fun mv ->
-              match mv.mv_next with
-              | Error msg ->
-                record
-                  (Crashed
-                     (Fmt.str "%s [schedule: %s]" msg
-                        (pp_trace (mv.mv_name :: trace))))
-              | Ok (genv', mine', rt') ->
-                go genv' mine' rt' (depth + 1) budget (mv.mv_name :: trace))
-            mvs;
-          List.iter
-            (fun (n, genv') ->
-              go genv' mine rt (depth + 1) (budget - 1) (n :: trace))
-            envs
-        end
+      if depth >= fuel then begin
+        fuel_cut := true;
+        record Diverged
       end
+      else if not dedup then branch genv mine rt depth budget trace
+      else begin
+        let key = config_key keyer genv mine rt in
+        let remaining = fuel - depth in
+        match
+          List.find_opt
+            (fun e ->
+              (remaining >= e.e_need_fuel && budget >= e.e_need_env)
+              || (remaining = e.e_fuel && budget = e.e_budget))
+            (Memo.find_all memo key)
+        with
+        | Some e ->
+          List.iter record e.e_outs;
+          (* Fold the pruned subtree's needs into the enclosing one's. *)
+          if e.e_need_fuel = max_int then fuel_cut := true
+          else if depth + e.e_need_fuel > !deepest then
+            deepest := depth + e.e_need_fuel;
+          if e.e_need_env = max_int then shallow_budget := 0
+          else if budget - e.e_need_env < !shallow_budget then
+            shallow_budget := budget - e.e_need_env
+        | None ->
+          let n0 = !count in
+          let saved_deep = !deepest
+          and saved_low = !shallow_budget
+          and saved_cut = !fuel_cut in
+          deepest := depth;
+          shallow_budget := budget;
+          fuel_cut := false;
+          branch genv mine rt depth budget trace;
+          (* Reached only when the subtree was exhausted without hitting
+             [max_outcomes] (otherwise [Stop] has propagated), so the
+             segment just recorded is complete and safe to replay. *)
+          let need_fuel = if !fuel_cut then max_int else !deepest - depth in
+          let need_env =
+            if !shallow_budget = 0 && interference then max_int
+            else budget - !shallow_budget
+          in
+          let added = !count - n0 in
+          if added <= memo_store_cap then
+            Memo.add memo key
+              {
+                e_fuel = remaining;
+                e_budget = budget;
+                e_need_fuel = need_fuel;
+                e_need_env = need_env;
+                e_outs = take_rev added !outcomes;
+              };
+          deepest := max saved_deep !deepest;
+          shallow_budget := min saved_low !shallow_budget;
+          fuel_cut := saved_cut || !fuel_cut
+      end
+  and branch genv mine rt depth budget trace =
+    let mvs = moves genv Contrib.empty mine rt in
+    let envs =
+      if interference && budget > 0 then env_moves_aux genv mine rt else []
+    in
+    if mvs = [] && envs = [] then
+      (* every thread blocked on a disabled action: divergence *)
+      record Diverged
+    else begin
+      List.iter
+        (fun mv ->
+          match mv.mv_next with
+          | Error msg ->
+            record
+              (Crashed
+                 (Fmt.str "%s [schedule: %s]" msg
+                    (pp_trace (Lazy.from_val mv.mv_name :: trace))))
+          | Ok (genv', mine', rt') ->
+            go genv' mine' rt' (depth + 1) budget
+              (Lazy.from_val mv.mv_name :: trace))
+        mvs;
+      List.iter
+        (fun (n, genv') -> go genv' mine rt (depth + 1) (budget - 1) (n :: trace))
+        envs
+    end
   in
   let complete =
     match go genv0 mine0 (inject prog) 0 env_budget [] with

@@ -59,6 +59,33 @@ val moves : genv -> Contrib.t -> Contrib.t -> 'a rt -> 'a move list
 val env_moves : genv -> Contrib.t -> 'a rt -> (string * genv) list
 (** The enabled environment-interference steps. *)
 
+(** {1 Configuration fingerprinting}
+
+    Canonical, hashable keys for scheduler configurations, the backbone
+    of memoized exploration.  State-like parts (joint heaps, auxiliary
+    contributions) are compared semantically; thread trees embed OCaml
+    closures, so their atoms are identified by a per-exploration
+    identity registry — conservative (a missed identification only
+    forfeits pruning), and exact on the diamonds of commuting steps,
+    which share their unreduced subtrees physically. *)
+
+type keyer
+(** An atom-identity registry.  Keys from different keyers are not
+    comparable. *)
+
+val new_keyer : unit -> keyer
+
+type config_key
+
+val config_key : keyer -> genv -> Contrib.t -> 'a rt -> config_key
+(** The key of the configuration [(genv, mine, rt)]. *)
+
+val config_key_equal : config_key -> config_key -> bool
+val config_key_hash : config_key -> int
+
+val fingerprint : keyer -> genv -> Contrib.t -> 'a rt -> int
+(** [config_key_hash] of {!config_key}: a cheap configuration digest. *)
+
 type 'a outcome =
   | Finished of 'a * State.t
       (** result and the root thread's final subjective view *)
@@ -75,6 +102,7 @@ val explore :
   ?max_outcomes:int ->
   ?interference:bool ->
   ?env_budget:int ->
+  ?dedup:bool ->
   genv ->
   Contrib.t ->
   'a Prog.t ->
@@ -82,7 +110,13 @@ val explore :
 (** Depth-first exploration of all interleavings and (bounded by
     [env_budget]) all environment-step insertions, up to [fuel] steps
     per path.  Returns the outcomes and a completeness flag ([false]
-    when [max_outcomes] was hit). *)
+    when [max_outcomes] was hit).
+
+    With [dedup] (default [false]), a configuration already exhausted at
+    no less remaining fuel and environment budget is pruned by replaying
+    its recorded outcomes — collapsing the diamonds of commuting steps
+    while preserving the failure set and the completeness verdict; crash
+    messages keep the schedule of their first discovery. *)
 
 val run_with_chooser :
   ?fuel:int ->

@@ -59,16 +59,23 @@ let equal s1 s2 =
   && Aux.equal s1.jaux s2.jaux
   && Aux.equal s1.other s2.other
 
-let compare_for_dedup s1 s2 =
-  let c = Stdlib.compare (Aux.to_string s1.self) (Aux.to_string s2.self) in
+let compare s1 s2 =
+  let c = Aux.compare s1.self s2.self in
   if c <> 0 then c
   else
     let c = Heap.compare s1.joint s2.joint in
     if c <> 0 then c
     else
-      let c = Stdlib.compare (Aux.to_string s1.jaux) (Aux.to_string s2.jaux) in
-      if c <> 0 then c
-      else Stdlib.compare (Aux.to_string s1.other) (Aux.to_string s2.other)
+      let c = Aux.compare s1.jaux s2.jaux in
+      if c <> 0 then c else Aux.compare s1.other s2.other
+
+let compare_for_dedup = compare
+
+let hash s =
+  (((((Aux.hash s.self * 33) lxor Heap.hash s.joint) * 33)
+   lxor Aux.hash s.jaux)
+   * 33)
+  lxor Aux.hash s.other
 
 let pp ppf s =
   if Aux.is_unit s.jaux then

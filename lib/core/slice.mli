@@ -46,8 +46,16 @@ val realign : t -> self:Aux.t -> other:Aux.t -> t option
 
 val equal : t -> t -> bool
 
+val compare : t -> t -> int
+(** Semantic total order over all four components, consistent with
+    {!equal}. *)
+
 val compare_for_dedup : t -> t -> int
-(** A total order used for state-set deduplication only. *)
+(** Alias of {!compare}; kept for the state-set deduplication call
+    sites. *)
+
+val hash : t -> int
+(** Consistent with {!equal}; used by memoized exploration. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

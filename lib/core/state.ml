@@ -69,6 +69,13 @@ let erase_exn st =
   | None -> invalid_arg "State.erase_exn: colliding heaps"
 
 let equal (st1 : t) (st2 : t) = Label.Map.equal Slice.equal st1 st2
+let compare (st1 : t) (st2 : t) = Label.Map.compare Slice.compare st1 st2
+
+(* Canonical: folds in ascending label order, consistent with {!equal}. *)
+let hash (st : t) =
+  Label.Map.fold
+    (fun l s acc -> (((acc * 33) lxor Label.hash l) * 33) lxor Slice.hash s)
+    st 5381
 
 (* Disjoint-label union, for entangled states. *)
 let union (st1 : t) (st2 : t) : t option =

@@ -45,6 +45,12 @@ val erase : t -> Heap.t option
 val erase_exn : t -> Heap.t
 val equal : t -> t -> bool
 
+val compare : t -> t -> int
+(** Semantic total order, consistent with {!equal}. *)
+
+val hash : t -> int
+(** Consistent with {!equal}; used by memoized exploration. *)
+
 val union : t -> t -> t option
 (** Disjoint-label union, for entangled states. *)
 

@@ -24,6 +24,24 @@ type report = {
 
 let ok r = r.failures = []
 
+(* Engine defaults, overridable per call: configuration memoization in
+   the scheduler (see [Sched.explore ~dedup]) and the number of domains
+   verification fans initial states out over.  The CLI and the bench
+   harness set these process-wide; [with_engine] scopes an override. *)
+let default_dedup = ref true
+let default_jobs = ref 1
+let set_default_dedup b = default_dedup := b
+let set_default_jobs j = default_jobs := max 1 j
+
+let with_engine ?dedup ?jobs f =
+  let saved_d = !default_dedup and saved_j = !default_jobs in
+  Option.iter set_default_dedup dedup;
+  Option.iter set_default_jobs jobs;
+  Fun.protect ~finally:(fun () ->
+      default_dedup := saved_d;
+      default_jobs := saved_j)
+    f
+
 let pp_failure ppf f =
   Fmt.pf ppf "@[<v2>from %a:@ %s@]" State.pp f.initial f.reason
 
@@ -42,51 +60,87 @@ let pp_report ppf r =
 (* [check_triple ~world ~init prog spec] explores every schedule of
    [prog] (with environment interference at all world labels unless
    [interference] is [false]) from every coherent initial state in
-   [init] satisfying the precondition. *)
+   [init] satisfying the precondition.
+
+   Initial states are independent explorations, so with [jobs > 1] they
+   are fanned out over a domain pool and the per-state results merged in
+   input order.  The merge reproduces the sequential accounting exactly:
+   states after the first one that produced failures are not counted
+   (the sequential loop skips them once [failures] is non-empty), so the
+   report is identical whatever [jobs] is — parallel runs merely waste
+   the work done past the first failing state. *)
+
+type state_result = {
+  sr_outcomes : int;
+  sr_diverged : int;
+  sr_complete : bool;
+  sr_failures : failure list; (* capped at [max_failures], in order *)
+}
+
 let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
-    ?(env_budget = max_int) ?(max_failures = 5) ~(world : World.t)
+    ?(env_budget = max_int) ?(max_failures = 5) ?dedup ?jobs ~(world : World.t)
     ~(init : State.t list) (prog : 'a Prog.t) (spec : 'a Spec.t) : report =
+  let dedup = Option.value dedup ~default:!default_dedup in
+  let jobs = max 1 (Option.value jobs ~default:!default_jobs) in
   let interfere = if interference then World.labels world else [] in
+  let eligible =
+    List.filter (fun st -> World.coh world st && Spec.pre spec st) init
+  in
+  let check_state st : state_result =
+    let genv, mine = Sched.genv_of_state ~interfere world st in
+    let outs, compl =
+      Sched.explore ~fuel ~max_outcomes ~interference ~env_budget ~dedup genv
+        mine prog
+    in
+    let outcomes = ref 0 in
+    let diverged = ref 0 in
+    let failures = ref [] in
+    let add_failure reason =
+      if List.length !failures < max_failures then
+        failures := { initial = st; reason } :: !failures
+    in
+    List.iter
+      (fun out ->
+        incr outcomes;
+        match out with
+        | Sched.Finished (r, final) ->
+          if not (Spec.post spec r st final) then
+            add_failure
+              (Fmt.str "postcondition violated in final state %a" State.pp
+                 final)
+        | Sched.Crashed msg -> add_failure ("crash: " ^ msg)
+        | Sched.Diverged -> incr diverged)
+      outs;
+    {
+      sr_outcomes = !outcomes;
+      sr_diverged = !diverged;
+      sr_complete = compl;
+      sr_failures = List.rev !failures;
+    }
+  in
+  let results = Pool.map ~jobs check_state eligible in
   let initial_states = ref 0 in
   let outcomes = ref 0 in
   let diverged = ref 0 in
   let complete = ref true in
   let failures = ref [] in
-  let add_failure st reason =
-    if List.length !failures < max_failures then
-      failures := { initial = st; reason } :: !failures
-  in
   List.iter
-    (fun st ->
-      if World.coh world st && Spec.pre spec st && !failures = [] then begin
+    (fun r ->
+      if !failures = [] then begin
         incr initial_states;
-        let genv, mine = Sched.genv_of_state ~interfere world st in
-        let outs, compl =
-          Sched.explore ~fuel ~max_outcomes ~interference ~env_budget genv mine
-            prog
-        in
-        if not compl then complete := false;
-        List.iter
-          (fun out ->
-            incr outcomes;
-            match out with
-            | Sched.Finished (r, final) ->
-              if not (Spec.post spec r st final) then
-                add_failure st
-                  (Fmt.str "postcondition violated in final state %a" State.pp
-                     final)
-            | Sched.Crashed msg -> add_failure st ("crash: " ^ msg)
-            | Sched.Diverged -> incr diverged)
-          outs
+        outcomes := !outcomes + r.sr_outcomes;
+        diverged := !diverged + r.sr_diverged;
+        if not r.sr_complete then complete := false;
+        failures := r.sr_failures
       end)
-    init;
+    results;
   {
     spec_name = Spec.name spec;
     initial_states = !initial_states;
     outcomes = !outcomes;
     diverged = !diverged;
     complete = !complete;
-    failures = List.rev !failures;
+    failures = !failures;
   }
 
 (* Randomized checking for configurations too large to exhaust: [trials]

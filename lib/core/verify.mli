@@ -18,12 +18,28 @@ val ok : report -> bool
 val pp_failure : Format.formatter -> failure -> unit
 val pp_report : Format.formatter -> report -> unit
 
+(** {1 Engine defaults}
+
+    Process-wide defaults for the exploration engine, used when
+    {!check_triple} is not passed the corresponding argument: whether
+    the scheduler memoizes configurations ([dedup], default on) and how
+    many domains initial states fan out over ([jobs], default 1). *)
+
+val set_default_dedup : bool -> unit
+val set_default_jobs : int -> unit
+
+val with_engine : ?dedup:bool -> ?jobs:int -> (unit -> 'a) -> 'a
+(** Run [f] with the given engine defaults, restoring the previous ones
+    afterwards (also on exceptions). *)
+
 val check_triple :
   ?fuel:int ->
   ?max_outcomes:int ->
   ?interference:bool ->
   ?env_budget:int ->
   ?max_failures:int ->
+  ?dedup:bool ->
+  ?jobs:int ->
   world:World.t ->
   init:State.t list ->
   'a Prog.t ->
@@ -33,7 +49,14 @@ val check_triple :
     every environment-step insertion up to [env_budget]) from every
     coherent initial state satisfying the precondition; check the
     postcondition in every terminal state and safety of every enabled
-    action along the way. *)
+    action along the way.
+
+    [dedup] switches configuration memoization in the scheduler
+    (see [Sched.explore]); [jobs > 1] fans the initial states out over
+    that many domains.  Both default to the engine defaults above, and
+    neither changes the report: memoized replay is exact, and the
+    parallel merge reproduces the sequential accounting (including
+    skipping states after the first failing one). *)
 
 val check_triple_random :
   ?fuel:int ->

@@ -25,7 +25,9 @@ let find_exn p (h : t) =
   | Some v -> v
   | None -> invalid_arg (Fmt.str "Heap.find_exn: %a unbound" Ptr.pp p)
 
-let dom (h : t) = Ptr.Map.keys h
+(* Domain as a list/set, folding over the keys directly: no intermediate
+   bindings list. *)
+let dom (h : t) = List.rev (Ptr.Map.fold (fun p _ acc -> p :: acc) h [])
 let dom_set (h : t) = Ptr.Map.fold (fun p _ s -> Ptr.Set.add p s) h Ptr.Set.empty
 
 let add p v (h : t) =
@@ -39,12 +41,19 @@ let update p v (h : t) =
 (* [free p h] deallocates [p]; the paper's [free x h] (Section 3.2). *)
 let free p (h : t) = Ptr.Map.remove p h
 
+(* Disjointness and union iterate the smaller of the two maps: membership
+   tests and inserts into the larger map are logarithmic, so scanning the
+   smaller side wins whenever the sizes are lopsided (the common case:
+   a one-cell action footprint against a large private heap). *)
 let disjoint (h1 : t) (h2 : t) =
-  Ptr.Map.for_all (fun p _ -> not (Ptr.Map.mem p h2)) h1
+  let small, big = if cardinal h1 <= cardinal h2 then (h1, h2) else (h2, h1) in
+  Ptr.Map.for_all (fun p _ -> not (Ptr.Map.mem p big)) small
 
 (* Disjoint union: the heap PCM join.  [None] when domains overlap. *)
 let union (h1 : t) (h2 : t) : t option =
-  if disjoint h1 h2 then Some (Ptr.Map.union (fun _ v _ -> Some v) h1 h2)
+  if disjoint h1 h2 then
+    let small, big = if cardinal h1 <= cardinal h2 then (h1, h2) else (h2, h1) in
+    Some (Ptr.Map.fold Ptr.Map.add small big)
   else None
 
 let union_exn h1 h2 =
@@ -70,6 +79,13 @@ let restrict pred (h : t) = Ptr.Map.filter (fun p _ -> pred p) h
 let equal (h1 : t) (h2 : t) = Ptr.Map.equal Value.equal h1 h2
 
 let compare (h1 : t) (h2 : t) = Ptr.Map.compare Value.compare h1 h2
+
+(* Canonical: folds in ascending pointer order, so equal heaps hash
+   equally regardless of how they were built. *)
+let hash (h : t) =
+  Ptr.Map.fold
+    (fun p v acc -> (((acc * 33) lxor Ptr.hash p) * 33) lxor Value.hash v)
+    h 5381
 
 let of_list bindings =
   List.fold_left

@@ -50,6 +50,10 @@ val restrict : (Ptr.t -> bool) -> t -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val hash : t -> int
+(** Canonical: equal heaps hash equally regardless of construction
+    order.  Consistent with {!equal}; used by memoized exploration. *)
+
 val of_list : (Ptr.t * Value.t) list -> t
 (** Raises [Invalid_argument] on duplicate or null pointers. *)
 

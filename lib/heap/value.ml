@@ -60,6 +60,16 @@ let rec compare v w =
   | (Unit | Bool _ | Int _ | Ptr _ | Pair _ | Triple _), _ ->
     Int.compare (tag v) (tag w)
 
+let rec hash = function
+  | Unit -> 7
+  | Bool false -> 11
+  | Bool true -> 13
+  | Int n -> (17 * 33) lxor n
+  | Ptr p -> (19 * 33) lxor Ptr.hash p
+  | Pair (a, b) -> (((23 * 33) lxor hash a) * 33) lxor hash b
+  | Triple (a, b, c) ->
+    (((((29 * 33) lxor hash a) * 33) lxor hash b) * 33) lxor hash c
+
 let rec pp ppf = function
   | Unit -> Fmt.string ppf "()"
   | Bool b -> Fmt.bool ppf b

@@ -24,6 +24,10 @@ val node : marked:bool -> left:Ptr.t -> right:Ptr.t -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Consistent with {!equal}; used by memoized exploration. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

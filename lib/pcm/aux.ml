@@ -63,6 +63,44 @@ let rec equal a b =
   | Pair (a1, a2), Pair (b1, b2) -> equal a1 b1 && equal a2 b2
   | (Unit | Nat _ | Mutex _ | Set _ | Heap _ | Hist _ | Pair _), _ -> false
 
+(* Total order and hash, both semantic: Set/Heap/Hist delegate to the
+   canonical comparisons of the underlying maps, never to polymorphic
+   compare (balanced-tree shapes differ between equal values built in
+   different orders — exactly what happens when exploration reaches one
+   configuration along two schedules). *)
+let rec compare a b =
+  let tag = function
+    | Unit -> 0
+    | Nat _ -> 1
+    | Mutex _ -> 2
+    | Set _ -> 3
+    | Heap _ -> 4
+    | Hist _ -> 5
+    | Pair _ -> 6
+  in
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Nat m, Nat n -> Int.compare m n
+  | Mutex m, Mutex n -> Instances.Mutex.compare m n
+  | Set s, Set t -> Ptr.Set.compare s t
+  | Heap h, Heap k -> Heap.compare h k
+  | Hist h, Hist k -> Hist.compare h k
+  | Pair (a1, a2), Pair (b1, b2) ->
+    let c = compare a1 b1 in
+    if c <> 0 then c else compare a2 b2
+  | (Unit | Nat _ | Mutex _ | Set _ | Heap _ | Hist _ | Pair _), _ ->
+    Int.compare (tag a) (tag b)
+
+let rec hash = function
+  | Unit -> 31
+  | Nat n -> (37 * 33) lxor n
+  | Mutex Instances.Mutex.Not_own -> 41
+  | Mutex Instances.Mutex.Own -> 43
+  | Set s -> Ptr.Set.fold (fun p acc -> (acc * 33) lxor Ptr.hash p) s 47
+  | Heap h -> (53 * 33) lxor Heap.hash h
+  | Hist h -> (59 * 33) lxor Hist.hash h
+  | Pair (a, b) -> (((61 * 33) lxor hash a) * 33) lxor hash b
+
 (* Sort-aware unit test: [Nat 0], [Set ∅], etc. all count as units. *)
 let rec is_unit = function
   | Unit -> true

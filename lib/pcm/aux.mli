@@ -36,6 +36,14 @@ val join_exn : t -> t -> t
 val defined : t -> t -> bool
 val equal : t -> t -> bool
 
+val compare : t -> t -> int
+(** Semantic total order: delegates to the canonical comparisons of the
+    underlying sorts (never polymorphic compare, which is unsound on the
+    balanced trees inside sets/heaps/histories). *)
+
+val hash : t -> int
+(** Consistent with {!equal}; used by memoized exploration. *)
+
 val is_unit : t -> bool
 (** Sort-aware: [Nat 0], empty sets/heaps/histories all count. *)
 

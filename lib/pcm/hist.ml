@@ -73,6 +73,32 @@ let join_exn h1 h2 =
 let unit = empty
 let equal (h1 : t) (h2 : t) = Int_map.equal entry_equal h1 h2
 
+let entry_compare e1 e2 =
+  let c = String.compare e1.op e2.op in
+  if c <> 0 then c
+  else
+    let c = Value.compare e1.arg e2.arg in
+    if c <> 0 then c
+    else
+      let c = Value.compare e1.res e2.res in
+      if c <> 0 then c else Value.compare e1.state e2.state
+
+let compare (h1 : t) (h2 : t) = Int_map.compare entry_compare h1 h2
+
+(* Canonical: folds in ascending timestamp order, consistent with
+   {!equal}. *)
+let hash (h : t) =
+  Int_map.fold
+    (fun ts e acc ->
+      let he =
+        (((((Hashtbl.hash e.op * 33) lxor Value.hash e.arg) * 33)
+         lxor Value.hash e.res)
+         * 33)
+        lxor Value.hash e.state
+      in
+      (((acc * 33) lxor ts) * 33) lxor he)
+    h 5381
+
 (* [continuous h]: the timestamps of [h] form the contiguous range
    1..n — the invariant of a complete history [self • other]. *)
 let continuous (h : t) =

@@ -46,6 +46,11 @@ val join : t -> t -> t option
 val join_exn : t -> t -> t
 val unit : t
 val equal : t -> t -> bool
+val entry_compare : entry -> entry -> int
+val compare : t -> t -> int
+
+val hash : t -> int
+(** Consistent with {!equal}; used by memoized exploration. *)
 
 val continuous : t -> bool
 (** Timestamps form the contiguous range 1..n — the invariant of a

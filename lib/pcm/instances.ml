@@ -26,6 +26,8 @@ module Mutex : sig
   type t = Own | Not_own
 
   include Pcm.S with type t := t
+
+  val compare : t -> t -> int
 end = struct
   type t = Own | Not_own
 
@@ -41,6 +43,12 @@ end = struct
     match (a, b) with
     | Own, Own | Not_own, Not_own -> true
     | Own, Not_own | Not_own, Own -> false
+
+  let compare a b =
+    match (a, b) with
+    | Own, Own | Not_own, Not_own -> 0
+    | Not_own, Own -> -1
+    | Own, Not_own -> 1
 
   let pp ppf = function
     | Own -> Fmt.string ppf "Own"

@@ -11,7 +11,12 @@ type row1 = {
 }
 
 val table1_row : Registry.case -> row1
-val table1 : unit -> row1 list
+
+val table1 : ?jobs:int -> unit -> row1 list
+(** All Table 1 rows; with [jobs > 1] rows are verified in parallel on
+    a domain pool (per-row times stay meaningful — each row runs on a
+    single domain). *)
+
 val pp_time : Format.formatter -> float -> unit
 val pp_table1 : Format.formatter -> row1 list -> unit
 

@@ -13,6 +13,7 @@ let () =
       ("extract", Test_extract.suite);
       ("rules", Test_rules.suite);
       ("semantics", Test_semantics.suite);
+      ("explore-dedup", Test_explore_dedup.suite);
       ("assertions", Test_assrt.suite);
       ("infra", Test_infra.suite);
       ("misc", Test_misc.suite);
