@@ -7,6 +7,8 @@
      fcsl parse FILE         parse & pretty-print a surface program
      fcsl run FILE           run a surface program on a random graph
      fcsl span               spanning-tree demo (model / extracted)
+     fcsl analyze [FILE...]  static race detection + spec/concurroid lints
+     fcsl lint               spec/concurroid lints over the case studies
 *)
 
 open Cmdliner
@@ -53,11 +55,20 @@ let no_dedup_flag =
            re-explore every interleaving naively (slower; useful for \
            cross-checking the memoized engine)")
 
+let prune_flag =
+  Arg.(
+    value & flag
+    & info [ "prune" ]
+        ~doc:
+          "Use inferred program/spec footprints to skip environment \
+           steps at labels outside the triple's envelope (sound: a \
+           dynamic monitor crashes the run if a footprint under-declares)")
+
 let verify_cmd =
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
   in
-  let run name jobs no_dedup =
+  let run name jobs no_dedup prune =
     let cases =
       match name with
       | None -> Registry.all
@@ -71,7 +82,7 @@ let verify_cmd =
             Registry.all;
           exit exit_failed)
     in
-    Verify.with_engine ~dedup:(not no_dedup) @@ fun () ->
+    Verify.with_engine ~dedup:(not no_dedup) ~prune @@ fun () ->
     let results = Pool.map ~jobs verify_case cases in
     let ok =
       List.fold_left
@@ -88,18 +99,19 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Mechanically verify case studies (all by default)")
-    Term.(const run $ name_arg $ jobs_arg $ no_dedup_flag)
+    Term.(const run $ name_arg $ jobs_arg $ no_dedup_flag $ prune_flag)
 
 (* tables *)
 
 let table1_cmd =
-  let run jobs =
+  let run jobs prune =
+    Verify.with_engine ~prune @@ fun () ->
     Fmt.pr "%a@." Tables.pp_table1 (Tables.table1 ~jobs ());
     exit_ok
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate Table 1 (LoC statistics + verify times)")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ prune_flag)
 
 let table2_cmd =
   let run () =
@@ -278,6 +290,96 @@ let span_cmd =
     (Cmd.info "span" ~doc:"Spanning-tree demo on a random connected graph")
     Term.(const run $ nodes_arg $ seed_arg $ extract_flag)
 
+(* analyze / lint *)
+
+module Diag = Fcsl_analysis.Diag
+module Cases = Fcsl_analysis.Cases
+module Injected = Fcsl_analysis.Injected
+module Surface = Fcsl_analysis.Surface
+
+let pp_case_findings ppf (name, findings) =
+  match findings with
+  | [] -> Fmt.pf ppf "  %-28s clean@." name
+  | fs ->
+    Fmt.pf ppf "  %-28s %d finding(s)@." name (List.length fs);
+    List.iter (fun f -> Fmt.pf ppf "    %a@." Diag.pp f) fs
+
+(* Lint the registered case studies; returns true when all are clean. *)
+let lint_cases () : bool =
+  Fmt.pr "Case-study lints (concurroid/action laws, surface races):@.";
+  let results = Cases.analyze_all () in
+  List.iter (pp_case_findings Fmt.stdout) results;
+  List.for_all (fun (_, fs) -> not (Diag.has_errors fs)) results
+
+let lint_cmd =
+  let run () = if lint_cases () then exit_ok else exit_failed in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the spec/concurroid lint pass over every registered case \
+          study (unstable assertions, law violations, dead labels)")
+    Term.(const run $ const ())
+
+let analyze_cmd =
+  let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
+  let no_self_test_flag =
+    Arg.(
+      value & flag
+      & info [ "no-self-test" ]
+          ~doc:
+            "Skip the failure-injection self-test (three deliberately \
+             broken variants that the analyzer must flag)")
+  in
+  let run files no_self_test =
+    (* 1. Surface files given on the command line. *)
+    let files_ok =
+      List.for_all
+        (fun file ->
+          match Surface.analyze_source ~name:file (read_file file) with
+          | Ok [] ->
+            Fmt.pr "%s: clean@." file;
+            true
+          | Ok fs ->
+            Fmt.pr "%s:@." file;
+            List.iter (fun f -> Fmt.pr "  %a@." Diag.pp f) fs;
+            not (Diag.has_errors fs)
+          | Error msg ->
+            Fmt.pr "%s: parse error: %s@." file msg;
+            false)
+        files
+    in
+    (* 2. Registered case studies must be clean. *)
+    let cases_ok = lint_cases () in
+    (* 3. Injected broken variants must each be flagged. *)
+    let self_ok =
+      if no_self_test then true
+      else begin
+        Fmt.pr "Failure-injection self-test (each variant must be flagged):@.";
+        List.for_all
+          (fun (name, fs) ->
+            let flagged = Diag.has_errors fs in
+            Fmt.pr "  %-28s %s@." name
+              (if flagged then
+                 Fmt.str "flagged (%d finding(s))" (List.length fs)
+               else "MISSED — analyzer failed to flag this variant");
+            List.iter (fun f -> Fmt.pr "    %a@." Diag.pp f) fs;
+            flagged)
+          (Injected.all_variants ())
+      end
+    in
+    if files_ok && cases_ok && self_ok then begin
+      Fmt.pr "analyze: ok@.";
+      exit_ok
+    end
+    else exit_failed
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically analyze surface-language files for races, lint the \
+          registered case studies, and self-test against injected bugs")
+    Term.(const run $ files_arg $ no_self_test_flag)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "fcsl" ~version:"1.0.0"
@@ -286,7 +388,7 @@ let main_cmd =
           (FCSL, PLDI 2015) — OCaml reproduction")
     [
       verify_cmd; table1_cmd; table2_cmd; deps_cmd; laws_cmd; parse_cmd;
-      run_cmd; span_cmd;
+      run_cmd; span_cmd; analyze_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,95 @@
+(* The analyzer run over the registered Table 1 case studies: for every
+   registry row, lint the concurroid instances it uses (directly, per
+   [Registry.c_uses]) and, where the case ships a surface-language
+   source, run the static race detector over it.  All eleven rows must
+   come back clean — the analyzer's "no false positives" contract, the
+   counterpart of the failure-injection tests in {!Injected}. *)
+
+open Fcsl_core
+open Fcsl_casestudies
+open Fcsl_report
+
+(* Fresh instances per concurroid kind, mirroring the law registry
+   (lib/report/laws.ml) — shared where the registry shares them. *)
+let instance_findings : (Registry.concurroid_use * (unit -> Diag.finding list)) list =
+  let once f =
+    let r = ref None in
+    fun () ->
+      match !r with
+      | Some v -> v
+      | None ->
+        let v = f () in
+        r := Some v;
+        v
+  in
+  let priv = once (fun () -> Lint.concurroid_lint (Priv.make (Label.make "an_priv"))) in
+  let clock =
+    once (fun () ->
+        Lint.concurroid_lint
+          (Caslock.concurroid ~label:(Label.make "an_clock")
+             Caslock.default_config Laws.counter_resource))
+  in
+  let tlock =
+    once (fun () ->
+        Lint.concurroid_lint
+          (Ticketlock.concurroid ~label:(Label.make "an_tlock")
+             Ticketlock.default_config Laws.counter_resource))
+  in
+  let snap =
+    once (fun () -> Lint.concurroid_lint (Snapshot.concurroid (Label.make "an_snap")))
+  in
+  let treiber =
+    once (fun () -> Lint.concurroid_lint (Treiber.concurroid (Label.make "an_treiber")))
+  in
+  let span =
+    once (fun () -> Lint.concurroid_lint (Span.concurroid (Label.make "an_span")))
+  in
+  let fc =
+    once (fun () ->
+        Lint.concurroid_lint
+          (Flatcombiner.concurroid Fc_stack.seq_stack Fc_stack.cfg
+             (Label.make "an_fc")))
+  in
+  let lock_intf () = clock () @ tlock () in
+  [
+    (Registry.Priv, priv);
+    (Registry.CLock, clock);
+    (Registry.TLock, tlock);
+    (Registry.Lock_interface, lock_intf);
+    (Registry.Read_pair, snap);
+    (Registry.Treiber, treiber);
+    (Registry.Span_tree, span);
+    (Registry.Flat_combine, fc);
+  ]
+
+(* Surface sources attached to case rows (the spanning tree is the one
+   Table 1 row with a Figure 1 concrete-syntax program). *)
+let surface_sources (c : Registry.case) : (string * string) list =
+  match c.Registry.c_name with
+  | "Spanning tree" -> [ ("span.fcsl", Fcsl_lang.Examples.span_source) ]
+  | _ -> []
+
+let analyze_case (c : Registry.case) : Diag.finding list =
+  let concs =
+    List.concat_map
+      (fun u ->
+        match List.assoc_opt u instance_findings with
+        | Some f -> f ()
+        | None -> [])
+      c.Registry.c_uses
+  in
+  let surface =
+    List.concat_map
+      (fun (name, src) ->
+        match Surface.analyze_source ~name src with
+        | Ok fs -> fs
+        | Error msg -> [ Diag.error ~rule:"parse-error" ~loc:name msg ])
+      (surface_sources c)
+  in
+  concs @ surface
+
+let analyze_all () : (string * Diag.finding list) list =
+  List.map (fun c -> (c.Registry.c_name, analyze_case c)) Registry.all
+
+let all_clean () =
+  List.for_all (fun (_, fs) -> fs = []) (analyze_all ())

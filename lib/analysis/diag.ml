@@ -1,0 +1,42 @@
+(* Structured diagnostics shared by every analyzer pass: a finding names
+   the rule that fired, where, what went wrong, and the supporting
+   detail (both access paths of a race, the violated law's witness) as
+   separate lines, so the CLI, the tests and CI all consume the same
+   shape. *)
+
+type severity = Error | Warning | Info
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+  | Info -> Fmt.string ppf "info"
+
+type finding = {
+  f_rule : string; (* e.g. "par-race", "concurroid-law", "unstable-assertion" *)
+  f_severity : severity;
+  f_loc : string; (* where: a proc, a case name, a concurroid *)
+  f_msg : string; (* the one-line diagnosis *)
+  f_detail : string list; (* supporting lines: access paths, witnesses *)
+}
+
+let make ?(detail = []) ~rule ~severity ~loc msg =
+  { f_rule = rule; f_severity = severity; f_loc = loc; f_msg = msg;
+    f_detail = detail }
+
+let error ?detail ~rule ~loc msg = make ?detail ~rule ~severity:Error ~loc msg
+let warning ?detail ~rule ~loc msg =
+  make ?detail ~rule ~severity:Warning ~loc msg
+let info ?detail ~rule ~loc msg = make ?detail ~rule ~severity:Info ~loc msg
+
+let errors fs = List.filter (fun f -> f.f_severity = Error) fs
+let has_errors fs = errors fs <> []
+
+let pp ppf f =
+  Fmt.pf ppf "@[<v2>%a[%s] %s: %s%a@]" pp_severity f.f_severity f.f_rule
+    f.f_loc f.f_msg
+    Fmt.(list ~sep:nop (fun ppf d -> Fmt.pf ppf "@ - %s" d))
+    f.f_detail
+
+let pp_list ppf = function
+  | [] -> Fmt.string ppf "no findings"
+  | fs -> Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp) fs

@@ -1,0 +1,163 @@
+(* Failure injection: three deliberately broken variants of verified
+   case studies, each of which the analyzer must flag — the positive
+   half of the analyzer's contract ({!Cases} is the negative half: zero
+   findings on the genuine Table 1 rows).
+
+   - [span_nocas]: Figure 1's spanning-tree walk with the marking CAS
+     replaced by a read and a plain write.  The static race detector
+     must flag the write/write (and read/write) conflicts between the
+     two arms of the recursive [par].
+   - [ticket skip]: a client action that writes the ticketed lock's
+     protected cell without checking it holds the lock (the "skipped
+     ticket check").  The action lint must report that no TLock
+     transition justifies the step.
+   - [ABA stack]: a Treiber-stack concurroid extended with a [free]
+     transition that deallocates retired nodes — exactly what Treiber's
+     retire-in-place discipline forbids, and what makes ABA reorderings
+     observable.  The concurroid lint must flag the footprint violation,
+     and the [assert_node_pinned] stability lemma the pop proof leans on
+     must come back unstable. *)
+
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+
+(* 1. Spanning tree without the CAS. *)
+
+let span_nocas_source =
+  {|
+span_nocas (x : ptr) : bool {
+  if x == null then return false
+  else {
+    b <- x->m;
+    if b then return true
+    else {
+      x->m := true;
+      (rl, rr) <- (span_nocas(x->l) || span_nocas(x->r));
+      if !rl then x->l := null;
+      if !rr then x->r := null;
+      return true
+    }
+  }
+}
+|}
+
+let span_nocas_findings () : Diag.finding list =
+  match Surface.analyze_source ~name:"span_nocas" span_nocas_source with
+  | Ok fs -> fs
+  | Error msg -> [ Diag.error ~rule:"parse-error" ~loc:"span_nocas" msg ]
+
+(* 2. Writing the lock-protected cell without holding the lock. *)
+
+let counter_cell = Ptr.of_int 50 (* the cell of Laws.counter_resource *)
+
+let ticket_skip_findings () : Diag.finding list =
+  let tl = Label.make "an_tlock_skip" in
+  let cfg = Ticketlock.default_config in
+  let resource = Fcsl_report.Laws.counter_resource in
+  let conc = Ticketlock.concurroid ~label:tl cfg resource in
+  let w = World.of_list [ conc ] in
+  let states = List.map (State.singleton tl) (Concurroid.enum conc) in
+  (* [Ticketlock.write] insists on [holds]; this variant does not — it
+     barges into the critical section without awaiting its ticket. *)
+  let barging_write : unit Action.t =
+    Action.make ~name:"write_skipping_ticket_check"
+      ~fp:(Footprint.writes tl)
+      ~safe:(fun st -> Heap.mem counter_cell (State.joint tl st))
+      ~step:(fun st ->
+        ( (),
+          State.with_joint tl
+            (Heap.update counter_cell (Value.int 7) (State.joint tl st))
+            st ))
+      ~phys:(fun _ -> Action.Write (counter_cell, Value.int 7))
+      ()
+  in
+  Lint.action_lint w barging_write ~states
+
+(* 3. The ABA-prone Treiber stack. *)
+
+let aba_concurroid label : Concurroid.t =
+  (* One extra internal transition: deallocate any retired node (present
+     in the joint heap but unreachable from [top]).  Real Treiber
+     retires nodes in place precisely so that a reused address can never
+     fool a pop's CAS. *)
+  let free_tr =
+    Concurroid.internal ~name:"free_retired" (fun s ->
+        let joint = Slice.joint s in
+        match Treiber.top_of joint with
+        | None -> []
+        | Some top ->
+          let reachable =
+            match Treiber.list_from joint top with
+            | Some nodes -> List.map fst nodes
+            | None -> []
+          in
+          Heap.dom joint
+          |> List.filter (fun p ->
+                 (not (Ptr.equal p Treiber.top_cell))
+                 && not (List.exists (Ptr.equal p) reachable))
+          |> List.map (fun p -> Slice.with_joint (Heap.free p joint) s))
+  in
+  Concurroid.make ~label ~name:"TreiberABA" ~coh:Treiber.coh
+    ~transitions:[ Treiber.push_tr; Treiber.pop_tr; free_tr ]
+    ~enum:(fun () -> Treiber.enum ())
+    ()
+
+(* A state in which some node is retired, with its contents — the
+   configuration whose pinning the pop proof relies on. *)
+let retired_node_in (l : Label.t) (st : State.t) : (Ptr.t * (int * Ptr.t)) option
+    =
+  let joint = State.joint l st in
+  match Treiber.top_of joint with
+  | None -> None
+  | Some top ->
+    let reachable =
+      match Treiber.list_from joint top with
+      | Some nodes -> List.map fst nodes
+      | None -> []
+    in
+    List.find_map
+      (fun p ->
+        if Ptr.equal p Treiber.top_cell || List.exists (Ptr.equal p) reachable
+        then None
+        else
+          Option.map (fun node -> (p, node)) (Treiber.node_of joint p))
+      (Heap.dom joint)
+
+let aba_findings () : Diag.finding list =
+  let l = Label.make "an_treiber_aba" in
+  let c = aba_concurroid l in
+  let laws = Lint.concurroid_lint c in
+  let w = World.of_list [ c ] in
+  let states = List.map (State.singleton l) (Concurroid.enum c) in
+  let pinned =
+    match List.find_map (fun st -> retired_node_in l st) states with
+    | None -> [] (* no retired node in the universe: nothing to destabilize *)
+    | Some (p, (v, nxt)) -> (
+      match
+        Stability.check w ~states (Treiber.assert_node_pinned l p (v, nxt))
+      with
+      | Stability.Stable -> []
+      | Stability.Unstable { state; step; after } ->
+        [
+          Diag.error ~rule:"unstable-assertion"
+            ~loc:(Fmt.str "assert_node_pinned %a" Ptr.pp p)
+            "the pinned-node lemma of the pop proof is unstable once \
+             retired nodes can be freed (the ABA window)"
+            ~detail:
+              [
+                Fmt.str "holds in:  %a" State.pp state;
+                Fmt.str "env step:  %s" step;
+                Fmt.str "fails in:  %a" State.pp after;
+              ];
+        ])
+  in
+  laws @ pinned
+
+(* All three, keyed for the CLI's self-test section and the tests. *)
+let all_variants () : (string * Diag.finding list) list =
+  [
+    ("span without CAS", span_nocas_findings ());
+    ("skipped ticket check", ticket_skip_findings ());
+    ("ABA stack", aba_findings ());
+  ]

@@ -1,0 +1,379 @@
+(* Footprint/effect inference and static race detection over the
+   surface language (lib/lang).
+
+   Heap accesses are abstracted to regions [base->field], where a base
+   is a formal parameter of the enclosing procedure, the summary node
+   [Reach p] ("some node reachable from p through at least one field
+   dereference" — the depth-1 collapse that keeps recursive procedures
+   finite), or [Unknown].  Two regions may alias iff their fields match
+   and their bases are equal (or either is [Unknown]); [Param p] and
+   [Reach p] are kept apart, the tree-shaped-reachability assumption the
+   paper's spanning-tree example lives by.
+
+   Protection follows the trymark ownership discipline of Figure 1: an
+   access is CAS-guarded when it is dominated by the positive branch of
+   [if b] where [b] was bound by a CAS — winning the CAS confers
+   ownership of the node, so everything inside the branch is mediated by
+   the concurroid transition the CAS took.  A pair of cross-arm accesses
+   at a [par] is protected iff both are CAS operations themselves or
+   both are CAS-guarded; a conflicting unprotected pair (same region,
+   at least one plain write) is a race.
+
+   Procedure summaries are computed by a call-graph fixpoint: a call
+   imports the callee's summary with the callee's formals substituted by
+   the abstract bases of the arguments (collapsing through [Reach]).
+   The abstract domain is finite, substitution and joins are monotone,
+   so the iteration converges. *)
+
+open Fcsl_lang
+
+module SM = Map.Make (String)
+module SS = Set.Make (String)
+
+type base = Param of string | Reach of string | Unknown
+
+let pp_base ppf = function
+  | Param p -> Fmt.string ppf p
+  | Reach p -> Fmt.pf ppf "%s->…" p
+  | Unknown -> Fmt.string ppf "?"
+
+let base_equal a b =
+  match (a, b) with
+  | Param p, Param q | Reach p, Reach q -> String.equal p q
+  | Unknown, Unknown -> true
+  | (Param _ | Reach _ | Unknown), _ -> false
+
+type region = { rg_base : base; rg_field : Ast.field }
+
+let pp_region ppf r = Fmt.pf ppf "%a->%a" pp_base r.rg_base Ast.pp_field r.rg_field
+
+let regions_may_alias a b =
+  a.rg_field = b.rg_field
+  && (match (a.rg_base, b.rg_base) with
+     | Unknown, _ | _, Unknown -> true
+     | x, y -> base_equal x y)
+
+type kind = Read | Write | Cas
+
+let pp_kind ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+  | Cas -> Fmt.string ppf "CAS"
+
+type access = {
+  ac_region : region;
+  ac_kind : kind;
+  ac_guarded : bool; (* dominated by a CAS-won branch *)
+  ac_path : string; (* concrete access path, for diagnostics *)
+}
+
+let access_same a b =
+  regions_may_alias a.ac_region b.ac_region
+  && base_equal a.ac_region.rg_base b.ac_region.rg_base
+  && a.ac_kind = b.ac_kind && a.ac_guarded = b.ac_guarded
+
+let dedup accs =
+  List.fold_left
+    (fun acc a -> if List.exists (access_same a) acc then acc else a :: acc)
+    [] accs
+  |> List.rev
+
+(* A procedure summary: formals (for substitution at call sites) and the
+   deduplicated access set of the whole body, transitively through
+   calls. *)
+type summary = { sm_params : string list; sm_accesses : access list }
+
+let summary_accesses s = s.sm_accesses
+
+(* Abstract pointer evaluation.  [env] maps in-scope variables to
+   bases. *)
+let rec base_of_expr env (e : Ast.expr) : base =
+  match e with
+  | Var x -> Option.value (SM.find_opt x env) ~default:Unknown
+  | Field (e', _) -> (
+    match base_of_expr env e' with
+    | Param p | Reach p -> Reach p
+    | Unknown -> Unknown)
+  | Pair_fst e' | Pair_snd e' -> base_of_expr env e'
+  | Null | Bool _ | Int _ | Eq _ | Not _ | And _ | Or _ -> Unknown
+
+let path_of e = Fmt.str "%a" Pp.pp_expr e
+
+(* Every field dereference in an expression is a read access. *)
+let rec expr_accesses env ~guarded (e : Ast.expr) : access list =
+  match e with
+  | Field (e', f) ->
+    {
+      ac_region = { rg_base = base_of_expr env e'; rg_field = f };
+      ac_kind = Read;
+      ac_guarded = guarded;
+      ac_path = path_of e;
+    }
+    :: expr_accesses env ~guarded e'
+  | Eq (a, b) | And (a, b) | Or (a, b) ->
+    expr_accesses env ~guarded a @ expr_accesses env ~guarded b
+  | Not e' | Pair_fst e' | Pair_snd e' -> expr_accesses env ~guarded e'
+  | Null | Bool _ | Int _ | Var _ -> []
+
+(* Substitute a callee access into the caller's frame: the callee's
+   formals become the abstract bases of the arguments, with anything
+   already behind a dereference collapsing into [Reach]. *)
+let subst_base bindings b =
+  match b with
+  | Unknown -> Unknown
+  | Param p -> Option.value (List.assoc_opt p bindings) ~default:Unknown
+  | Reach p -> (
+    match List.assoc_opt p bindings with
+    | Some (Param q) | Some (Reach q) -> Reach q
+    | Some Unknown | None -> Unknown)
+
+let subst_access callee bindings ~guarded a =
+  {
+    a with
+    ac_region = { a.ac_region with rg_base = subst_base bindings a.ac_region.rg_base };
+    ac_guarded = a.ac_guarded || guarded;
+    ac_path = Fmt.str "%s: %s" callee a.ac_path;
+  }
+
+let rec rhs_accesses summaries env ~guarded (r : Ast.rhs) : access list =
+  match r with
+  | Expr e -> expr_accesses env ~guarded e
+  | Cas (e, f, older, newer) ->
+    {
+      ac_region = { rg_base = base_of_expr env e; rg_field = f };
+      ac_kind = Cas;
+      ac_guarded = guarded;
+      ac_path = Fmt.str "CAS(%s->%a, _, _)" (path_of e) Ast.pp_field f;
+    }
+    :: (expr_accesses env ~guarded e
+       @ expr_accesses env ~guarded older
+       @ expr_accesses env ~guarded newer)
+  | Call (f, args) ->
+    let arg_accs = List.concat_map (expr_accesses env ~guarded) args in
+    let callee_accs =
+      match SM.find_opt f summaries with
+      | None -> [] (* unknown procedure: no summary to import *)
+      | Some s ->
+        let bindings =
+          try List.combine s.sm_params (List.map (base_of_expr env) args)
+          with Invalid_argument _ -> []
+        in
+        List.map (subst_access f bindings ~guarded) s.sm_accesses
+    in
+    arg_accs @ callee_accs
+  | Par (a, b) ->
+    rhs_accesses summaries env ~guarded a @ rhs_accesses summaries env ~guarded b
+
+(* Command traversal.  [cas_bound] is the set of booleans bound by a
+   CAS; entering the positive branch of [if b] for such a [b] sets the
+   guard. *)
+let rec cmd_accesses summaries env cas_bound ~guarded (c : Ast.cmd) :
+    access list =
+  match c with
+  | Skip -> []
+  | Return e -> expr_accesses env ~guarded e
+  | Seq (a, b) ->
+    cmd_accesses summaries env cas_bound ~guarded a
+    @ cmd_accesses summaries env cas_bound ~guarded b
+  | Assign (e, f, v) ->
+    {
+      ac_region = { rg_base = base_of_expr env e; rg_field = f };
+      ac_kind = Write;
+      ac_guarded = guarded;
+      ac_path = Fmt.str "%s->%a := %s" (path_of e) Ast.pp_field f (path_of v);
+    }
+    :: (expr_accesses env ~guarded e @ expr_accesses env ~guarded v)
+  | If (cond, t, f) ->
+    let t_guarded =
+      guarded
+      || (match cond with Var b -> SS.mem b cas_bound | _ -> false)
+    in
+    expr_accesses env ~guarded cond
+    @ cmd_accesses summaries env cas_bound ~guarded:t_guarded t
+    @ cmd_accesses summaries env cas_bound ~guarded f
+  | BindCmd (pat, r, k) ->
+    let accs = rhs_accesses summaries env ~guarded r in
+    let env, cas_bound =
+      match (pat, r) with
+      | Ast.Pvar x, Ast.Cas _ -> (SM.add x Unknown env, SS.add x cas_bound)
+      | Ast.Pvar x, Ast.Expr e -> (SM.add x (base_of_expr env e) env, cas_bound)
+      | Ast.Pvar x, (Ast.Call _ | Ast.Par _) -> (SM.add x Unknown env, cas_bound)
+      | Ast.Ppair (a, b), _ ->
+        (SM.add a Unknown (SM.add b Unknown env), cas_bound)
+    in
+    accs @ cmd_accesses summaries env cas_bound ~guarded k
+
+let initial_env (p : Ast.proc) =
+  List.fold_left
+    (fun env (x, _ty) -> SM.add x (Param x) env)
+    SM.empty p.p_params
+
+(* The call-graph fixpoint over procedure summaries. *)
+let infer_program (prog : Ast.program) : summary SM.t =
+  let params p = List.map fst p.Ast.p_params in
+  let init =
+    List.fold_left
+      (fun m p -> SM.add p.Ast.p_name { sm_params = params p; sm_accesses = [] } m)
+      SM.empty prog
+  in
+  let step summaries =
+    List.fold_left
+      (fun m p ->
+        let accs =
+          dedup
+            (cmd_accesses summaries (initial_env p) SS.empty ~guarded:false
+               p.Ast.p_body)
+        in
+        SM.add p.Ast.p_name { sm_params = params p; sm_accesses = accs } m)
+      summaries prog
+  in
+  let same a b =
+    SM.equal
+      (fun x y ->
+        List.length x.sm_accesses = List.length y.sm_accesses
+        && List.for_all2 access_same x.sm_accesses y.sm_accesses)
+      a b
+  in
+  (* The domain is finite (bases per proc: its formals, their Reach
+     summaries, Unknown), so the fixpoint converges; the bound is a
+     safety net. *)
+  let rec iterate n s =
+    let s' = step s in
+    if same s s' || n = 0 then s' else iterate (n - 1) s'
+  in
+  iterate 16 init
+
+let pp_summary ppf (name, s) =
+  let by k = List.filter (fun a -> a.ac_kind = k) s.sm_accesses in
+  let regions accs =
+    List.fold_left
+      (fun acc a ->
+        if List.exists (fun r -> regions_may_alias r a.ac_region
+                                 && base_equal r.rg_base a.ac_region.rg_base) acc
+        then acc
+        else a.ac_region :: acc)
+      [] accs
+    |> List.rev
+  in
+  Fmt.pf ppf "@[<v2>%s:@ reads:  %a@ writes: %a@ cas:    %a@]" name
+    Fmt.(list ~sep:(any ", ") pp_region) (regions (by Read))
+    Fmt.(list ~sep:(any ", ") pp_region) (regions (by Write))
+    Fmt.(list ~sep:(any ", ") pp_region) (regions (by Cas))
+
+(* Race detection proper: at every [par], cross the access sets of the
+   two arms and flag conflicting unprotected pairs. *)
+
+let pair_protected a b =
+  (a.ac_kind = Cas && b.ac_kind = Cas) || (a.ac_guarded && b.ac_guarded)
+
+let conflicting a b =
+  regions_may_alias a.ac_region b.ac_region
+  && (a.ac_kind = Write || b.ac_kind = Write)
+  && not (pair_protected a b)
+
+let describe a =
+  Fmt.str "%s of %a via `%s`%s" (Fmt.str "%a" pp_kind a.ac_kind)
+    pp_region a.ac_region a.ac_path
+    (if a.ac_guarded then " (CAS-guarded)" else "")
+
+let missing_protection a b =
+  if a.ac_kind = Cas || b.ac_kind = Cas then
+    "only one side is a CAS; the other mutates the region directly"
+  else if a.ac_guarded || b.ac_guarded then
+    "only one side is inside a CAS-won critical branch"
+  else "neither side is CAS-mediated or inside a CAS-won critical branch"
+
+let race_findings_of_par ~proc summaries env cas_bound ~guarded (l : Ast.rhs)
+    (r : Ast.rhs) : Diag.finding list =
+  ignore cas_bound;
+  let left = dedup (rhs_accesses summaries env ~guarded l) in
+  let right = dedup (rhs_accesses summaries env ~guarded r) in
+  let pairs =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if conflicting a b then Some (a, b) else None)
+          right)
+      left
+  in
+  (* One finding per region: the first conflicting pair is the
+     diagnostic witness. *)
+  let seen = ref [] in
+  List.filter_map
+    (fun (a, b) ->
+      if
+        List.exists
+          (fun r ->
+            regions_may_alias r a.ac_region
+            && base_equal r.rg_base a.ac_region.rg_base)
+          !seen
+      then None
+      else begin
+        seen := a.ac_region :: !seen;
+        Some
+          (Diag.error ~rule:"par-race"
+             ~loc:(Fmt.str "proc %s, (%a || %a)" proc Pp.pp_rhs l Pp.pp_rhs r)
+             (Fmt.str "possible race on %a between the two arms of the par"
+                pp_region a.ac_region)
+             ~detail:
+               [
+                 "left arm:  " ^ describe a;
+                 "right arm: " ^ describe b;
+                 "missing protection: " ^ missing_protection a b;
+               ])
+      end)
+    pairs
+
+(* Walk a procedure body, firing the race check at every [par] (also
+   nested ones), threading the same env/guard context the access
+   inference uses. *)
+let race_findings (prog : Ast.program) : Diag.finding list =
+  let summaries = infer_program prog in
+  let rec in_rhs ~proc env cas_bound ~guarded (r : Ast.rhs) =
+    match r with
+    | Expr _ | Cas _ | Call _ -> []
+    | Par (a, b) ->
+      race_findings_of_par ~proc summaries env cas_bound ~guarded a b
+      @ in_rhs ~proc env cas_bound ~guarded a
+      @ in_rhs ~proc env cas_bound ~guarded b
+  in
+  let rec in_cmd ~proc env cas_bound ~guarded (c : Ast.cmd) =
+    match c with
+    | Skip | Return _ | Assign _ -> []
+    | Seq (a, b) ->
+      in_cmd ~proc env cas_bound ~guarded a
+      @ in_cmd ~proc env cas_bound ~guarded b
+    | If (cond, t, f) ->
+      let t_guarded =
+        guarded
+        || (match cond with Var b -> SS.mem b cas_bound | _ -> false)
+      in
+      in_cmd ~proc env cas_bound ~guarded:t_guarded t
+      @ in_cmd ~proc env cas_bound ~guarded f
+    | BindCmd (pat, r, k) ->
+      let here = in_rhs ~proc env cas_bound ~guarded r in
+      let env, cas_bound =
+        match (pat, r) with
+        | Ast.Pvar x, Ast.Cas _ -> (SM.add x Unknown env, SS.add x cas_bound)
+        | Ast.Pvar x, Ast.Expr e ->
+          (SM.add x (base_of_expr env e) env, cas_bound)
+        | Ast.Pvar x, (Ast.Call _ | Ast.Par _) -> (SM.add x Unknown env, cas_bound)
+        | Ast.Ppair (a, b), _ ->
+          (SM.add a Unknown (SM.add b Unknown env), cas_bound)
+      in
+      here @ in_cmd ~proc env cas_bound ~guarded k
+  in
+  List.concat_map
+    (fun p ->
+      in_cmd ~proc:p.Ast.p_name (initial_env p) SS.empty ~guarded:false
+        p.Ast.p_body)
+    prog
+
+let analyze (prog : Ast.program) : Diag.finding list = race_findings prog
+
+let analyze_source ~name (src : string) : (Diag.finding list, string) result =
+  match Parser.parse_program src with
+  | prog -> Ok (analyze prog)
+  | exception Parser.Parse_error msg ->
+    Error (Fmt.str "%s: parse error: %s" name msg)
+  | exception Failure msg -> Error (Fmt.str "%s: %s" name msg)

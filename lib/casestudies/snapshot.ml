@@ -173,6 +173,7 @@ let concurroid ?(depth = 2) label =
 let read_cell sp cell : (int * int) Action.t =
   Action.make
     ~name:(Fmt.str "read_cell(%a)" Ptr.pp cell)
+    ~fp:(Footprint.reads sp)
     ~safe:(fun st ->
       match State.find sp st with
       | Some s -> Option.is_some (cell_of (Slice.joint s) cell)
@@ -190,6 +191,7 @@ let write_cell sp cell v : unit Action.t =
   let other_cell = if Ptr.equal cell x_cell then y_cell else x_cell in
   Action.make
     ~name:(Fmt.str "write_cell(%a,%d)" Ptr.pp cell v)
+    ~fp:(Footprint.writes sp)
     ~safe:(fun st ->
       match State.find sp st with
       | Some s ->
@@ -260,26 +262,29 @@ let assert_hist_extends sp h0 st =
    re-check. *)
 let read_pair sp : (int * int) Prog.t =
   let open Prog in
-  Prog.ffix
-    (fun loop () ->
-      let* vx, tx = act (read_cell sp x_cell) in
-      let* vy, _ = act (read_cell sp y_cell) in
-      let* _, tx' = act (read_cell sp x_cell) in
-      if tx = tx' then ret (vx, vy) else loop ())
-    ()
+  Prog.annot (Footprint.reads sp)
+    (Prog.ffix
+       (fun loop () ->
+         let* vx, tx = act (read_cell sp x_cell) in
+         let* vy, _ = act (read_cell sp y_cell) in
+         let* _, tx' = act (read_cell sp x_cell) in
+         if tx = tx' then ret (vx, vy) else loop ())
+       ())
 
 (* The broken variant for failure injection: no version re-check. *)
 let read_pair_unchecked sp : (int * int) Prog.t =
   let open Prog in
-  let* vx, _ = act (read_cell sp x_cell) in
-  let* vy, _ = act (read_cell sp y_cell) in
-  ret (vx, vy)
+  Prog.annot (Footprint.reads sp)
+    (let* vx, _ = act (read_cell sp x_cell) in
+     let* vy, _ = act (read_cell sp y_cell) in
+     ret (vx, vy))
 
 (* The snapshot spec: the returned pair occurs as a simultaneous state
    of the combined history somewhere between call and return (including
    the state at entry). *)
 let read_pair_spec sp : (int * int) Spec.t =
-  Spec.make ~name:"read_pair"
+  Spec.with_fp (Footprint.reads sp)
+  @@ Spec.make ~name:"read_pair"
     ~pre:(fun st ->
       match State.find sp st with Some s -> coh s | None -> false)
     ~post:(fun (a, b) st_i st_f ->
@@ -312,8 +317,9 @@ let read_pair_spec sp : (int * int) Spec.t =
 (* A writer's spec: its history gains exactly its own write. *)
 let write_spec sp cell v : unit Spec.t =
   let op = if Ptr.equal cell x_cell then "wx" else "wy" in
-  Spec.make
-    ~name:(Fmt.str "write_%s(%d)" op v)
+  Spec.with_fp (Footprint.writes sp)
+  @@ Spec.make
+       ~name:(Fmt.str "write_%s(%d)" op v)
     ~pre:(fun st ->
       match State.find sp st with
       | Some s -> coh s && Aux.is_unit (Slice.self s)

@@ -105,6 +105,7 @@ let slice_at sp st = State.find_exn sp st
    marknode_trans on success and idle on failure. *)
 let trymark sp x : bool Action.t =
   Action.make ~name:(Fmt.str "trymark(%a)" Ptr.pp x)
+    ~fp:(Footprint.cases sp)
     ~safe:(fun st ->
       match State.find sp st with
       | Some s -> (
@@ -141,6 +142,7 @@ let trymark sp x : bool Action.t =
    the result is stable (nobody else may nullify x's edges). *)
 let read_child sp x side : Ptr.t Action.t =
   Action.make ~name:(Fmt.str "read_child(%a,%a)" Ptr.pp x Graph.pp_side side)
+    ~fp:(Footprint.reads sp)
     ~safe:(fun st ->
       match State.find sp st with
       | Some s -> (
@@ -159,6 +161,7 @@ let read_child sp x side : Ptr.t Action.t =
    nullify_trans.  Requires x ∈ self. *)
 let nullify sp x side : unit Action.t =
   Action.make ~name:(Fmt.str "nullify(%a,%a)" Ptr.pp x Graph.pp_side side)
+    ~fp:(Footprint.writes sp)
     ~safe:(fun st ->
       match State.find sp st with
       | Some s -> (
@@ -254,7 +257,9 @@ let span sp (root : Ptr.t) : bool Prog.t =
         ret true
       else ret false
   in
-  Prog.ffix body root
+  (* [ffix] is opaque to the footprint spine; declare the envelope the
+     body's actions establish (the monitor checks it at exploration). *)
+  Prog.annot (Footprint.touches sp) (Prog.ffix body root)
 
 (* The spec span_tp of Figure 4, as executable pre/post predicates. *)
 
@@ -271,7 +276,8 @@ let subjective_subgraph i f =
   | _ -> false
 
 let span_spec sp (x : Ptr.t) : bool Spec.t =
-  Spec.make
+  Spec.with_fp (Footprint.touches sp)
+  @@ Spec.make
     ~name:(Fmt.str "span_tp(%a)" Ptr.pp x)
     ~pre:(fun st ->
       match State.find sp st with

@@ -73,16 +73,22 @@ type 'a t = {
          transfer heap ownership between them (Section 4.1); they are
          exempt from per-label transition correspondence but must still
          preserve the global footprint. *)
+  fp : Footprint.t;
+      (* Declared effect envelope: which labels the action may touch, and
+         how.  Defaults to [Top] (unknown); declared envelopes feed the
+         static analyzer and the env-step pruning oracle, and are checked
+         dynamically by {!Sched}'s envelope monitor. *)
 }
 
-let make ?(communicating = false) ?(enabled = fun _ -> true) ~name ~safe ~step
-    ~phys () =
-  { name; safe; enabled; step; phys; communicating }
+let make ?(communicating = false) ?(enabled = fun _ -> true)
+    ?(fp = Footprint.top) ~name ~safe ~step ~phys () =
+  { name; safe; enabled; step; phys; communicating; fp }
 
 let name a = a.name
 let safe a st = a.safe st
 let enabled a st = a.enabled st
 let phys a st = a.phys st
+let footprint a = a.fp
 
 let step_exn a st =
   if a.safe st then a.step st

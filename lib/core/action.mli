@@ -25,6 +25,7 @@ type 'a t
 val make :
   ?communicating:bool ->
   ?enabled:(State.t -> bool) ->
+  ?fp:Footprint.t ->
   name:string ->
   safe:(State.t -> bool) ->
   step:(State.t -> 'a * State.t) ->
@@ -36,12 +37,19 @@ val make :
     from per-label transition correspondence but must preserve the
     global footprint.  [enabled] is the scheduling guard: a disabled
     action blocks its thread rather than stepping — the standard sound
-    reduction of retry-until-success loops for partial correctness. *)
+    reduction of retry-until-success loops for partial correctness.
+    [fp] is the action's declared effect envelope (default
+    [Footprint.top], i.e. unknown); it feeds the static analyzer and the
+    env-step pruning oracle, and is dynamically checked by the
+    scheduler's envelope monitor when pruning is on. *)
 
 val name : 'a t -> string
 val safe : 'a t -> State.t -> bool
 val enabled : 'a t -> State.t -> bool
 val phys : 'a t -> State.t -> phys
+
+val footprint : 'a t -> Footprint.t
+(** The declared effect envelope. *)
 
 val step_exn : 'a t -> State.t -> 'a * State.t
 (** Raises [Invalid_argument] when unsafe. *)

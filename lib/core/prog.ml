@@ -37,6 +37,11 @@ type _ t =
   | ParSplit : split * 'b t * 'c t -> ('b * 'c) t
   | Ffix : (('i -> 'o t) -> 'i -> 'o t) * 'i -> 'o t
   | Hide : hide_spec * 'a t -> 'a t
+  | Annot : Footprint.t * 'a t -> 'a t
+      (* A declared effect envelope for the subterm — the static
+         analyzer's escape hatch for opaque closures (Bind continuations,
+         Ffix bodies).  Semantically transparent; checked dynamically by
+         {!Sched}'s envelope monitor when pruning is enabled. *)
 
 (* Smart constructors; [let*] gives the monadic notation of Figure 3. *)
 
@@ -86,6 +91,7 @@ let split_cells ~pv ~to_left ~to_right : split =
    => ...)] of Figure 3. *)
 let ffix f x = Ffix (f, x)
 let hide spec body = Hide (spec, body)
+let annot fp p = Annot (fp, p)
 
 let cond b pt pf = if b then pt else pf
 
@@ -102,6 +108,26 @@ let rec size : type a. a t -> int = function
   | ParSplit (_, p, q) -> 1 + size p + size q
   | Ffix (_, _) -> 1
   | Hide (_, p) -> 1 + size p
+  | Annot (_, p) -> size p
+
+(* Effect inference over the visible spine.  Continuations of [Bind] and
+   bodies of [Ffix] are opaque OCaml closures, so without an [Annot]
+   they infer [Top]; an [Annot] overrides whatever its subterm would
+   infer (the monitor in {!Sched}, not this traversal, is what keeps
+   declared envelopes honest).  [Hide] scopes away its installed label
+   and touches the donating private label. *)
+let rec footprint : type a. a t -> Footprint.t = function
+  | Ret _ -> Footprint.bot
+  | Act a -> Action.footprint a
+  | Bind (p, _) -> Footprint.join (footprint p) Footprint.top
+  | Par (p, q) -> Footprint.join (footprint p) (footprint q)
+  | ParSplit (_, p, q) -> Footprint.join (footprint p) (footprint q)
+  | Ffix (_, _) -> Footprint.top
+  | Hide (hs, p) ->
+    Footprint.join
+      (Footprint.writes hs.hs_priv)
+      (Footprint.remove (footprint p) (Concurroid.label hs.hs_conc))
+  | Annot (fp, _) -> fp
 
 (* A shallow printer: continuations are opaque, so only the evaluated
    spine is shown. *)
@@ -114,3 +140,4 @@ let rec pp : type a. Format.formatter -> a t -> unit =
   | ParSplit (_, p, q) -> Fmt.pf ppf "(%a ||s %a)" pp p pp q
   | Ffix (_, _) -> Fmt.string ppf "ffix"
   | Hide (_, p) -> Fmt.pf ppf "hide { %a }" pp p
+  | Annot (fp, p) -> Fmt.pf ppf "(%a : %a)" pp p Footprint.pp fp

@@ -30,6 +30,10 @@ type _ t =
   | ParSplit : split * 'b t * 'c t -> ('b * 'c) t
   | Ffix : (('i -> 'o t) -> 'i -> 'o t) * 'i -> 'o t
   | Hide : hide_spec * 'a t -> 'a t
+  | Annot : Footprint.t * 'a t -> 'a t
+      (** A declared effect envelope for the subterm — the analyzer's
+          escape hatch for opaque closures.  Semantically transparent;
+          kept honest by the scheduler's envelope monitor. *)
 
 val ret : 'a -> 'a t
 val bind : 'b t -> ('b -> 'a t) -> 'a t
@@ -57,7 +61,19 @@ val ffix : (('i -> 'o t) -> 'i -> 'o t) -> 'i -> 'o t
     in [ffix (fun loop x -> ...)] of Figure 3. *)
 
 val hide : hide_spec -> 'a t -> 'a t
+
+val annot : Footprint.t -> 'a t -> 'a t
+(** Declare an effect envelope for a subterm. *)
+
 val cond : bool -> 'a t -> 'a t -> 'a t
 val unfold_ffix : (('i -> 'o t) -> 'i -> 'o t) -> 'i -> 'o t
 val size : 'a t -> int
+
+val footprint : 'a t -> Footprint.t
+(** Effect inference over the visible spine: action leaves contribute
+    their declared envelopes, [par] joins, [hide] scopes away its
+    installed label (and touches the donating private label), and the
+    opaque closures of [Bind]/[Ffix] infer [Footprint.top] unless an
+    [Annot] overrides them. *)
+
 val pp : Format.formatter -> 'a t -> unit

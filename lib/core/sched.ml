@@ -51,6 +51,7 @@ let rec inject : type a. a Prog.t -> a rt = function
   | Prog.ParSplit (split, p, q) -> RParP (split, p, q)
   | Prog.Ffix (f, x) -> inject (Prog.unfold_ffix f x)
   | Prog.Hide (spec, body) -> RHideP (spec, body)
+  | Prog.Annot (_, p) -> inject p (* semantically transparent *)
 
 (* The sum of all contributions held inside a thread tree (excluding the
    root's own contribution, which the caller holds). *)
@@ -652,8 +653,40 @@ let memo_store_cap = 4096
    identical configurations at identical depth, so this collapses them
    while reporting exactly what the naive search reports. *)
 let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
-    ?(env_budget = max_int) ?(dedup = false) (genv0 : genv)
+    ?(env_budget = max_int) ?(dedup = false) ?monitor_envelope (genv0 : genv)
     (mine0 : Contrib.t) (prog : 'a Prog.t) : 'a outcome list * bool =
+  (* Dynamic write-confinement check for declared effect envelopes: when
+     a caller prunes env steps based on a footprint, every shared-state
+     mutation (joint heap or joint auxiliary) at a label OUTSIDE that
+     footprint is an envelope violation — the declared annotation was
+     unsound, and pruning on it would be too.  Reported as a crash so it
+     surfaces as a verification failure rather than a silent wrong
+     verdict.  Labels installed by [hide] during the run are fresh, so
+     watching only the initial world's labels is exhaustive. *)
+  let watched =
+    match monitor_envelope with
+    | None -> []
+    | Some envelope ->
+      List.filter
+        (fun l -> not (Label.Set.mem l envelope))
+        (World.labels genv0.world)
+  in
+  let envelope_violation (before : genv) (after : genv) =
+    List.find_opt
+      (fun l ->
+        let joint_eq =
+          match
+            (Label.Map.find_opt l before.joints, Label.Map.find_opt l after.joints)
+          with
+          | Some h, Some h' -> Heap.equal h h'
+          | None, None -> true
+          | Some _, None | None, Some _ -> false
+        in
+        not
+          (joint_eq
+          && Aux.equal (Contrib.get l before.jauxs) (Contrib.get l after.jauxs)))
+      watched
+  in
   let outcomes = ref [] in
   let count = ref 0 in
   let record o =
@@ -762,9 +795,19 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
               (Crashed
                  (Fmt.str "%s [schedule: %s]" msg
                     (pp_trace (Lazy.from_val mv.mv_name :: trace))))
-          | Ok (genv', mine', rt') ->
-            go genv' mine' rt' (depth + 1) budget
-              (Lazy.from_val mv.mv_name :: trace))
+          | Ok (genv', mine', rt') -> (
+            match envelope_violation genv genv' with
+            | Some l ->
+              record
+                (Crashed
+                   (Fmt.str
+                      "envelope violation: %s mutates label %a outside the \
+                       declared footprint [schedule: %s]"
+                      mv.mv_name Label.pp l
+                      (pp_trace (Lazy.from_val mv.mv_name :: trace))))
+            | None ->
+              go genv' mine' rt' (depth + 1) budget
+                (Lazy.from_val mv.mv_name :: trace)))
         mvs;
       List.iter
         (fun (n, genv') -> go genv' mine rt (depth + 1) (budget - 1) (n :: trace))

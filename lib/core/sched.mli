@@ -103,6 +103,7 @@ val explore :
   ?interference:bool ->
   ?env_budget:int ->
   ?dedup:bool ->
+  ?monitor_envelope:Label.Set.t ->
   genv ->
   Contrib.t ->
   'a Prog.t ->
@@ -116,7 +117,12 @@ val explore :
     no less remaining fuel and environment budget is pruned by replaying
     its recorded outcomes — collapsing the diamonds of commuting steps
     while preserving the failure set and the completeness verdict; crash
-    messages keep the schedule of their first discovery. *)
+    messages keep the schedule of their first discovery.
+
+    With [monitor_envelope], every program move that mutates shared
+    state (joint heap or joint auxiliary) at an initial-world label
+    outside the given set is recorded as a crash — the dynamic
+    write-confinement check backing footprint-based env-step pruning. *)
 
 val run_with_chooser :
   ?fuel:int ->

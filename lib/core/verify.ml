@@ -30,16 +30,22 @@ let ok r = r.failures = []
    harness set these process-wide; [with_engine] scopes an override. *)
 let default_dedup = ref true
 let default_jobs = ref 1
+let default_prune = ref false
 let set_default_dedup b = default_dedup := b
 let set_default_jobs j = default_jobs := max 1 j
+let set_default_prune b = default_prune := b
 
-let with_engine ?dedup ?jobs f =
-  let saved_d = !default_dedup and saved_j = !default_jobs in
+let with_engine ?dedup ?jobs ?prune f =
+  let saved_d = !default_dedup
+  and saved_j = !default_jobs
+  and saved_p = !default_prune in
   Option.iter set_default_dedup dedup;
   Option.iter set_default_jobs jobs;
+  Option.iter set_default_prune prune;
   Fun.protect ~finally:(fun () ->
       default_dedup := saved_d;
-      default_jobs := saved_j)
+      default_jobs := saved_j;
+      default_prune := saved_p)
     f
 
 let pp_failure ppf f =
@@ -78,19 +84,44 @@ type state_result = {
 }
 
 let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
-    ?(env_budget = max_int) ?(max_failures = 5) ?dedup ?jobs ~(world : World.t)
-    ~(init : State.t list) (prog : 'a Prog.t) (spec : 'a Spec.t) : report =
+    ?(env_budget = max_int) ?(max_failures = 5) ?dedup ?jobs ?prune
+    ~(world : World.t) ~(init : State.t list) (prog : 'a Prog.t)
+    (spec : 'a Spec.t) : report =
   let dedup = Option.value dedup ~default:!default_dedup in
   let jobs = max 1 (Option.value jobs ~default:!default_jobs) in
-  let interfere = if interference then World.labels world else [] in
+  let prune = Option.value prune ~default:!default_prune in
+  (* Env-step pruning oracle: interference at a label neither the program
+     nor its spec touches cannot change any verdict (program moves never
+     read it, the postcondition never observes it), so when the joined
+     footprint is known the interference set shrinks to it.  The pruned
+     run additionally arms the scheduler's envelope monitor, so an
+     unsound declared footprint surfaces as an explicit crash instead of
+     a silently narrowed search. *)
+  let triple_fp =
+    if not prune then Footprint.top
+    else Footprint.join (Prog.footprint prog) (Spec.footprint spec)
+  in
+  let interfere =
+    if not interference then []
+    else
+      match Footprint.labels triple_fp with
+      | None -> World.labels world
+      | Some fp_labels ->
+        List.filter (fun l -> Label.Set.mem l fp_labels) (World.labels world)
+  in
+  let monitor_envelope =
+    match Footprint.labels triple_fp with
+    | None -> None
+    | Some fp_labels -> Some fp_labels
+  in
   let eligible =
     List.filter (fun st -> World.coh world st && Spec.pre spec st) init
   in
   let check_state st : state_result =
     let genv, mine = Sched.genv_of_state ~interfere world st in
     let outs, compl =
-      Sched.explore ~fuel ~max_outcomes ~interference ~env_budget ~dedup genv
-        mine prog
+      Sched.explore ~fuel ~max_outcomes ~interference ~env_budget ~dedup
+        ?monitor_envelope genv mine prog
     in
     let outcomes = ref 0 in
     let diverged = ref 0 in

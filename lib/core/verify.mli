@@ -28,7 +28,14 @@ val pp_report : Format.formatter -> report -> unit
 val set_default_dedup : bool -> unit
 val set_default_jobs : int -> unit
 
-val with_engine : ?dedup:bool -> ?jobs:int -> (unit -> 'a) -> 'a
+val set_default_prune : bool -> unit
+(** Footprint-based env-step pruning (default off): when a triple's
+    joined program+spec envelope is known (below [Footprint.top]),
+    restrict environment interference to the labels it touches, and arm
+    the scheduler's envelope monitor so an unsound declared envelope
+    surfaces as an explicit failure. *)
+
+val with_engine : ?dedup:bool -> ?jobs:int -> ?prune:bool -> (unit -> 'a) -> 'a
 (** Run [f] with the given engine defaults, restoring the previous ones
     afterwards (also on exceptions). *)
 
@@ -40,6 +47,7 @@ val check_triple :
   ?max_failures:int ->
   ?dedup:bool ->
   ?jobs:int ->
+  ?prune:bool ->
   world:World.t ->
   init:State.t list ->
   'a Prog.t ->
@@ -56,7 +64,15 @@ val check_triple :
     that many domains.  Both default to the engine defaults above, and
     neither changes the report: memoized replay is exact, and the
     parallel merge reproduces the sequential accounting (including
-    skipping states after the first failing one). *)
+    skipping states after the first failing one).
+
+    [prune] (default: the engine default, off) restricts environment
+    interference to the labels of the joined program+spec footprint when
+    that footprint is known — sound because interference at a label the
+    program never steps and the spec never observes cannot change any
+    verdict, and guarded dynamically by the scheduler's envelope
+    monitor.  Outcome {e counts} may legitimately shrink under pruning;
+    the per-spec verdict and failure set do not. *)
 
 val check_triple_random :
   ?fuel:int ->

@@ -15,10 +15,15 @@ exception Extraction_error of string
 
 let error fmt = Fmt.kstr (fun s -> raise (Extraction_error s)) fmt
 
-type env = (string * Value.t) list
+(* Environments are persistent maps: binding in one [par] arm must not
+   leak into the other, and lookup stays logarithmic however deep the
+   recursion rebinds. *)
+module Env = Map.Make (String)
+
+type env = Value.t Env.t
 
 let lookup env x =
-  match List.assoc_opt x env with
+  match Env.find_opt x env with
   | Some v -> v
   | None -> error "unbound variable %s" x
 
@@ -107,8 +112,8 @@ let rec exec_cmd rh procs ~budget env cmd : env =
     let v = exec_rhs rh procs ~budget env rhs in
     let env =
       match (pat, v) with
-      | Pvar x, v -> (x, v) :: env
-      | Ppair (a, b), Value.Pair (va, vb) -> (a, va) :: (b, vb) :: env
+      | Pvar x, v -> Env.add x v env
+      | Ppair (a, b), Value.Pair (va, vb) -> Env.add b vb (Env.add a va env)
       | Ppair _, v -> error "pattern expects a pair, got %a" Value.pp v
     in
     exec_cmd rh procs ~budget env k
@@ -154,7 +159,11 @@ and call rh procs ~budget name vargs : Value.t =
   in
   if List.length vargs <> List.length p.p_params then
     error "%s: arity mismatch" name;
-  let env = List.map2 (fun (param, _) v -> (param, v)) p.p_params vargs in
+  let env =
+    List.fold_left2
+      (fun env (param, _) v -> Env.add param v env)
+      Env.empty p.p_params vargs
+  in
   match exec_cmd rh procs ~budget env p.p_body with
   | _ -> Value.unit
   | exception Returned v -> v

@@ -18,4 +18,5 @@ let () =
       ("infra", Test_infra.suite);
       ("misc", Test_misc.suite);
       ("report", Test_report.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -87,6 +87,52 @@ let prop_fast_path_sound =
              (Stability.check world ~states:(states ()) (Assrt.holds a))
          | _ -> false))
 
+(* The same soundness property over arbitrary assertion trees mixing
+   self-only and joint-reading atoms through all the connectives: the
+   syntactic fast path fires exactly on self-only footprints, and when
+   it fires the semantic checker agrees the assertion is stable. *)
+let gen_mixed_assrt =
+  let open QCheck2.Gen in
+  let atom =
+    oneof
+      [
+        map (fun n -> Assrt.self_contains sp (p n)) (int_range 1 3);
+        return (Assrt.self_is_unit sp);
+        map (fun b -> Assrt.pure "const" b) bool;
+        map
+          (fun n ->
+            Assrt.on_joint sp
+              (Fmt.str "joint has x%d" n)
+              (fun joint _ -> Heap.mem (p n) joint))
+          (int_range 1 3);
+      ]
+  in
+  let rec go n =
+    if n = 0 then atom
+    else
+      oneof
+        [
+          atom;
+          map2 Assrt.conj (go (n - 1)) (go (n - 1));
+          map2 Assrt.disj (go (n - 1)) (go (n - 1));
+          map Assrt.neg (go (n - 1));
+        ]
+  in
+  go 2
+
+let prop_mixed_fast_path_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150
+       ~name:"mixed assertions: fast path iff self-only, and then semantically stable"
+       gen_mixed_assrt
+       (fun a ->
+         match Assrt.check_auto world ~states:(states ()) a with
+         | Assrt.Stable_by_footprint ->
+           Assrt.self_only a
+           && Stability.is_stable
+                (Stability.check world ~states:(states ()) (Assrt.holds a))
+         | Assrt.Stable_checked | Assrt.Unstable _ -> not (Assrt.self_only a)))
+
 let suite =
   [
     Alcotest.test_case "self-only fast path" `Quick test_footprint_fast_path;
@@ -94,4 +140,5 @@ let suite =
       test_joint_needs_semantics;
     Alcotest.test_case "absent labels vacuous" `Quick test_absent_label_vacuous;
     prop_fast_path_sound;
+    prop_mixed_fast_path_sound;
   ]

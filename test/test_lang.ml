@@ -56,6 +56,36 @@ let test_roundtrip () =
       check "print/parse round-trip" true (Ast.equal_program prog reparsed))
     [ Examples.span_source; Examples.mark_children_source ]
 
+(* Every shipped .fcsl example round-trips through the printer (the
+   directory is a dune dep of this test, so new examples are covered
+   automatically). *)
+let examples_dir = "../examples"
+
+let example_files () =
+  Sys.readdir examples_dir
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".fcsl")
+  |> List.sort String.compare
+  |> List.map (Filename.concat examples_dir)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_roundtrip_example_files () =
+  let files = example_files () in
+  check "at least two example files" true (List.length files >= 2);
+  List.iter
+    (fun path ->
+      let prog = Parser.parse_program (read_file path) in
+      let printed = Pp.program_to_string prog in
+      let reparsed = Parser.parse_program printed in
+      check (path ^ " round-trips") true (Ast.equal_program prog reparsed))
+    files
+
 (* Property: round-trip on randomly generated commands. *)
 let gen_expr_leaf =
   QCheck2.Gen.oneofl
@@ -85,6 +115,10 @@ let rec gen_cmd_sized n =
                map (fun e -> Ast.Expr e) gen_expr_leaf;
                return (Ast.Cas (Var "x", Ast.Mark, Bool false, Bool true));
                return (Ast.Call ("f", [ Ast.Var "x" ]));
+               return
+                 (Ast.Par
+                    ( Ast.Call ("f", [ Ast.Field (Var "x", Left) ]),
+                      Ast.Call ("f", [ Ast.Field (Var "x", Right) ]) ));
              ])
           (gen_cmd_sized (n - 1));
       ]
@@ -213,6 +247,8 @@ let suite =
       test_parse_span;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "print/parse round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "examples/*.fcsl round-trip" `Quick
+      test_roundtrip_example_files;
     prop_roundtrip;
     Alcotest.test_case "interpreter: span on Figure 2" `Quick test_interp_span;
     prop_differential;
