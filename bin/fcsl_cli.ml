@@ -9,6 +9,11 @@
      fcsl span               spanning-tree demo (model / extracted)
      fcsl analyze [FILE...]  static race detection + spec/concurroid lints
      fcsl lint               spec/concurroid lints over the case studies
+     fcsl chaos              fault-injection harness over the registry
+
+   Exit codes (stable; see docs/ROBUSTNESS.md): 0 everything verified,
+   1 verification failure, 2 degraded-inconclusive (a budget forced the
+   verdict below a complete exploration), 3 internal error.
 *)
 
 open Cmdliner
@@ -19,15 +24,16 @@ module Aux = Fcsl_pcm.Aux
 module Registry = Fcsl_report.Registry
 module Tables = Fcsl_report.Tables
 
-let exit_ok = 0
-let exit_failed = 1
+let exit_ok = Verify.exit_ok
+let exit_failed = Verify.exit_failed
+let exit_internal = Verify.exit_internal
 
 (* verify *)
 
 (* Renders one case's verification to a string so that parallel runs
    (-j) can print whole-case blocks in registry order instead of
    interleaving lines from several domains. *)
-let verify_case (c : Registry.case) : string * bool =
+let verify_case (c : Registry.case) : string * Verify.report list =
   let t0 = Unix.gettimeofday () in
   let reports = c.Registry.c_verify () in
   let dt = Unix.gettimeofday () -. t0 in
@@ -36,7 +42,7 @@ let verify_case (c : Registry.case) : string * bool =
       (Fmt.list ~sep:Fmt.cut (fun ppf r -> Fmt.pf ppf "%a@ " Verify.pp_report r))
       reports dt
   in
-  (out, List.for_all Verify.ok reports)
+  (out, reports)
 
 let jobs_arg =
   Arg.(
@@ -64,11 +70,47 @@ let prune_flag =
            steps at labels outside the triple's envelope (sound: a \
            dynamic monitor crashes the run if a footprint under-declares)")
 
+let deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Arm a wall-clock budget of $(docv) seconds per triple.  On \
+           exhaustion the verifier degrades (exhaustive, then \
+           footprint-pruned, then seeded sampling) instead of hanging, \
+           and exits 2 when the verdict is thereby inconclusive")
+
+let max_states_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-states" ] ~docv:"N"
+        ~doc:"Arm a budget of $(docv) explored states per triple")
+
+let max_heap_words_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-heap-words" ] ~docv:"N"
+        ~doc:"Arm a budget of $(docv) major-heap words")
+
+let engine_seed_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Base seed for sampled (randomized) verification tiers; \
+           recorded in the report so sampled verdicts replay exactly")
+
+let budget_of deadline max_states max_heap_words =
+  match (deadline, max_states, max_heap_words) with
+  | None, None, None -> None
+  | deadline_s, max_states, max_major_words ->
+    Some (Budget.limits ?deadline_s ?max_states ?max_major_words ())
+
 let verify_cmd =
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
   in
-  let run name jobs no_dedup prune =
+  let run name jobs no_dedup prune deadline max_states max_heap_words seed =
     let cases =
       match name with
       | None -> Registry.all
@@ -82,24 +124,29 @@ let verify_cmd =
             Registry.all;
           exit exit_failed)
     in
-    Verify.with_engine ~dedup:(not no_dedup) ~prune @@ fun () ->
+    Verify.with_engine ~dedup:(not no_dedup) ~prune
+      ?budget:(budget_of deadline max_states max_heap_words)
+      ?seed
+    @@ fun () ->
     let results = Pool.map ~jobs verify_case cases in
-    let ok =
-      List.fold_left
-        (fun acc (out, case_ok) ->
+    let reports =
+      List.concat_map
+        (fun (out, reports) ->
           print_string out;
-          acc && case_ok)
-        true results
+          reports)
+        results
     in
-    if ok then begin
-      Fmt.pr "all verified.@.";
-      exit_ok
-    end
-    else exit_failed
+    let code = Verify.exit_code reports in
+    if code = exit_ok then Fmt.pr "all verified.@."
+    else if code = Verify.exit_degraded then
+      Fmt.pr "no failures, but some verdicts are budget-degraded.@.";
+    code
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Mechanically verify case studies (all by default)")
-    Term.(const run $ name_arg $ jobs_arg $ no_dedup_flag $ prune_flag)
+    Term.(
+      const run $ name_arg $ jobs_arg $ no_dedup_flag $ prune_flag
+      $ deadline_arg $ max_states_arg $ max_heap_words_arg $ engine_seed_arg)
 
 (* tables *)
 
@@ -278,8 +325,8 @@ let span_cmd =
         Fmt.pr "model span on %d nodes: returned %b, spanning %b@." nodes r
           (Graph.spanning g0 g (Ptr.of_int 1) (Graph.dom_set g));
         exit_ok
-      | Sched.Crashed msg ->
-        Fmt.epr "crash: %s@." msg;
+      | Sched.Crashed c ->
+        Fmt.epr "crash: %a@." Crash.pp c;
         exit_failed
       | Sched.Diverged ->
         Fmt.epr "diverged@.";
@@ -380,6 +427,73 @@ let analyze_cmd =
           registered case studies, and self-test against injected bugs")
     Term.(const run $ files_arg $ no_self_test_flag)
 
+(* chaos *)
+
+module Chaos = Fcsl_analysis.Chaos
+
+let chaos_cmd =
+  let registry_flag =
+    Arg.(
+      value & flag
+      & info [ "registry" ]
+          ~doc:
+            "Run the registry-wide injection modes over every Table 1 \
+             row (this is also the default; the flag exists so CI \
+             invocations are explicit about their scope)")
+  in
+  let mode_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Run a single injection mode (pool-transient, \
+             pool-persistent, mid-explore, budget-starve, spurious-cas, \
+             transient-unsafe, env-burst); default: all modes")
+  in
+  let case_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "case" ] ~docv:"NAME"
+          ~doc:
+            "Restrict registry-wide modes to the given Table 1 row \
+             (repeatable); default: the whole registry")
+  in
+  let run _registry mode cases seed =
+    let cases = match cases with [] -> None | cs -> Some cs in
+    let outcomes =
+      match mode with
+      | None -> Chaos.run_all ?cases ~seed ()
+      | Some n -> (
+        match Chaos.mode_of_name n with
+        | Some m -> Chaos.run ?cases ~seed m
+        | None ->
+          Fmt.epr "unknown chaos mode %S; available:@." n;
+          List.iter
+            (fun m -> Fmt.epr "  %s@." (Chaos.mode_name m))
+            Chaos.all_modes;
+          exit exit_failed)
+    in
+    Fmt.pr "Fault injection (%d outcomes):@." (List.length outcomes);
+    List.iter (fun o -> Fmt.pr "  %a@." Chaos.pp_outcome o) outcomes;
+    let failed = List.filter (fun o -> not o.Chaos.o_passed) outcomes in
+    if failed = [] then begin
+      Fmt.pr "chaos: all injections survived.@.";
+      exit_ok
+    end
+    else begin
+      Fmt.pr "chaos: %d injection(s) NOT survived.@." (List.length failed);
+      exit_failed
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Inject faults (worker exceptions, budget starvation, spurious \
+          CAS failures, transient unsafety, interference bursts) and \
+          assert the verification engine's verdicts and accounting \
+          survive them")
+    Term.(const run $ registry_flag $ mode_arg $ case_arg $ seed_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "fcsl" ~version:"1.0.0"
@@ -388,7 +502,14 @@ let main_cmd =
           (FCSL, PLDI 2015) — OCaml reproduction")
     [
       verify_cmd; table1_cmd; table2_cmd; deps_cmd; laws_cmd; parse_cmd;
-      run_cmd; span_cmd; analyze_cmd; lint_cmd;
+      run_cmd; span_cmd; analyze_cmd; lint_cmd; chaos_cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Anything escaping a subcommand is an engine failure: exit 3, never a
+   raw OCaml backtrace as the only diagnosis. *)
+let () =
+  match Cmd.eval' main_cmd with
+  | code -> exit code
+  | exception e ->
+    Fmt.epr "fcsl: internal error: %s@." (Printexc.to_string e);
+    exit exit_internal

@@ -99,7 +99,7 @@ let () =
           (Hist.cardinal hist) Hist.pp hist
       | None -> ())
     | None -> ())
-  | Sched.Crashed msg -> Fmt.pr "crash: %s@." msg
+  | Sched.Crashed c -> Fmt.pr "crash: %a@." Crash.pp c
   | Sched.Diverged -> Fmt.pr "diverged@.");
 
   Fmt.pr "@.== flat_combine triples (the paper's Section 4.2 spec) ==@.";

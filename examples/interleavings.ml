@@ -37,7 +37,7 @@ let () =
       Fmt.pr "  trace %d: %s  ~>  %s@." (i + 1) (String.concat "; " path)
         (match outcome with
         | Sched.Finished ((a, b), _) -> Fmt.str "(%b, %b)" a b
-        | Sched.Crashed m -> "CRASH " ^ m
+        | Sched.Crashed c -> "CRASH " ^ Fmt.str "%a" Crash.pp c
         | Sched.Diverged -> "diverged"))
     (Tree.traces tree);
 

@@ -24,7 +24,7 @@ let () =
     let h = Priv.pv_self Stack_clients.pv_label final in
     Fmt.pr "final private heap has %d cells (structure returned by hide)@.@."
       (Heap.cardinal h)
-  | Sched.Crashed msg -> Fmt.pr "crash: %s@." msg
+  | Sched.Crashed c -> Fmt.pr "crash: %a@." Crash.pp c
   | Sched.Diverged -> Fmt.pr "diverged@.");
 
   (* 2. Exhaustive verification: every schedule delivers {1, 2}. *)

@@ -35,7 +35,7 @@ let () =
       Graph.pp g';
     Fmt.pr "spanning tree: %b@.@."
       (Graph.spanning g0 g' root (Graph.dom_set g'))
-  | Sched.Crashed msg -> Fmt.pr "CRASH: %s@." msg
+  | Sched.Crashed c -> Fmt.pr "CRASH: %a@." Crash.pp c
   | Sched.Diverged -> Fmt.pr "diverged@.");
 
   (* Now verify: exhaustive model checking of span_root_tp over the

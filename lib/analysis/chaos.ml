@@ -1,0 +1,409 @@
+(* Fault-injection harness: exercise the verification engine's
+   resilience machinery (supervised pool, budget ladder, structured
+   crashes) by injecting faults at every layer and asserting that
+   verdicts and accounting survive.
+
+   Two families of mode:
+
+   - Registry-wide modes wrap the opaque [c_verify] thunks of every
+     Table 1 row.  The injection channel is [Budget.limits.l_tick_hook]
+     — the scheduler charges one tick per explored configuration, so a
+     raising hook is an exception at an arbitrary point of an arbitrary
+     exploration.  The fault-free baseline is computed once per case
+     and cached.
+
+   - Action-level modes build bespoke scenarios around wrapped actions
+     (spurious CAS failure, transiently-unsafe [safe]).  Wrappers carry
+     mutable or state-hashed nondeterminism, which would violate the
+     memoizing keyer's immutable-captures assumption, so these modes
+     run only under the Sampled tier ([check_triple_random], which
+     never memoizes). *)
+
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+module Registry = Fcsl_report.Registry
+
+type mode =
+  | Pool_transient
+  | Pool_persistent
+  | Mid_explore
+  | Budget_starve
+  | Spurious_cas
+  | Transient_unsafe
+  | Env_burst
+
+let all_modes =
+  [
+    Pool_transient; Pool_persistent; Mid_explore; Budget_starve; Spurious_cas;
+    Transient_unsafe; Env_burst;
+  ]
+
+let mode_name = function
+  | Pool_transient -> "pool-transient"
+  | Pool_persistent -> "pool-persistent"
+  | Mid_explore -> "mid-explore"
+  | Budget_starve -> "budget-starve"
+  | Spurious_cas -> "spurious-cas"
+  | Transient_unsafe -> "transient-unsafe"
+  | Env_burst -> "env-burst"
+
+let mode_of_name n = List.find_opt (fun m -> mode_name m = n) all_modes
+let pp_mode ppf m = Fmt.string ppf (mode_name m)
+
+type outcome = {
+  o_mode : mode;
+  o_case : string;
+  o_passed : bool;
+  o_detail : string;
+}
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "%-17s %-28s %s  %s" (mode_name o.o_mode) o.o_case
+    (if o.o_passed then "ok  " else "FAIL")
+    o.o_detail
+
+(* --- shared helpers ------------------------------------------------- *)
+
+let registry_cases ?cases () =
+  match cases with
+  | None -> Registry.all
+  | Some names ->
+    List.filter (fun c -> List.mem c.Registry.c_name names) Registry.all
+
+(* The fault-free baseline of a registry row, cached: several modes
+   compare against it and each [c_verify] is a full verification. *)
+let baseline_cache : (string, Verify.report list) Hashtbl.t =
+  Hashtbl.create 16
+
+let baseline (c : Registry.case) =
+  match Hashtbl.find_opt baseline_cache c.Registry.c_name with
+  | Some r -> r
+  | None ->
+    let r = c.Registry.c_verify () in
+    Hashtbl.add baseline_cache c.Registry.c_name r;
+    r
+
+(* Verdict equality between a baseline and a chaos run: everything the
+   engine promises to preserve under absorbed transient faults.  Budget
+   stats are intentionally excluded (the chaos run armed one). *)
+let same_verdicts (base : Verify.report list) (chaos : Verify.report list) :
+    (unit, string) result =
+  if List.length base <> List.length chaos then
+    Error
+      (Fmt.str "report count %d <> %d" (List.length base) (List.length chaos))
+  else
+    let diff =
+      List.find_map
+        (fun (b, h) ->
+          let open Verify in
+          if b.spec_name <> h.spec_name then
+            Some (Fmt.str "spec %s <> %s" b.spec_name h.spec_name)
+          else if ok b <> ok h then Some (b.spec_name ^ ": ok differs")
+          else if b.tier <> h.tier then Some (b.spec_name ^ ": tier differs")
+          else if b.initial_states <> h.initial_states then
+            Some (b.spec_name ^ ": initial_states differ")
+          else if b.outcomes <> h.outcomes then
+            Some (b.spec_name ^ ": outcomes differ")
+          else if b.diverged <> h.diverged then
+            Some (b.spec_name ^ ": diverged differs")
+          else if b.complete <> h.complete then
+            Some (b.spec_name ^ ": complete differs")
+          else if
+            not
+              (List.equal
+                 (fun f g -> Crash.equal f.crash g.crash)
+                 b.failures h.failures)
+          then Some (b.spec_name ^ ": failure sets differ")
+          else if h.worker_crashes <> [] then
+            Some (b.spec_name ^ ": unexpected worker crashes")
+          else None)
+        (List.combine base chaos)
+    in
+    match diff with None -> Ok () | Some d -> Error d
+
+(* An escaped exception is itself a harness failure, never a crash of
+   the harness. *)
+let outcome mode case (f : unit -> (string, string) result) : outcome =
+  match f () with
+  | Ok detail -> { o_mode = mode; o_case = case; o_passed = true; o_detail = detail }
+  | Error detail ->
+    { o_mode = mode; o_case = case; o_passed = false; o_detail = detail }
+  | exception e ->
+    {
+      o_mode = mode;
+      o_case = case;
+      o_passed = false;
+      o_detail = "escaped exception: " ^ Printexc.to_string e;
+    }
+
+(* --- registry-wide modes -------------------------------------------- *)
+
+(* Re-verify a case with a tick hook injected through the engine-default
+   budget (the hook makes the budget non-trivial, arming it on every
+   [check_triple] without any actual ceiling). *)
+let verify_with_hook hook (c : Registry.case) =
+  Verify.with_engine
+    ~budget:(Budget.limits ~tick_hook:hook ())
+    c.Registry.c_verify
+
+let transient_hook () =
+  let fired = Atomic.make false in
+  fun () ->
+    if not (Atomic.exchange fired true) then
+      raise (Crash.Injected "chaos: transient worker fault")
+
+let mid_explore_hook () =
+  let n = Atomic.make 0 in
+  fun () ->
+    if Atomic.fetch_and_add n 1 = 50 then
+      raise (Crash.Injected "chaos: fault mid-exploration")
+
+let persistent_hook () () = raise (Crash.Injected "chaos: persistent fault")
+
+let run_absorbed mode hook_of ?cases () =
+  List.map
+    (fun c ->
+      outcome mode c.Registry.c_name (fun () ->
+          let base = baseline c in
+          let chaos = verify_with_hook (hook_of ()) c in
+          Result.map
+            (fun () -> "verdicts identical to fault-free baseline")
+            (same_verdicts base chaos)))
+    (registry_cases ?cases ())
+
+let run_persistent ?cases () =
+  List.map
+    (fun c ->
+      outcome Pool_persistent c.Registry.c_name (fun () ->
+          let chaos = verify_with_hook (persistent_hook ()) c in
+          let code = Verify.exit_code chaos in
+          if code <> Verify.exit_internal then
+            Error (Fmt.str "exit code %d, wanted %d" code Verify.exit_internal)
+          else if
+            (* a report whose precondition admits no initial state never
+               runs a worker, so it legitimately has nothing to crash *)
+            not
+              (List.for_all
+                 (fun r ->
+                   (r.Verify.initial_states = 0
+                   || r.Verify.worker_crashes <> [])
+                   && List.for_all
+                        (fun f ->
+                          Crash.kind f.Verify.crash = Crash.Injected_fault)
+                        r.Verify.worker_crashes)
+                 chaos)
+          then Error "a report is missing injected-fault worker quarantines"
+          else if
+            not (List.exists (fun r -> r.Verify.worker_crashes <> []) chaos)
+          then Error "no worker was quarantined at all"
+          else Ok "all workers quarantined as injected-fault, exit code 3"))
+    (registry_cases ?cases ())
+
+(* Starvation ceilings: small enough to trip every real exploration,
+   with a wall-clock deadline backstop so the whole ladder is bounded
+   even if state counting were somehow defeated. *)
+let starve_limits () = Budget.limits ~max_states:64 ~deadline_s:10.0 ()
+
+let run_starve ?cases ?(seed = 1) () =
+  List.map
+    (fun c ->
+      outcome Budget_starve c.Registry.c_name (fun () ->
+          let reports =
+            Verify.with_engine ~budget:(starve_limits ()) ~seed
+              c.Registry.c_verify
+          in
+          let bad =
+            List.find_opt
+              (fun r ->
+                let open Verify in
+                let sound = r.failures <> [] in
+                let conclusive = ok r && r.complete && not (degraded r) in
+                let degraded_ok =
+                  degraded r
+                  && r.budget <> None
+                  && (r.tier <> Sampled || r.seed = Some seed)
+                in
+                not (sound || conclusive || degraded_ok))
+              reports
+          in
+          match bad with
+          | Some r ->
+            Error
+              (Fmt.str "%s: neither sound nor explicitly degraded (tier %s)"
+                 r.Verify.spec_name (Verify.tier_name r.Verify.tier))
+          | None ->
+            Ok
+              (Fmt.str "%d reports: all sound or explicitly degraded"
+                 (List.length reports))))
+    (registry_cases ?cases ())
+
+(* --- action-level modes --------------------------------------------- *)
+
+(* The bespoke scenario: a spin-lock increment over the CAS lock's
+   counter resource — acquisition is an explicit [try_lock ~await:false]
+   retry loop, so a spurious CAS failure is benign (one more spin), and
+   the critical section gives a natural place for a transiently-unsafe
+   read. *)
+module C = Cg_incr.Cas
+
+let spin_incr ~(try_lock : bool Action.t) ~(read : Value.t Action.t) :
+    unit Prog.t =
+  let open Prog in
+  let* () =
+    ffix
+      (fun loop () ->
+        let* got = act try_lock in
+        if got then ret () else loop ())
+      ()
+  in
+  let* v = act read in
+  let v = Option.value (Value.as_int v) ~default:0 in
+  let* () = act (Caslock.write C.label C.cfg C.x_cell (Value.int (v + 1))) in
+  Caslock.unlock C.label C.cfg C.resource ~delta:(Aux.nat 1)
+
+let plain_try_lock () = Caslock.try_lock ~await:false C.label C.cfg
+let plain_read () = Caslock.read C.label C.cfg C.x_cell
+
+(* CAS that fails spuriously ~1/3 of the time: returns [false] without
+   touching the state, exactly what a weak CAS is allowed to do.  The
+   wrapper keeps the base action's safety/enabledness/footprint, so the
+   only divergence is extra spins.  Mutable RNG in the step makes this
+   wrapper illegal under memoized exploration — Sampled tier only. *)
+let flaky_try_lock rng =
+  let base = plain_try_lock () in
+  Action.make
+    ~name:(Action.name base)
+    ~enabled:(Action.enabled base)
+    ~fp:(Action.footprint base)
+    ~safe:(Action.safe base)
+    ~phys:(Action.phys base)
+    ~step:(fun st ->
+      if Random.State.int rng 3 = 0 then (false, st)
+      else Action.step_exn base st)
+    ()
+
+(* [safe] that spuriously answers [false] in some states: each distinct
+   state (by its rendering) gets a sticky verdict on first encounter,
+   alternating unsafe/safe — so at least one reached state is unsafe,
+   and the scheduler's safety check and [step_exn]'s internal recheck
+   always agree (a fresh random draw per call would let the first pass
+   and raise from the second, escaping the engine as
+   [Invalid_argument]). *)
+let flaky_unsafe_read () =
+  let base = plain_read () in
+  let decided : (string, bool) Hashtbl.t = Hashtbl.create 8 in
+  let next_unsafe = ref true in
+  let spuriously_unsafe st =
+    let key = Fmt.str "%a" State.pp st in
+    match Hashtbl.find_opt decided key with
+    | Some b -> b
+    | None ->
+      let b = !next_unsafe in
+      next_unsafe := not b;
+      Hashtbl.add decided key b;
+      b
+  in
+  Action.make
+    ~name:(Action.name base)
+    ~enabled:(Action.enabled base)
+    ~fp:(Action.footprint base)
+    ~safe:(fun st -> (not (spuriously_unsafe st)) && Action.safe base st)
+    ~phys:(Action.phys base)
+    ~step:(fun st -> Action.step_exn base st)
+    ()
+
+let sampled_spin ~seed ~try_lock ~read =
+  Verify.check_triple_random ~fuel:400 ~trials:50 ~interference:false
+    ~budget:Budget.no_limits ~seed ~world:(C.world ())
+    ~init:(C.init_states ())
+    (spin_incr ~try_lock ~read)
+    (C.incr_spec C.label ())
+
+let run_spurious_cas ?(seed = 1) () =
+  [
+    outcome Spurious_cas "spin-lock increment" (fun () ->
+        let base =
+          sampled_spin ~seed ~try_lock:(plain_try_lock ()) ~read:(plain_read ())
+        in
+        let rng = Random.State.make [| seed |] in
+        let chaos =
+          sampled_spin ~seed ~try_lock:(flaky_try_lock rng)
+            ~read:(plain_read ())
+        in
+        if not (Verify.ok base) then Error "baseline spin increment not ok"
+        else if not (Verify.ok chaos) then
+          Error "spurious CAS failures broke the verdict"
+        else if chaos.Verify.tier <> Verify.Sampled then
+          Error "expected a Sampled-tier report"
+        else Ok "retry loop absorbs spurious CAS failures; verdict ok");
+  ]
+
+let run_transient_unsafe ?(seed = 1) () =
+  [
+    outcome Transient_unsafe "spin-lock increment" (fun () ->
+        let chaos =
+          sampled_spin ~seed ~try_lock:(plain_try_lock ())
+            ~read:(flaky_unsafe_read ())
+        in
+        if chaos.Verify.failures = [] then
+          Error "transient unsafety produced no recorded failure"
+        else if
+          not
+            (List.for_all
+               (fun f -> Crash.kind f.Verify.crash = Crash.Unsafe_action)
+               chaos.Verify.failures)
+        then Error "a failure was not classified unsafe-action"
+        else if chaos.Verify.worker_crashes <> [] then
+          Error "unsafety escaped as an engine crash"
+        else
+          Ok
+            (Fmt.str
+               "%d structured unsafe-action failures, engine intact"
+               (List.length chaos.Verify.failures)));
+  ]
+
+let run_env_burst ?(seed = 1) () =
+  let snapshot =
+    outcome Env_burst "pair snapshot" (fun () ->
+        let r =
+          Verify.check_triple_random ~fuel:400 ~trials:60 ~interference:true
+            ~budget:Budget.no_limits ~seed ~world:(Snapshot.world ())
+            ~init:(Snapshot.init_states ())
+            (Snapshot.read_pair Snapshot.sp_label)
+            (Snapshot.read_pair_spec Snapshot.sp_label)
+        in
+        if not (Verify.ok r) then
+          Error "interference bursts broke the snapshot verdict"
+        else Ok (Fmt.str "ok under %d bursty sampled runs" r.Verify.outcomes))
+  in
+  let incr =
+    outcome Env_burst "CG increment" (fun () ->
+        let r =
+          Verify.check_triple_random ~fuel:400 ~trials:60 ~interference:true
+            ~budget:Budget.no_limits ~seed ~world:(C.world ())
+            ~init:(C.init_states ())
+            (C.incr C.label ())
+            (C.incr_spec C.label ())
+        in
+        if not (Verify.ok r) then
+          Error "interference bursts broke the increment verdict"
+        else Ok (Fmt.str "ok under %d bursty sampled runs" r.Verify.outcomes))
+  in
+  [ snapshot; incr ]
+
+(* --- drivers -------------------------------------------------------- *)
+
+let run ?cases ?(seed = 1) mode : outcome list =
+  match mode with
+  | Pool_transient -> run_absorbed Pool_transient transient_hook ?cases ()
+  | Mid_explore -> run_absorbed Mid_explore mid_explore_hook ?cases ()
+  | Pool_persistent -> run_persistent ?cases ()
+  | Budget_starve -> run_starve ?cases ~seed ()
+  | Spurious_cas -> run_spurious_cas ~seed ()
+  | Transient_unsafe -> run_transient_unsafe ~seed ()
+  | Env_burst -> run_env_burst ~seed ()
+
+let run_all ?cases ?(seed = 1) () =
+  List.concat_map (run ?cases ~seed) all_modes

@@ -1,0 +1,134 @@
+(* Resource budgets: wall-clock deadline, major-heap ceiling, explored-
+   state ceiling.  Polled cooperatively — one [tick] per explored
+   configuration — so exhaustion is observed within a bounded amount of
+   extra work and nothing is ever killed from the outside.
+
+   The counters are atomics because one armed budget is shared by every
+   domain of a verification fan-out: the ceilings are global to the run,
+   and a trip observed by one worker is immediately visible to all. *)
+
+type limits = {
+  l_deadline_s : float option;
+  l_max_major_words : int option;
+  l_max_states : int option;
+  l_tick_hook : (unit -> unit) option;
+}
+
+let no_limits =
+  {
+    l_deadline_s = None;
+    l_max_major_words = None;
+    l_max_states = None;
+    l_tick_hook = None;
+  }
+
+let limits ?deadline_s ?max_major_words ?max_states ?tick_hook () =
+  {
+    l_deadline_s = deadline_s;
+    l_max_major_words = max_major_words;
+    l_max_states = max_states;
+    l_tick_hook = tick_hook;
+  }
+
+let is_unlimited l =
+  l.l_deadline_s = None && l.l_max_major_words = None
+  && l.l_max_states = None
+  && l.l_tick_hook = None
+
+type reason = Deadline | Heap_ceiling | State_ceiling
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Heap_ceiling -> "heap-ceiling"
+  | State_ceiling -> "state-ceiling"
+
+let pp_reason ppf r = Fmt.string ppf (reason_name r)
+
+type t = {
+  lim : limits;
+  started_at : float;
+  deadline_at : float option; (* absolute, from deadline_s or the caller *)
+  count : int Atomic.t; (* states charged *)
+  trip : reason option Atomic.t; (* sticky *)
+}
+
+let arm ?deadline_at lim =
+  let now = Unix.gettimeofday () in
+  let deadline_at =
+    match deadline_at with
+    | Some _ as d -> d
+    | None -> Option.map (fun s -> now +. s) lim.l_deadline_s
+  in
+  {
+    lim;
+    started_at = now;
+    deadline_at;
+    count = Atomic.make 0;
+    trip = Atomic.make None;
+  }
+
+let deadline_at b = b.deadline_at
+
+let trip b reason =
+  (* first trip wins; losing the race to another reason is fine *)
+  ignore (Atomic.compare_and_set b.trip None (Some reason))
+
+let tripped b = Atomic.get b.trip
+
+(* Sampling periods: the state ceiling is exact; the wall clock is
+   sampled every [time_period] ticks and the (syscall-free but not free)
+   GC stat every [heap_period], bounding both the polling overhead on
+   the hot exploration loop and the overshoot past a tiny deadline. *)
+let time_period = 16
+let heap_period = 256
+
+let major_words () = (Gc.quick_stat ()).Gc.heap_words
+
+let tick b =
+  let n = Atomic.fetch_and_add b.count 1 + 1 in
+  (match b.lim.l_tick_hook with Some h -> h () | None -> ());
+  if Atomic.get b.trip = None then begin
+    (match b.lim.l_max_states with
+    | Some cap when n >= cap -> trip b State_ceiling
+    | _ -> ());
+    (* the first tick also samples the clock, so an attempt armed past
+       its (ladder-shared) deadline falls through immediately *)
+    (match b.deadline_at with
+    | Some at
+      when (n = 1 || n mod time_period = 0) && Unix.gettimeofday () > at ->
+      trip b Deadline
+    | _ -> ());
+    match b.lim.l_max_major_words with
+    | Some cap when n mod heap_period = 0 && major_words () > cap ->
+      trip b Heap_ceiling
+    | _ -> ()
+  end
+
+let states b = Atomic.get b.count
+
+type stats = {
+  st_elapsed_s : float;
+  st_states : int;
+  st_major_words : int;
+  st_tripped : string option;
+}
+
+let stats b =
+  {
+    st_elapsed_s = Unix.gettimeofday () -. b.started_at;
+    st_states = Atomic.get b.count;
+    st_major_words = major_words ();
+    st_tripped = Option.map reason_name (Atomic.get b.trip);
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%.3fs, %d states" s.st_elapsed_s s.st_states;
+  match s.st_tripped with
+  | Some r -> Fmt.pf ppf ", tripped: %s" r
+  | None -> ()
+
+let crash b =
+  Option.map
+    (fun r ->
+      Crash.make Crash.Budget_exhausted ("budget exhausted: " ^ reason_name r))
+    (Atomic.get b.trip)

@@ -1,0 +1,82 @@
+(** Resource budgets for verification runs: a wall-clock deadline, a
+    major-heap ceiling, and an explored-state ceiling, polled
+    cooperatively by the scheduler (one {!tick} per explored
+    configuration) and by the per-trial loops of the randomized checker.
+
+    A budget never kills anything: exhaustion flips a sticky {!tripped}
+    flag that the engine observes at its next poll, cuts the current
+    attempt, and either reports what it has (when failures were already
+    found — a found counterexample is sound regardless of the budget) or
+    drops a tier on the degradation ladder (see [Verify.check_triple]
+    and docs/ROBUSTNESS.md).
+
+    Budgets are domain-safe: one armed budget is shared by every worker
+    of a verification fan-out, so the ceilings are global to the run. *)
+
+type limits = {
+  l_deadline_s : float option;  (** wall-clock seconds from arming *)
+  l_max_major_words : int option;  (** major-heap ceiling, in words *)
+  l_max_states : int option;  (** explored-configuration ceiling *)
+  l_tick_hook : (unit -> unit) option;
+      (** run on (a sample of) ticks; the chaos harness's injection
+          point — may raise, e.g. {!Crash.Injected} *)
+}
+
+val no_limits : limits
+(** No ceilings, no hook: an engine armed with this behaves identically
+    to an unbudgeted one. *)
+
+val limits :
+  ?deadline_s:float ->
+  ?max_major_words:int ->
+  ?max_states:int ->
+  ?tick_hook:(unit -> unit) ->
+  unit ->
+  limits
+
+val is_unlimited : limits -> bool
+
+type reason = Deadline | Heap_ceiling | State_ceiling
+
+val reason_name : reason -> string
+(** ["deadline"], ["heap-ceiling"], ["state-ceiling"]. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+
+type t
+(** An armed budget: the limits plus a start time and live counters. *)
+
+val arm : ?deadline_at:float -> limits -> t
+(** Arm the limits now.  [deadline_at] (absolute [Unix.gettimeofday]
+    time) overrides the deadline computed from [l_deadline_s] — the
+    degradation ladder uses it to share one wall clock across tiers
+    while state/heap ceilings restart per tier. *)
+
+val deadline_at : t -> float option
+(** The absolute deadline, if any. *)
+
+val tick : t -> unit
+(** Charge one explored state and poll the ceilings (the wall clock and
+    the heap are sampled every few ticks; the state ceiling on every
+    tick).  Sets {!tripped} on exhaustion — never raises, except through
+    a user-supplied [l_tick_hook]. *)
+
+val tripped : t -> reason option
+(** Sticky: the first ceiling observed exhausted, if any. *)
+
+val states : t -> int
+
+type stats = {
+  st_elapsed_s : float;  (** wall-clock since arming *)
+  st_states : int;  (** configurations charged *)
+  st_major_words : int;  (** major-heap words at snapshot *)
+  st_tripped : string option;  (** {!reason_name} of the trip, if any *)
+}
+
+val stats : t -> stats
+(** Snapshot the consumed budget now. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val crash : t -> Crash.t option
+(** A {!Crash.Budget_exhausted} witness when the budget has tripped. *)

@@ -1,0 +1,74 @@
+(* Structured failure values: what went wrong (a kind from the closed
+   taxonomy), the human diagnosis, and the schedule that discovered it.
+   Replaces the stringly-typed crash messages the engine grew up with,
+   so the CLI's exit codes, the chaos harness's assertions and the
+   report JSON all consume the same shape. *)
+
+type kind =
+  | Unsafe_action
+  | Ghost_algebra
+  | Envelope_violation
+  | Postcondition
+  | Budget_exhausted
+  | Injected_fault
+  | Internal_error
+
+let kind_name = function
+  | Unsafe_action -> "unsafe-action"
+  | Ghost_algebra -> "ghost-algebra"
+  | Envelope_violation -> "envelope-violation"
+  | Postcondition -> "postcondition"
+  | Budget_exhausted -> "budget-exhausted"
+  | Injected_fault -> "injected-fault"
+  | Internal_error -> "internal-error"
+
+let pp_kind ppf k = Fmt.string ppf (kind_name k)
+
+exception Injected of string
+
+type t = {
+  kind : kind;
+  msg : string;
+  trace : string list; (* discovering schedule, oldest step first *)
+}
+
+let make ?(trace = []) kind msg = { kind; msg; trace }
+
+let of_exn = function
+  | Injected msg -> make Injected_fault ("injected fault: " ^ msg)
+  | e -> make Internal_error (Printexc.to_string e)
+
+let kind c = c.kind
+let message c = c.msg
+let trace c = c.trace
+let with_trace trace c = { c with trace }
+
+(* Traces are first-discovery artifacts: memoized replay preserves the
+   kind and message but may re-emit a crash with the schedule of its
+   first discovery, so equality ignores them (exactly as the engine's
+   differential tests always stripped "[schedule: ...]" suffixes). *)
+let equal c1 c2 = c1.kind = c2.kind && String.equal c1.msg c2.msg
+
+let pp ppf c =
+  Fmt.pf ppf "%s: %s" (kind_name c.kind) c.msg;
+  if c.trace <> [] then
+    Fmt.pf ppf " [schedule: %s]" (String.concat " ; " c.trace)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json c =
+  Printf.sprintf "{\"kind\": \"%s\", \"msg\": \"%s\", \"schedule\": [%s]}"
+    (kind_name c.kind) (json_escape c.msg)
+    (String.concat ", "
+       (List.map (fun s -> "\"" ^ json_escape s ^ "\"") c.trace))

@@ -1,0 +1,62 @@
+(** Structured failure values for the verification engine.
+
+    Every way a run can crash — an unsafe action, broken ghost algebra,
+    an envelope violation, an exhausted resource budget, an injected
+    fault, or a broken engine invariant — is a [Crash.t] carrying a
+    {!kind}, a human diagnosis, and the schedule that discovered it.
+    The CLI maps kinds to its stable exit codes (see docs/ROBUSTNESS.md);
+    [pp]/[to_json] give the textual and machine renderings. *)
+
+type kind =
+  | Unsafe_action  (** an enabled atomic action was unsafe in its state *)
+  | Ghost_algebra
+      (** contribution/hide/fork ghost algebra failed (joins, splits,
+          subjective views) *)
+  | Envelope_violation
+      (** a declared footprint under-declared: a move mutated shared
+          state outside it *)
+  | Postcondition  (** a terminal state violates the spec's post *)
+  | Budget_exhausted  (** a resource budget tripped (see {!Budget}) *)
+  | Injected_fault  (** a fault injected by the chaos harness *)
+  | Internal_error  (** an engine invariant broke (worker death, ...) *)
+
+val kind_name : kind -> string
+(** Stable kebab-case name: ["unsafe-action"], ["ghost-algebra"], ... *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+exception Injected of string
+(** The exception fault-injection harnesses raise inside workers and
+    exploration hooks; the engine classifies it as {!Injected_fault}
+    (anything else escaping a worker is {!Internal_error}). *)
+
+type t
+
+val make : ?trace:string list -> kind -> string -> t
+(** [make ?trace kind msg]: [trace] is the discovering schedule, oldest
+    step first (default: none recorded). *)
+
+val of_exn : exn -> t
+(** Classify an exception caught at a supervision boundary:
+    {!Injected} maps to {!Injected_fault}, everything else to
+    {!Internal_error} (with [Printexc.to_string] as the message). *)
+
+val kind : t -> kind
+val message : t -> string
+(** The diagnosis, without the schedule annotation. *)
+
+val trace : t -> string list
+(** The discovering schedule, oldest first (possibly empty). *)
+
+val with_trace : string list -> t -> t
+(** Replace the recorded schedule. *)
+
+val equal : t -> t -> bool
+(** Kind and message equality; traces are first-discovery artifacts and
+    are ignored (memoized replay preserves messages, not schedules). *)
+
+val pp : Format.formatter -> t -> unit
+(** ["<kind>: <msg> [schedule: s1 ; s2]"]. *)
+
+val to_json : t -> string
+(** One-line JSON object: [{"kind": ..., "msg": ..., "schedule": [...]}]. *)

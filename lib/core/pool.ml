@@ -3,38 +3,87 @@
    states in [Verify.check_triple], Table 1 rows in the report layer.
 
    Work items are claimed off a shared atomic counter, so long and short
-   items balance across domains without any up-front partitioning. *)
+   items balance across domains without any up-front partitioning.
+
+   Supervision is per item: each application is wrapped, failures are
+   retried once (by default) and then quarantined as a per-item [Error],
+   so one crashing item no longer destroys its siblings' results and the
+   caller decides whether partial results are usable ([map_result]) or
+   not ([map]). *)
 
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let map ~jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+type error = {
+  e_exn : exn;
+  e_backtrace : Printexc.raw_backtrace;
+  e_attempts : int;
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "%s (after %d attempt%s)"
+    (Printexc.to_string e.e_exn)
+    e.e_attempts
+    (if e.e_attempts = 1 then "" else "s")
+
+exception Never_ran
+
+(* Pre-filled into every result slot: a worker dying between claim and
+   store (which no code path should allow — applications are wrapped)
+   leaves an explicit [Error Never_ran] instead of an empty option whose
+   [Option.get] would mask the real failure. *)
+let never_ran =
+  Error
+    {
+      e_exn = Never_ran;
+      e_backtrace = Printexc.get_callstack 0;
+      e_attempts = 0;
+    }
+
+let map_result ~jobs ?(retries = 1) (f : 'a -> 'b) (xs : 'a list) :
+    ('b, error) result list =
   let n = List.length xs in
-  let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then List.map f xs
+  if n = 0 then []
   else begin
+    let jobs = max 1 (min jobs n) in
     let input = Array.of_list xs in
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let errors = Atomic.make [] in
-    let rec push_error e bt =
-      let cur = Atomic.get errors in
-      if not (Atomic.compare_and_set errors cur ((e, bt) :: cur)) then
-        push_error e bt
+    let results = Array.make n never_ran in
+    let run_item i =
+      let rec attempt k =
+        match f input.(i) with
+        | v -> Ok v
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          if k <= retries then attempt (k + 1)
+          else Error { e_exn = e; e_backtrace = bt; e_attempts = k }
+      in
+      results.(i) <- attempt 1
     in
-    let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (match f input.(i) with
-        | v -> results.(i) <- Some v
-        | exception e -> push_error e (Printexc.get_raw_backtrace ()));
-        worker ()
-      end
-    in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains;
-    (match Atomic.get errors with
-    | (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
-    | [] -> ());
-    Array.to_list (Array.map Option.get results)
+    if jobs <= 1 then
+      for i = 0 to n - 1 do
+        run_item i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_item i;
+          worker ()
+        end
+      in
+      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      (* A domain whose worker raised outside [run_item] (it cannot, but
+         belt and braces) re-raises at join; swallow so the per-item
+         [Never_ran] markers report the loss instead. *)
+      List.iter (fun d -> try Domain.join d with _ -> ()) domains
+    end;
+    Array.to_list results
   end
+
+let map ~jobs f xs =
+  List.map
+    (function
+      | Ok v -> v
+      | Error e -> Printexc.raise_with_backtrace e.e_exn e.e_backtrace)
+    (map_result ~jobs ~retries:0 f xs)

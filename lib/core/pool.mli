@@ -1,15 +1,46 @@
 (** A minimal fixed-size domain pool (OCaml 5 domains, no external
-    dependencies) for fanning verification work out across cores. *)
+    dependencies) for fanning verification work out across cores, with
+    per-item supervision: one crashing item is captured as a [result]
+    instead of destroying its siblings' work. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count], at least 1. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs]
+type error = {
+  e_exn : exn;  (** the exception of the last failing attempt *)
+  e_backtrace : Printexc.raw_backtrace;
+  e_attempts : int;  (** attempts made (1 + retries) before quarantine *)
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Never_ran
+(** The placeholder exception of an item lost to a worker that died
+    between claiming and storing (should be unreachable: every
+    application is wrapped, but the slot is pre-filled so the loss
+    surfaces as an explicit [Error] rather than an [Option.get] crash
+    masking the real failure). *)
+
+val map_result :
+  jobs:int -> ?retries:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** [map_result ~jobs f xs] is [List.map f xs] computed on up to [jobs]
     domains (the caller's domain included); items are claimed off a
     shared counter, so uneven items balance across domains.  Order is
-    preserved.  If any application raises, one such exception is
-    re-raised (with its backtrace) after all domains have joined.
+    preserved.
 
-    [f] must therefore be safe to run concurrently with itself.
-    [jobs <= 1] degrades to a plain sequential map. *)
+    Supervision is per item: an application that raises is retried up to
+    [retries] more times (default 1 — retry once), then quarantined as
+    [Error] with the exception, its backtrace and the attempt count.
+    Sibling items' results are unaffected.  [f] must therefore be safe
+    to run concurrently with itself {e and} safe to re-run on the same
+    item (exploration is pure, so both hold in this codebase).
+
+    Cooperative deadlines: items that should stop early poll a shared
+    {!Budget.t} inside [f]; the pool itself never kills a domain.
+    [jobs <= 1] degrades to a supervised sequential map. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** All-or-nothing wrapper over {!map_result} with [retries:0]: if any
+    application raised, one such exception is re-raised (with its
+    backtrace) after all items have been attempted and all domains have
+    joined.  Use only where partial results are useless. *)

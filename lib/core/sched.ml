@@ -105,7 +105,12 @@ let as_ret : type a. a rt -> a option = function
   | RRet v -> Some v
   | RBind _ | RAct _ | RPar _ | RParP _ | RHideP _ | RHideI _ -> None
 
-type 'a norm = Norm of genv * Contrib.t * 'a rt | Norm_crash of string
+type 'a norm = Norm of genv * Contrib.t * 'a rt | Norm_crash of Crash.t
+
+(* Normalization crashes are ghost-algebra failures: contribution joins,
+   fork splits and hide installation are exactly the auxiliary-state
+   bookkeeping FCSL's ghosts perform. *)
+let ghost msg = Norm_crash (Crash.make Crash.Ghost_algebra msg)
 
 (* Eager administrative reduction: monadic redexes, joins, hide
    installation/uninstallation.  Returns a tree whose every leaf is an
@@ -131,16 +136,16 @@ let rec normalize : type a. genv -> Contrib.t -> a rt -> a norm =
         | RRet vl, RRet vr -> (
           match Contrib.join_all [ mine; cl; cr ] with
           | Some mine -> Norm (genv, mine, RRet (vl, vr))
-          | None -> Norm_crash "par join: incompatible contributions")
+          | None -> ghost "par join: incompatible contributions")
         | _ -> Norm (genv, mine, RPar (l', cl, r', cr)))))
   | RParP (split, p, q) -> (
     match split mine with
-    | None -> Norm_crash "par: requested fork split unavailable"
+    | None -> ghost "par: requested fork split unavailable"
     | Some (reserve, cl, cr) -> (
       match Contrib.join_all [ reserve; cl; cr ] with
       | Some total when Contrib.equal total mine ->
         normalize genv reserve (RPar (inject p, cl, inject q, cr))
-      | Some _ | None -> Norm_crash "par: fork split does not rejoin"))
+      | Some _ | None -> ghost "par: fork split does not rejoin"))
   | RHideP (spec, body) -> install genv mine spec body
   | RHideI (spec, body) -> (
     match normalize genv mine body with
@@ -156,22 +161,21 @@ and install : type a. genv -> Contrib.t -> Prog.hide_spec -> a Prog.t -> a norm
  fun genv mine spec body ->
   let l = Concurroid.label spec.hs_conc in
   if Label.Map.mem l genv.joints then
-    Norm_crash
-      (Fmt.str "hide: label %a already installed" Label.pp l)
+    ghost (Fmt.str "hide: label %a already installed" Label.pp l)
   else
     match Aux.as_heap (Contrib.get spec.hs_priv mine) with
-    | None -> Norm_crash "hide: private contribution is not a heap"
+    | None -> ghost "hide: private contribution is not a heap"
     | Some priv_heap ->
       let donated = spec.hs_decor priv_heap in
       if not (Heap.subheap donated priv_heap) then
-        Norm_crash "hide: decoration selects outside the private heap"
+        ghost "hide: decoration selects outside the private heap"
       else
         let slice =
           Slice.make_jaux ~jaux:spec.hs_jaux ~self:spec.hs_init ~joint:donated
             ~other:Aux.Unit
         in
         if not (Concurroid.coh spec.hs_conc slice) then
-          Norm_crash
+          ghost
             (Fmt.str "hide: initial %s slice incoherent"
                (Concurroid.name spec.hs_conc))
         else
@@ -205,13 +209,13 @@ and uninstall : type a. genv -> Contrib.t -> Prog.hide_spec -> a -> a norm =
     match
       Option.bind (Heap.union joint hs) (fun h -> Heap.union h ho)
     with
-    | None -> Norm_crash "unhide: colliding heaps"
+    | None -> ghost "unhide: colliding heaps"
     | Some returned -> (
       match Aux.as_heap (Contrib.get spec.hs_priv mine) with
-      | None -> Norm_crash "unhide: private contribution is not a heap"
+      | None -> ghost "unhide: private contribution is not a heap"
       | Some priv_heap -> (
         match Heap.union priv_heap returned with
-        | None -> Norm_crash "unhide: returned heap collides with private"
+        | None -> ghost "unhide: returned heap collides with private"
         | Some priv' ->
           let genv =
             {
@@ -230,12 +234,12 @@ and uninstall : type a. genv -> Contrib.t -> Prog.hide_spec -> a -> a norm =
             mine |> Contrib.remove l |> Contrib.set spec.hs_priv (Aux.heap priv')
           in
           Norm (genv, mine, RRet v))))
-  | _ -> Norm_crash "unhide: auxiliary state has no heap erasure"
+  | _ -> ghost "unhide: auxiliary state has no heap erasure"
 
 (* One scheduling move: an atomic action at some leaf.  Returns all
    enabled moves as continuations, or a crash witness if some enabled
    leaf is unsafe (a verification failure). *)
-type 'a move = { mv_name : string; mv_next : (genv * Contrib.t * 'a rt, string) result }
+type 'a move = { mv_name : string; mv_next : (genv * Contrib.t * 'a rt, Crash.t) result }
 
 let move_name mv = mv.mv_name
 let move_next mv = mv.mv_next
@@ -249,14 +253,21 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
   | RAct a -> (
     match view genv ~around ~mine with
     | None ->
-      [ { mv_name = Action.name a; mv_next = Error "invalid subjective view" } ]
+      [
+        {
+          mv_name = Action.name a;
+          mv_next = Error (Crash.make Crash.Ghost_algebra "invalid subjective view");
+        };
+      ]
     | Some st ->
       if not (Action.safe a st) then
         [
           {
             mv_name = Action.name a;
             mv_next =
-              Error (Fmt.str "action %s unsafe in %a" (Action.name a) State.pp st);
+              Error
+                (Crash.make Crash.Unsafe_action
+                   (Fmt.str "action %s unsafe in %a" (Action.name a) State.pp st));
           };
         ]
       else if not (Action.enabled a st) then [] (* blocked, not crashed *)
@@ -289,7 +300,14 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
     in
     let left =
       match around_of cr r with
-      | None -> [ { mv_name = "par"; mv_next = Error "incompatible contributions" } ]
+      | None ->
+        [
+          {
+            mv_name = "par";
+            mv_next =
+              Error (Crash.make Crash.Ghost_algebra "incompatible contributions");
+          };
+        ]
       | Some around_l ->
         List.map
           (fun mv ->
@@ -304,7 +322,14 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
     in
     let right =
       match around_of cl l with
-      | None -> [ { mv_name = "par"; mv_next = Error "incompatible contributions" } ]
+      | None ->
+        [
+          {
+            mv_name = "par";
+            mv_next =
+              Error (Crash.make Crash.Ghost_algebra "incompatible contributions");
+          };
+        ]
       | Some around_r ->
         List.map
           (fun mv ->
@@ -589,21 +614,20 @@ end)
 
 type 'a outcome =
   | Finished of 'a * State.t (* result and final subjective root view *)
-  | Crashed of string
+  | Crashed of Crash.t
   | Diverged (* fuel exhausted along this path *)
 
 let pp_outcome pp_res ppf = function
   | Finished (r, st) -> Fmt.pf ppf "finished %a in %a" pp_res r State.pp st
-  | Crashed msg -> Fmt.pf ppf "CRASH: %s" msg
+  | Crashed c -> Fmt.pf ppf "CRASH: %a" Crash.pp c
   | Diverged -> Fmt.string ppf "diverged (out of fuel)"
 
 exception Stop
 
-(* Render a schedule prefix for counterexample reports (most recent
-   last).  Names are accumulated lazily and only forced here, on the
-   crash paths. *)
-let pp_trace trace =
-  String.concat " ; " (List.rev_map Lazy.force trace)
+(* Render a schedule prefix for counterexample reports (oldest step
+   first).  Names are accumulated lazily, newest first, and only forced
+   here, on the crash paths. *)
+let trace_steps trace = List.rev_map Lazy.force trace
 
 (* What the memo table remembers about an exhausted configuration: the
    remaining fuel and environment budget it was explored with, what its
@@ -653,8 +677,23 @@ let memo_store_cap = 4096
    identical configurations at identical depth, so this collapses them
    while reporting exactly what the naive search reports. *)
 let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
-    ?(env_budget = max_int) ?(dedup = false) ?monitor_envelope (genv0 : genv)
-    (mine0 : Contrib.t) (prog : 'a Prog.t) : 'a outcome list * bool =
+    ?(env_budget = max_int) ?(dedup = false) ?monitor_envelope ?budget
+    (genv0 : genv) (mine0 : Contrib.t) (prog : 'a Prog.t) :
+    'a outcome list * bool =
+  (* Cooperative budget poll, one per explored configuration.  A trip
+     aborts through the existing [Stop] path, so (a) [complete] comes
+     back [false] exactly as on a [max_outcomes] cut and (b) no memo
+     entry is ever stored for a truncated subtree — replay exactness is
+     untouched.  The tick hook is also the chaos harness's mid-explore
+     fault-injection point; whatever it raises propagates to the
+     supervised pool above. *)
+  let tick_budget () =
+    match budget with
+    | None -> ()
+    | Some b ->
+      Budget.tick b;
+      if Budget.tripped b <> None then raise Stop
+  in
   (* Dynamic write-confinement check for declared effect envelopes: when
      a caller prunes env steps based on a footprint, every shared-state
      mutation (joint heap or joint auxiliary) at a label OUTSIDE that
@@ -715,13 +754,18 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
    fun genv mine rt depth budget trace ->
     if depth > !deepest then deepest := depth;
     if budget < !shallow_budget then shallow_budget := budget;
+    tick_budget ();
     match normalize genv mine rt with
-    | Norm_crash msg ->
-      record (Crashed (Fmt.str "%s [schedule: %s]" msg (pp_trace trace)))
+    | Norm_crash c ->
+      record (Crashed (Crash.with_trace (trace_steps trace) c))
     | Norm (genv, mine, RRet v) -> (
       match view genv ~around:Contrib.empty ~mine with
       | Some st -> record (Finished (v, st))
-      | None -> record (Crashed "final view invalid"))
+      | None ->
+        record
+          (Crashed
+             (Crash.make ~trace:(trace_steps trace) Crash.Ghost_algebra
+                "final view invalid")))
     | Norm (genv, mine, rt) ->
       if depth >= fuel then begin
         fuel_cut := true;
@@ -790,21 +834,24 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
       List.iter
         (fun mv ->
           match mv.mv_next with
-          | Error msg ->
+          | Error c ->
             record
               (Crashed
-                 (Fmt.str "%s [schedule: %s]" msg
-                    (pp_trace (Lazy.from_val mv.mv_name :: trace))))
+                 (Crash.with_trace
+                    (trace_steps (Lazy.from_val mv.mv_name :: trace))
+                    c))
           | Ok (genv', mine', rt') -> (
             match envelope_violation genv genv' with
             | Some l ->
               record
                 (Crashed
-                   (Fmt.str
-                      "envelope violation: %s mutates label %a outside the \
-                       declared footprint [schedule: %s]"
-                      mv.mv_name Label.pp l
-                      (pp_trace (Lazy.from_val mv.mv_name :: trace))))
+                   (Crash.make
+                      ~trace:(trace_steps (Lazy.from_val mv.mv_name :: trace))
+                      Crash.Envelope_violation
+                      (Fmt.str
+                         "envelope violation: %s mutates label %a outside \
+                          the declared footprint"
+                         mv.mv_name Label.pp l)))
             | None ->
               go genv' mine' rt' (depth + 1) budget
                 (Lazy.from_val mv.mv_name :: trace)))
@@ -830,11 +877,11 @@ let run_with_chooser ?(fuel = 1000)
     (genv0 : genv) (mine0 : Contrib.t) (prog : 'a Prog.t) : 'a outcome =
   let rec go genv mine rt depth =
     match normalize genv mine rt with
-    | Norm_crash msg -> Crashed msg
+    | Norm_crash c -> Crashed c
     | Norm (genv, mine, RRet v) -> (
       match view genv ~around:Contrib.empty ~mine with
       | Some st -> Finished (v, st)
-      | None -> Crashed "final view invalid")
+      | None -> Crashed (Crash.make Crash.Ghost_algebra "final view invalid"))
     | Norm (genv, mine, rt) ->
       if depth >= fuel then Diverged
       else
@@ -845,7 +892,7 @@ let run_with_chooser ?(fuel = 1000)
           let i = choose ~step:depth names in
           let mv = List.nth mvs (i mod List.length mvs) in
           (match mv.mv_next with
-          | Error msg -> Crashed msg
+          | Error c -> Crashed c
           | Ok (genv', mine', rt') ->
             observe genv' mine' mv.mv_name;
             go genv' mine' rt' (depth + 1))
@@ -854,32 +901,44 @@ let run_with_chooser ?(fuel = 1000)
 
 (* Run one pseudo-random schedule; with [interference], environment
    steps are inserted with probability ~1/4 at each point. *)
-let run_random ?(fuel = 1000) ?(interference = false) ~seed (genv0 : genv)
-    (mine0 : Contrib.t) (prog : 'a Prog.t) : 'a outcome =
+let run_random ?(fuel = 1000) ?(interference = false) ?budget ~seed
+    (genv0 : genv) (mine0 : Contrib.t) (prog : 'a Prog.t) : 'a outcome =
   let rng = Random.State.make [| seed |] in
+  (* A budget trip ends the run as [Diverged]: sampled runs are already
+     incomplete by construction, and the caller reads the trip off the
+     shared {!Budget.t}. *)
+  let tripped () =
+    match budget with
+    | None -> false
+    | Some b ->
+      Budget.tick b;
+      Budget.tripped b <> None
+  in
   let rec go genv mine rt depth =
-    match normalize genv mine rt with
-    | Norm_crash msg -> Crashed msg
-    | Norm (genv, mine, RRet v) -> (
-      match view genv ~around:Contrib.empty ~mine with
-      | Some st -> Finished (v, st)
-      | None -> Crashed "final view invalid")
-    | Norm (genv, mine, rt) ->
-      if depth >= fuel then Diverged
-      else begin
-        let envs = if interference then env_moves genv mine rt else [] in
-        if envs <> [] && Random.State.int rng 4 = 0 then
-          let _, genv' = List.nth envs (Random.State.int rng (List.length envs)) in
-          go genv' mine rt (depth + 1)
-        else
-          let mvs = moves genv Contrib.empty mine rt in
-          if mvs = [] then Diverged
+    if tripped () then Diverged
+    else
+      match normalize genv mine rt with
+      | Norm_crash c -> Crashed c
+      | Norm (genv, mine, RRet v) -> (
+        match view genv ~around:Contrib.empty ~mine with
+        | Some st -> Finished (v, st)
+        | None -> Crashed (Crash.make Crash.Ghost_algebra "final view invalid"))
+      | Norm (genv, mine, rt) ->
+        if depth >= fuel then Diverged
+        else begin
+          let envs = if interference then env_moves genv mine rt else [] in
+          if envs <> [] && Random.State.int rng 4 = 0 then
+            let _, genv' = List.nth envs (Random.State.int rng (List.length envs)) in
+            go genv' mine rt (depth + 1)
           else
-            let mv = List.nth mvs (Random.State.int rng (List.length mvs)) in
-            match mv.mv_next with
-            | Error msg -> Crashed msg
-            | Ok (genv', mine', rt') -> go genv' mine' rt' (depth + 1)
-      end
+            let mvs = moves genv Contrib.empty mine rt in
+            if mvs = [] then Diverged
+            else
+              let mv = List.nth mvs (Random.State.int rng (List.length mvs)) in
+              match mv.mv_next with
+              | Error c -> Crashed c
+              | Ok (genv', mine', rt') -> go genv' mine' rt' (depth + 1)
+        end
   in
   go genv0 mine0 (inject prog) 0
 

@@ -40,7 +40,7 @@ val view : genv -> around:Contrib.t -> mine:Contrib.t -> State.t option
     Exposed so that {!Tree} can build denotational unfoldings from the
     same step relation the scheduler uses. *)
 
-type 'a norm = Norm of genv * Contrib.t * 'a rt | Norm_crash of string
+type 'a norm = Norm of genv * Contrib.t * 'a rt | Norm_crash of Crash.t
 
 val normalize : genv -> Contrib.t -> 'a rt -> 'a norm
 (** Eager administrative reduction (monad laws, joins, hide
@@ -50,7 +50,7 @@ val normalize : genv -> Contrib.t -> 'a rt -> 'a norm
 type 'a move
 
 val move_name : 'a move -> string
-val move_next : 'a move -> (genv * Contrib.t * 'a rt, string) result
+val move_next : 'a move -> (genv * Contrib.t * 'a rt, Crash.t) result
 
 val moves : genv -> Contrib.t -> Contrib.t -> 'a rt -> 'a move list
 (** The enabled atomic-action moves of every leaf (args: genv, sibling
@@ -89,9 +89,10 @@ val fingerprint : keyer -> genv -> Contrib.t -> 'a rt -> int
 type 'a outcome =
   | Finished of 'a * State.t
       (** result and the root thread's final subjective view *)
-  | Crashed of string
+  | Crashed of Crash.t
       (** an enabled action was unsafe, or ghost algebra failed: a
-          verification failure with its witness *)
+          verification failure with its witness (kind, diagnosis and
+          discovering schedule) *)
   | Diverged  (** fuel exhausted or all threads blocked *)
 
 val pp_outcome :
@@ -104,6 +105,7 @@ val explore :
   ?env_budget:int ->
   ?dedup:bool ->
   ?monitor_envelope:Label.Set.t ->
+  ?budget:Budget.t ->
   genv ->
   Contrib.t ->
   'a Prog.t ->
@@ -122,7 +124,13 @@ val explore :
     With [monitor_envelope], every program move that mutates shared
     state (joint heap or joint auxiliary) at an initial-world label
     outside the given set is recorded as a crash — the dynamic
-    write-confinement check backing footprint-based env-step pruning. *)
+    write-confinement check backing footprint-based env-step pruning.
+
+    With [budget], one {!Budget.tick} is charged per explored
+    configuration; a trip aborts the search through the same path as a
+    [max_outcomes] cut (so [complete] is [false] and no truncated memo
+    entry is ever stored).  The caller reads the trip reason off the
+    shared {!Budget.t}. *)
 
 val run_with_chooser :
   ?fuel:int ->
@@ -139,13 +147,17 @@ val run_with_chooser :
 val run_random :
   ?fuel:int ->
   ?interference:bool ->
+  ?budget:Budget.t ->
   seed:int ->
   genv ->
   Contrib.t ->
   'a Prog.t ->
   'a outcome
 (** Run one pseudo-random schedule; with [interference], environment
-    steps are inserted with probability ~1/4 at each point. *)
+    steps are inserted with probability ~1/4 at each point.  A [budget]
+    is ticked once per step; a trip ends the run as [Diverged] (sampled
+    runs are incomplete by construction — the caller reads the trip off
+    the shared {!Budget.t}). *)
 
 val genv_of_state :
   ?interfere:Label.t list -> World.t -> State.t -> genv * Contrib.t

@@ -33,13 +33,16 @@ and denote_rt :
     a t =
  fun ~fuel ~interference ~env_budget genv mine rt ->
   match Sched.normalize genv mine rt with
-  | Sched.Norm_crash msg -> Leaf (Sched.Crashed msg)
+  | Sched.Norm_crash c -> Leaf (Sched.Crashed c)
   | Sched.Norm (genv, mine, rt) -> (
     match Sched.as_ret rt with
     | Some v -> (
       match Sched.view genv ~around:Contrib.empty ~mine with
       | Some st -> Leaf (Sched.Finished (v, st))
-      | None -> Leaf (Sched.Crashed "final view invalid"))
+      | None ->
+        Leaf
+          (Sched.Crashed
+             (Crash.make Crash.Ghost_algebra "final view invalid")))
     | None ->
       if fuel = 0 then Leaf Sched.Diverged
       else
@@ -55,7 +58,7 @@ and denote_rt :
             (List.map
                (fun mv ->
                  match Sched.move_next mv with
-                 | Error msg -> (Sched.move_name mv, Leaf (Sched.Crashed msg))
+                 | Error c -> (Sched.move_name mv, Leaf (Sched.Crashed c))
                  | Ok (genv', mine', rt') ->
                    ( Sched.move_name mv,
                      denote_rt ~fuel:(fuel - 1) ~interference ~env_budget
@@ -104,7 +107,7 @@ let agrees_with_explore ~result_equal tree (outs : 'a Sched.outcome list) =
          match (a, b) with
          | Sched.Finished (r1, s1), Sched.Finished (r2, s2) ->
            result_equal r1 r2 && State.equal s1 s2
-         | Sched.Crashed m1, Sched.Crashed m2 -> String.equal m1 m2
+         | Sched.Crashed c1, Sched.Crashed c2 -> Crash.equal c1 c2
          | Sched.Diverged, Sched.Diverged -> true
          | _ -> false)
        leaf_outs outs

@@ -6,62 +6,152 @@
    DESIGN.md): the same obligations FCSL discharges by dependent types —
    safety of every atomic action, the postcondition in every terminal
    state, under every admissible interference — are established by
-   enumeration over finite configurations. *)
+   enumeration over finite configurations.
+
+   Resource resilience (see docs/ROBUSTNESS.md): when a {!Budget.limits}
+   is supplied, exhaustion never hangs and never returns a silent
+   partial answer.  Instead the verifier walks a degradation ladder —
+   exhaustive, then footprint-pruned, then seeded-randomized sampling —
+   re-arming per-tier state/heap ceilings under one shared absolute
+   deadline, and records which tier produced the verdict, the consumed
+   budget, and (for sampled verdicts) the seed. *)
+
+type tier = Exhaustive | Pruned | Sampled
+
+let tier_name = function
+  | Exhaustive -> "exhaustive"
+  | Pruned -> "pruned"
+  | Sampled -> "sampled"
+
+let pp_tier ppf t = Fmt.string ppf (tier_name t)
 
 type failure = {
   initial : State.t;
-  reason : string;
+  crash : Crash.t;
 }
 
 type report = {
   spec_name : string;
+  tier : tier; (* the ladder tier that produced this verdict *)
+  seed : int option; (* base seed of a Sampled verdict *)
   initial_states : int; (* initial states satisfying the precondition *)
   outcomes : int; (* terminal outcomes examined *)
   diverged : int; (* paths cut by fuel (partial correctness: not failures) *)
   complete : bool; (* exploration exhausted every path *)
   failures : failure list;
+  worker_crashes : failure list; (* quarantined pool items (engine, not spec) *)
+  budget : Budget.stats option; (* consumed budget, when one was armed *)
 }
 
-let ok r = r.failures = []
+let ok r = r.failures = [] && r.worker_crashes = []
+
+(* Degraded-inconclusive: no counterexample was found, but a budget trip
+   forced the verdict below a complete exploration, so "no failures" is
+   not a proof.  Unbudgeted incomplete runs (a [max_outcomes] cap) keep
+   their historical exit-0 behaviour: nothing was demanded, nothing was
+   degraded. *)
+let degraded r =
+  ok r
+  &&
+  match r.budget with
+  | Some s -> s.Budget.st_tripped <> None
+  | None -> false
+
+(* Stable CLI exit codes.  Counterexamples dominate: a failure found
+   under any tier (or alongside worker losses) is sound.  Worker crashes
+   dominate degradation: an "ok" claim with quarantined workers is
+   untrustworthy. *)
+let exit_ok = 0
+let exit_failed = 1
+let exit_degraded = 2
+let exit_internal = 3
+
+let exit_code reports =
+  if List.exists (fun r -> r.failures <> []) reports then exit_failed
+  else if List.exists (fun r -> r.worker_crashes <> []) reports then
+    exit_internal
+  else if List.exists degraded reports then exit_degraded
+  else exit_ok
 
 (* Engine defaults, overridable per call: configuration memoization in
-   the scheduler (see [Sched.explore ~dedup]) and the number of domains
-   verification fans initial states out over.  The CLI and the bench
-   harness set these process-wide; [with_engine] scopes an override. *)
+   the scheduler (see [Sched.explore ~dedup]), the number of domains
+   verification fans initial states out over, footprint-based env
+   pruning, the resource budget, and the sampling base seed.  The CLI
+   and the bench harness set these process-wide; [with_engine] scopes an
+   override. *)
 let default_dedup = ref true
 let default_jobs = ref 1
 let default_prune = ref false
+let default_budget = ref Budget.no_limits
+let default_seed = ref 1
 let set_default_dedup b = default_dedup := b
 let set_default_jobs j = default_jobs := max 1 j
 let set_default_prune b = default_prune := b
+let set_default_budget l = default_budget := l
+let set_default_seed s = default_seed := s
 
-let with_engine ?dedup ?jobs ?prune f =
+let with_engine ?dedup ?jobs ?prune ?budget ?seed f =
   let saved_d = !default_dedup
   and saved_j = !default_jobs
-  and saved_p = !default_prune in
+  and saved_p = !default_prune
+  and saved_b = !default_budget
+  and saved_s = !default_seed in
   Option.iter set_default_dedup dedup;
   Option.iter set_default_jobs jobs;
   Option.iter set_default_prune prune;
-  Fun.protect ~finally:(fun () ->
+  Option.iter set_default_budget budget;
+  Option.iter set_default_seed seed;
+  Fun.protect
+    ~finally:(fun () ->
       default_dedup := saved_d;
       default_jobs := saved_j;
-      default_prune := saved_p)
+      default_prune := saved_p;
+      default_budget := saved_b;
+      default_seed := saved_s)
     f
 
 let pp_failure ppf f =
-  Fmt.pf ppf "@[<v2>from %a:@ %s@]" State.pp f.initial f.reason
+  Fmt.pf ppf "@[<v2>from %a:@ %a@]" State.pp f.initial Crash.pp f.crash
 
 let pp_report ppf r =
-  if ok r then
-    Fmt.pf ppf "%s: OK (%d initial states, %d outcomes%s%s)" r.spec_name
+  let tier_note =
+    match r.tier with
+    | Exhaustive -> ""
+    | t -> Fmt.str ", tier %s" (tier_name t)
+  in
+  let seed_note =
+    match r.seed with Some s -> Fmt.str ", seed %d" s | None -> ""
+  in
+  let budget_note =
+    match r.budget with
+    | Some s -> (
+      match s.Budget.st_tripped with
+      | Some reason -> Fmt.str ", budget tripped: %s" reason
+      | None -> "")
+    | None -> ""
+  in
+  if r.worker_crashes <> [] then
+    Fmt.pf ppf "@[<v2>%s: ENGINE CRASH (%d worker%s quarantined%s)@ %a@]"
+      r.spec_name
+      (List.length r.worker_crashes)
+      (if List.length r.worker_crashes = 1 then "" else "s")
+      budget_note
+      Fmt.(list ~sep:cut pp_failure)
+      (List.filteri (fun i _ -> i < 3) r.worker_crashes)
+  else if r.failures <> [] then
+    Fmt.pf ppf "@[<v2>%s: FAILED (%d failures%s%s)@ %a@]" r.spec_name
+      (List.length r.failures) tier_note seed_note
+      Fmt.(list ~sep:cut pp_failure)
+      (List.filteri (fun i _ -> i < 3) r.failures)
+  else if degraded r then
+    Fmt.pf ppf "%s: INCONCLUSIVE (%d initial states, %d outcomes%s%s%s)"
+      r.spec_name r.initial_states r.outcomes tier_note seed_note budget_note
+  else
+    Fmt.pf ppf "%s: OK (%d initial states, %d outcomes%s%s%s%s)" r.spec_name
       r.initial_states r.outcomes
       (if r.diverged > 0 then Fmt.str ", %d fuel-cut" r.diverged else "")
       (if r.complete then "" else ", exploration capped")
-  else
-    Fmt.pf ppf "@[<v2>%s: FAILED (%d failures)@ %a@]" r.spec_name
-      (List.length r.failures)
-      Fmt.(list ~sep:cut pp_failure)
-      (List.filteri (fun i _ -> i < 3) r.failures)
+      tier_note seed_note
 
 (* [check_triple ~world ~init prog spec] explores every schedule of
    [prog] (with environment interference at all world labels unless
@@ -69,12 +159,17 @@ let pp_report ppf r =
    [init] satisfying the precondition.
 
    Initial states are independent explorations, so with [jobs > 1] they
-   are fanned out over a domain pool and the per-state results merged in
-   input order.  The merge reproduces the sequential accounting exactly:
-   states after the first one that produced failures are not counted
-   (the sequential loop skips them once [failures] is non-empty), so the
-   report is identical whatever [jobs] is — parallel runs merely waste
-   the work done past the first failing state. *)
+   are fanned out over a supervised domain pool and the per-state
+   results merged in input order.  The merge reproduces the sequential
+   accounting exactly: states after the first one that produced failures
+   are not counted (the sequential loop skips them once [failures] is
+   non-empty), so the report is identical whatever [jobs] is — parallel
+   runs merely waste the work done past the first failing state.
+
+   Supervision is per initial state: an exploration that raises is
+   retried once (absorbing transient faults — exploration is pure) and
+   then quarantined into [worker_crashes] instead of destroying its
+   siblings' verdicts. *)
 
 type state_result = {
   sr_outcomes : int;
@@ -83,13 +178,28 @@ type state_result = {
   sr_failures : failure list; (* capped at [max_failures], in order *)
 }
 
-let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
-    ?(env_budget = max_int) ?(max_failures = 5) ?dedup ?jobs ?prune
-    ~(world : World.t) ~(init : State.t list) (prog : 'a Prog.t)
-    (spec : 'a Spec.t) : report =
-  let dedup = Option.value dedup ~default:!default_dedup in
-  let jobs = max 1 (Option.value jobs ~default:!default_jobs) in
-  let prune = Option.value prune ~default:!default_prune in
+type core = {
+  c_initial_states : int;
+  c_outcomes : int;
+  c_diverged : int;
+  c_complete : bool;
+  c_failures : failure list;
+  c_worker_crashes : failure list;
+}
+
+let crash_of_pool_error (e : Pool.error) =
+  let c = Crash.of_exn e.Pool.e_exn in
+  Crash.make (Crash.kind c)
+    (Fmt.str "worker quarantined after %d attempt%s: %s" e.Pool.e_attempts
+       (if e.Pool.e_attempts = 1 then "" else "s")
+       (Crash.message c))
+
+(* One ladder attempt: a full (possibly footprint-pruned) exploration of
+   every eligible state under an optional armed budget. *)
+let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
+    ~max_failures ~dedup ~jobs ~prune ~(budget : Budget.t option)
+    ~(world : World.t) ~(eligible : State.t list) (prog : 'a Prog.t)
+    (spec : 'a Spec.t) : core =
   (* Env-step pruning oracle: interference at a label neither the program
      nor its spec touches cannot change any verdict (program moves never
      read it, the postcondition never observes it), so when the joined
@@ -109,26 +219,19 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
       | Some fp_labels ->
         List.filter (fun l -> Label.Set.mem l fp_labels) (World.labels world)
   in
-  let monitor_envelope =
-    match Footprint.labels triple_fp with
-    | None -> None
-    | Some fp_labels -> Some fp_labels
-  in
-  let eligible =
-    List.filter (fun st -> World.coh world st && Spec.pre spec st) init
-  in
+  let monitor_envelope = Footprint.labels triple_fp in
   let check_state st : state_result =
     let genv, mine = Sched.genv_of_state ~interfere world st in
     let outs, compl =
       Sched.explore ~fuel ~max_outcomes ~interference ~env_budget ~dedup
-        ?monitor_envelope genv mine prog
+        ?monitor_envelope ?budget genv mine prog
     in
     let outcomes = ref 0 in
     let diverged = ref 0 in
     let failures = ref [] in
-    let add_failure reason =
+    let add_failure crash =
       if List.length !failures < max_failures then
-        failures := { initial = st; reason } :: !failures
+        failures := { initial = st; crash } :: !failures
     in
     List.iter
       (fun out ->
@@ -137,9 +240,10 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
         | Sched.Finished (r, final) ->
           if not (Spec.post spec r st final) then
             add_failure
-              (Fmt.str "postcondition violated in final state %a" State.pp
-                 final)
-        | Sched.Crashed msg -> add_failure ("crash: " ^ msg)
+              (Crash.make Crash.Postcondition
+                 (Fmt.str "postcondition violated in final state %a" State.pp
+                    final))
+        | Sched.Crashed c -> add_failure c
         | Sched.Diverged -> incr diverged)
       outs;
     {
@@ -149,68 +253,212 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
       sr_failures = List.rev !failures;
     }
   in
-  let results = Pool.map ~jobs check_state eligible in
+  let results = Pool.map_result ~jobs ~retries:1 check_state eligible in
   let initial_states = ref 0 in
   let outcomes = ref 0 in
   let diverged = ref 0 in
   let complete = ref true in
   let failures = ref [] in
-  List.iter
-    (fun r ->
-      if !failures = [] then begin
-        incr initial_states;
-        outcomes := !outcomes + r.sr_outcomes;
-        diverged := !diverged + r.sr_diverged;
-        if not r.sr_complete then complete := false;
-        failures := r.sr_failures
-      end)
-    results;
+  let worker_crashes = ref [] in
+  List.iter2
+    (fun st r ->
+      if !failures = [] && !worker_crashes = [] then
+        match r with
+        | Ok sr ->
+          incr initial_states;
+          outcomes := !outcomes + sr.sr_outcomes;
+          diverged := !diverged + sr.sr_diverged;
+          if not sr.sr_complete then complete := false;
+          failures := sr.sr_failures
+        | Error e ->
+          (* The state's verdict is lost: record the quarantine and mark
+             the run incomplete — like a failure, later states are not
+             merged (the sequential accounting). *)
+          complete := false;
+          worker_crashes := [ { initial = st; crash = crash_of_pool_error e } ])
+    eligible results;
   {
-    spec_name = Spec.name spec;
-    initial_states = !initial_states;
-    outcomes = !outcomes;
-    diverged = !diverged;
-    complete = !complete;
-    failures = !failures;
+    c_initial_states = !initial_states;
+    c_outcomes = !outcomes;
+    c_diverged = !diverged;
+    c_complete = !complete;
+    c_failures = !failures;
+    c_worker_crashes = !worker_crashes;
   }
 
-(* Randomized checking for configurations too large to exhaust: [trials]
-   random schedules per initial state. *)
-let check_triple_random ?(fuel = 2000) ?(trials = 100) ?(interference = false)
-    ?(max_failures = 5) ~(world : World.t) ~(init : State.t list)
-    (prog : 'a Prog.t) (spec : 'a Spec.t) : report =
+(* One sampled attempt: [trials] random schedules per eligible state,
+   with consecutive seeds from [seed].  Never complete by construction;
+   a budget trip stops further trials (and states) promptly. *)
+let sampled_attempt ~fuel ~trials ~interference ~max_failures ~seed
+    ~(budget : Budget.t option) ~(world : World.t)
+    ~(eligible : State.t list) (prog : 'a Prog.t) (spec : 'a Spec.t) : core =
   let interfere = if interference then World.labels world else [] in
   let initial_states = ref 0 in
   let outcomes = ref 0 in
   let diverged = ref 0 in
   let failures = ref [] in
-  let add_failure st reason =
+  let add_failure st crash =
     if List.length !failures < max_failures then
-      failures := { initial = st; reason } :: !failures
+      failures := { initial = st; crash } :: !failures
+  in
+  let tripped () =
+    match budget with
+    | None -> false
+    | Some b -> Budget.tripped b <> None
   in
   List.iter
     (fun st ->
-      if World.coh world st && Spec.pre spec st then begin
+      if not (tripped ()) then begin
         incr initial_states;
         let genv, mine = Sched.genv_of_state ~interfere world st in
-        for seed = 1 to trials do
+        let s = ref seed in
+        while !s < seed + trials && not (tripped ()) do
           incr outcomes;
-          match Sched.run_random ~fuel ~interference ~seed genv mine prog with
+          (match
+             Sched.run_random ~fuel ~interference ?budget ~seed:!s genv mine
+               prog
+           with
           | Sched.Finished (r, final) ->
             if not (Spec.post spec r st final) then
               add_failure st
-                (Fmt.str "postcondition violated (seed %d) in %a" seed State.pp
-                   final)
-          | Sched.Crashed msg -> add_failure st ("crash: " ^ msg)
-          | Sched.Diverged -> incr diverged
+                (Crash.make Crash.Postcondition
+                   (Fmt.str "postcondition violated (seed %d) in %a" !s
+                      State.pp final))
+          | Sched.Crashed c -> add_failure st c
+          | Sched.Diverged -> incr diverged);
+          incr s
         done
       end)
-    init;
+    eligible;
   {
-    spec_name = Spec.name spec;
-    initial_states = !initial_states;
-    outcomes = !outcomes;
-    diverged = !diverged;
-    complete = false;
-    failures = List.rev !failures;
+    c_initial_states = !initial_states;
+    c_outcomes = !outcomes;
+    c_diverged = !diverged;
+    c_complete = false;
+    c_failures = List.rev !failures;
+    c_worker_crashes = [];
   }
+
+let assemble ~spec_name ~tier ~seed ~budget (c : core) : report =
+  {
+    spec_name;
+    tier;
+    seed;
+    initial_states = c.c_initial_states;
+    outcomes = c.c_outcomes;
+    diverged = c.c_diverged;
+    complete = c.c_complete;
+    failures = c.c_failures;
+    worker_crashes = c.c_worker_crashes;
+    budget;
+  }
+
+(* Fold the per-tier budget stats into one record for the report:
+   elapsed and states accumulate across attempts; the trip reason is the
+   last one observed, so a verdict that was ever forced down a tier
+   keeps the reason even when the final attempt finished within its own
+   ceilings (that is what makes it {!degraded}). *)
+let merge_stats (ss : Budget.stats list) : Budget.stats =
+  match ss with
+  | [] -> invalid_arg "merge_stats"
+  | s0 :: rest ->
+    List.fold_left
+      (fun acc s ->
+        {
+          Budget.st_elapsed_s = acc.Budget.st_elapsed_s +. s.Budget.st_elapsed_s;
+          st_states = acc.Budget.st_states + s.Budget.st_states;
+          st_major_words = s.Budget.st_major_words;
+          st_tripped =
+            (match s.Budget.st_tripped with
+            | Some _ as t -> t
+            | None -> acc.Budget.st_tripped);
+        })
+      s0 rest
+
+(* Trials used by the Sampled rung of the ladder (check_triple has no
+   [trials] parameter of its own; [check_triple_random] does). *)
+let ladder_trials = 100
+
+let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
+    ?(env_budget = max_int) ?(max_failures = 5) ?dedup ?jobs ?prune ?budget
+    ?seed ~(world : World.t) ~(init : State.t list) (prog : 'a Prog.t)
+    (spec : 'a Spec.t) : report =
+  let dedup = Option.value dedup ~default:!default_dedup in
+  let jobs = max 1 (Option.value jobs ~default:!default_jobs) in
+  let prune = Option.value prune ~default:!default_prune in
+  let lim = Option.value budget ~default:!default_budget in
+  let seed = Option.value seed ~default:!default_seed in
+  let spec_name = Spec.name spec in
+  let eligible =
+    List.filter (fun st -> World.coh world st && Spec.pre spec st) init
+  in
+  (* Pruning only bites when the joined footprint is below top. *)
+  let fp_known =
+    Footprint.labels (Footprint.join (Prog.footprint prog) (Spec.footprint spec))
+    <> None
+  in
+  let attempt ~prune b =
+    exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
+      ~max_failures ~dedup ~jobs ~prune ~budget:b ~world ~eligible prog spec
+  in
+  if Budget.is_unlimited lim then
+    (* No budget: exactly the historical single-attempt path. *)
+    let tier = if prune && fp_known then Pruned else Exhaustive in
+    assemble ~spec_name ~tier ~seed:None ~budget:None (attempt ~prune None)
+  else begin
+    (* The degradation ladder.  Each rung re-arms fresh state/heap
+       ceilings but every rung shares the first rung's absolute
+       deadline, so the whole ladder observes one wall-clock budget.
+       Failures found on a tripped rung are sound counterexamples and
+       are reported as-is; only failure-free tripped rungs degrade. *)
+    let b1 = Budget.arm lim in
+    let deadline_at = Budget.deadline_at b1 in
+    let rearm () = Budget.arm ?deadline_at lim in
+    let sample stats_so_far =
+      let b = rearm () in
+      let c =
+        sampled_attempt ~fuel:(max fuel 256) ~trials:ladder_trials
+          ~interference ~max_failures ~seed ~budget:(Some b) ~world ~eligible
+          prog spec
+      in
+      assemble ~spec_name ~tier:Sampled ~seed:(Some seed)
+        ~budget:(Some (merge_stats (stats_so_far @ [ Budget.stats b ])))
+        c
+    in
+    let tier1 = if prune && fp_known then Pruned else Exhaustive in
+    let c1 = attempt ~prune (Some b1) in
+    let s1 = Budget.stats b1 in
+    let conclusive c s = s.Budget.st_tripped = None || c.c_failures <> [] in
+    if conclusive c1 s1 then
+      assemble ~spec_name ~tier:tier1 ~seed:None ~budget:(Some s1) c1
+    else if tier1 = Exhaustive && fp_known then begin
+      let b2 = rearm () in
+      let c2 = attempt ~prune:true (Some b2) in
+      let s2 = Budget.stats b2 in
+      if conclusive c2 s2 then
+        assemble ~spec_name ~tier:Pruned ~seed:None
+          ~budget:(Some (merge_stats [ s1; s2 ]))
+          c2
+      else sample [ s1; s2 ]
+    end
+    else sample [ s1 ]
+  end
+
+(* Randomized checking for configurations too large to exhaust: [trials]
+   random schedules per initial state, with consecutive seeds from
+   [seed] (so a report's recorded seed replays bit-identically). *)
+let check_triple_random ?(fuel = 2000) ?(trials = 100) ?(interference = false)
+    ?(max_failures = 5) ?budget ?seed ~(world : World.t)
+    ~(init : State.t list) (prog : 'a Prog.t) (spec : 'a Spec.t) : report =
+  let lim = Option.value budget ~default:!default_budget in
+  let seed = Option.value seed ~default:!default_seed in
+  let b = if Budget.is_unlimited lim then None else Some (Budget.arm lim) in
+  let eligible =
+    List.filter (fun st -> World.coh world st && Spec.pre spec st) init
+  in
+  let c =
+    sampled_attempt ~fuel ~trials ~interference ~max_failures ~seed ~budget:b
+      ~world ~eligible prog spec
+  in
+  assemble ~spec_name:(Spec.name spec) ~tier:Sampled ~seed:(Some seed)
+    ~budget:(Option.map Budget.stats b) c

@@ -1,29 +1,85 @@
 (** The verifier: discharges Hoare triples against a world of
     concurroids by exhaustive exploration of schedules and environment
     interference from every supplied initial state — the semantic
-    replacement for Coq type checking (see DESIGN.md). *)
+    replacement for Coq type checking (see DESIGN.md).
 
-type failure = { initial : State.t; reason : string }
+    Resource resilience (see docs/ROBUSTNESS.md): under a
+    {!Budget.limits} the verifier never hangs and never returns a silent
+    partial answer.  On budget exhaustion it walks a degradation ladder
+    — {!Exhaustive}, then footprint-{!Pruned}, then seeded-randomized
+    {!Sampled} — and the report records the tier that produced the
+    verdict, the consumed budget, and (for sampled verdicts) the seed. *)
+
+type tier =
+  | Exhaustive  (** full exploration of every schedule *)
+  | Pruned  (** footprint-pruned exploration (still a proof if complete) *)
+  | Sampled  (** randomized sampling: can only refute, never prove *)
+
+val tier_name : tier -> string
+(** ["exhaustive"], ["pruned"], ["sampled"]. *)
+
+val pp_tier : Format.formatter -> tier -> unit
+
+type failure = { initial : State.t; crash : Crash.t }
 
 type report = {
   spec_name : string;
+  tier : tier;  (** the ladder tier that produced this verdict *)
+  seed : int option;  (** base seed of a {!Sampled} verdict *)
   initial_states : int;  (** initial states satisfying the precondition *)
   outcomes : int;  (** terminal outcomes examined *)
   diverged : int;  (** fuel-cut paths (partial correctness: not failures) *)
   complete : bool;  (** exploration exhausted every path *)
   failures : failure list;
+  worker_crashes : failure list;
+      (** initial states whose exploration worker was quarantined (an
+          engine loss, not a spec verdict; see {!Pool.map_result}) *)
+  budget : Budget.stats option;
+      (** consumed budget, cumulative across ladder tiers, when a budget
+          was armed *)
 }
 
 val ok : report -> bool
+(** No failures and no quarantined workers. *)
+
+val degraded : report -> bool
+(** [ok], but a budget trip forced the verdict below a complete
+    exploration — "no failures found" is not a proof.  Unbudgeted
+    incomplete runs (a [max_outcomes] cap) are not degraded. *)
+
 val pp_failure : Format.formatter -> failure -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Exit codes}
+
+    The stable process exit codes the [fcsl] CLI maps verdicts to. *)
+
+val exit_ok : int
+(** 0: every report ok and conclusive. *)
+
+val exit_failed : int
+(** 1: a verification failure (sound under every tier). *)
+
+val exit_degraded : int
+(** 2: no failure found, but some verdict is {!degraded}. *)
+
+val exit_internal : int
+(** 3: an engine failure (quarantined workers, unexpected exceptions). *)
+
+val exit_code : report list -> int
+(** Failures dominate (counterexamples are sound even next to losses),
+    then worker crashes (an "ok" with quarantined workers is
+    untrustworthy), then degradation. *)
 
 (** {1 Engine defaults}
 
     Process-wide defaults for the exploration engine, used when
     {!check_triple} is not passed the corresponding argument: whether
-    the scheduler memoizes configurations ([dedup], default on) and how
-    many domains initial states fan out over ([jobs], default 1). *)
+    the scheduler memoizes configurations ([dedup], default on), how
+    many domains initial states fan out over ([jobs], default 1),
+    footprint-based env pruning ([prune], default off), the resource
+    budget ([budget], default {!Budget.no_limits}), and the sampling
+    base seed ([seed], default 1). *)
 
 val set_default_dedup : bool -> unit
 val set_default_jobs : int -> unit
@@ -35,7 +91,17 @@ val set_default_prune : bool -> unit
     the scheduler's envelope monitor so an unsound declared envelope
     surfaces as an explicit failure. *)
 
-val with_engine : ?dedup:bool -> ?jobs:int -> ?prune:bool -> (unit -> 'a) -> 'a
+val set_default_budget : Budget.limits -> unit
+val set_default_seed : int -> unit
+
+val with_engine :
+  ?dedup:bool ->
+  ?jobs:int ->
+  ?prune:bool ->
+  ?budget:Budget.limits ->
+  ?seed:int ->
+  (unit -> 'a) ->
+  'a
 (** Run [f] with the given engine defaults, restoring the previous ones
     afterwards (also on exceptions). *)
 
@@ -48,6 +114,8 @@ val check_triple :
   ?dedup:bool ->
   ?jobs:int ->
   ?prune:bool ->
+  ?budget:Budget.limits ->
+  ?seed:int ->
   world:World.t ->
   init:State.t list ->
   'a Prog.t ->
@@ -61,10 +129,11 @@ val check_triple :
 
     [dedup] switches configuration memoization in the scheduler
     (see [Sched.explore]); [jobs > 1] fans the initial states out over
-    that many domains.  Both default to the engine defaults above, and
-    neither changes the report: memoized replay is exact, and the
-    parallel merge reproduces the sequential accounting (including
-    skipping states after the first failing one).
+    that many supervised domains (an exploration that raises is retried
+    once, then quarantined into [worker_crashes]).  Both default to the
+    engine defaults above, and neither changes the report: memoized
+    replay is exact, and the parallel merge reproduces the sequential
+    accounting (including skipping states after the first failing one).
 
     [prune] (default: the engine default, off) restricts environment
     interference to the labels of the joined program+spec footprint when
@@ -72,16 +141,35 @@ val check_triple :
     program never steps and the spec never observes cannot change any
     verdict, and guarded dynamically by the scheduler's envelope
     monitor.  Outcome {e counts} may legitimately shrink under pruning;
-    the per-spec verdict and failure set do not. *)
+    the per-spec verdict and failure set do not.
+
+    [budget] (default: the engine default, unlimited) arms cooperative
+    resource ceilings — wall-clock deadline, major-heap words, explored
+    states.  An unlimited budget takes exactly the historical code path.
+    A budget trip with failures already found reports those (sound)
+    counterexamples; a failure-free trip drops a tier: exhaustive to
+    footprint-pruned (when the footprint is known and pruning was not
+    already on) to seeded-randomized sampling with base seed [seed].
+    Every tier re-arms fresh state/heap ceilings under the first tier's
+    absolute deadline, so the whole ladder observes one wall-clock
+    budget and always terminates with an explicit [tier]/[budget]
+    verdict — never a hang, never a silent partial answer. *)
 
 val check_triple_random :
   ?fuel:int ->
   ?trials:int ->
   ?interference:bool ->
   ?max_failures:int ->
+  ?budget:Budget.limits ->
+  ?seed:int ->
   world:World.t ->
   init:State.t list ->
   'a Prog.t ->
   'a Spec.t ->
   report
-(** Randomized checking for configurations too large to exhaust. *)
+(** Randomized checking for configurations too large to exhaust:
+    [trials] random schedules per initial state with consecutive seeds
+    from [seed] (default: the engine default, 1), so a report's recorded
+    seed replays bit-identically.  A [budget] (default: the engine
+    default) trip stops further trials promptly; the report's tier is
+    always {!Sampled}. *)

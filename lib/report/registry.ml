@@ -93,7 +93,11 @@ let all : case list =
               (let r = Snapshot.refute_unchecked () in
                if Verify.ok r then
                  { r with Verify.spec_name = "REFUTATION MISSED: " ^ r.Verify.spec_name;
-                   failures = [ { Verify.initial = State.empty; reason = "injected bug not caught" } ] }
+                   failures =
+                     [ { Verify.initial = State.empty;
+                         crash =
+                           Crash.make Crash.Internal_error
+                             "injected bug not caught" } ] }
                else { r with Verify.spec_name = "unchecked variant refuted"; failures = [] });
             ]);
     };

@@ -19,4 +19,5 @@ let () =
       ("misc", Test_misc.suite);
       ("report", Test_report.suite);
       ("analysis", Test_analysis.suite);
+      ("robust", Test_robust.suite);
     ]

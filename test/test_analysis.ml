@@ -286,7 +286,10 @@ let test_envelope_monitor () =
   check "monitor fails the lying envelope" false (Verify.ok pruned);
   check "failure names the violation" true
     (List.exists
-       (fun f -> has_substr ~sub:"envelope violation" f.Verify.reason)
+       (fun f ->
+         has_substr ~sub:"envelope violation"
+           (Crash.message f.Verify.crash)
+         && Crash.kind f.Verify.crash = Crash.Envelope_violation)
        pruned.Verify.failures)
 
 let suite =

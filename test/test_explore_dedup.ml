@@ -34,7 +34,7 @@ let canon show (outs : 'a Sched.outcome list) : string list =
     (List.map
        (function
          | Sched.Finished (r, st) -> Fmt.str "F|%s|%a" (show r) State.pp st
-         | Sched.Crashed m -> "C|" ^ strip_sched m
+         | Sched.Crashed c -> "C|" ^ strip_sched (Fmt.str "%a" Crash.pp c)
          | Sched.Diverged -> "D")
        outs)
 
@@ -124,7 +124,9 @@ let test_crash_set () =
   check "complete" rn.Verify.complete rm.Verify.complete;
   let reasons r =
     List.sort String.compare
-      (List.map (fun f -> strip_sched f.Verify.reason) r.Verify.failures)
+      (List.map
+         (fun f -> strip_sched (Fmt.str "%a" Crash.pp f.Verify.crash))
+         r.Verify.failures)
   in
   Alcotest.(check (list string)) "crash reasons" (reasons rn) (reasons rm)
 
@@ -141,7 +143,7 @@ let test_config_key_diamond () =
   let genv, mine = Sched.genv_of_state w st in
   let step (genv, mine, rt) name =
     match Sched.normalize genv mine rt with
-    | Sched.Norm_crash m -> Alcotest.failf "unexpected crash: %s" m
+    | Sched.Norm_crash c -> Alcotest.failf "unexpected crash: %a" Crash.pp c
     | Sched.Norm (genv, mine, rt) -> (
       let mvs = Sched.moves genv Contrib.empty mine rt in
       match List.find_opt (fun mv -> Sched.move_name mv = name) mvs with
@@ -149,7 +151,7 @@ let test_config_key_diamond () =
       | Some mv -> (
         match Sched.move_next mv with
         | Ok c -> c
-        | Error m -> Alcotest.failf "move %s failed: %s" name m))
+        | Error c -> Alcotest.failf "move %s failed: %a" name Crash.pp c))
   in
   let start = (genv, mine, Sched.inject prog) in
   let g1, m1, rt1 = step (step start "trymark(x2)") "trymark(x3)" in
@@ -175,8 +177,12 @@ let test_jobs_equal () =
     check (name ^ " complete") seq.Verify.complete par.Verify.complete;
     Alcotest.(check (list string))
       (name ^ " failures")
-      (List.map (fun f -> f.Verify.reason) seq.Verify.failures)
-      (List.map (fun f -> f.Verify.reason) par.Verify.failures)
+      (List.map
+         (fun f -> Fmt.str "%a" Crash.pp f.Verify.crash)
+         seq.Verify.failures)
+      (List.map
+         (fun f -> Fmt.str "%a" Crash.pp f.Verify.crash)
+         par.Verify.failures)
   in
   let module C = Cg_incr.Cas in
   let w = C.world () and init = C.init_states () in

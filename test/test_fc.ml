@@ -160,7 +160,7 @@ let test_helping_witness () =
           check "both effects ascribed" true (Hist.cardinal hist = 2)
         | None -> Alcotest.fail "bad final aux")
       | None -> Alcotest.fail "no final slice")
-    | Sched.Crashed msg -> Alcotest.fail ("crashed: " ^ msg)
+    | Sched.Crashed c -> Alcotest.failf "crashed: %a" Crash.pp c
     | Sched.Diverged -> Alcotest.fail "diverged")
 
 (* Failure injection: a combiner that writes a response without applying

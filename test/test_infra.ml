@@ -73,7 +73,7 @@ let hide_crash_reason prog st w =
   let genv, mine = Sched.genv_of_state w st in
   let outs, _ = Sched.explore ~interference:false genv mine prog in
   List.find_map
-    (function Sched.Crashed msg -> Some msg | _ -> None)
+    (function Sched.Crashed c -> Some (Crash.message c) | _ -> None)
     outs
 
 let test_hide_bad_decoration () =
@@ -166,7 +166,8 @@ let test_counterexample_trace () =
   check "refuted" false (Verify.ok report);
   match report.Verify.failures with
   | f :: _ ->
-    check "reason names the action" true (contains f.Verify.reason "nullify")
+    check "reason names the action" true
+      (contains (Crash.message f.Verify.crash) "nullify")
   | [] -> Alcotest.fail "no failure recorded"
 
 (* The randomized checker agrees with the exhaustive one on span_root. *)

@@ -1,0 +1,292 @@
+(* Resilience machinery (docs/ROBUSTNESS.md): budgets trip exactly and
+   stickily, crashes are structured values, the supervised pool retries
+   then quarantines without losing sibling results, the degradation
+   ladder always terminates with an explicit tier — never a hang — and
+   seeded sampled verdicts replay bit-identically.  The expensive cases
+   run under a hard [Unix.alarm] watchdog: if the engine hangs, the
+   alarm converts the hang into a test failure. *)
+
+open Fcsl_core
+open Fcsl_casestudies
+
+let check = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* A hang anywhere in the budgeted engine is the one bug this suite
+   exists to catch; the alarm turns it into a loud failure instead of a
+   stuck CI job. *)
+let with_watchdog secs f =
+  let old =
+    Sys.signal Sys.sigalrm
+      (Sys.Signal_handle (fun _ -> failwith "watchdog: engine hung"))
+  in
+  ignore (Unix.alarm secs);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.alarm 0);
+      Sys.set_signal Sys.sigalrm old)
+    f
+
+(* --- Budget ---------------------------------------------------------- *)
+
+let test_budget_state_ceiling () =
+  check "no_limits is unlimited" true (Budget.is_unlimited Budget.no_limits);
+  check "a tick hook arms the budget" false
+    (Budget.is_unlimited (Budget.limits ~tick_hook:(fun () -> ()) ()));
+  let b = Budget.arm (Budget.limits ~max_states:5 ()) in
+  for _ = 1 to 4 do
+    Budget.tick b
+  done;
+  check "under the ceiling: no trip" true (Budget.tripped b = None);
+  Budget.tick b;
+  check "at the ceiling: tripped" true
+    (Budget.tripped b = Some Budget.State_ceiling);
+  Alcotest.(check int) "states charged" 5 (Budget.states b);
+  (* sticky: later ticks cannot clear or change the reason *)
+  for _ = 1 to 20 do
+    Budget.tick b
+  done;
+  check "trip is sticky" true (Budget.tripped b = Some Budget.State_ceiling);
+  let s = Budget.stats b in
+  Alcotest.(check (option string))
+    "stats record the reason" (Some "state-ceiling") s.Budget.st_tripped;
+  match Budget.crash b with
+  | Some c ->
+    check "crash kind" true (Crash.kind c = Crash.Budget_exhausted)
+  | None -> Alcotest.fail "tripped budget has no crash"
+
+let test_budget_deadline () =
+  (* an attempt armed past its (ladder-shared) absolute deadline must
+     fall through on its very first tick *)
+  let b =
+    Budget.arm ~deadline_at:(Unix.gettimeofday () -. 1.0) Budget.no_limits
+  in
+  Budget.tick b;
+  check "expired deadline trips on first tick" true
+    (Budget.tripped b = Some Budget.Deadline)
+
+let test_budget_hook () =
+  let fired = ref 0 in
+  let b = Budget.arm (Budget.limits ~tick_hook:(fun () -> incr fired) ()) in
+  for _ = 1 to 3 do
+    Budget.tick b
+  done;
+  Alcotest.(check int) "hook runs on every tick" 3 !fired;
+  check "hook alone never trips" true (Budget.tripped b = None)
+
+(* --- Crash ----------------------------------------------------------- *)
+
+let test_crash_values () =
+  let c = Crash.of_exn (Crash.Injected "boom") in
+  check "Injected maps to Injected_fault" true
+    (Crash.kind c = Crash.Injected_fault);
+  check "message is prefixed" true
+    (Crash.message c = "injected fault: boom");
+  let i = Crash.of_exn (Failure "bad") in
+  check "other exceptions map to Internal_error" true
+    (Crash.kind i = Crash.Internal_error);
+  (* equality ignores the discovering schedule: memoized replay may
+     discover the same crash along a different first trace *)
+  let a = Crash.make ~trace:[ "s1"; "s2" ] Crash.Unsafe_action "m" in
+  let b = Crash.make ~trace:[ "t9" ] Crash.Unsafe_action "m" in
+  check "equal ignores traces" true (Crash.equal a b);
+  check "equal respects kind" false
+    (Crash.equal a (Crash.make Crash.Postcondition "m"));
+  let j = Fmt.str "%s" (Crash.to_json a) in
+  check "json carries kind" true
+    (contains j "\"unsafe-action\"");
+  check "json carries schedule" true
+    (contains j "\"s1\"");
+  let rendered = Fmt.str "%a" Crash.pp a in
+  check "pp carries schedule" true
+    (contains rendered "[schedule: s1 ; s2]")
+
+(* --- Pool ------------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_pool_retry_absorbs () =
+  (* each item fails on its first attempt only: the retry must absorb
+     every failure and return a full, ordered result list *)
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let mu = Mutex.create () in
+  let flaky x =
+    let first =
+      Mutex.lock mu;
+      let f = not (Hashtbl.mem seen x) in
+      if f then Hashtbl.add seen x ();
+      Mutex.unlock mu;
+      f
+    in
+    if first then raise (Boom x) else x * 10
+  in
+  let rs = Pool.map_result ~jobs:4 flaky [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Alcotest.(check (list int))
+    "all items recovered, in order"
+    [ 10; 20; 30; 40; 50; 60; 70; 80 ]
+    (List.map (function Ok v -> v | Error _ -> -1) rs)
+
+let test_pool_quarantine () =
+  let f x = if x = 3 then raise (Boom x) else x + 100 in
+  let rs = Pool.map_result ~jobs:3 f [ 1; 2; 3; 4 ] in
+  (match rs with
+  | [ Ok 101; Ok 102; Error e; Ok 104 ] ->
+    check "quarantined exception" true (e.Pool.e_exn = Boom 3);
+    Alcotest.(check int) "attempts = 1 + retries" 2 e.Pool.e_attempts
+  | _ -> Alcotest.fail "sibling results were lost or reordered");
+  (* the all-or-nothing wrapper re-raises instead of dropping results *)
+  match Pool.map ~jobs:2 f [ 1; 2; 3 ] with
+  | _ -> Alcotest.fail "Pool.map must re-raise"
+  | exception Boom 3 -> ()
+
+(* --- The degradation ladder ------------------------------------------ *)
+
+(* An exploration far larger than the ceiling: the ladder must walk
+   exhaustive -> pruned -> sampled and stop with an explicit degraded
+   verdict, promptly. *)
+let test_ladder_degrades () =
+  with_watchdog 60 (fun () ->
+      let module C = Cg_incr.Cas in
+      let r =
+        Verify.check_triple ~fuel:12 ~env_budget:1
+          ~budget:(Budget.limits ~max_states:8 ~deadline_s:20.0 ())
+          ~seed:7 ~world:(C.world ()) ~init:(C.init_states ())
+          (C.incr_pair C.label)
+          (C.incr_pair_spec C.label)
+      in
+      check "no spurious failure" true (r.Verify.failures = []);
+      check "no worker crash" true (r.Verify.worker_crashes = []);
+      check "tier fell to sampled" true (r.Verify.tier = Verify.Sampled);
+      check "sampling cannot prove" false r.Verify.complete;
+      Alcotest.(check (option int)) "seed recorded" (Some 7) r.Verify.seed;
+      check "budget stats present" true (r.Verify.budget <> None);
+      check "report is degraded, not ok-silent" true (Verify.degraded r);
+      Alcotest.(check int) "exit code: degraded" Verify.exit_degraded
+        (Verify.exit_code [ r ]))
+
+(* Counterexamples found before the trip are sound: a budgeted run of a
+   refuted spec must still report failures and exit 1, not 2. *)
+let test_failures_beat_degradation () =
+  with_watchdog 60 (fun () ->
+      let r =
+        Verify.with_engine
+          ~budget:(Budget.limits ~deadline_s:20.0 ())
+          (fun () -> Snapshot.refute_unchecked ())
+      in
+      check "refutation survives the budget" false (Verify.ok r);
+      Alcotest.(check int) "exit code: failed" Verify.exit_failed
+        (Verify.exit_code [ r ]))
+
+let test_exit_code_priority () =
+  let base =
+    {
+      Verify.spec_name = "synthetic";
+      tier = Verify.Exhaustive;
+      seed = None;
+      initial_states = 1;
+      outcomes = 1;
+      diverged = 0;
+      complete = true;
+      failures = [];
+      worker_crashes = [];
+      budget = None;
+    }
+  in
+  let failure =
+    { Verify.initial = State.empty; crash = Crash.make Crash.Postcondition "x" }
+  in
+  let tripped_stats =
+    {
+      Budget.st_elapsed_s = 0.1;
+      st_states = 8;
+      st_major_words = 0;
+      st_tripped = Some "state-ceiling";
+    }
+  in
+  let degraded =
+    { base with Verify.tier = Verify.Sampled; complete = false;
+      budget = Some tripped_stats }
+  in
+  let failed = { base with Verify.failures = [ failure ] } in
+  let crashed = { base with Verify.worker_crashes = [ failure ] } in
+  Alcotest.(check int) "ok" Verify.exit_ok (Verify.exit_code [ base ]);
+  Alcotest.(check int) "degraded" Verify.exit_degraded
+    (Verify.exit_code [ base; degraded ]);
+  Alcotest.(check int) "crashes beat degradation" Verify.exit_internal
+    (Verify.exit_code [ degraded; crashed ]);
+  Alcotest.(check int) "failures beat everything" Verify.exit_failed
+    (Verify.exit_code [ degraded; crashed; failed ])
+
+(* --- Seeded replay --------------------------------------------------- *)
+
+(* Everything a sampled report promises, rendered canonically; budget
+   stats are excluded (wall-clock and heap words are not replayable). *)
+let canon_report (r : Verify.report) =
+  Fmt.str "%s|%s|%a|%d|%d|%d|%b|%a|%a" r.Verify.spec_name
+    (Verify.tier_name r.Verify.tier)
+    Fmt.(option int)
+    r.Verify.seed r.Verify.initial_states r.Verify.outcomes r.Verify.diverged
+    r.Verify.complete
+    Fmt.(list ~sep:comma Crash.pp)
+    (List.map (fun f -> f.Verify.crash) r.Verify.failures)
+    Fmt.(list ~sep:comma Crash.pp)
+    (List.map (fun f -> f.Verify.crash) r.Verify.worker_crashes)
+
+let prop_seeded_replay =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:15 ~name:"seeded sampled runs replay"
+       QCheck2.Gen.(pair (int_range 0 10_000) (int_range 6 14))
+       (fun (seed, fuel) ->
+         let run () =
+           Verify.check_triple_random ~fuel ~trials:20 ~seed
+             ~world:(Snapshot.world ())
+             ~init:(Snapshot.init_states ())
+             (Snapshot.read_pair Snapshot.sp_label)
+             (Snapshot.read_pair_spec Snapshot.sp_label)
+         in
+         let a = run () and b = run () in
+         if canon_report a <> canon_report b then
+           QCheck2.Test.fail_reportf "reports differ:@.%s@.%s" (canon_report a)
+             (canon_report b);
+         a.Verify.seed = Some seed && a.Verify.tier = Verify.Sampled))
+
+(* --- Chaos (cheap subset) -------------------------------------------- *)
+
+(* The full registry sweep runs in CI ([fcsl chaos --registry]); here a
+   cheap row exercises every mode end to end. *)
+let test_chaos_subset () =
+  with_watchdog 120 (fun () ->
+      let outs = Fcsl_analysis.Chaos.run_all ~cases:[ "CAS-lock" ] () in
+      check "every mode produced outcomes" true
+        (List.length outs >= List.length Fcsl_analysis.Chaos.all_modes);
+      List.iter
+        (fun o ->
+          if not o.Fcsl_analysis.Chaos.o_passed then
+            Alcotest.failf "injection not survived: %a"
+              Fcsl_analysis.Chaos.pp_outcome o)
+        outs)
+
+let suite =
+  [
+    Alcotest.test_case "budget: state ceiling, sticky trip" `Quick
+      test_budget_state_ceiling;
+    Alcotest.test_case "budget: expired deadline" `Quick test_budget_deadline;
+    Alcotest.test_case "budget: tick hook" `Quick test_budget_hook;
+    Alcotest.test_case "crash: structured values" `Quick test_crash_values;
+    Alcotest.test_case "pool: retry absorbs transient faults" `Quick
+      test_pool_retry_absorbs;
+    Alcotest.test_case "pool: quarantine keeps siblings" `Quick
+      test_pool_quarantine;
+    Alcotest.test_case "ladder: tiny budget degrades to sampled" `Quick
+      test_ladder_degrades;
+    Alcotest.test_case "ladder: found failures beat degradation" `Quick
+      test_failures_beat_degradation;
+    Alcotest.test_case "exit codes: priority" `Quick test_exit_code_priority;
+    prop_seeded_replay;
+    Alcotest.test_case "chaos: cheap registry row survives all modes" `Quick
+      test_chaos_subset;
+  ]
