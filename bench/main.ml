@@ -527,6 +527,78 @@ let pp_robust_rows ppf rows =
   Fmt.pf ppf "%-14s %10.3fs %8.3fs %8.1f%%@." "TOTAL" tb ta
     (if tb > 0. then (ta -. tb) /. tb *. 100. else nan)
 
+(* --- Durability: journal-armed overhead (docs/ROBUSTNESS.md). ---
+
+   Every Table 1 verification unjournaled vs journaling to a
+   write-ahead journal under the default group-commit policy
+   (Interval 0.05).  Every repetition opens a FRESH journal directory
+   — a reused one would replay completed units and fake a speedup —
+   and verdicts (including the tier) must be identical.  The overhead
+   is the price of surviving kill -9, budgeted at < 5%. *)
+
+type journal_row = {
+  jr_name : string;
+  jr_bare : float;
+  jr_journaled : float;
+  jr_verdicts_equal : bool;
+}
+
+let jr_overhead_pct r =
+  if r.jr_bare > 0. then (r.jr_journaled -. r.jr_bare) /. r.jr_bare *. 100.
+  else nan
+
+let journal_comparison () : journal_row list =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let fresh_dir =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fcsl-bench-journal-%d-%d" (Unix.getpid ()) !n)
+  in
+  let journaled f () =
+    let j = Journal.openj ~fsync:(Journal.Interval 0.05) (fresh_dir ()) in
+    Fun.protect
+      ~finally:(fun () -> Journal.close j)
+      (fun () -> Verify.with_engine ~journal:(Some j) f)
+  in
+  let best3 f =
+    let r, t1 = timed f in
+    let _, t2 = timed f in
+    let _, t3 = timed f in
+    (r, Float.min t1 (Float.min t2 t3))
+  in
+  List.map
+    (fun (c : Registry.case) ->
+      let rb, tb = best3 c.Registry.c_verify in
+      let rj, tj = best3 (journaled c.Registry.c_verify) in
+      {
+        jr_name = c.Registry.c_name;
+        jr_bare = tb;
+        jr_journaled = tj;
+        jr_verdicts_equal = verdict_summary rb = verdict_summary rj;
+      })
+    Registry.all
+
+let pp_journal_rows ppf rows =
+  Fmt.pf ppf "%-14s %11s %10s %9s %8s@." "Program" "unjournaled" "journaled"
+    "overhead" "verdicts";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-14s %10.3fs %9.3fs %8.1f%% %8s@." r.jr_name r.jr_bare
+        r.jr_journaled (jr_overhead_pct r)
+        (if r.jr_verdicts_equal then "equal" else "DIFFER"))
+    rows;
+  let tot f = List.fold_left (fun a r -> a +. f r) 0. rows in
+  let tb = tot (fun r -> r.jr_bare) and tj = tot (fun r -> r.jr_journaled) in
+  Fmt.pf ppf "%-14s %10.3fs %9.3fs %8.1f%%@." "TOTAL" tb tj
+    (if tb > 0. then (tj -. tb) /. tb *. 100. else nan)
+
 (* --- BENCH_explore.json: the machine-readable record. --- *)
 
 let json_escape s =
@@ -610,6 +682,34 @@ let write_robust_json ~path (rows : robust_row list) =
     (json_num (if tb > 0. then (ta -. tb) /. tb *. 100. else nan));
   close_out oc
 
+(* --- BENCH_journal.json: the journal-overhead record. --- *)
+
+let write_journal_json ~path (rows : journal_row list) =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr
+    "{\n  \"journal_overhead\": {\n    \"target_pct\": 5.0,\n    \
+     \"fsync_policy\": \"interval:0.05\",\n    \"cases\": [\n";
+  List.iteri
+    (fun i r ->
+      pr
+        "      {\"name\": \"%s\", \"unjournaled_s\": %.4f, \"journaled_s\": \
+         %.4f, \"overhead_pct\": %s, \"verdicts_equal\": %b}%s\n"
+        (json_escape r.jr_name) r.jr_bare r.jr_journaled
+        (json_num (jr_overhead_pct r))
+        r.jr_verdicts_equal
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  let tot f = List.fold_left (fun a r -> a +. f r) 0. rows in
+  let tb = tot (fun r -> r.jr_bare) and tj = tot (fun r -> r.jr_journaled) in
+  pr
+    "    ],\n    \"total_unjournaled_s\": %.4f,\n    \"total_journaled_s\": \
+     %.4f,\n"
+    tb tj;
+  pr "    \"total_overhead_pct\": %s\n  }\n}\n"
+    (json_num (if tb > 0. then (tj -. tb) /. tb *. 100. else nan));
+  close_out oc
+
 (* --- The regenerated evaluation artifacts. --- *)
 
 let print_figure2 () =
@@ -686,14 +786,26 @@ let run_robust () =
   write_robust_json ~path:"BENCH_robust.json" rows;
   Fmt.pr "wrote BENCH_robust.json@.@."
 
-(* [--robust-only] regenerates just BENCH_robust.json (the CI artifact)
-   without paying for the bechamel suite. *)
+let run_journal () =
+  Fmt.pr "== Journal-armed overhead: write-ahead journaling on vs off ==@.";
+  let rows = journal_comparison () in
+  Fmt.pr "%a@." pp_journal_rows rows;
+  write_journal_json ~path:"BENCH_journal.json" rows;
+  Fmt.pr "wrote BENCH_journal.json@.@."
+
+(* [--robust-only] / [--journal-only] regenerate just the corresponding
+   CI artifact without paying for the bechamel suite. *)
 let robust_only = Array.exists (String.equal "--robust-only") Sys.argv
+let journal_only = Array.exists (String.equal "--journal-only") Sys.argv
 
 let () =
   if robust_only then (
     Fmt.pr "FCSL robustness benchmark (budget-enforcement overhead)@.@.";
     run_robust ();
+    exit 0);
+  if journal_only then (
+    Fmt.pr "FCSL durability benchmark (journal-armed overhead)@.@.";
+    run_journal ();
     exit 0);
   Fmt.pr "FCSL benchmark & evaluation harness (paper: PLDI 2015)@.@.";
   let bench_rows = run_benchmarks () in
@@ -710,6 +822,7 @@ let () =
   write_analyze_json ~path:"BENCH_analyze.json" prune_rows;
   Fmt.pr "wrote BENCH_analyze.json@.@.";
   run_robust ();
+  run_journal ();
   Fmt.pr "== Table 1: statistics for implemented programs ==@.";
   Fmt.pr "%a@." Tables.pp_table1 (Tables.table1 ());
   Fmt.pr "== Table 2: primitive concurroids employed by programs ==@.";

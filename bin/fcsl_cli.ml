@@ -10,6 +10,7 @@
      fcsl analyze [FILE...]  static race detection + spec/concurroid lints
      fcsl lint               spec/concurroid lints over the case studies
      fcsl chaos              fault-injection harness over the registry
+     fcsl jobs status DIR    inspect a write-ahead verification journal
 
    Exit codes (stable; see docs/ROBUSTNESS.md): 0 everything verified,
    1 verification failure, 2 degraded-inconclusive (a budget forced the
@@ -106,11 +107,66 @@ let budget_of deadline max_states max_heap_words =
   | deadline_s, max_states, max_major_words ->
     Some (Budget.limits ?deadline_s ?max_states ?max_major_words ())
 
+let journal_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Journal verification progress to a write-ahead journal in \
+           $(docv) (created if missing): per-state durable units, \
+           frontier checkpoints, counterexamples at discovery, and \
+           whole-spec verdicts.  A journaled run survives kill -9; see \
+           $(b,--resume)")
+
+let resume_flag =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "With $(b,--journal), recover the journal (validating \
+           checksums and truncating any torn tail) and resume: \
+           journaled verdicts and units replay instead of re-exploring, \
+           so an interrupted run completes with verdicts identical to \
+           an uninterrupted one.  Without this flag a pre-existing \
+           journal in DIR is discarded")
+
+let fsync_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:
+          "Journal durability policy: $(b,always) (fsync every commit), \
+           $(b,interval) or $(b,interval:SECS) (group commit, fsync at \
+           most every SECS seconds; default interval:0.05), $(b,never) \
+           (leave flushing to the OS)")
+
+let journal_of dir resume fsync =
+  match dir with
+  | None ->
+    if resume then begin
+      Fmt.epr "--resume requires --journal DIR@.";
+      exit exit_internal
+    end;
+    None
+  | Some dir ->
+    let fsync =
+      Option.map
+        (fun s ->
+          match Journal.fsync_policy_of_string s with
+          | Ok p -> p
+          | Error e ->
+            Fmt.epr "bad --fsync: %s@." e;
+            exit exit_internal)
+        fsync
+    in
+    Some (Journal.openj ?fsync ~resume dir)
+
 let verify_cmd =
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
   in
-  let run name jobs no_dedup prune deadline max_states max_heap_words seed =
+  let run name jobs no_dedup prune deadline max_states max_heap_words seed
+      journal_dir resume fsync =
     let cases =
       match name with
       | None -> Registry.all
@@ -124,9 +180,22 @@ let verify_cmd =
             Registry.all;
           exit exit_failed)
     in
+    let journal = journal_of journal_dir resume fsync in
+    Option.iter
+      (fun j ->
+        match Journal.recovered j with
+        | [] -> ()
+        | rs ->
+          Fmt.pr "journal: resumed from %d record(s)%s@." (List.length rs)
+            (match Journal.truncated_bytes j with
+            | 0 -> ""
+            | n -> Fmt.str " (%d bytes of torn tail truncated)" n))
+      journal;
+    Fun.protect ~finally:(fun () -> Option.iter Journal.close journal)
+    @@ fun () ->
     Verify.with_engine ~dedup:(not no_dedup) ~prune
       ?budget:(budget_of deadline max_states max_heap_words)
-      ?seed
+      ?seed ~journal
     @@ fun () ->
     let results = Pool.map ~jobs verify_case cases in
     let reports =
@@ -146,7 +215,47 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Mechanically verify case studies (all by default)")
     Term.(
       const run $ name_arg $ jobs_arg $ no_dedup_flag $ prune_flag
-      $ deadline_arg $ max_states_arg $ max_heap_words_arg $ engine_seed_arg)
+      $ deadline_arg $ max_states_arg $ max_heap_words_arg $ engine_seed_arg
+      $ journal_arg $ resume_flag $ fsync_arg)
+
+(* jobs *)
+
+let jobs_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Journal directory (see $(b,fcsl verify --journal))")
+  in
+  let status dir =
+    if not (Sys.file_exists (Journal.wal_path dir))
+       && not (Sys.file_exists (Journal.snapshot_path dir))
+    then begin
+      Fmt.epr "no journal in %s@." dir;
+      exit_internal
+    end
+    else begin
+      (* Pure read: inspecting a journal never mutates it, so a status
+         query is safe while a verification run is writing. *)
+      let records, torn = Journal.read dir in
+      if torn > 0 then
+        Fmt.pr "(%d bytes of torn tail would be truncated on resume)@." torn;
+      Fmt.pr "%a@." Journal.pp_jobs (Journal.jobs_of_records records);
+      exit_ok
+    end
+  in
+  Cmd.group
+    (Cmd.info "jobs" ~doc:"Inspect journaled verification runs")
+    [
+      Cmd.v
+        (Cmd.info "status"
+           ~doc:
+             "List the runs recorded in a journal directory — complete, \
+              degraded, failed, or still in flight — with their tier, \
+              durable units, and consumed budget.  Read-only: safe \
+              against a live journal")
+        Term.(const status $ dir_arg);
+    ]
 
 (* tables *)
 
@@ -448,7 +557,8 @@ let chaos_cmd =
           ~doc:
             "Run a single injection mode (pool-transient, \
              pool-persistent, mid-explore, budget-starve, spurious-cas, \
-             transient-unsafe, env-burst); default: all modes")
+             transient-unsafe, env-burst, kill9-midrun); default: all \
+             modes")
   in
   let case_arg =
     Arg.(
@@ -502,7 +612,7 @@ let main_cmd =
           (FCSL, PLDI 2015) — OCaml reproduction")
     [
       verify_cmd; table1_cmd; table2_cmd; deps_cmd; laws_cmd; parse_cmd;
-      run_cmd; span_cmd; analyze_cmd; lint_cmd; chaos_cmd;
+      run_cmd; span_cmd; analyze_cmd; lint_cmd; chaos_cmd; jobs_cmd;
     ]
 
 (* Anything escaping a subcommand is an engine failure: exit 3, never a

@@ -37,6 +37,13 @@ type mode =
   | Env_burst
       (** randomized runs with environment-interference bursts: the
           interference-robust snapshot spec must still verify *)
+  | Kill9_midrun
+      (** crash-recovery across process death: fork a verification child
+          journaling to a write-ahead journal, SIGKILL it at a
+          randomized exploration tick, resume, repeat — the journal's
+          durable-unit count must grow monotonically across the kills
+          and the eventually-completed run's verdicts must equal the
+          uninterrupted baseline's (see {!Journal}) *)
 
 val all_modes : mode list
 

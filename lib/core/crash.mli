@@ -60,3 +60,13 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
 (** One-line JSON object: [{"kind": ..., "msg": ..., "schedule": [...]}]. *)
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name}; [None] on an unknown name. *)
+
+val of_json : string -> (t, string) result
+(** Parse {!to_json}'s rendering back (a hand-rolled parser — the
+    engine carries no JSON dependency).  Round-trips:
+    [of_json (to_json c) = Ok c'] with [equal c c'] and
+    [trace c' = trace c].  Unknown object keys are skipped; an unknown
+    kind, malformed escape or trailing garbage is an [Error]. *)

@@ -17,13 +17,16 @@ type error = {
   e_exn : exn;
   e_backtrace : Printexc.raw_backtrace;
   e_attempts : int;
+  e_backoff_s : float;
 }
 
 let pp_error ppf e =
-  Fmt.pf ppf "%s (after %d attempt%s)"
+  Fmt.pf ppf "%s (after %d attempt%s%a)"
     (Printexc.to_string e.e_exn)
     e.e_attempts
     (if e.e_attempts = 1 then "" else "s")
+    (fun ppf s -> if s > 0. then Fmt.pf ppf ", %.0fms backoff" (s *. 1000.))
+    e.e_backoff_s
 
 exception Never_ran
 
@@ -37,10 +40,20 @@ let never_ran =
       e_exn = Never_ran;
       e_backtrace = Printexc.get_callstack 0;
       e_attempts = 0;
+      e_backoff_s = 0.;
     }
 
-let map_result ~jobs ?(retries = 1) (f : 'a -> 'b) (xs : 'a list) :
-    ('b, error) result list =
+(* Delay before retry [k] (the k-th attempt, k >= 2) of item [i]:
+   exponential in the retry number, with seeded jitter so a batch of
+   items quarantined by the same transient (an OOM spike, an fd-limit
+   brush) doesn't re-hit it in lockstep.  Deterministic per
+   (seed, item, attempt), like every other randomness in the engine. *)
+let backoff_delay ~seed ~base i k =
+  let st = Random.State.make [| seed; i; k |] in
+  base *. (2. ** float_of_int (k - 2)) *. (0.5 +. Random.State.float st 1.0)
+
+let map_result ~jobs ?(retries = 1) ?(backoff_s = 0.01) ?(backoff_seed = 0)
+    (f : 'a -> 'b) (xs : 'a list) : ('b, error) result list =
   let n = List.length xs in
   if n = 0 then []
   else begin
@@ -48,15 +61,24 @@ let map_result ~jobs ?(retries = 1) (f : 'a -> 'b) (xs : 'a list) :
     let input = Array.of_list xs in
     let results = Array.make n never_ran in
     let run_item i =
-      let rec attempt k =
+      let rec attempt k slept =
         match f input.(i) with
         | v -> Ok v
         | exception e ->
           let bt = Printexc.get_raw_backtrace () in
-          if k <= retries then attempt (k + 1)
-          else Error { e_exn = e; e_backtrace = bt; e_attempts = k }
+          if k <= retries then begin
+            let d =
+              if backoff_s > 0. then
+                backoff_delay ~seed:backoff_seed ~base:backoff_s i (k + 1)
+              else 0.
+            in
+            if d > 0. then Unix.sleepf d;
+            attempt (k + 1) (slept +. d)
+          end
+          else Error { e_exn = e; e_backtrace = bt; e_attempts = k;
+                       e_backoff_s = slept }
       in
-      results.(i) <- attempt 1
+      results.(i) <- attempt 1 0.
     in
     if jobs <= 1 then
       for i = 0 to n - 1 do

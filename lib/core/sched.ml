@@ -677,7 +677,7 @@ let memo_store_cap = 4096
    identical configurations at identical depth, so this collapses them
    while reporting exactly what the naive search reports. *)
 let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
-    ?(env_budget = max_int) ?(dedup = false) ?monitor_envelope ?budget
+    ?(env_budget = max_int) ?(dedup = false) ?monitor_envelope ?budget ?journal
     (genv0 : genv) (mine0 : Contrib.t) (prog : 'a Prog.t) :
     'a outcome list * bool =
   (* Cooperative budget poll, one per explored configuration.  A trip
@@ -686,8 +686,12 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
      entry is ever stored for a truncated subtree — replay exactness is
      untouched.  The tick hook is also the chaos harness's mid-explore
      fault-injection point; whatever it raises propagates to the
-     supervised pool above. *)
+     supervised pool above.  The journal writer rides the same cadence:
+     every explored configuration ticks it (appending periodic Frontier
+     records), so journaled progress counts exactly mirror budget state
+     counts. *)
   let tick_budget () =
+    (match journal with None -> () | Some w -> Journal.writer_tick w);
     match budget with
     | None -> ()
     | Some b ->
@@ -729,6 +733,11 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
   let outcomes = ref [] in
   let count = ref 0 in
   let record o =
+    (* Counterexamples are journaled at discovery — before the search
+       (or the process) ends — so a kill never loses found failures. *)
+    (match (o, journal) with
+    | Crashed c, Some w -> Journal.writer_crash w c
+    | _ -> ());
     outcomes := o :: !outcomes;
     incr count;
     if !count >= max_outcomes then raise Stop
@@ -901,13 +910,14 @@ let run_with_chooser ?(fuel = 1000)
 
 (* Run one pseudo-random schedule; with [interference], environment
    steps are inserted with probability ~1/4 at each point. *)
-let run_random ?(fuel = 1000) ?(interference = false) ?budget ~seed
+let run_random ?(fuel = 1000) ?(interference = false) ?budget ?journal ~seed
     (genv0 : genv) (mine0 : Contrib.t) (prog : 'a Prog.t) : 'a outcome =
   let rng = Random.State.make [| seed |] in
   (* A budget trip ends the run as [Diverged]: sampled runs are already
      incomplete by construction, and the caller reads the trip off the
      shared {!Budget.t}. *)
   let tripped () =
+    (match journal with None -> () | Some w -> Journal.writer_tick w);
     match budget with
     | None -> false
     | Some b ->
@@ -940,7 +950,11 @@ let run_random ?(fuel = 1000) ?(interference = false) ?budget ~seed
               | Ok (genv', mine', rt') -> go genv' mine' rt' (depth + 1)
         end
   in
-  go genv0 mine0 (inject prog) 0
+  let result = go genv0 mine0 (inject prog) 0 in
+  (match (result, journal) with
+  | Crashed c, Some w -> Journal.writer_crash w c
+  | _ -> ());
+  result
 
 (* Helpers for setting up configurations from a subjective initial
    state: the state's selves seed the root thread's contribution, the

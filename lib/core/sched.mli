@@ -106,6 +106,7 @@ val explore :
   ?dedup:bool ->
   ?monitor_envelope:Label.Set.t ->
   ?budget:Budget.t ->
+  ?journal:Journal.writer ->
   genv ->
   Contrib.t ->
   'a Prog.t ->
@@ -130,7 +131,13 @@ val explore :
     configuration; a trip aborts the search through the same path as a
     [max_outcomes] cut (so [complete] is [false] and no truncated memo
     entry is ever stored).  The caller reads the trip reason off the
-    shared {!Budget.t}. *)
+    shared {!Budget.t}.
+
+    With [journal], one {!Journal.writer_tick} is charged per explored
+    configuration (appending periodic {!Journal.Frontier} records) and
+    every crash outcome is journaled at discovery as a
+    {!Journal.Counterexample} — durable evidence that survives a
+    SIGKILL mid-search. *)
 
 val run_with_chooser :
   ?fuel:int ->
@@ -148,6 +155,7 @@ val run_random :
   ?fuel:int ->
   ?interference:bool ->
   ?budget:Budget.t ->
+  ?journal:Journal.writer ->
   seed:int ->
   genv ->
   Contrib.t ->

@@ -23,6 +23,12 @@ let tier_name = function
   | Pruned -> "pruned"
   | Sampled -> "sampled"
 
+let tier_of_name = function
+  | "exhaustive" -> Some Exhaustive
+  | "pruned" -> Some Pruned
+  | "sampled" -> Some Sampled
+  | _ -> None
+
 let pp_tier ppf t = Fmt.string ppf (tier_name t)
 
 type failure = {
@@ -84,30 +90,35 @@ let default_jobs = ref 1
 let default_prune = ref false
 let default_budget = ref Budget.no_limits
 let default_seed = ref 1
+let default_journal : Journal.t option ref = ref None
 let set_default_dedup b = default_dedup := b
 let set_default_jobs j = default_jobs := max 1 j
 let set_default_prune b = default_prune := b
 let set_default_budget l = default_budget := l
 let set_default_seed s = default_seed := s
+let set_default_journal j = default_journal := j
 
-let with_engine ?dedup ?jobs ?prune ?budget ?seed f =
+let with_engine ?dedup ?jobs ?prune ?budget ?seed ?journal f =
   let saved_d = !default_dedup
   and saved_j = !default_jobs
   and saved_p = !default_prune
   and saved_b = !default_budget
-  and saved_s = !default_seed in
+  and saved_s = !default_seed
+  and saved_jr = !default_journal in
   Option.iter set_default_dedup dedup;
   Option.iter set_default_jobs jobs;
   Option.iter set_default_prune prune;
   Option.iter set_default_budget budget;
   Option.iter set_default_seed seed;
+  Option.iter set_default_journal journal;
   Fun.protect
     ~finally:(fun () ->
       default_dedup := saved_d;
       default_jobs := saved_j;
       default_prune := saved_p;
       default_budget := saved_b;
-      default_seed := saved_s)
+      default_seed := saved_s;
+      default_journal := saved_jr)
     f
 
 let pp_failure ppf f =
@@ -190,16 +201,173 @@ type core = {
 let crash_of_pool_error (e : Pool.error) =
   let c = Crash.of_exn e.Pool.e_exn in
   Crash.make (Crash.kind c)
-    (Fmt.str "worker quarantined after %d attempt%s: %s" e.Pool.e_attempts
+    (Fmt.str "worker quarantined after %d attempt%s%s: %s" e.Pool.e_attempts
        (if e.Pool.e_attempts = 1 then "" else "s")
+       (if e.Pool.e_backoff_s > 0. then
+          Fmt.str " (%.0fms backoff)" (e.Pool.e_backoff_s *. 1000.)
+        else "")
        (Crash.message c))
+
+(* --- Journal integration ---------------------------------------------
+
+   Durability granularity is the verification unit: one eligible initial
+   state under one ladder tier ([Journal.State_done], keyed by its index
+   in the eligible list) plus the whole spec verdict
+   ([Journal.Spec_done]).  Resume replays journaled units and
+   re-explores the rest; exploration is deterministic, so the assembled
+   report is the uninterrupted run's.
+
+   A journaled unit is only replayable under the engine parameters it
+   was computed with, captured as a digest string.  [dedup] and [jobs]
+   are deliberately excluded: both are report-invariant by construction
+   (exact memo replay; sequential merge).  The eligible-state count is
+   included so failure indices always re-anchor within bounds. *)
+
+type jctx = { jc_j : Journal.t; jc_spec : string; jc_tier : string }
+
+let params_digest ~mode ~fuel ~max_outcomes ~trials ~interference ~env_budget
+    ~max_failures ~prune ~seed ~(lim : Budget.limits) ~eligible =
+  (* A structural digest of the eligible initial states: two triples
+     can share a spec name (e.g. the same rooted-spanning spec checked
+     over several catalogue graphs), and only the initial states tell
+     them apart.  [State.hash] is semantic — no addresses — so it is
+     stable across processes of the same binary; a recompile may shift
+     it, which merely invalidates replay (the safe direction). *)
+  let init_digest =
+    List.fold_left (fun acc st -> (acc * 33) lxor State.hash st) 5381 eligible
+  in
+  Fmt.str
+    "mode=%s,fuel=%d,outs=%d,trials=%d,intf=%b,envb=%d,maxf=%d,prune=%b,seed=%d,dl=%a,words=%a,states=%a,init=%d,inith=%x"
+    mode fuel max_outcomes trials interference env_budget max_failures prune
+    seed
+    Fmt.(option ~none:(any "-") float)
+    lim.Budget.l_deadline_s
+    Fmt.(option ~none:(any "-") int)
+    lim.Budget.l_max_major_words
+    Fmt.(option ~none:(any "-") int)
+    lim.Budget.l_max_states
+    (List.length eligible) init_digest
+
+let stats_image (s : Budget.stats) : Journal.budget_image =
+  {
+    Journal.bi_elapsed_s = s.Budget.st_elapsed_s;
+    bi_states = s.Budget.st_states;
+    bi_major_words = s.Budget.st_major_words;
+    bi_tripped = s.Budget.st_tripped;
+  }
+
+let stats_of_image (b : Journal.budget_image) : Budget.stats =
+  {
+    Budget.st_elapsed_s = b.Journal.bi_elapsed_s;
+    st_states = b.Journal.bi_states;
+    st_major_words = b.Journal.bi_major_words;
+    st_tripped = b.Journal.bi_tripped;
+  }
+
+let sr_image (sr : state_result) : Journal.state_image =
+  {
+    Journal.si_outcomes = sr.sr_outcomes;
+    si_diverged = sr.sr_diverged;
+    si_complete = sr.sr_complete;
+    si_failures = List.map (fun f -> f.crash) sr.sr_failures;
+  }
+
+let sr_of_image (st : State.t) (si : Journal.state_image) : state_result =
+  {
+    sr_outcomes = si.Journal.si_outcomes;
+    sr_diverged = si.Journal.si_diverged;
+    sr_complete = si.Journal.si_complete;
+    sr_failures =
+      List.map (fun crash -> { initial = st; crash }) si.Journal.si_failures;
+  }
+
+(* Failures are serialized with the index of their initial state in the
+   eligible list (the states themselves are closures over heaps and not
+   serializable); resume re-anchors them by index.  The digest pins the
+   eligible count, so indices stay within bounds — an out-of-range index
+   (a hand-edited journal) makes the image non-replayable, never a
+   panic. *)
+let failure_indices ~(eligible : State.t list) (fs : failure list) =
+  List.map
+    (fun f ->
+      let ix = ref (-1) in
+      List.iteri (fun i st -> if !ix < 0 && st == f.initial then ix := i) eligible;
+      (!ix, f.crash))
+    fs
+
+let image_of_report ~params ~eligible (r : report) : Journal.report_image =
+  {
+    Journal.ri_spec = r.spec_name;
+    ri_params = params;
+    ri_tier = tier_name r.tier;
+    ri_seed = r.seed;
+    ri_initial_states = r.initial_states;
+    ri_outcomes = r.outcomes;
+    ri_diverged = r.diverged;
+    ri_complete = r.complete;
+    ri_failures = failure_indices ~eligible r.failures;
+    ri_worker_crashes = failure_indices ~eligible r.worker_crashes;
+    ri_budget = Option.map stats_image r.budget;
+  }
+
+let report_of_image ~(eligible : State.t list) (ri : Journal.report_image) :
+    report option =
+  let anchor (i, crash) =
+    if i < 0 then None
+    else Option.map (fun initial -> { initial; crash }) (List.nth_opt eligible i)
+  in
+  let anchored l =
+    let xs = List.filter_map anchor l in
+    if List.length xs = List.length l then Some xs else None
+  in
+  match (tier_of_name ri.Journal.ri_tier, anchored ri.Journal.ri_failures,
+         anchored ri.Journal.ri_worker_crashes)
+  with
+  | Some tier, Some failures, Some worker_crashes ->
+    Some
+      {
+        spec_name = ri.Journal.ri_spec;
+        tier;
+        seed = ri.Journal.ri_seed;
+        initial_states = ri.Journal.ri_initial_states;
+        outcomes = ri.Journal.ri_outcomes;
+        diverged = ri.Journal.ri_diverged;
+        complete = ri.Journal.ri_complete;
+        failures;
+        worker_crashes;
+        budget = Option.map stats_of_image ri.Journal.ri_budget;
+      }
+  | _ -> None
+
+(* Replay a journaled unit, or compute it and journal the result.
+   [keep] decides whether the computed result is durable: a unit cut
+   short by a budget trip is timing-dependent (a resumed process with a
+   fresh budget would legitimately explore further), so only results the
+   budget didn't interfere with are journaled.  Runs on pool worker
+   domains; the journal handle is domain-safe. *)
+let unit_cached (jctx : jctx option) ~index ~(keep : state_result -> bool)
+    (st : State.t) (compute : unit -> state_result) : state_result =
+  match jctx with
+  | None -> compute ()
+  | Some { jc_j; jc_spec; jc_tier } -> (
+    match
+      Journal.find_state_done jc_j ~spec:jc_spec ~tier:jc_tier ~index
+    with
+    | Some si -> sr_of_image st si
+    | None ->
+      let sr = compute () in
+      if keep sr then
+        Journal.append jc_j
+          (Journal.State_done
+             { spec = jc_spec; tier = jc_tier; index; state = sr_image sr });
+      sr)
 
 (* One ladder attempt: a full (possibly footprint-pruned) exploration of
    every eligible state under an optional armed budget. *)
 let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
     ~max_failures ~dedup ~jobs ~prune ~(budget : Budget.t option)
-    ~(world : World.t) ~(eligible : State.t list) (prog : 'a Prog.t)
-    (spec : 'a Spec.t) : core =
+    ?(jctx : jctx option) ~(world : World.t) ~(eligible : State.t list)
+    (prog : 'a Prog.t) (spec : 'a Spec.t) : core =
   (* Env-step pruning oracle: interference at a label neither the program
      nor its spec touches cannot change any verdict (program moves never
      read it, the postcondition never observes it), so when the joined
@@ -220,11 +388,17 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
         List.filter (fun l -> Label.Set.mem l fp_labels) (World.labels world)
   in
   let monitor_envelope = Footprint.labels triple_fp in
-  let check_state st : state_result =
+  let jwriter =
+    Option.map
+      (fun { jc_j; jc_spec; jc_tier } ->
+        Journal.writer jc_j ~spec:jc_spec ~tier:jc_tier ())
+      jctx
+  in
+  let explore_state st : state_result =
     let genv, mine = Sched.genv_of_state ~interfere world st in
     let outs, compl =
       Sched.explore ~fuel ~max_outcomes ~interference ~env_budget ~dedup
-        ?monitor_envelope ?budget genv mine prog
+        ?monitor_envelope ?budget ?journal:jwriter genv mine prog
     in
     let outcomes = ref 0 in
     let diverged = ref 0 in
@@ -253,7 +427,17 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
       sr_failures = List.rev !failures;
     }
   in
-  let results = Pool.map_result ~jobs ~retries:1 check_state eligible in
+  (* Unbudgeted results are deterministic whatever the outcome (even a
+     [max_outcomes] cut replays identically); under a budget, anything
+     computed while (or after) the budget tripped is not durable. *)
+  let keep _sr =
+    match budget with None -> true | Some b -> Budget.tripped b = None
+  in
+  let check_state (index, st) : state_result =
+    unit_cached jctx ~index ~keep st (fun () -> explore_state st)
+  in
+  let indexed = List.mapi (fun i st -> (i, st)) eligible in
+  let results = Pool.map_result ~jobs ~retries:1 check_state indexed in
   let initial_states = ref 0 in
   let outcomes = ref 0 in
   let diverged = ref 0 in
@@ -261,7 +445,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
   let failures = ref [] in
   let worker_crashes = ref [] in
   List.iter2
-    (fun st r ->
+    (fun (_, st) r ->
       if !failures = [] && !worker_crashes = [] then
         match r with
         | Ok sr ->
@@ -276,7 +460,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
              merged (the sequential accounting). *)
           complete := false;
           worker_crashes := [ { initial = st; crash = crash_of_pool_error e } ])
-    eligible results;
+    indexed results;
   {
     c_initial_states = !initial_states;
     c_outcomes = !outcomes;
@@ -290,7 +474,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
    with consecutive seeds from [seed].  Never complete by construction;
    a budget trip stops further trials (and states) promptly. *)
 let sampled_attempt ~fuel ~trials ~interference ~max_failures ~seed
-    ~(budget : Budget.t option) ~(world : World.t)
+    ~(budget : Budget.t option) ?(jctx : jctx option) ~(world : World.t)
     ~(eligible : State.t list) (prog : 'a Prog.t) (spec : 'a Spec.t) : core =
   let interfere = if interference then World.labels world else [] in
   let initial_states = ref 0 in
@@ -306,28 +490,60 @@ let sampled_attempt ~fuel ~trials ~interference ~max_failures ~seed
     | None -> false
     | Some b -> Budget.tripped b <> None
   in
-  List.iter
-    (fun st ->
-      if not (tripped ()) then begin
-        incr initial_states;
+  let jwriter =
+    Option.map
+      (fun { jc_j; jc_spec; jc_tier } ->
+        Journal.writer jc_j ~spec:jc_spec ~tier:jc_tier ())
+      jctx
+  in
+  (* One durable unit per eligible state: all [trials] seeded runs.
+     Seeds are consecutive from [seed] per state, so a replayed unit is
+     exactly what re-running it would produce; a unit cut short by a
+     budget trip is timing-dependent and is not journaled. *)
+  let sample_state (index, st) : state_result =
+    let keep sr = sr.sr_complete in
+    unit_cached jctx ~index ~keep st (fun () ->
         let genv, mine = Sched.genv_of_state ~interfere world st in
+        let outs = ref 0 and div = ref 0 and fs = ref [] in
+        let add crash =
+          if List.length !fs < max_failures then
+            fs := { initial = st; crash } :: !fs
+        in
         let s = ref seed in
         while !s < seed + trials && not (tripped ()) do
-          incr outcomes;
+          incr outs;
           (match
-             Sched.run_random ~fuel ~interference ?budget ~seed:!s genv mine
-               prog
+             Sched.run_random ~fuel ~interference ?budget ?journal:jwriter
+               ~seed:!s genv mine prog
            with
           | Sched.Finished (r, final) ->
             if not (Spec.post spec r st final) then
-              add_failure st
+              add
                 (Crash.make Crash.Postcondition
                    (Fmt.str "postcondition violated (seed %d) in %a" !s
                       State.pp final))
-          | Sched.Crashed c -> add_failure st c
-          | Sched.Diverged -> incr diverged);
+          | Sched.Crashed c -> add c
+          | Sched.Diverged -> incr div);
           incr s
-        done
+        done;
+        (* [sr_complete] here means "all trials ran" — the unit is
+           durable — not exploration completeness (sampled cores are
+           never complete; [c_complete] below stays [false]). *)
+        {
+          sr_outcomes = !outs;
+          sr_diverged = !div;
+          sr_complete = !s >= seed + trials;
+          sr_failures = List.rev !fs;
+        })
+  in
+  List.iteri
+    (fun index st ->
+      if not (tripped ()) then begin
+        incr initial_states;
+        let sr = sample_state (index, st) in
+        outcomes := !outcomes + sr.sr_outcomes;
+        diverged := !diverged + sr.sr_diverged;
+        List.iter (fun f -> add_failure f.initial f.crash) sr.sr_failures
       end)
     eligible;
   {
@@ -381,13 +597,16 @@ let ladder_trials = 100
 
 let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
     ?(env_budget = max_int) ?(max_failures = 5) ?dedup ?jobs ?prune ?budget
-    ?seed ~(world : World.t) ~(init : State.t list) (prog : 'a Prog.t)
+    ?seed ?journal ~(world : World.t) ~(init : State.t list) (prog : 'a Prog.t)
     (spec : 'a Spec.t) : report =
   let dedup = Option.value dedup ~default:!default_dedup in
   let jobs = max 1 (Option.value jobs ~default:!default_jobs) in
   let prune = Option.value prune ~default:!default_prune in
   let lim = Option.value budget ~default:!default_budget in
   let seed = Option.value seed ~default:!default_seed in
+  let journal =
+    match journal with Some _ as j -> j | None -> !default_journal
+  in
   let spec_name = Spec.name spec in
   let eligible =
     List.filter (fun st -> World.coh world st && Spec.pre spec st) init
@@ -397,68 +616,171 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
     Footprint.labels (Footprint.join (Prog.footprint prog) (Spec.footprint spec))
     <> None
   in
-  let attempt ~prune b =
-    exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
-      ~max_failures ~dedup ~jobs ~prune ~budget:b ~world ~eligible prog spec
+  let params =
+    params_digest ~mode:"exh" ~fuel ~max_outcomes ~trials:ladder_trials
+      ~interference ~env_budget ~max_failures ~prune ~seed ~lim ~eligible
   in
-  if Budget.is_unlimited lim then
-    (* No budget: exactly the historical single-attempt path. *)
-    let tier = if prune && fp_known then Pruned else Exhaustive in
-    assemble ~spec_name ~tier ~seed:None ~budget:None (attempt ~prune None)
-  else begin
-    (* The degradation ladder.  Each rung re-arms fresh state/heap
-       ceilings but every rung shares the first rung's absolute
-       deadline, so the whole ladder observes one wall-clock budget.
-       Failures found on a tripped rung are sound counterexamples and
-       are reported as-is; only failure-free tripped rungs degrade. *)
-    let b1 = Budget.arm lim in
-    let deadline_at = Budget.deadline_at b1 in
-    let rearm () = Budget.arm ?deadline_at lim in
-    let sample stats_so_far =
-      let b = rearm () in
-      let c =
-        sampled_attempt ~fuel:(max fuel 256) ~trials:ladder_trials
-          ~interference ~max_failures ~seed ~budget:(Some b) ~world ~eligible
-          prog spec
-      in
-      assemble ~spec_name ~tier:Sampled ~seed:(Some seed)
-        ~budget:(Some (merge_stats (stats_so_far @ [ Budget.stats b ])))
-        c
+  (* A journaled verdict for this spec under these exact engine
+     parameters replays wholesale — the memoization that makes resumed
+     registry runs skip completed rows. *)
+  let replayed =
+    Option.bind journal (fun j ->
+        Option.bind
+          (Journal.find_spec_done j ~spec:spec_name ~params)
+          (report_of_image ~eligible))
+  in
+  match replayed with
+  | Some r -> r
+  | None ->
+    Option.iter
+      (fun j -> Journal.append j (Journal.Spec_begin { spec = spec_name; params }))
+      journal;
+    (* Read after the Spec_begin append: the journal index invalidates
+       unit records on a params change, so a surviving tier marker is
+       one recorded under exactly these parameters. *)
+    let resume_tier =
+      Option.bind journal (fun j ->
+          Option.bind (Journal.last_tier j ~spec:spec_name) (fun (t, _) ->
+              tier_of_name t))
+    in
+    let jctx tier seed =
+      Option.map
+        (fun j ->
+          Journal.append j
+            (Journal.Tier_begin
+               { spec = spec_name; tier = tier_name tier; seed });
+          { jc_j = j; jc_spec = spec_name; jc_tier = tier_name tier })
+        journal
+    in
+    let finish r =
+      Option.iter
+        (fun j ->
+          Journal.append j (Journal.Spec_done (image_of_report ~params ~eligible r));
+          Journal.flush j)
+        journal;
+      r
+    in
+    let attempt ~prune ?jctx b =
+      exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
+        ~max_failures ~dedup ~jobs ~prune ~budget:b ?jctx ~world ~eligible prog
+        spec
     in
     let tier1 = if prune && fp_known then Pruned else Exhaustive in
-    let c1 = attempt ~prune (Some b1) in
-    let s1 = Budget.stats b1 in
-    let conclusive c s = s.Budget.st_tripped = None || c.c_failures <> [] in
-    if conclusive c1 s1 then
-      assemble ~spec_name ~tier:tier1 ~seed:None ~budget:(Some s1) c1
-    else if tier1 = Exhaustive && fp_known then begin
-      let b2 = rearm () in
-      let c2 = attempt ~prune:true (Some b2) in
-      let s2 = Budget.stats b2 in
-      if conclusive c2 s2 then
-        assemble ~spec_name ~tier:Pruned ~seed:None
-          ~budget:(Some (merge_stats [ s1; s2 ]))
-          c2
-      else sample [ s1; s2 ]
+    if Budget.is_unlimited lim then
+      (* No budget: exactly the historical single-attempt path. *)
+      finish
+        (assemble ~spec_name ~tier:tier1 ~seed:None ~budget:None
+           (attempt ~prune ?jctx:(jctx tier1 None) None))
+    else begin
+      (* The degradation ladder.  Each rung re-arms fresh state/heap
+         ceilings but every rung shares the first rung's absolute
+         deadline, so the whole ladder observes one wall-clock budget.
+         Failures found on a tripped rung are sound counterexamples and
+         are reported as-is; only failure-free tripped rungs degrade.
+
+         A resumed run re-enters the ladder at the last journaled rung:
+         rungs the interrupted run already fell past are not repeated
+         (their failure-free trip is what pushed it down). *)
+      let b1 = Budget.arm lim in
+      let deadline_at = Budget.deadline_at b1 in
+      let rearm () = Budget.arm ?deadline_at lim in
+      let sample_with b stats_so_far =
+        let c =
+          sampled_attempt ~fuel:(max fuel 256) ~trials:ladder_trials
+            ~interference ~max_failures ~seed ~budget:(Some b)
+            ?jctx:(jctx Sampled (Some seed)) ~world ~eligible prog spec
+        in
+        assemble ~spec_name ~tier:Sampled ~seed:(Some seed)
+          ~budget:(Some (merge_stats (stats_so_far @ [ Budget.stats b ])))
+          c
+      in
+      let conclusive c s = s.Budget.st_tripped = None || c.c_failures <> [] in
+      (* Which rung to start on: 0 = tier1, 1 = pruned (only reachable
+         when tier1 is exhaustive and the footprint is known), 2 =
+         sampled. *)
+      let start =
+        match resume_tier with
+        | Some Sampled -> 2
+        | Some Pruned when tier1 = Exhaustive && fp_known -> 1
+        | _ -> 0
+      in
+      finish
+        (if start >= 2 then sample_with b1 []
+         else begin
+           let first_tier = if start = 1 then Pruned else tier1 in
+           let first_prune = if start = 1 then true else prune in
+           let c1 =
+             attempt ~prune:first_prune ?jctx:(jctx first_tier None) (Some b1)
+           in
+           let s1 = Budget.stats b1 in
+           if conclusive c1 s1 then
+             assemble ~spec_name ~tier:first_tier ~seed:None ~budget:(Some s1)
+               c1
+           else if first_tier = Exhaustive && fp_known then begin
+             let b2 = rearm () in
+             let c2 = attempt ~prune:true ?jctx:(jctx Pruned None) (Some b2) in
+             let s2 = Budget.stats b2 in
+             if conclusive c2 s2 then
+               assemble ~spec_name ~tier:Pruned ~seed:None
+                 ~budget:(Some (merge_stats [ s1; s2 ]))
+                 c2
+             else sample_with (rearm ()) [ s1; s2 ]
+           end
+           else sample_with (rearm ()) [ s1 ]
+         end)
     end
-    else sample [ s1 ]
-  end
 
 (* Randomized checking for configurations too large to exhaust: [trials]
    random schedules per initial state, with consecutive seeds from
    [seed] (so a report's recorded seed replays bit-identically). *)
 let check_triple_random ?(fuel = 2000) ?(trials = 100) ?(interference = false)
-    ?(max_failures = 5) ?budget ?seed ~(world : World.t)
+    ?(max_failures = 5) ?budget ?seed ?journal ~(world : World.t)
     ~(init : State.t list) (prog : 'a Prog.t) (spec : 'a Spec.t) : report =
   let lim = Option.value budget ~default:!default_budget in
   let seed = Option.value seed ~default:!default_seed in
+  let journal =
+    match journal with Some _ as j -> j | None -> !default_journal
+  in
   let b = if Budget.is_unlimited lim then None else Some (Budget.arm lim) in
+  let spec_name = Spec.name spec in
   let eligible =
     List.filter (fun st -> World.coh world st && Spec.pre spec st) init
   in
-  let c =
-    sampled_attempt ~fuel ~trials ~interference ~max_failures ~seed ~budget:b
-      ~world ~eligible prog spec
+  let params =
+    params_digest ~mode:"rand" ~fuel ~max_outcomes:0 ~trials ~interference
+      ~env_budget:0 ~max_failures ~prune:false ~seed ~lim ~eligible
   in
-  assemble ~spec_name:(Spec.name spec) ~tier:Sampled ~seed:(Some seed)
-    ~budget:(Option.map Budget.stats b) c
+  let replayed =
+    Option.bind journal (fun j ->
+        Option.bind
+          (Journal.find_spec_done j ~spec:spec_name ~params)
+          (report_of_image ~eligible))
+  in
+  match replayed with
+  | Some r -> r
+  | None ->
+    let jctx =
+      Option.map
+        (fun j ->
+          Journal.append j
+            (Journal.Spec_begin { spec = spec_name; params });
+          Journal.append j
+            (Journal.Tier_begin
+               { spec = spec_name; tier = tier_name Sampled; seed = Some seed });
+          { jc_j = j; jc_spec = spec_name; jc_tier = tier_name Sampled })
+        journal
+    in
+    let c =
+      sampled_attempt ~fuel ~trials ~interference ~max_failures ~seed ~budget:b
+        ?jctx ~world ~eligible prog spec
+    in
+    let r =
+      assemble ~spec_name ~tier:Sampled ~seed:(Some seed)
+        ~budget:(Option.map Budget.stats b) c
+    in
+    Option.iter
+      (fun j ->
+        Journal.append j (Journal.Spec_done (image_of_report ~params ~eligible r));
+        Journal.flush j)
+      journal;
+    r

@@ -18,6 +18,9 @@ type tier =
 val tier_name : tier -> string
 (** ["exhaustive"], ["pruned"], ["sampled"]. *)
 
+val tier_of_name : string -> tier option
+(** Inverse of {!tier_name} (journal records carry tier names). *)
+
 val pp_tier : Format.formatter -> tier -> unit
 
 type failure = { initial : State.t; crash : Crash.t }
@@ -94,12 +97,18 @@ val set_default_prune : bool -> unit
 val set_default_budget : Budget.limits -> unit
 val set_default_seed : int -> unit
 
+val set_default_journal : Journal.t option -> unit
+(** The write-ahead journal verification progress is recorded to (and
+    replayed from), when any — see {!Journal} and docs/ROBUSTNESS.md.
+    Default: none. *)
+
 val with_engine :
   ?dedup:bool ->
   ?jobs:int ->
   ?prune:bool ->
   ?budget:Budget.limits ->
   ?seed:int ->
+  ?journal:Journal.t option ->
   (unit -> 'a) ->
   'a
 (** Run [f] with the given engine defaults, restoring the previous ones
@@ -116,6 +125,7 @@ val check_triple :
   ?prune:bool ->
   ?budget:Budget.limits ->
   ?seed:int ->
+  ?journal:Journal.t ->
   world:World.t ->
   init:State.t list ->
   'a Prog.t ->
@@ -153,7 +163,20 @@ val check_triple :
     Every tier re-arms fresh state/heap ceilings under the first tier's
     absolute deadline, so the whole ladder observes one wall-clock
     budget and always terminates with an explicit [tier]/[budget]
-    verdict — never a hang, never a silent partial answer. *)
+    verdict — never a hang, never a silent partial answer.
+
+    [journal] (default: the engine default, none) arms durability: the
+    run's progress is written to the given write-ahead journal at
+    verification-unit granularity (one eligible initial state under one
+    ladder tier), the spec's verdict is journaled on completion, and a
+    resumed run — same triple, same engine parameters, a journal opened
+    with [~resume:true] — replays journaled units instead of
+    re-exploring them, re-enters the ladder at the last journaled rung,
+    and replays a journaled verdict wholesale.  Exploration is
+    deterministic, so a resumed run reaches the verdict the
+    uninterrupted run would have reached; units cut short by a budget
+    trip are timing-dependent and are deliberately not journaled (a
+    resume with a fresh budget legitimately explores further). *)
 
 val check_triple_random :
   ?fuel:int ->
@@ -162,6 +185,7 @@ val check_triple_random :
   ?max_failures:int ->
   ?budget:Budget.limits ->
   ?seed:int ->
+  ?journal:Journal.t ->
   world:World.t ->
   init:State.t list ->
   'a Prog.t ->

@@ -36,20 +36,41 @@ let pp_time ppf t =
   if t < 1.0 then Fmt.pf ppf "%4.0fms" (t *. 1000.)
   else Fmt.pf ppf "%5.1fs" t
 
+(* The worst degradation tier across a row's reports: a row is only as
+   trustworthy as its weakest verdict (Sampled < Pruned < Exhaustive). *)
+let row_tier (r : row1) : Verify.tier =
+  let rank = function
+    | Verify.Exhaustive -> 0
+    | Verify.Pruned -> 1
+    | Verify.Sampled -> 2
+  in
+  List.fold_left
+    (fun worst rep ->
+      if rank rep.Verify.tier > rank worst then rep.Verify.tier else worst)
+    Verify.Exhaustive r.r_reports
+
 let pp_table1 ppf rows =
-  Fmt.pf ppf "%-14s %5s %5s %5s %5s %5s %6s %8s  %s@." "Program" "Libs" "Conc"
-    "Acts" "Stab" "Main" "Total" "Verify" "Status";
+  Fmt.pf ppf "%-14s %5s %5s %5s %5s %5s %6s %8s %-10s %s@." "Program" "Libs"
+    "Conc" "Acts" "Stab" "Main" "Total" "Verify" "Tier" "Status";
   List.iter
     (fun r ->
       let c = r.r_counts in
       let dash n = if n = 0 then "-" else string_of_int n in
       let ok = List.for_all Verify.ok r.r_reports in
-      Fmt.pf ppf "%-14s %5s %5s %5s %5s %5s %6d %a  %s@." r.r_name
+      let degraded = List.exists Verify.degraded r.r_reports in
+      Fmt.pf ppf "%-14s %5s %5s %5s %5s %5s %6d %a %-10s %s@." r.r_name
         (dash c.Loc_stats.libs) (dash c.Loc_stats.conc)
         (dash c.Loc_stats.acts) (dash c.Loc_stats.stab)
         (dash c.Loc_stats.main) (Loc_stats.total c) pp_time r.r_verify_time
-        (if ok then "verified" else "FAILED"))
-    rows
+        (Verify.tier_name (row_tier r))
+        (if not ok then "FAILED"
+         else if degraded then "DEGRADED"
+         else "verified"))
+    rows;
+  if List.exists (fun r -> row_tier r <> Verify.Exhaustive) rows then
+    Fmt.pf ppf
+      "(mixed tiers: rows below exhaustive carry budget-degraded \
+       verdicts — see docs/ROBUSTNESS.md)@."
 
 (* Table 2. *)
 

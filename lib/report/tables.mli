@@ -18,7 +18,16 @@ val table1 : ?jobs:int -> unit -> row1 list
     single domain). *)
 
 val pp_time : Format.formatter -> float -> unit
+
+val row_tier : row1 -> Fcsl_core.Verify.tier
+(** The worst degradation tier across a row's reports (Sampled worse
+    than Pruned worse than Exhaustive): a row is only as trustworthy as
+    its weakest verdict. *)
+
 val pp_table1 : Format.formatter -> row1 list -> unit
+(** Renders the Tier column from {!row_tier} and flags DEGRADED rows;
+    a trailing warning line appears when tiers are mixed (some rows
+    verified below exhaustive). *)
 
 val columns : Registry.concurroid_use list
 val column_header : Registry.concurroid_use -> string

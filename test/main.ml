@@ -20,4 +20,5 @@ let () =
       ("report", Test_report.suite);
       ("analysis", Test_analysis.suite);
       ("robust", Test_robust.suite);
+      ("journal", Test_journal.suite);
     ]

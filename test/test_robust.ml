@@ -136,12 +136,51 @@ let test_pool_quarantine () =
   (match rs with
   | [ Ok 101; Ok 102; Error e; Ok 104 ] ->
     check "quarantined exception" true (e.Pool.e_exn = Boom 3);
-    Alcotest.(check int) "attempts = 1 + retries" 2 e.Pool.e_attempts
+    Alcotest.(check int) "attempts = 1 + retries" 2 e.Pool.e_attempts;
+    check "quarantine records the backoff slept" true (e.Pool.e_backoff_s > 0.);
+    check "pp_error mentions the backoff" true
+      (contains (Fmt.str "%a" Pool.pp_error e) "backoff")
   | _ -> Alcotest.fail "sibling results were lost or reordered");
   (* the all-or-nothing wrapper re-raises instead of dropping results *)
   match Pool.map ~jobs:2 f [ 1; 2; 3 ] with
   | _ -> Alcotest.fail "Pool.map must re-raise"
   | exception Boom 3 -> ()
+
+let test_pool_backoff () =
+  (* the jittered exponential schedule is deterministic in (seed, item,
+     attempt), grows with the attempt, and stays within [0.5x, 1.5x] of
+     the exponential base *)
+  let d1 = Pool.backoff_delay ~seed:0 ~base:0.01 5 2 in
+  let d1' = Pool.backoff_delay ~seed:0 ~base:0.01 5 2 in
+  Alcotest.(check (float 0.)) "deterministic in (seed, item, attempt)" d1 d1';
+  check "different items draw different jitter" true
+    (d1 <> Pool.backoff_delay ~seed:0 ~base:0.01 6 2);
+  check "different seeds draw different jitter" true
+    (d1 <> Pool.backoff_delay ~seed:1 ~base:0.01 5 2);
+  List.iter
+    (fun k ->
+      let d = Pool.backoff_delay ~seed:3 ~base:0.01 0 k in
+      let expo = 0.01 *. (2. ** float_of_int (k - 2)) in
+      check
+        (Printf.sprintf "attempt %d within jitter band" k)
+        true
+        (d >= 0.5 *. expo && d <= 1.5 *. expo))
+    [ 2; 3; 4; 5 ];
+  (* retried-then-succeeded work still returns Ok and slept the delay *)
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let once_flaky x =
+    if Hashtbl.mem seen x then x
+    else begin
+      Hashtbl.add seen x ();
+      raise (Boom x)
+    end
+  in
+  let t0 = Unix.gettimeofday () in
+  let rs = Pool.map_result ~jobs:1 ~backoff_s:0.02 ~backoff_seed:5 once_flaky [ 9 ] in
+  let dt = Unix.gettimeofday () -. t0 in
+  check "retry succeeded" true (rs = [ Ok 9 ]);
+  check "the retry actually slept" true
+    (dt >= Pool.backoff_delay ~seed:5 ~base:0.02 0 2 *. 0.9)
 
 (* --- The degradation ladder ------------------------------------------ *)
 
@@ -254,6 +293,60 @@ let prop_seeded_replay =
              (canon_report b);
          a.Verify.seed = Some seed && a.Verify.tier = Verify.Sampled))
 
+(* --- Crash JSON round-trip ------------------------------------------- *)
+
+(* [Crash.of_json] inverts [Crash.to_json] for arbitrary kinds,
+   messages and schedules — including the characters the JSON escape
+   layer has to work for (quotes, backslashes, newlines, control
+   bytes).  Equality is [Crash.equal] (kind + message) plus exact trace
+   equality, which [to_json] serializes and [equal] deliberately
+   ignores. *)
+let prop_crash_json_round_trip =
+  let all_kinds =
+    [
+      Crash.Unsafe_action; Crash.Ghost_algebra; Crash.Envelope_violation;
+      Crash.Postcondition; Crash.Budget_exhausted; Crash.Injected_fault;
+      Crash.Internal_error;
+    ]
+  in
+  let gen =
+    QCheck2.Gen.(
+      triple (oneofl all_kinds) string (list_size (int_range 0 5) string))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"of_json inverts to_json" gen
+       (fun (kind, msg, trace) ->
+         let c = Crash.make ~trace kind msg in
+         match Crash.of_json (Crash.to_json c) with
+         | Ok c' -> Crash.equal c c' && Crash.trace c' = Crash.trace c
+         | Error e ->
+           QCheck2.Test.fail_reportf "of_json failed on %s: %s"
+             (Crash.to_json c) e))
+
+let test_crash_json_errors () =
+  let bad s =
+    match Crash.of_json s with Ok _ -> false | Error _ -> true
+  in
+  check "empty input" true (bad "");
+  check "not an object" true (bad "[1,2]");
+  check "missing kind" true (bad {|{"msg": "m", "schedule": []}|});
+  check "unknown kind" true
+    (bad {|{"kind": "novel-disaster", "msg": "m", "schedule": []}|});
+  check "trailing garbage" true
+    (bad ({|{"kind": "unsafe-action", "msg": "m", "schedule": []}|} ^ "xx"));
+  check "bad escape" true (bad {|{"kind": "unsafe-action", "msg": "\q"}|});
+  (* unknown keys are skipped, not errors *)
+  match
+    Crash.of_json
+      {|{"kind": "unsafe-action", "extra": {"deep": [1, "x"]}, "msg": "m", "schedule": ["a"]}|}
+  with
+  | Ok c ->
+    check "unknown keys skipped" true
+      (Crash.kind c = Crash.Unsafe_action
+      && Crash.message c = "m"
+      && Crash.trace c = [ "a" ])
+  | Error e -> Alcotest.failf "unknown keys should be skipped: %s" e
+
 (* --- Chaos (cheap subset) -------------------------------------------- *)
 
 (* The full registry sweep runs in CI ([fcsl chaos --registry]); here a
@@ -281,12 +374,17 @@ let suite =
       test_pool_retry_absorbs;
     Alcotest.test_case "pool: quarantine keeps siblings" `Quick
       test_pool_quarantine;
+    Alcotest.test_case "pool: jittered exponential backoff" `Quick
+      test_pool_backoff;
     Alcotest.test_case "ladder: tiny budget degrades to sampled" `Quick
       test_ladder_degrades;
     Alcotest.test_case "ladder: found failures beat degradation" `Quick
       test_failures_beat_degradation;
     Alcotest.test_case "exit codes: priority" `Quick test_exit_code_priority;
     prop_seeded_replay;
+    prop_crash_json_round_trip;
+    Alcotest.test_case "crash json: malformed inputs are errors" `Quick
+      test_crash_json_errors;
     Alcotest.test_case "chaos: cheap registry row survives all modes" `Quick
       test_chaos_subset;
   ]
