@@ -460,6 +460,90 @@ let pp_prune_rows ppf rows =
         (if r.pr_verdicts_equal then "equal" else "DIFFER"))
     rows
 
+(* --- POR comparison: sleep-set partial-order reduction on vs off. ---
+
+   Both arms run WITHOUT memoization: under dedup every distinct
+   configuration is already expanded exactly once — the lower bound POR
+   targets — so the reduction would be invisible there.  Without it the
+   arms count raw schedule expansions (Verify.report.states), the
+   standard POR accounting.  Verdicts are cross-checked at (spec_name,
+   ok) granularity: states and outcome counts must shrink, verdicts
+   must not move.  The acceptance floor (docs/ANALYSIS.md §POR) is a
+   >= 1.5x states reduction on the Treiber stack and the flat-combining
+   stack. *)
+
+type por_row = {
+  po_name : string;
+  po_full_states : int;
+  po_por_states : int;
+  po_full_s : float;
+  po_por_s : float;
+  po_verdicts_equal : bool;
+}
+
+let por_reduction r =
+  if r.po_por_states > 0 then
+    float_of_int r.po_full_states /. float_of_int r.po_por_states
+  else nan
+
+let report_states reports =
+  List.fold_left (fun acc (r : Verify.report) -> acc + r.Verify.states) 0 reports
+
+(* The rows the acceptance floor is asserted on. *)
+let por_targets = [ "Treiber stack"; "FC-stack" ]
+
+let por_comparison () : por_row list =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let certs = Fcsl_analysis.Independence.certs_all () in
+  let row (c : Registry.case) =
+    let rf, tf =
+      Verify.with_engine ~dedup:false ~por:false (fun () ->
+          timed c.Registry.c_verify)
+    in
+    let rp, tp =
+      Verify.with_engine ~dedup:false ~por:true ~por_certs:certs (fun () ->
+          timed c.Registry.c_verify)
+    in
+    {
+      po_name = c.Registry.c_name;
+      po_full_states = report_states rf;
+      po_por_states = report_states rp;
+      po_full_s = tf;
+      po_por_s = tp;
+      po_verdicts_equal = prune_verdicts rf = prune_verdicts rp;
+    }
+  in
+  List.map row Registry.all
+
+let por_targets_met rows =
+  List.for_all (fun r -> r.po_verdicts_equal) rows
+  && List.for_all
+       (fun name ->
+         match List.find_opt (fun r -> r.po_name = name) rows with
+         | Some r -> por_reduction r >= 1.5
+         | None -> false)
+       por_targets
+
+let pp_por_rows ppf rows =
+  Fmt.pf ppf "%-14s %12s %12s %9s %8s %8s %8s@." "Program" "full-states"
+    "por-states" "reduction" "full" "por" "verdicts";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-14s %12d %12d %8.2fx %7.3fs %7.3fs %8s@." r.po_name
+        r.po_full_states r.po_por_states (por_reduction r) r.po_full_s
+        r.po_por_s
+        (if r.po_verdicts_equal then "equal" else "DIFFER"))
+    rows;
+  let tot f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let sf = tot (fun r -> r.po_full_states)
+  and sp = tot (fun r -> r.po_por_states) in
+  Fmt.pf ppf "%-14s %12d %12d %8.2fx@." "TOTAL" sf sp
+    (if sp > 0 then float_of_int sf /. float_of_int sp else nan)
+
 (* --- Robustness: budget-enforcement overhead (docs/ROBUSTNESS.md). ---
 
    Every Table 1 verification unbudgeted vs under an armed-but-untripped
@@ -658,6 +742,31 @@ let write_analyze_json ~path (rows : prune_row list) =
   pr "  ]\n}\n";
   close_out oc
 
+(* --- BENCH_por.json: the partial-order-reduction record. --- *)
+
+let write_por_json ~path (rows : por_row list) =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr
+    "{\n  \"por_reduction\": {\n    \"target_min_x\": 1.5,\n    \
+     \"target_cases\": [%s],\n    \"dedup\": false,\n    \"cases\": [\n"
+    (String.concat ", "
+       (List.map (fun n -> Printf.sprintf "\"%s\"" (json_escape n)) por_targets));
+  List.iteri
+    (fun i r ->
+      pr
+        "      {\"name\": \"%s\", \"full_states\": %d, \"por_states\": %d, \
+         \"reduction_x\": %s, \"full_s\": %.4f, \"por_s\": %.4f, \
+         \"verdicts_equal\": %b}%s\n"
+        (json_escape r.po_name) r.po_full_states r.po_por_states
+        (let x = por_reduction r in
+         if Float.is_nan x then "null" else Printf.sprintf "%.3f" x)
+        r.po_full_s r.po_por_s r.po_verdicts_equal
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "    ],\n    \"targets_met\": %b\n  }\n}\n" (por_targets_met rows);
+  close_out oc
+
 (* --- BENCH_robust.json: the budget-overhead record. --- *)
 
 let write_robust_json ~path (rows : robust_row list) =
@@ -793,10 +902,21 @@ let run_journal () =
   write_journal_json ~path:"BENCH_journal.json" rows;
   Fmt.pr "wrote BENCH_journal.json@.@."
 
-(* [--robust-only] / [--journal-only] regenerate just the corresponding
-   CI artifact without paying for the bechamel suite. *)
+let run_por () =
+  Fmt.pr "== Partial-order reduction: sleep sets on vs off (no dedup) ==@.";
+  let rows = por_comparison () in
+  Fmt.pr "%a@." pp_por_rows rows;
+  Fmt.pr "reduction targets (%s >= 1.5x, all verdicts equal): %s@."
+    (String.concat ", " por_targets)
+    (if por_targets_met rows then "met" else "NOT MET");
+  write_por_json ~path:"BENCH_por.json" rows;
+  Fmt.pr "wrote BENCH_por.json@.@."
+
+(* [--robust-only] / [--journal-only] / [--por-only] regenerate just the
+   corresponding CI artifact without paying for the bechamel suite. *)
 let robust_only = Array.exists (String.equal "--robust-only") Sys.argv
 let journal_only = Array.exists (String.equal "--journal-only") Sys.argv
+let por_only = Array.exists (String.equal "--por-only") Sys.argv
 
 let () =
   if robust_only then (
@@ -806,6 +926,10 @@ let () =
   if journal_only then (
     Fmt.pr "FCSL durability benchmark (journal-armed overhead)@.@.";
     run_journal ();
+    exit 0);
+  if por_only then (
+    Fmt.pr "FCSL reduction benchmark (sleep-set POR states reduction)@.@.";
+    run_por ();
     exit 0);
   Fmt.pr "FCSL benchmark & evaluation harness (paper: PLDI 2015)@.@.";
   let bench_rows = run_benchmarks () in
@@ -821,6 +945,7 @@ let () =
   Fmt.pr "%a@." pp_prune_rows prune_rows;
   write_analyze_json ~path:"BENCH_analyze.json" prune_rows;
   Fmt.pr "wrote BENCH_analyze.json@.@.";
+  run_por ();
   run_robust ();
   run_journal ();
   Fmt.pr "== Table 1: statistics for implemented programs ==@.";

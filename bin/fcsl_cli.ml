@@ -71,6 +71,19 @@ let prune_flag =
            steps at labels outside the triple's envelope (sound: a \
            dynamic monitor crashes the run if a footprint under-declares)")
 
+let por_flag =
+  Arg.(
+    value & flag
+    & info [ "por" ]
+        ~doc:
+          "Enable sound partial-order reduction: sleep-set pruning \
+           driven by the static independence analysis (see $(b,fcsl \
+           analyze --independence)).  Verdicts never change — a move \
+           observed mutating outside its declared footprint demotes the \
+           run to full exploration with a located diagnostic — but the \
+           explored-state counts shrink.  Journals record the flag, so \
+           POR and non-POR runs never cross-replay")
+
 let deadline_arg =
   Arg.(
     value & opt (some float) None
@@ -165,7 +178,7 @@ let verify_cmd =
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
   in
-  let run name jobs no_dedup prune deadline max_states max_heap_words seed
+  let run name jobs no_dedup prune por deadline max_states max_heap_words seed
       journal_dir resume fsync =
     let cases =
       match name with
@@ -193,7 +206,8 @@ let verify_cmd =
       journal;
     Fun.protect ~finally:(fun () -> Option.iter Journal.close journal)
     @@ fun () ->
-    Verify.with_engine ~dedup:(not no_dedup) ~prune
+    Verify.with_engine ~dedup:(not no_dedup) ~prune ~por
+      ~por_certs:(Fcsl_analysis.Independence.certs_all ())
       ?budget:(budget_of deadline max_states max_heap_words)
       ?seed ~journal
     @@ fun () ->
@@ -214,7 +228,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~doc:"Mechanically verify case studies (all by default)")
     Term.(
-      const run $ name_arg $ jobs_arg $ no_dedup_flag $ prune_flag
+      const run $ name_arg $ jobs_arg $ no_dedup_flag $ prune_flag $ por_flag
       $ deadline_arg $ max_states_arg $ max_heap_words_arg $ engine_seed_arg
       $ journal_arg $ resume_flag $ fsync_arg)
 
@@ -260,14 +274,19 @@ let jobs_cmd =
 (* tables *)
 
 let table1_cmd =
-  let run jobs prune =
-    Verify.with_engine ~prune @@ fun () ->
+  let run jobs prune por =
+    Verify.with_engine ~prune ~por
+      ~por_certs:(Fcsl_analysis.Independence.certs_all ())
+    @@ fun () ->
     Fmt.pr "%a@." Tables.pp_table1 (Tables.table1 ~jobs ());
     exit_ok
   in
   Cmd.v
-    (Cmd.info "table1" ~doc:"Regenerate Table 1 (LoC statistics + verify times)")
-    Term.(const run $ jobs_arg $ prune_flag)
+    (Cmd.info "table1"
+       ~doc:
+         "Regenerate Table 1 (LoC statistics + verify times + explored \
+          states)")
+    Term.(const run $ jobs_arg $ prune_flag $ por_flag)
 
 let table2_cmd =
   let run () =
@@ -476,6 +495,8 @@ let lint_cmd =
           study (unstable assertions, law violations, dead labels)")
     Term.(const run $ const ())
 
+module Independence = Fcsl_analysis.Independence
+
 let analyze_cmd =
   let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
   let no_self_test_flag =
@@ -486,7 +507,82 @@ let analyze_cmd =
             "Skip the failure-injection self-test (three deliberately \
              broken variants that the analyzer must flag)")
   in
-  let run files no_self_test =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit machine-readable JSON instead of prose: one object \
+             with a case entry per analyzed unit, each finding carrying \
+             its stable rule id — the shape CI diffs against \
+             ci/analyze-baseline.json.  Deterministic: no timestamps, \
+             analyzer order")
+  in
+  let independence_flag =
+    Arg.(
+      value & flag
+      & info [ "independence" ]
+          ~doc:
+            "Print the static independence matrices instead of the lint \
+             pass: per case study, every pair of schedulable moves with \
+             its verdict and located justification (footprint \
+             commutation, PCM law certificate, or distinct-label env \
+             confinement) — the relation $(b,--por) verification \
+             consumes.  Combines with $(b,--json)")
+  in
+  (* The independence matrices, prose or JSON. *)
+  let run_independence json =
+    let ms = Independence.analyze_all () in
+    if json then begin
+      print_string "[";
+      List.iteri
+        (fun i m ->
+          if i > 0 then print_string ", ";
+          print_string (Independence.matrix_to_json m))
+        ms;
+      print_string "]\n"
+    end
+    else
+      List.iter (fun m -> Fmt.pr "%a@.@." Independence.pp_matrix m) ms;
+    exit_ok
+  in
+  (* The lint pass as JSON: surface files, case studies, injected
+     variants, one entry each; exit logic identical to the prose path. *)
+  let run_json files no_self_test =
+    let file_results =
+      List.map
+        (fun file ->
+          match Surface.analyze_source ~name:file (read_file file) with
+          | Ok fs -> (file, fs)
+          | Error msg ->
+            ( file,
+              [
+                Diag.error ~rule:"parse-error" ~loc:file
+                  (Fmt.str "parse error: %s" msg);
+              ] ))
+        files
+    in
+    let case_results = Cases.analyze_all () in
+    let injected_results =
+      if no_self_test then []
+      else
+        List.map
+          (fun (n, fs) -> ("injected:" ^ n, fs))
+          (Injected.all_variants ())
+    in
+    print_string
+      (Diag.results_to_json (file_results @ case_results @ injected_results));
+    print_newline ();
+    let ok =
+      List.for_all
+        (fun (_, fs) -> not (Diag.has_errors fs))
+        (file_results @ case_results)
+      (* injected variants must each be FLAGGED *)
+      && List.for_all (fun (_, fs) -> Diag.has_errors fs) injected_results
+    in
+    if ok then exit_ok else exit_failed
+  in
+  let run_prose files no_self_test =
     (* 1. Surface files given on the command line. *)
     let files_ok =
       List.for_all
@@ -529,12 +625,21 @@ let analyze_cmd =
     end
     else exit_failed
   in
+  let run files no_self_test json independence =
+    if independence then run_independence json
+    else if json then run_json files no_self_test
+    else run_prose files no_self_test
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Statically analyze surface-language files for races, lint the \
-          registered case studies, and self-test against injected bugs")
-    Term.(const run $ files_arg $ no_self_test_flag)
+          registered case studies, self-test against injected bugs, and \
+          (with $(b,--independence)) derive the action-independence \
+          matrices consumed by $(b,--por) verification")
+    Term.(
+      const run $ files_arg $ no_self_test_flag $ json_flag
+      $ independence_flag)
 
 (* chaos *)
 

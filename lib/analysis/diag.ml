@@ -40,3 +40,54 @@ let pp ppf f =
 let pp_list ppf = function
   | [] -> Fmt.string ppf "no findings"
   | fs -> Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp) fs
+
+(* JSON rendering, for [fcsl analyze --json] and the CI baseline diff.
+   The shape is part of the tool's contract: stable keys, rule ids
+   stable across releases, cases and findings in analyzer order (which
+   is deterministic), no timestamps — so [diff] against a committed
+   baseline is meaningful. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let finding_to_json f =
+  Printf.sprintf
+    "{\"rule\": \"%s\", \"severity\": \"%s\", \"loc\": \"%s\", \"msg\": \
+     \"%s\", \"detail\": [%s]}"
+    (json_escape f.f_rule)
+    (severity_string f.f_severity)
+    (json_escape f.f_loc) (json_escape f.f_msg)
+    (String.concat ", "
+       (List.map (fun d -> Printf.sprintf "\"%s\"" (json_escape d)) f.f_detail))
+
+(* One object per analyzed unit (case study, file, injected variant):
+   {"cases": [{"case": NAME, "findings": [...]}, ...]} *)
+let results_to_json (results : (string * finding list) list) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"cases\": [";
+  List.iteri
+    (fun i (name, fs) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "{\"case\": \"%s\", \"findings\": [%s]}"
+           (json_escape name)
+           (String.concat ", " (List.map finding_to_json fs))))
+    results;
+  Buffer.add_string b "]}";
+  Buffer.contents b

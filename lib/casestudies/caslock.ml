@@ -181,6 +181,7 @@ let try_lock ?(await = false) l cfg : bool Action.t =
       | Some s -> lock_bit cfg (Slice.joint s) = Some false
       | None -> true)
     ~name:(Fmt.str "try_lock(%a)" Ptr.pp cfg.lk)
+    ~fp:(Footprint.cases l)
     ~safe:(fun st ->
       match State.find l st with
       | Some s -> (
@@ -210,6 +211,7 @@ let try_lock ?(await = false) l cfg : bool Action.t =
 let unlock_act l cfg resource ~delta : unit Action.t =
   Action.make
     ~name:(Fmt.str "unlock(%a)" Ptr.pp cfg.lk)
+    ~fp:(Footprint.writes l)
     ~safe:(fun st ->
       match State.find l st with
       | Some s -> (
@@ -241,6 +243,7 @@ let unlock_act l cfg resource ~delta : unit Action.t =
 let read l cfg p : Value.t Action.t =
   Action.make
     ~name:(Fmt.str "locked_read(%a)" Ptr.pp p)
+    ~fp:(Footprint.reads l)
     ~safe:(fun st ->
       holds cfg l st
       &&
@@ -256,6 +259,7 @@ let read l cfg p : Value.t Action.t =
 let write l cfg p v : unit Action.t =
   Action.make
     ~name:(Fmt.str "locked_write(%a)" Ptr.pp p)
+    ~fp:(Footprint.writes l)
     ~safe:(fun st ->
       holds cfg l st
       &&

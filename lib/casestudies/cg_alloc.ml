@@ -45,6 +45,7 @@ module Make (L : LOCK) = struct
      requires holding the lock, so the observation is stable. *)
   let peek_pool al : Ptr.t option Action.t =
     Action.make ~name:"peek_pool"
+      ~fp:(Footprint.reads al)
       ~safe:(fun st -> L.holds cfg al st)
       ~step:(fun st ->
         let s = State.find_exn al st in
@@ -64,6 +65,7 @@ module Make (L : LOCK) = struct
   let take_cell al pv p : unit Action.t =
     Action.make ~communicating:true
       ~name:(Fmt.str "take_cell(%a)" Ptr.pp p)
+      ~fp:(Footprint.join (Footprint.writes al) (Footprint.writes pv))
       ~safe:(fun st ->
         L.holds cfg al st
         && Heap.mem p (State.joint al st)
@@ -85,6 +87,7 @@ module Make (L : LOCK) = struct
   let put_cell al pv p : unit Action.t =
     Action.make ~communicating:true
       ~name:(Fmt.str "put_cell(%a)" Ptr.pp p)
+      ~fp:(Footprint.join (Footprint.writes al) (Footprint.writes pv))
       ~safe:(fun st ->
         L.holds cfg al st
         && (match Aux.as_heap (State.self pv st) with

@@ -399,6 +399,7 @@ let publish_act so cfg fc ~slot op arg : unit Action.t =
   let slot_ptr = List.nth cfg.slots slot in
   Action.make
     ~name:(Fmt.str "fc_publish(%d,%s)" slot op)
+    ~fp:(Footprint.writes fc)
     ~safe:(fun st ->
       match find_slice fc st with
       | Some s -> (
@@ -428,6 +429,7 @@ let poll_act cfg fc ~slot : [ `Done of Value.t | `Pending ] Action.t =
   let slot_ptr = List.nth cfg.slots slot in
   Action.make
     ~name:(Fmt.str "fc_poll(%d)" slot)
+    ~fp:(Footprint.reads fc)
     ~enabled:(fun st ->
       match find_slice fc st with
       | Some s -> (
@@ -450,7 +452,7 @@ let poll_act cfg fc ~slot : [ `Done of Value.t | `Pending ] Action.t =
 
 (* try_lock / unlock. *)
 let try_lock_act cfg fc : bool Action.t =
-  Action.make ~name:"fc_try_lock"
+  Action.make ~name:"fc_try_lock" ~fp:(Footprint.cases fc)
     ~safe:(fun st ->
       match find_slice fc st with
       | Some s ->
@@ -476,7 +478,7 @@ let try_lock_act cfg fc : bool Action.t =
     ()
 
 let unlock_act cfg fc : unit Action.t =
-  Action.make ~name:"fc_unlock"
+  Action.make ~name:"fc_unlock" ~fp:(Footprint.writes fc)
     ~safe:(fun st ->
       match find_slice fc st with
       | Some s -> (
@@ -502,6 +504,7 @@ let read_slot_act cfg fc i :
     [ `Empty | `Request of int * Value.t | `Done of Value.t ] Action.t =
   Action.make
     ~name:(Fmt.str "fc_read_slot(%d)" i)
+    ~fp:(Footprint.reads fc)
     ~safe:(fun st ->
       match find_slice fc st with
       | Some s -> Option.is_some (slot_state cfg (Slice.joint s) i)
@@ -517,6 +520,7 @@ let read_slot_act cfg fc i :
 let apply_act so cfg fc i : unit Action.t =
   Action.make
     ~name:(Fmt.str "fc_apply(%d)" i)
+    ~fp:(Footprint.writes fc)
     ~safe:(fun st ->
       match find_slice fc st with
       | Some s -> (
@@ -571,6 +575,7 @@ let apply_act so cfg fc i : unit Action.t =
 let respond_act cfg fc i : unit Action.t =
   Action.make
     ~name:(Fmt.str "fc_respond(%d)" i)
+    ~fp:(Footprint.writes fc)
     ~safe:(fun st ->
       match find_slice fc st with
       | Some s -> (
@@ -606,6 +611,7 @@ let claim_act cfg fc ~slot : Value.t Action.t =
   let slot_ptr = List.nth cfg.slots slot in
   Action.make
     ~name:(Fmt.str "fc_claim(%d)" slot)
+    ~fp:(Footprint.writes fc)
     ~safe:(fun st ->
       match find_slice fc st with
       | Some s -> (

@@ -191,6 +191,7 @@ let slice_shape_ok cfg st l =
 let take_ticket l cfg : int Action.t =
   Action.make
     ~name:(Fmt.str "take_ticket(%a)" Ptr.pp cfg.next)
+    ~fp:(Footprint.writes l)
     ~safe:(fun st -> slice_shape_ok cfg st l)
     ~step:(fun st ->
       let s = State.find_exn l st in
@@ -219,6 +220,7 @@ let read_owner ?awaiting l cfg : int Action.t =
         | Some s -> owner_of cfg (Slice.joint s) = Some t
         | None -> true))
     ~name:(Fmt.str "read_owner(%a)" Ptr.pp cfg.owner)
+    ~fp:(Footprint.reads l)
     ~safe:(fun st -> slice_shape_ok cfg st l)
     ~step:(fun st ->
       let s = State.find_exn l st in
@@ -230,6 +232,7 @@ let read_owner ?awaiting l cfg : int Action.t =
 let unlock_act l cfg resource ~delta : unit Action.t =
   Action.make
     ~name:(Fmt.str "tl_unlock(%a)" Ptr.pp cfg.owner)
+    ~fp:(Footprint.writes l)
     ~safe:(fun st ->
       holds cfg l st
       &&
@@ -266,6 +269,7 @@ let unlock_act l cfg resource ~delta : unit Action.t =
 let read l cfg p : Value.t Action.t =
   Action.make
     ~name:(Fmt.str "tl_read(%a)" Ptr.pp p)
+    ~fp:(Footprint.reads l)
     ~safe:(fun st ->
       holds cfg l st
       &&
@@ -281,6 +285,7 @@ let read l cfg p : Value.t Action.t =
 let write l cfg p v : unit Action.t =
   Action.make
     ~name:(Fmt.str "tl_write(%a)" Ptr.pp p)
+    ~fp:(Footprint.writes l)
     ~safe:(fun st ->
       holds cfg l st
       &&

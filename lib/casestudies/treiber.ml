@@ -219,7 +219,7 @@ let concurroid ?(depth = 2) label =
 
 (* read_top: idle. *)
 let read_top tb : Ptr.t Action.t =
-  Action.make ~name:"read_top"
+  Action.make ~name:"read_top" ~fp:(Footprint.reads tb)
     ~safe:(fun st ->
       match State.find tb st with
       | Some s -> Option.is_some (top_of (Slice.joint s))
@@ -233,7 +233,7 @@ let read_top tb : Ptr.t Action.t =
 (* read_top_nonempty: the blocking variant used by consumers that wait
    for an element. *)
 let read_top_nonempty tb : Ptr.t Action.t =
-  Action.make ~name:"read_top_nonempty"
+  Action.make ~name:"read_top_nonempty" ~fp:(Footprint.reads tb)
     ~enabled:(fun st ->
       match State.find tb st with
       | Some s -> (
@@ -257,6 +257,7 @@ let read_top_nonempty tb : Ptr.t Action.t =
 let read_node tb p : (int * Ptr.t) Action.t =
   Action.make
     ~name:(Fmt.str "read_node(%a)" Ptr.pp p)
+    ~fp:(Footprint.reads tb)
     ~safe:(fun st ->
       match State.find tb st with
       | Some s -> Option.is_some (node_of (Slice.joint s) p)
@@ -272,6 +273,7 @@ let read_node tb p : (int * Ptr.t) Action.t =
 let set_node pv p v next : unit Action.t =
   Action.make
     ~name:(Fmt.str "set_node(%a)" Ptr.pp p)
+    ~fp:(Footprint.writes pv)
     ~safe:(fun st ->
       match Aux.as_heap (State.self pv st) with
       | Some h -> Heap.mem p h
@@ -288,6 +290,9 @@ let set_node pv p v next : unit Action.t =
 let cas_push tb pv p v expected : bool Action.t =
   Action.make ~communicating:true
     ~name:(Fmt.str "cas_push(%a)" Ptr.pp p)
+    ~fp:
+      (Footprint.of_list
+         [ (tb, [ Footprint.Read; Write; Cas ]); (pv, [ Footprint.Read; Write ]) ])
     ~safe:(fun st ->
       match (State.find tb st, Aux.as_heap (State.self pv st)) with
       | Some s, Some priv -> (
@@ -334,6 +339,7 @@ let cas_push tb pv p v expected : bool Action.t =
 let cas_pop tb expected next : bool Action.t =
   Action.make
     ~name:(Fmt.str "cas_pop(%a)" Ptr.pp expected)
+    ~fp:(Footprint.of_list [ (tb, [ Footprint.Read; Write; Cas ]) ])
     ~safe:(fun st ->
       match State.find tb st with
       | Some s ->

@@ -12,6 +12,7 @@ type kind =
   | Budget_exhausted
   | Injected_fault
   | Internal_error
+  | Analyzer_lie
 
 let kind_name = function
   | Unsafe_action -> "unsafe-action"
@@ -21,6 +22,7 @@ let kind_name = function
   | Budget_exhausted -> "budget-exhausted"
   | Injected_fault -> "injected-fault"
   | Internal_error -> "internal-error"
+  | Analyzer_lie -> "analyzer-lie"
 
 let pp_kind ppf k = Fmt.string ppf (kind_name k)
 
@@ -87,6 +89,7 @@ let kind_of_name = function
   | "budget-exhausted" -> Some Budget_exhausted
   | "injected-fault" -> Some Injected_fault
   | "internal-error" -> Some Internal_error
+  | "analyzer-lie" -> Some Analyzer_lie
   | _ -> None
 
 exception Parse of string

@@ -19,6 +19,10 @@ type kind =
   | Budget_exhausted  (** a resource budget tripped (see {!Budget}) *)
   | Injected_fault  (** a fault injected by the chaos harness *)
   | Internal_error  (** an engine invariant broke (worker death, ...) *)
+  | Analyzer_lie
+      (** a statically claimed independence was refuted at runtime: a
+          move mutated a label its declared footprint excludes, so the
+          partial-order reducer demoted the run to full expansion *)
 
 val kind_name : kind -> string
 (** Stable kebab-case name: ["unsafe-action"], ["ghost-algebra"], ... *)

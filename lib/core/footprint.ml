@@ -54,6 +54,12 @@ let top = Top
 let bot = Fp Label.Map.empty
 let is_top = function Top -> true | Fp _ -> false
 
+let accs_empty a = not (a.a_read || a.a_write || a.a_cas)
+
+(* Canonical form: no all-false bindings.  An empty access list would
+   otherwise create a phantom label — present in [labels]/[mem] yet
+   granting nothing — and make structurally different builds of the same
+   envelope compare unequal. *)
 let of_list bindings =
   Fp
     (List.fold_left
@@ -62,7 +68,8 @@ let of_list bindings =
            Option.value (Label.Map.find_opt l m)
              ~default:{ a_read = false; a_write = false; a_cas = false }
          in
-         Label.Map.add l (accs_join prev (accs_of_list accesses)) m)
+         let a = accs_join prev (accs_of_list accesses) in
+         if accs_empty a then m else Label.Map.add l a m)
        Label.Map.empty bindings)
 
 let reads l = of_list [ (l, [ Read ]) ]
@@ -92,6 +99,26 @@ let mem fp l =
    visible outside a [hide] that installs [l]. *)
 let remove fp l =
   match fp with Top -> Top | Fp m -> Fp (Label.Map.remove l m)
+
+(* [commutes a b]: the two envelopes cannot interfere — at every label
+   both touch, both are read-only.  The syntactic independence check of
+   partial-order reduction: two steps whose envelopes commute reach the
+   same configuration in either order (reads see identical state;
+   writes/CASes land on labels the other never reads).  [Top] commutes
+   only with the empty envelope. *)
+let accs_ro a = not (a.a_write || a.a_cas)
+
+let commutes a b =
+  match (a, b) with
+  | Top, Top -> false
+  | Top, Fp m | Fp m, Top -> Label.Map.is_empty m
+  | Fp ma, Fp mb ->
+    Label.Map.for_all
+      (fun l aa ->
+        match Label.Map.find_opt l mb with
+        | None -> true
+        | Some ab -> accs_ro aa && accs_ro ab)
+      ma
 
 (* [subsumes outer inner]: every access [inner] may perform, [outer]
    declares too. *)

@@ -48,6 +48,12 @@ val remove : t -> Label.t -> t
 (** The envelope with a label scoped away — what remains visible outside
     a [hide] that installs it.  [top] stays [top]. *)
 
+val commutes : t -> t -> bool
+(** [commutes a b]: the envelopes cannot interfere — every label both
+    touch is read-only on both sides, so steps confined to them reach
+    the same configuration in either order.  [top] commutes only with
+    the empty envelope.  Symmetric. *)
+
 val subsumes : t -> t -> bool
 (** [subsumes outer inner]: every access [inner] may perform, [outer]
     declares too. *)

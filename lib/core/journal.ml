@@ -58,6 +58,7 @@ type state_image = {
   si_outcomes : int;
   si_diverged : int;
   si_complete : bool;
+  si_states : int;
   si_failures : Crash.t list;
 }
 
@@ -70,6 +71,7 @@ type report_image = {
   ri_outcomes : int;
   ri_diverged : int;
   ri_complete : bool;
+  ri_states : int; (* configurations explored under the active reductions *)
   ri_failures : (int * Crash.t) list;
   ri_worker_crashes : (int * Crash.t) list;
   ri_budget : budget_image option;
@@ -133,7 +135,13 @@ let crc32 s =
 (* --- Binary record encoding ------------------------------------------ *)
 
 let magic = "FCSLJ001"
-let version = 1
+
+(* v2: [state_image]/[report_image] gained explored-state counts
+   ([si_states]/[ri_states]).  A journal written by a different version
+   is not replayed: its Meta record fails decoding (below), so recovery
+   truncates at it and everything re-verifies — degradation, never a
+   wrong verdict. *)
+let version = 2
 
 (* Any record longer than this is treated as corruption, bounding what
    a garbage length prefix can make the scanner allocate. *)
@@ -208,14 +216,16 @@ let w_state b (s : state_image) =
   w_int b s.si_outcomes;
   w_int b s.si_diverged;
   w_bool b s.si_complete;
+  w_int b s.si_states;
   w_list w_crash b s.si_failures
 
 let r_state rd =
   let si_outcomes = r_int rd in
   let si_diverged = r_int rd in
   let si_complete = r_bool rd in
+  let si_states = r_int rd in
   let si_failures = r_list r_crash rd in
-  { si_outcomes; si_diverged; si_complete; si_failures }
+  { si_outcomes; si_diverged; si_complete; si_states; si_failures }
 
 let w_budget b (s : budget_image) =
   w_float b s.bi_elapsed_s;
@@ -280,6 +290,7 @@ let encode (r : record) : string =
     w_int b ri.ri_outcomes;
     w_int b ri.ri_diverged;
     w_bool b ri.ri_complete;
+    w_int b ri.ri_states;
     w_list w_ixcrash b ri.ri_failures;
     w_list w_ixcrash b ri.ri_worker_crashes;
     w_opt w_budget b ri.ri_budget);
@@ -290,9 +301,12 @@ let decode (payload : string) : record =
   let r =
     match r_u8 rd with
     | 1 ->
-      let version = r_int rd in
+      let v = r_int rd in
+      (* Another version's records are not replayable; stopping the scan
+         at its Meta truncates the whole generation, the safe direction. *)
+      if v <> version then raise Corrupt;
       let created_s = r_float rd in
-      Meta { version; created_s }
+      Meta { version = v; created_s }
     | 2 ->
       let spec = r_str rd in
       let params = r_str rd in
@@ -326,13 +340,14 @@ let decode (payload : string) : record =
       let ri_outcomes = r_int rd in
       let ri_diverged = r_int rd in
       let ri_complete = r_bool rd in
+      let ri_states = r_int rd in
       let ri_failures = r_list r_ixcrash rd in
       let ri_worker_crashes = r_list r_ixcrash rd in
       let ri_budget = r_opt r_budget rd in
       Spec_done
         {
           ri_spec; ri_params; ri_tier; ri_seed; ri_initial_states;
-          ri_outcomes; ri_diverged; ri_complete; ri_failures;
+          ri_outcomes; ri_diverged; ri_complete; ri_states; ri_failures;
           ri_worker_crashes; ri_budget;
         }
     | _ -> raise Corrupt

@@ -55,6 +55,7 @@ type state_image = {
   si_outcomes : int;
   si_diverged : int;
   si_complete : bool;
+  si_states : int;  (** configurations explored under the active reductions *)
   si_failures : Crash.t list;  (** failures found from this state *)
 }
 (** What one verification unit (one initial state under one tier)
@@ -70,6 +71,8 @@ type report_image = {
   ri_outcomes : int;
   ri_diverged : int;
   ri_complete : bool;
+  ri_states : int;
+      (** configurations explored, summed over the verdict's units *)
   ri_failures : (int * Crash.t) list;
       (** (eligible-state index, crash) — indices re-anchor the crash
           to its initial state on resume *)

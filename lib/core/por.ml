@@ -1,0 +1,69 @@
+(* Partial-order reduction oracle: the dynamic half of the static
+   independence analysis (lib/analysis/independence.ml builds the
+   relation; this module carries it into {!Sched.explore}).
+
+   A [t] bundles
+
+   - the syntactic rule — two moves whose {!Footprint}s commute are
+     independent (rule 1 of the analyzer; environment transitions at
+     distinct labels fall out of the same check, rule 3, because an env
+     move's envelope is [touches l] by construction);
+   - an [extra] certificate hook — name-keyed pairs the analyzer proved
+     independent algebraically (rule 2: same-label PCM contributions
+     whose composed effect is order-insensitive by the PCM laws).
+     Certificates are keyed by action *name* deliberately: rule 2
+     certifies the action transformers themselves, so any two
+     occurrences of the certified pair commute;
+   - the reduction's own accounting: subtrees skipped by the sleep set,
+     demotions to full expansion, and the analyzer-lie diagnostics that
+     forced them.
+
+   Soundness envelope: the scheduler cross-checks every executed move's
+   mutations against its declared footprint.  A mutation outside it
+   voids every independence claim involving the move, so the whole
+   exploration is re-run with reduction off and the lie is recorded
+   here as a located [Crash.t] — a wrong static claim can cost time,
+   never a verdict. *)
+
+type entry = {
+  en_id : string; (* stable move identity: spine path + action name *)
+  en_name : string;
+  en_fp : Footprint.t;
+}
+
+let entry ~id ~name ~fp = { en_id = id; en_name = name; en_fp = fp }
+let entry_id e = e.en_id
+let entry_name e = e.en_name
+let entry_fp e = e.en_fp
+
+type t = {
+  extra : string -> string -> bool;
+  mutable skipped : int;
+  mutable demotions : int;
+  mutable lies : Crash.t list;
+}
+
+let make ?(extra = fun _ _ -> false) () =
+  { extra; skipped = 0; demotions = 0; lies = [] }
+
+(* The independence decision.  Footprint commutation is symmetric; the
+   certificate hook is queried both ways so analyzers may emit ordered
+   pairs. *)
+let independent t a b =
+  Footprint.commutes a.en_fp b.en_fp
+  || t.extra a.en_name b.en_name
+  || t.extra b.en_name a.en_name
+
+let note_skip t = t.skipped <- t.skipped + 1
+
+let record_lie t c =
+  t.demotions <- t.demotions + 1;
+  t.lies <- c :: t.lies
+
+let skipped t = t.skipped
+let demotions t = t.demotions
+let lies t = List.rev t.lies
+
+let pp ppf t =
+  Fmt.pf ppf "por: %d subtree(s) skipped, %d demotion(s)" t.skipped t.demotions;
+  List.iter (fun c -> Fmt.pf ppf "@,  %a" Crash.pp c) (lies t)

@@ -1,0 +1,49 @@
+(** Partial-order reduction oracle for {!Sched.explore}.
+
+    Carries the independence relation the static analyzer derived
+    (syntactic footprint commutation plus name-keyed algebraic
+    certificates) together with the reduction's runtime accounting:
+    sleep-set skips, demotions, and the analyzer-lie diagnostics that
+    caused them.  See docs/ANALYSIS.md §POR. *)
+
+type entry
+(** One schedulable move as the reducer sees it: a stable identity
+    (Par-spine path + action name for program moves; label, transition
+    name and branch index for environment moves), the displayed name,
+    and the declared effect envelope. *)
+
+val entry : id:string -> name:string -> fp:Footprint.t -> entry
+val entry_id : entry -> string
+val entry_name : entry -> string
+val entry_fp : entry -> Footprint.t
+
+type t
+
+val make : ?extra:(string -> string -> bool) -> unit -> t
+(** [make ?extra ()]: a fresh oracle.  [extra a b] may certify the
+    action pair [(a, b)] (by name) independent beyond what footprint
+    commutation shows — e.g. the analyzer's PCM-commutation rule.  It
+    is queried in both orders.  Default: no extra certificates. *)
+
+val independent : t -> entry -> entry -> bool
+(** Declared independence: {!Footprint.commutes} on the envelopes, or
+    an [extra] certificate for the name pair. *)
+
+val note_skip : t -> unit
+(** Account one sleep-set subtree skip (called by the scheduler). *)
+
+val record_lie : t -> Crash.t -> unit
+(** Record a refuted independence claim and count the demotion the
+    scheduler performs in response. *)
+
+val skipped : t -> int
+(** Subtrees the sleep set pruned. *)
+
+val demotions : t -> int
+(** Times a lie forced a re-run with reduction off (0 or 1 per
+    exploration; an oracle may be reused across initial states). *)
+
+val lies : t -> Crash.t list
+(** The recorded analyzer-lie diagnostics, oldest first. *)
+
+val pp : Format.formatter -> t -> unit

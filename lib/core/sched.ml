@@ -238,24 +238,43 @@ and uninstall : type a. genv -> Contrib.t -> Prog.hide_spec -> a -> a norm =
 
 (* One scheduling move: an atomic action at some leaf.  Returns all
    enabled moves as continuations, or a crash witness if some enabled
-   leaf is unsafe (a verification failure). *)
-type 'a move = { mv_name : string; mv_next : (genv * Contrib.t * 'a rt, Crash.t) result }
+   leaf is unsafe (a verification failure).
+
+   [mv_id] is the move's *identity* for partial-order reduction: the
+   Par-spine path to the leaf plus the action name.  It is stable along
+   a DFS descent — a leaf's pending action can only change by executing,
+   and a slept move is never executed, so a sleep-set entry always
+   denotes the same pending transition wherever it still matches.
+   [mv_fp] is the action's declared effect envelope.  Both are only
+   consumed under POR; ids are lazy so reduction-free exploration never
+   pays for the formatting. *)
+type 'a move = {
+  mv_name : string;
+  mv_id : string Lazy.t;
+  mv_fp : Footprint.t;
+  mv_next : (genv * Contrib.t * 'a rt, Crash.t) result;
+}
 
 let move_name mv = mv.mv_name
 let move_next mv = mv.mv_next
 
-let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
- fun genv around mine rt ->
+let rec moves_at : type a.
+    path:string -> genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
+ fun ~path genv around mine rt ->
   match rt with
   | RRet _ -> []
   | RParP _ -> [] (* eliminated by normalize *)
   | RHideP _ -> [] (* eliminated by normalize *)
   | RAct a -> (
+    let mv_id = lazy (path ^ ":" ^ Action.name a) in
+    let mv_fp = Action.footprint a in
     match view genv ~around ~mine with
     | None ->
       [
         {
           mv_name = Action.name a;
+          mv_id;
+          mv_fp;
           mv_next = Error (Crash.make Crash.Ghost_algebra "invalid subjective view");
         };
       ]
@@ -264,6 +283,8 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
         [
           {
             mv_name = Action.name a;
+            mv_id;
+            mv_fp;
             mv_next =
               Error
                 (Crash.make Crash.Unsafe_action
@@ -274,7 +295,7 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
       else
         let r, st' = Action.step_exn a st in
         let genv', mine' = unview st' ~genv ~mine in
-        [ { mv_name = Action.name a; mv_next = Ok (genv', mine', RRet r) } ])
+        [ { mv_name = Action.name a; mv_id; mv_fp; mv_next = Ok (genv', mine', RRet r) } ])
   | RBind (p, k) ->
     List.map
       (fun mv ->
@@ -283,7 +304,7 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
           mv_next =
             Result.map (fun (g, m, p') -> (g, m, RBind (p', k))) mv.mv_next;
         })
-      (moves genv around mine p)
+      (moves_at ~path genv around mine p)
   | RHideI (spec, body) ->
     List.map
       (fun mv ->
@@ -292,7 +313,7 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
           mv_next =
             Result.map (fun (g, m, b') -> (g, m, RHideI (spec, b'))) mv.mv_next;
         })
-      (moves genv around mine body)
+      (moves_at ~path genv around mine body)
   | RPar (l, cl, r, cr) ->
     let around_of sibling_contrib sibling_tree =
       Option.bind (inner_contribs sibling_tree) (fun inner ->
@@ -304,6 +325,8 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
         [
           {
             mv_name = "par";
+            mv_id = lazy (path ^ ":par!");
+            mv_fp = Footprint.top;
             mv_next =
               Error (Crash.make Crash.Ghost_algebra "incompatible contributions");
           };
@@ -318,7 +341,7 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
                   (fun (g, m_l, l') -> (g, mine, RPar (l', m_l, r, cr)))
                   mv.mv_next;
             })
-          (moves genv around_l cl l)
+          (moves_at ~path:(path ^ "L") genv around_l cl l)
     in
     let right =
       match around_of cl l with
@@ -326,6 +349,8 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
         [
           {
             mv_name = "par";
+            mv_id = lazy (path ^ ":par!");
+            mv_fp = Footprint.top;
             mv_next =
               Error (Crash.make Crash.Ghost_algebra "incompatible contributions");
           };
@@ -340,9 +365,11 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
                   (fun (g, m, r') -> (g, mine, RPar (l, cl, r', m)))
                   mv.mv_next;
             })
-          (moves genv around_r cr r)
+          (moves_at ~path:(path ^ "R") genv around_r cr r)
     in
     left @ right
+
+let moves genv around mine rt = moves_at ~path:"" genv around mine rt
 
 (* Environment interference: at any label open to interference, the
    environment may take any transition of that label's concurroid from
@@ -353,8 +380,24 @@ let rec moves : type a. genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
    Move names are lazy: exhaustive exploration only renders a schedule
    when it reports a crash, so the (hot) happy paths never pay for the
    formatting. *)
-let env_moves_aux : type a. genv -> Contrib.t -> a rt -> (string Lazy.t * genv) list
-    =
+(* Like program moves, each env move carries a POR identity and an
+   effect envelope.  The identity is the label, transition name and the
+   branch index within the concurroid's (deterministic) step list —
+   stable under independent moves, which leave the whole slice at [l]
+   untouched and hence re-enumerate the identical list.  The envelope is
+   [touches l] *by construction*: an env step rewrites the joint heap,
+   joint auxiliary and external contribution at its own label and
+   nothing else (see the update below), so rule 3 of the independence
+   analyzer — transitions at distinct labels commute — is the footprint
+   check itself. *)
+type env_move = {
+  ev_name : string Lazy.t;
+  ev_id : string Lazy.t;
+  ev_fp : Footprint.t;
+  ev_genv : genv;
+}
+
+let env_moves_aux : type a. genv -> Contrib.t -> a rt -> env_move list =
  fun genv mine rt ->
   match Option.bind (inner_contribs rt) (Contrib.join mine) with
   | None -> []
@@ -373,21 +416,28 @@ let env_moves_aux : type a. genv -> Contrib.t -> a rt -> (string Lazy.t * genv) 
                 ~self:(Contrib.get l genv.ext_other)
                 ~joint ~other:(Contrib.get l ours)
             in
-            List.map
-              (fun (n, s') ->
-                ( lazy (Fmt.str "env:%s.%s" (Concurroid.name c) n),
-                  {
-                    genv with
-                    joints = Label.Map.add l (Slice.joint s') genv.joints;
-                    jauxs = Contrib.set l (Slice.jaux s') genv.jauxs;
-                    ext_other =
-                      Contrib.set l (Slice.self s') genv.ext_other;
-                  } ))
+            let fp = Footprint.touches l in
+            List.mapi
+              (fun i (n, s') ->
+                {
+                  ev_name = lazy (Fmt.str "env:%s.%s" (Concurroid.name c) n);
+                  ev_id =
+                    lazy (Fmt.str "env@%a:%s#%d" Label.pp l n i);
+                  ev_fp = fp;
+                  ev_genv =
+                    {
+                      genv with
+                      joints = Label.Map.add l (Slice.joint s') genv.joints;
+                      jauxs = Contrib.set l (Slice.jaux s') genv.jauxs;
+                      ext_other =
+                        Contrib.set l (Slice.self s') genv.ext_other;
+                    };
+                })
               (Concurroid.steps c env_slice))
       (World.concurroids genv.world)
 
 let env_moves genv mine rt =
-  List.map (fun (n, g) -> (Lazy.force n, g)) (env_moves_aux genv mine rt)
+  List.map (fun ev -> (Lazy.force ev.ev_name, ev.ev_genv)) (env_moves_aux genv mine rt)
 
 (* Configuration fingerprinting, the backbone of memoized exploration.
 
@@ -560,6 +610,7 @@ type config_key = {
   ck_ext : Contrib.t;
   ck_world : int list; (* concurroid identities, in world order *)
   ck_mine : Contrib.t;
+  ck_sleep : string list; (* POR sleep-set move ids, sorted; [] without POR *)
   ck_hash : int; (* precomputed: keys are hashed more than once *)
 }
 
@@ -588,7 +639,22 @@ let config_key (kr : keyer) (genv : genv) (mine : Contrib.t) rt : config_key =
       lxor Contrib.hash ck_mine)
       ck_world
   in
-  { ck_rt; ck_joints; ck_jauxs; ck_ext; ck_world; ck_mine; ck_hash }
+  { ck_rt; ck_joints; ck_jauxs; ck_ext; ck_world; ck_mine; ck_sleep = []; ck_hash }
+
+(* Under POR, the outcomes a configuration records depend on its sleep
+   set (slept subtrees are omitted), so memo entries are only replayable
+   at the same sleep context: the ids join the key. *)
+let config_key_sleep kr genv mine rt sleep_ids =
+  let k = config_key kr genv mine rt in
+  match sleep_ids with
+  | [] -> k
+  | ids ->
+    {
+      k with
+      ck_sleep = ids;
+      ck_hash =
+        List.fold_left (fun acc s -> (acc * 33) lxor Hashtbl.hash s) k.ck_hash ids;
+    }
 
 let config_key_hash k = k.ck_hash
 
@@ -600,6 +666,7 @@ let config_key_equal k1 k2 =
   && Contrib.equal k1.ck_ext k2.ck_ext
   && List.equal Int.equal k1.ck_world k2.ck_world
   && Contrib.equal k1.ck_mine k2.ck_mine
+  && List.equal String.equal k1.ck_sleep k2.ck_sleep
 
 let fingerprint kr genv mine rt = config_key_hash (config_key kr genv mine rt)
 
@@ -665,6 +732,18 @@ type 'a memo_entry = {
    through their (cached) children anyway. *)
 let memo_store_cap = 4096
 
+(* Exploration statistics: configurations actually entered (same cadence
+   as the budget tick), exposed so callers can report the effect of the
+   active reductions (dedup, pruning, POR). *)
+type explore_stats = { mutable es_configs : int }
+
+let new_stats () = { es_configs = 0 }
+
+(* Raised (internally) when a move mutates a label outside its declared
+   footprint while POR is active: every independence claim involving the
+   move is void, so the exploration restarts without reduction. *)
+exception Analyzer_lie_exn of Crash.t
+
 (* Depth-first exploration of all interleavings (and, when [interference]
    holds, all environment-step insertions), up to [fuel] steps per path
    and at most [max_outcomes] recorded outcomes.  Returns the recorded
@@ -675,10 +754,23 @@ let memo_store_cap = 4096
    pruned by replaying its recorded outcomes.  Interleavings of
    commuting steps — the diamonds behind the exponential blow-up — reach
    identical configurations at identical depth, so this collapses them
-   while reporting exactly what the naive search reports. *)
+   while reporting exactly what the naive search reports.
+
+   With [por], sleep-set partial-order reduction prunes *transitions*:
+   after exploring a move, later sibling subtrees skip it as long as
+   only independent moves (per the {!Por} oracle) have been taken since.
+   Sleep sets preserve every reachable configuration (only redundant
+   re-entries are cut), so finished states, crashes and divergences all
+   remain reachable; what changes is multiplicity and explored-state
+   counts.  The reduction is gated by a soundness envelope: every
+   executed move's shared-state and self mutations are checked against
+   its declared footprint, and any violation — an analyzer lie — aborts
+   and re-runs the whole exploration with reduction off, recording a
+   located [Crash.Analyzer_lie] diagnostic in the oracle.  A wrong
+   static claim can therefore never flip a verdict. *)
 let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
     ?(env_budget = max_int) ?(dedup = false) ?monitor_envelope ?budget ?journal
-    (genv0 : genv) (mine0 : Contrib.t) (prog : 'a Prog.t) :
+    ?por ?stats (genv0 : genv) (mine0 : Contrib.t) (prog : 'a Prog.t) :
     'a outcome list * bool =
   (* Cooperative budget poll, one per explored configuration.  A trip
      aborts through the existing [Stop] path, so (a) [complete] comes
@@ -730,152 +822,306 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
           && Aux.equal (Contrib.get l before.jauxs) (Contrib.get l after.jauxs)))
       watched
   in
-  let outcomes = ref [] in
-  let count = ref 0 in
-  let record o =
-    (* Counterexamples are journaled at discovery — before the search
-       (or the process) ends — so a kill never loses found failures. *)
-    (match (o, journal) with
-    | Crashed c, Some w -> Journal.writer_crash w c
-    | _ -> ());
-    outcomes := o :: !outcomes;
-    incr count;
-    if !count >= max_outcomes then raise Stop
+  (* The POR soundness envelope: a move's joint-heap, joint-auxiliary,
+     external-contribution or self mutations must all land on labels its
+     declared footprint covers (Top declares everything and is never
+     claimed independent, so it checks vacuously).  Reads are part of
+     the same declaration contract but — exactly as with the prune
+     monitor above — are trusted statically and cross-checked by the
+     differential and QCheck suites rather than at runtime. *)
+  let find_lie ~fp ~(before : genv) ~(after : genv) ~mine ~mine' =
+    match Footprint.labels fp with
+    | None -> None
+    | Some allowed ->
+      let keys m = Label.Map.fold (fun l _ s -> Label.Set.add l s) m in
+      let of_contrib c s =
+        List.fold_left (fun s l -> Label.Set.add l s) s (Contrib.labels c)
+      in
+      let cand =
+        Label.Set.empty |> keys before.joints |> keys after.joints
+        |> of_contrib before.jauxs |> of_contrib after.jauxs
+        |> of_contrib before.ext_other |> of_contrib after.ext_other
+        |> of_contrib mine |> of_contrib mine'
+      in
+      Label.Set.fold
+        (fun l found ->
+          match found with
+          | Some _ -> found
+          | None ->
+            if Label.Set.mem l allowed then None
+            else
+              let joint_eq =
+                match
+                  (Label.Map.find_opt l before.joints, Label.Map.find_opt l after.joints)
+                with
+                | Some a, Some b -> Heap.equal a b
+                | None, None -> true
+                | Some _, None | None, Some _ -> false
+              in
+              if
+                joint_eq
+                && Aux.equal (Contrib.get l before.jauxs) (Contrib.get l after.jauxs)
+                && Aux.equal
+                     (Contrib.get l before.ext_other)
+                     (Contrib.get l after.ext_other)
+                && Aux.equal (Contrib.get l mine) (Contrib.get l mine')
+              then None
+              else Some l)
+        cand None
   in
-  let keyer = Keyer.create () in
-  let memo : 'a memo_entry Memo.t = Memo.create (if dedup then 4096 else 1) in
-  (* Subtree-need accounting: absolute-depth high-water mark, budget
-     low-water mark, and whether the fuel limit was hit.  Saved and
-     restored around every memoized subtree. *)
-  let deepest = ref 0 in
-  let shallow_budget = ref env_budget in
-  let fuel_cut = ref false in
-  (* The first [n] cells of the (newest-first) outcome list, oldest
-     first: the outcomes a subtree just recorded. *)
-  let take_rev n l =
-    let rec aux n acc l =
-      match l with x :: tl when n > 0 -> aux (n - 1) (x :: acc) tl | _ -> acc
+  let run por =
+    let outcomes = ref [] in
+    let count = ref 0 in
+    let record o =
+      (* Counterexamples are journaled at discovery — before the search
+         (or the process) ends — so a kill never loses found failures. *)
+      (match (o, journal) with
+      | Crashed c, Some w -> Journal.writer_crash w c
+      | _ -> ());
+      outcomes := o :: !outcomes;
+      incr count;
+      if !count >= max_outcomes then raise Stop
     in
-    aux n [] l
-  in
-  let rec go :
-      genv -> Contrib.t -> 'a rt -> int -> int -> string Lazy.t list -> unit =
-   fun genv mine rt depth budget trace ->
-    if depth > !deepest then deepest := depth;
-    if budget < !shallow_budget then shallow_budget := budget;
-    tick_budget ();
-    match normalize genv mine rt with
-    | Norm_crash c ->
-      record (Crashed (Crash.with_trace (trace_steps trace) c))
-    | Norm (genv, mine, RRet v) -> (
-      match view genv ~around:Contrib.empty ~mine with
-      | Some st -> record (Finished (v, st))
-      | None ->
-        record
-          (Crashed
-             (Crash.make ~trace:(trace_steps trace) Crash.Ghost_algebra
-                "final view invalid")))
-    | Norm (genv, mine, rt) ->
-      if depth >= fuel then begin
-        fuel_cut := true;
-        record Diverged
-      end
-      else if not dedup then branch genv mine rt depth budget trace
-      else begin
-        let key = config_key keyer genv mine rt in
-        let remaining = fuel - depth in
-        match
-          List.find_opt
-            (fun e ->
-              (remaining >= e.e_need_fuel && budget >= e.e_need_env)
-              || (remaining = e.e_fuel && budget = e.e_budget))
-            (Memo.find_all memo key)
-        with
-        | Some e ->
-          List.iter record e.e_outs;
-          (* Fold the pruned subtree's needs into the enclosing one's. *)
-          if e.e_need_fuel = max_int then fuel_cut := true
-          else if depth + e.e_need_fuel > !deepest then
-            deepest := depth + e.e_need_fuel;
-          if e.e_need_env = max_int then shallow_budget := 0
-          else if budget - e.e_need_env < !shallow_budget then
-            shallow_budget := budget - e.e_need_env
+    let keyer = Keyer.create () in
+    let memo : 'a memo_entry Memo.t = Memo.create (if dedup then 4096 else 1) in
+    (* Subtree-need accounting: absolute-depth high-water mark, budget
+       low-water mark, and whether the fuel limit was hit.  Saved and
+       restored around every memoized subtree. *)
+    let deepest = ref 0 in
+    let shallow_budget = ref env_budget in
+    let fuel_cut = ref false in
+    (* The first [n] cells of the (newest-first) outcome list, oldest
+       first: the outcomes a subtree just recorded. *)
+    let take_rev n l =
+      let rec aux n acc l =
+        match l with x :: tl when n > 0 -> aux (n - 1) (x :: acc) tl | _ -> acc
+      in
+      aux n [] l
+    in
+    let rec go :
+        genv -> Contrib.t -> 'a rt -> int -> int -> string Lazy.t list ->
+        Por.entry list -> unit =
+     fun genv mine rt depth budget trace sleep ->
+      if depth > !deepest then deepest := depth;
+      if budget < !shallow_budget then shallow_budget := budget;
+      tick_budget ();
+      (match stats with Some s -> s.es_configs <- s.es_configs + 1 | None -> ());
+      match normalize genv mine rt with
+      | Norm_crash c ->
+        record (Crashed (Crash.with_trace (trace_steps trace) c))
+      | Norm (genv, mine, RRet v) -> (
+        match view genv ~around:Contrib.empty ~mine with
+        | Some st -> record (Finished (v, st))
         | None ->
-          let n0 = !count in
-          let saved_deep = !deepest
-          and saved_low = !shallow_budget
-          and saved_cut = !fuel_cut in
-          deepest := depth;
-          shallow_budget := budget;
-          fuel_cut := false;
-          branch genv mine rt depth budget trace;
-          (* Reached only when the subtree was exhausted without hitting
-             [max_outcomes] (otherwise [Stop] has propagated), so the
-             segment just recorded is complete and safe to replay. *)
-          let need_fuel = if !fuel_cut then max_int else !deepest - depth in
-          let need_env =
-            if !shallow_budget = 0 && interference then max_int
-            else budget - !shallow_budget
+          record
+            (Crashed
+               (Crash.make ~trace:(trace_steps trace) Crash.Ghost_algebra
+                  "final view invalid")))
+      | Norm (genv, mine, rt) ->
+        if depth >= fuel then begin
+          fuel_cut := true;
+          record Diverged
+        end
+        else if not dedup then branch genv mine rt depth budget trace sleep
+        else begin
+          let sleep_ids =
+            match por with
+            | None -> []
+            | Some _ -> List.sort String.compare (List.map Por.entry_id sleep)
           in
-          let added = !count - n0 in
-          if added <= memo_store_cap then
-            Memo.add memo key
-              {
-                e_fuel = remaining;
-                e_budget = budget;
-                e_need_fuel = need_fuel;
-                e_need_env = need_env;
-                e_outs = take_rev added !outcomes;
-              };
-          deepest := max saved_deep !deepest;
-          shallow_budget := min saved_low !shallow_budget;
-          fuel_cut := saved_cut || !fuel_cut
+          let key = config_key_sleep keyer genv mine rt sleep_ids in
+          let remaining = fuel - depth in
+          match
+            List.find_opt
+              (fun e ->
+                (remaining >= e.e_need_fuel && budget >= e.e_need_env)
+                || (remaining = e.e_fuel && budget = e.e_budget))
+              (Memo.find_all memo key)
+          with
+          | Some e ->
+            List.iter record e.e_outs;
+            (* Fold the pruned subtree's needs into the enclosing one's. *)
+            if e.e_need_fuel = max_int then fuel_cut := true
+            else if depth + e.e_need_fuel > !deepest then
+              deepest := depth + e.e_need_fuel;
+            if e.e_need_env = max_int then shallow_budget := 0
+            else if budget - e.e_need_env < !shallow_budget then
+              shallow_budget := budget - e.e_need_env
+          | None ->
+            let n0 = !count in
+            let saved_deep = !deepest
+            and saved_low = !shallow_budget
+            and saved_cut = !fuel_cut in
+            deepest := depth;
+            shallow_budget := budget;
+            fuel_cut := false;
+            branch genv mine rt depth budget trace sleep;
+            (* Reached only when the subtree was exhausted without hitting
+               [max_outcomes] (otherwise [Stop] has propagated), so the
+               segment just recorded is complete and safe to replay. *)
+            let need_fuel = if !fuel_cut then max_int else !deepest - depth in
+            let need_env =
+              if !shallow_budget = 0 && interference then max_int
+              else budget - !shallow_budget
+            in
+            let added = !count - n0 in
+            if added <= memo_store_cap then
+              Memo.add memo key
+                {
+                  e_fuel = remaining;
+                  e_budget = budget;
+                  e_need_fuel = need_fuel;
+                  e_need_env = need_env;
+                  e_outs = take_rev added !outcomes;
+                };
+            deepest := max saved_deep !deepest;
+            shallow_budget := min saved_low !shallow_budget;
+            fuel_cut := saved_cut || !fuel_cut
+        end
+    and branch genv mine rt depth budget trace sleep =
+      let mvs = moves genv Contrib.empty mine rt in
+      let envs =
+        if interference && budget > 0 then env_moves_aux genv mine rt else []
+      in
+      if mvs = [] && envs = [] then
+        (* every thread blocked on a disabled action: divergence *)
+        record Diverged
+      else begin
+        match por with
+        | None ->
+          List.iter
+            (fun mv ->
+              match mv.mv_next with
+              | Error c ->
+                record
+                  (Crashed
+                     (Crash.with_trace
+                        (trace_steps (Lazy.from_val mv.mv_name :: trace))
+                        c))
+              | Ok (genv', mine', rt') -> (
+                match envelope_violation genv genv' with
+                | Some l ->
+                  record
+                    (Crashed
+                       (Crash.make
+                          ~trace:(trace_steps (Lazy.from_val mv.mv_name :: trace))
+                          Crash.Envelope_violation
+                          (Fmt.str
+                             "envelope violation: %s mutates label %a outside \
+                              the declared footprint"
+                             mv.mv_name Label.pp l)))
+                | None ->
+                  go genv' mine' rt' (depth + 1) budget
+                    (Lazy.from_val mv.mv_name :: trace)
+                    []))
+            mvs;
+          List.iter
+            (fun ev ->
+              go ev.ev_genv mine rt (depth + 1) (budget - 1) (ev.ev_name :: trace)
+                [])
+            envs
+        | Some p ->
+          (* Sleep-set reduction.  A slept move's subtree is exactly a
+             reordering (by declared-independent moves) of one already
+             explored at an ancestor, so it is skipped whole.  After a
+             move is explored it joins the sleep set for its later
+             siblings; a child keeps only the entries independent of the
+             move just taken. *)
+          let sleeping = ref sleep in
+          let slept id =
+            List.exists (fun e -> String.equal (Por.entry_id e) id) !sleeping
+          in
+          let child_sleep entry =
+            List.filter (fun e -> Por.independent p e entry) !sleeping
+          in
+          List.iter
+            (fun mv ->
+              match mv.mv_next with
+              | Error c ->
+                (* Crash moves don't advance the state and are recorded at
+                   first sight; they never join the sleep set, so every
+                   counterexample stays reachable with full multiplicity
+                   of distinct schedules. *)
+                record
+                  (Crashed
+                     (Crash.with_trace
+                        (trace_steps (Lazy.from_val mv.mv_name :: trace))
+                        c))
+              | Ok (genv', mine', rt') -> (
+                let id = Lazy.force mv.mv_id in
+                if slept id then Por.note_skip p
+                else
+                  match envelope_violation genv genv' with
+                  | Some l ->
+                    record
+                      (Crashed
+                         (Crash.make
+                            ~trace:
+                              (trace_steps (Lazy.from_val mv.mv_name :: trace))
+                            Crash.Envelope_violation
+                            (Fmt.str
+                               "envelope violation: %s mutates label %a \
+                                outside the declared footprint"
+                               mv.mv_name Label.pp l)))
+                  | None ->
+                    (match
+                       find_lie ~fp:mv.mv_fp ~before:genv ~after:genv' ~mine
+                         ~mine'
+                     with
+                    | Some l ->
+                      raise
+                        (Analyzer_lie_exn
+                           (Crash.make
+                              ~trace:
+                                (trace_steps (Lazy.from_val mv.mv_name :: trace))
+                              Crash.Analyzer_lie
+                              (Fmt.str
+                                 "analyzer lie: %s mutates label %a outside \
+                                  its declared footprint %a — independence \
+                                  claims involving it are void; demoting to \
+                                  full exploration"
+                                 mv.mv_name Label.pp l Footprint.pp mv.mv_fp)))
+                    | None -> ());
+                    let entry =
+                      Por.entry ~id ~name:mv.mv_name ~fp:mv.mv_fp
+                    in
+                    go genv' mine' rt' (depth + 1) budget
+                      (Lazy.from_val mv.mv_name :: trace)
+                      (child_sleep entry);
+                    sleeping := entry :: !sleeping))
+            mvs;
+          List.iter
+            (fun ev ->
+              let id = Lazy.force ev.ev_id in
+              if slept id then Por.note_skip p
+              else begin
+                let entry =
+                  Por.entry ~id ~name:(Lazy.force ev.ev_name) ~fp:ev.ev_fp
+                in
+                go ev.ev_genv mine rt (depth + 1) (budget - 1)
+                  (ev.ev_name :: trace) (child_sleep entry);
+                sleeping := entry :: !sleeping
+              end)
+            envs
       end
-  and branch genv mine rt depth budget trace =
-    let mvs = moves genv Contrib.empty mine rt in
-    let envs =
-      if interference && budget > 0 then env_moves_aux genv mine rt else []
     in
-    if mvs = [] && envs = [] then
-      (* every thread blocked on a disabled action: divergence *)
-      record Diverged
-    else begin
-      List.iter
-        (fun mv ->
-          match mv.mv_next with
-          | Error c ->
-            record
-              (Crashed
-                 (Crash.with_trace
-                    (trace_steps (Lazy.from_val mv.mv_name :: trace))
-                    c))
-          | Ok (genv', mine', rt') -> (
-            match envelope_violation genv genv' with
-            | Some l ->
-              record
-                (Crashed
-                   (Crash.make
-                      ~trace:(trace_steps (Lazy.from_val mv.mv_name :: trace))
-                      Crash.Envelope_violation
-                      (Fmt.str
-                         "envelope violation: %s mutates label %a outside \
-                          the declared footprint"
-                         mv.mv_name Label.pp l)))
-            | None ->
-              go genv' mine' rt' (depth + 1) budget
-                (Lazy.from_val mv.mv_name :: trace)))
-        mvs;
-      List.iter
-        (fun (n, genv') -> go genv' mine rt (depth + 1) (budget - 1) (n :: trace))
-        envs
-    end
+    let complete =
+      match go genv0 mine0 (inject prog) 0 env_budget [] [] with
+      | () -> true
+      | exception Stop -> false
+    in
+    (List.rev !outcomes, complete)
   in
-  let complete =
-    match go genv0 mine0 (inject prog) 0 env_budget [] with
-    | () -> true
-    | exception Stop -> false
-  in
-  (List.rev !outcomes, complete)
+  match por with
+  | None -> run None
+  | Some p -> (
+    (* Restart-on-lie: outcomes recorded before the abort are discarded
+       (the rerun regenerates them); journal records already appended
+       are genuine discoveries and remain sound. *)
+    try run (Some p)
+    with Analyzer_lie_exn c ->
+      Por.record_lie p c;
+      run None)
 
 (* Run a single schedule chosen by [choose] (given the enabled move
    names, return the index to take); environment moves are not injected.

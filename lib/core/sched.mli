@@ -98,6 +98,13 @@ type 'a outcome =
 val pp_outcome :
   (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a outcome -> unit
 
+type explore_stats = { mutable es_configs : int }
+(** Exploration accounting: configurations entered (the same cadence as
+    {!Budget.tick}) — the "explored states" the reports and benchmarks
+    surface, so the effect of dedup/pruning/POR is measurable. *)
+
+val new_stats : unit -> explore_stats
+
 val explore :
   ?fuel:int ->
   ?max_outcomes:int ->
@@ -107,6 +114,8 @@ val explore :
   ?monitor_envelope:Label.Set.t ->
   ?budget:Budget.t ->
   ?journal:Journal.writer ->
+  ?por:Por.t ->
+  ?stats:explore_stats ->
   genv ->
   Contrib.t ->
   'a Prog.t ->
@@ -137,7 +146,22 @@ val explore :
     configuration (appending periodic {!Journal.Frontier} records) and
     every crash outcome is journaled at discovery as a
     {!Journal.Counterexample} — durable evidence that survives a
-    SIGKILL mid-search. *)
+    SIGKILL mid-search.
+
+    With [por], sleep-set partial-order reduction skips subtrees that
+    are reorderings (by moves the {!Por} oracle declares independent) of
+    subtrees already explored.  Every reachable configuration — hence
+    every finished state, crash and divergence — remains reachable; only
+    redundant re-entries are cut, so verdicts are preserved while
+    explored-state counts drop.  The reduction is self-checking: a move
+    that mutates a label outside its declared footprint while POR is
+    active voids the static analysis, so the exploration restarts with
+    reduction off and the lie is recorded in the oracle as a located
+    {!Crash.Analyzer_lie} diagnostic.  Memo keys incorporate the sleep
+    set, so [dedup] and [por] compose soundly.
+
+    With [stats], explored-configuration counts are accumulated into the
+    given record (cumulative across a demotion's re-run). *)
 
 val run_with_chooser :
   ?fuel:int ->

@@ -44,6 +44,8 @@ type report = {
   outcomes : int; (* terminal outcomes examined *)
   diverged : int; (* paths cut by fuel (partial correctness: not failures) *)
   complete : bool; (* exploration exhausted every path *)
+  states : int; (* configurations explored under the active reductions
+                   (0 for sampled verdicts: runs, not a search space) *)
   failures : failure list;
   worker_crashes : failure list; (* quarantined pool items (engine, not spec) *)
   budget : Budget.stats option; (* consumed budget, when one was armed *)
@@ -91,26 +93,34 @@ let default_prune = ref false
 let default_budget = ref Budget.no_limits
 let default_seed = ref 1
 let default_journal : Journal.t option ref = ref None
+let default_por = ref false
+let default_por_certs : (string -> string -> bool) ref = ref (fun _ _ -> false)
 let set_default_dedup b = default_dedup := b
 let set_default_jobs j = default_jobs := max 1 j
 let set_default_prune b = default_prune := b
 let set_default_budget l = default_budget := l
 let set_default_seed s = default_seed := s
 let set_default_journal j = default_journal := j
+let set_default_por b = default_por := b
+let set_default_por_certs f = default_por_certs := f
 
-let with_engine ?dedup ?jobs ?prune ?budget ?seed ?journal f =
+let with_engine ?dedup ?jobs ?prune ?budget ?seed ?journal ?por ?por_certs f =
   let saved_d = !default_dedup
   and saved_j = !default_jobs
   and saved_p = !default_prune
   and saved_b = !default_budget
   and saved_s = !default_seed
-  and saved_jr = !default_journal in
+  and saved_jr = !default_journal
+  and saved_po = !default_por
+  and saved_pc = !default_por_certs in
   Option.iter set_default_dedup dedup;
   Option.iter set_default_jobs jobs;
   Option.iter set_default_prune prune;
   Option.iter set_default_budget budget;
   Option.iter set_default_seed seed;
   Option.iter set_default_journal journal;
+  Option.iter set_default_por por;
+  Option.iter set_default_por_certs por_certs;
   Fun.protect
     ~finally:(fun () ->
       default_dedup := saved_d;
@@ -118,7 +128,9 @@ let with_engine ?dedup ?jobs ?prune ?budget ?seed ?journal f =
       default_prune := saved_p;
       default_budget := saved_b;
       default_seed := saved_s;
-      default_journal := saved_jr)
+      default_journal := saved_jr;
+      default_por := saved_po;
+      default_por_certs := saved_pc)
     f
 
 let pp_failure ppf f =
@@ -155,11 +167,14 @@ let pp_report ppf r =
       Fmt.(list ~sep:cut pp_failure)
       (List.filteri (fun i _ -> i < 3) r.failures)
   else if degraded r then
-    Fmt.pf ppf "%s: INCONCLUSIVE (%d initial states, %d outcomes%s%s%s)"
-      r.spec_name r.initial_states r.outcomes tier_note seed_note budget_note
+    Fmt.pf ppf "%s: INCONCLUSIVE (%d initial states, %d outcomes%s%s%s%s)"
+      r.spec_name r.initial_states r.outcomes
+      (if r.states > 0 then Fmt.str ", %d states" r.states else "")
+      tier_note seed_note budget_note
   else
-    Fmt.pf ppf "%s: OK (%d initial states, %d outcomes%s%s%s%s)" r.spec_name
+    Fmt.pf ppf "%s: OK (%d initial states, %d outcomes%s%s%s%s%s)" r.spec_name
       r.initial_states r.outcomes
+      (if r.states > 0 then Fmt.str ", %d states" r.states else "")
       (if r.diverged > 0 then Fmt.str ", %d fuel-cut" r.diverged else "")
       (if r.complete then "" else ", exploration capped")
       tier_note seed_note
@@ -186,6 +201,7 @@ type state_result = {
   sr_outcomes : int;
   sr_diverged : int;
   sr_complete : bool;
+  sr_states : int;
   sr_failures : failure list; (* capped at [max_failures], in order *)
 }
 
@@ -194,6 +210,7 @@ type core = {
   c_outcomes : int;
   c_diverged : int;
   c_complete : bool;
+  c_states : int;
   c_failures : failure list;
   c_worker_crashes : failure list;
 }
@@ -226,7 +243,7 @@ let crash_of_pool_error (e : Pool.error) =
 type jctx = { jc_j : Journal.t; jc_spec : string; jc_tier : string }
 
 let params_digest ~mode ~fuel ~max_outcomes ~trials ~interference ~env_budget
-    ~max_failures ~prune ~seed ~(lim : Budget.limits) ~eligible =
+    ~max_failures ~prune ~por ~seed ~(lim : Budget.limits) ~eligible =
   (* A structural digest of the eligible initial states: two triples
      can share a spec name (e.g. the same rooted-spanning spec checked
      over several catalogue graphs), and only the initial states tell
@@ -236,10 +253,13 @@ let params_digest ~mode ~fuel ~max_outcomes ~trials ~interference ~env_budget
   let init_digest =
     List.fold_left (fun acc st -> (acc * 33) lxor State.hash st) 5381 eligible
   in
+  (* [por] is included even though verdicts are POR-invariant: the
+     replayed [states] count is not, and silently reporting a reduced
+     count for an unreduced run (or vice versa) would poison baselines. *)
   Fmt.str
-    "mode=%s,fuel=%d,outs=%d,trials=%d,intf=%b,envb=%d,maxf=%d,prune=%b,seed=%d,dl=%a,words=%a,states=%a,init=%d,inith=%x"
+    "mode=%s,fuel=%d,outs=%d,trials=%d,intf=%b,envb=%d,maxf=%d,prune=%b,por=%b,seed=%d,dl=%a,words=%a,states=%a,init=%d,inith=%x"
     mode fuel max_outcomes trials interference env_budget max_failures prune
-    seed
+    por seed
     Fmt.(option ~none:(any "-") float)
     lim.Budget.l_deadline_s
     Fmt.(option ~none:(any "-") int)
@@ -269,6 +289,7 @@ let sr_image (sr : state_result) : Journal.state_image =
     Journal.si_outcomes = sr.sr_outcomes;
     si_diverged = sr.sr_diverged;
     si_complete = sr.sr_complete;
+    si_states = sr.sr_states;
     si_failures = List.map (fun f -> f.crash) sr.sr_failures;
   }
 
@@ -277,6 +298,7 @@ let sr_of_image (st : State.t) (si : Journal.state_image) : state_result =
     sr_outcomes = si.Journal.si_outcomes;
     sr_diverged = si.Journal.si_diverged;
     sr_complete = si.Journal.si_complete;
+    sr_states = si.Journal.si_states;
     sr_failures =
       List.map (fun crash -> { initial = st; crash }) si.Journal.si_failures;
   }
@@ -305,6 +327,7 @@ let image_of_report ~params ~eligible (r : report) : Journal.report_image =
     ri_outcomes = r.outcomes;
     ri_diverged = r.diverged;
     ri_complete = r.complete;
+    ri_states = r.states;
     ri_failures = failure_indices ~eligible r.failures;
     ri_worker_crashes = failure_indices ~eligible r.worker_crashes;
     ri_budget = Option.map stats_image r.budget;
@@ -333,6 +356,7 @@ let report_of_image ~(eligible : State.t list) (ri : Journal.report_image) :
         outcomes = ri.Journal.ri_outcomes;
         diverged = ri.Journal.ri_diverged;
         complete = ri.Journal.ri_complete;
+        states = ri.Journal.ri_states;
         failures;
         worker_crashes;
         budget = Option.map stats_of_image ri.Journal.ri_budget;
@@ -365,9 +389,9 @@ let unit_cached (jctx : jctx option) ~index ~(keep : state_result -> bool)
 (* One ladder attempt: a full (possibly footprint-pruned) exploration of
    every eligible state under an optional armed budget. *)
 let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
-    ~max_failures ~dedup ~jobs ~prune ~(budget : Budget.t option)
-    ?(jctx : jctx option) ~(world : World.t) ~(eligible : State.t list)
-    (prog : 'a Prog.t) (spec : 'a Spec.t) : core =
+    ~max_failures ~dedup ~jobs ~prune ~por ~por_certs
+    ~(budget : Budget.t option) ?(jctx : jctx option) ~(world : World.t)
+    ~(eligible : State.t list) (prog : 'a Prog.t) (spec : 'a Spec.t) : core =
   (* Env-step pruning oracle: interference at a label neither the program
      nor its spec touches cannot change any verdict (program moves never
      read it, the postcondition never observes it), so when the joined
@@ -396,10 +420,24 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
   in
   let explore_state st : state_result =
     let genv, mine = Sched.genv_of_state ~interfere world st in
+    (* One oracle and one stats record per initial state: explorations
+       fan out over pool domains, and both are mutated by the run. *)
+    let stats = Sched.new_stats () in
+    let oracle = if por then Some (Por.make ~extra:por_certs ()) else None in
     let outs, compl =
       Sched.explore ~fuel ~max_outcomes ~interference ~env_budget ~dedup
-        ?monitor_envelope ?budget ?journal:jwriter genv mine prog
+        ?monitor_envelope ?budget ?journal:jwriter ?por:oracle ~stats genv
+        mine prog
     in
+    Option.iter
+      (fun p ->
+        List.iter
+          (fun c ->
+            Logs.warn (fun m ->
+                m "%s: POR demoted to full exploration: %a" (Spec.name spec)
+                  Crash.pp c))
+          (Por.lies p))
+      oracle;
     let outcomes = ref 0 in
     let diverged = ref 0 in
     let failures = ref [] in
@@ -424,6 +462,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
       sr_outcomes = !outcomes;
       sr_diverged = !diverged;
       sr_complete = compl;
+      sr_states = stats.Sched.es_configs;
       sr_failures = List.rev !failures;
     }
   in
@@ -442,6 +481,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
   let outcomes = ref 0 in
   let diverged = ref 0 in
   let complete = ref true in
+  let states = ref 0 in
   let failures = ref [] in
   let worker_crashes = ref [] in
   List.iter2
@@ -453,6 +493,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
           outcomes := !outcomes + sr.sr_outcomes;
           diverged := !diverged + sr.sr_diverged;
           if not sr.sr_complete then complete := false;
+          states := !states + sr.sr_states;
           failures := sr.sr_failures
         | Error e ->
           (* The state's verdict is lost: record the quarantine and mark
@@ -466,6 +507,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
     c_outcomes = !outcomes;
     c_diverged = !diverged;
     c_complete = !complete;
+    c_states = !states;
     c_failures = !failures;
     c_worker_crashes = !worker_crashes;
   }
@@ -533,6 +575,7 @@ let sampled_attempt ~fuel ~trials ~interference ~max_failures ~seed
           sr_outcomes = !outs;
           sr_diverged = !div;
           sr_complete = !s >= seed + trials;
+          sr_states = 0;
           sr_failures = List.rev !fs;
         })
   in
@@ -551,6 +594,7 @@ let sampled_attempt ~fuel ~trials ~interference ~max_failures ~seed
     c_outcomes = !outcomes;
     c_diverged = !diverged;
     c_complete = false;
+    c_states = 0;
     c_failures = List.rev !failures;
     c_worker_crashes = [];
   }
@@ -564,6 +608,7 @@ let assemble ~spec_name ~tier ~seed ~budget (c : core) : report =
     outcomes = c.c_outcomes;
     diverged = c.c_diverged;
     complete = c.c_complete;
+    states = c.c_states;
     failures = c.c_failures;
     worker_crashes = c.c_worker_crashes;
     budget;
@@ -596,12 +641,14 @@ let merge_stats (ss : Budget.stats list) : Budget.stats =
 let ladder_trials = 100
 
 let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
-    ?(env_budget = max_int) ?(max_failures = 5) ?dedup ?jobs ?prune ?budget
-    ?seed ?journal ~(world : World.t) ~(init : State.t list) (prog : 'a Prog.t)
-    (spec : 'a Spec.t) : report =
+    ?(env_budget = max_int) ?(max_failures = 5) ?dedup ?jobs ?prune ?por
+    ?por_certs ?budget ?seed ?journal ~(world : World.t)
+    ~(init : State.t list) (prog : 'a Prog.t) (spec : 'a Spec.t) : report =
   let dedup = Option.value dedup ~default:!default_dedup in
   let jobs = max 1 (Option.value jobs ~default:!default_jobs) in
   let prune = Option.value prune ~default:!default_prune in
+  let por = Option.value por ~default:!default_por in
+  let por_certs = Option.value por_certs ~default:!default_por_certs in
   let lim = Option.value budget ~default:!default_budget in
   let seed = Option.value seed ~default:!default_seed in
   let journal =
@@ -618,7 +665,7 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
   in
   let params =
     params_digest ~mode:"exh" ~fuel ~max_outcomes ~trials:ladder_trials
-      ~interference ~env_budget ~max_failures ~prune ~seed ~lim ~eligible
+      ~interference ~env_budget ~max_failures ~prune ~por ~seed ~lim ~eligible
   in
   (* A journaled verdict for this spec under these exact engine
      parameters replays wholesale — the memoization that makes resumed
@@ -660,10 +707,14 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
         journal;
       r
     in
+    (* POR rides every exhaustive-shaped rung: it composes with pruning
+       (orthogonal reductions — labels cut vs. interleavings cut) and
+       with budgets (fewer configurations per tick).  The sampled rung
+       runs single schedules, where there is nothing to reduce. *)
     let attempt ~prune ?jctx b =
       exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
-        ~max_failures ~dedup ~jobs ~prune ~budget:b ?jctx ~world ~eligible prog
-        spec
+        ~max_failures ~dedup ~jobs ~prune ~por ~por_certs ~budget:b ?jctx
+        ~world ~eligible prog spec
     in
     let tier1 = if prune && fp_known then Pruned else Exhaustive in
     if Budget.is_unlimited lim then
@@ -748,7 +799,7 @@ let check_triple_random ?(fuel = 2000) ?(trials = 100) ?(interference = false)
   in
   let params =
     params_digest ~mode:"rand" ~fuel ~max_outcomes:0 ~trials ~interference
-      ~env_budget:0 ~max_failures ~prune:false ~seed ~lim ~eligible
+      ~env_budget:0 ~max_failures ~prune:false ~por:false ~seed ~lim ~eligible
   in
   let replayed =
     Option.bind journal (fun j ->

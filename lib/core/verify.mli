@@ -33,6 +33,11 @@ type report = {
   outcomes : int;  (** terminal outcomes examined *)
   diverged : int;  (** fuel-cut paths (partial correctness: not failures) *)
   complete : bool;  (** exploration exhausted every path *)
+  states : int;
+      (** configurations explored under the active reductions (dedup,
+          pruning, POR) — the cost the Table 1 [States] column and the
+          POR benchmark surface.  0 for {!Sampled} verdicts, which run
+          single schedules rather than searching a space. *)
   failures : failure list;
   worker_crashes : failure list;
       (** initial states whose exploration worker was quarantined (an
@@ -97,6 +102,20 @@ val set_default_prune : bool -> unit
 val set_default_budget : Budget.limits -> unit
 val set_default_seed : int -> unit
 
+val set_default_por : bool -> unit
+(** Sleep-set partial-order reduction (default off): skip exploration
+    subtrees that are reorderings, by independent moves, of subtrees
+    already explored (see [Sched.explore ~por] and docs/ANALYSIS.md
+    §POR).  Verdict-preserving by construction; self-checking at
+    runtime, demoting to full exploration on a refuted independence
+    claim. *)
+
+val set_default_por_certs : (string -> string -> bool) -> unit
+(** Extra independence certificates for the POR oracle, keyed by action
+    name pair (queried both ways): the static analyzer's algebraic
+    (PCM-commutation) rule, beyond what footprint disjointness shows.
+    Default: none.  Only consulted when POR is on. *)
+
 val set_default_journal : Journal.t option -> unit
 (** The write-ahead journal verification progress is recorded to (and
     replayed from), when any — see {!Journal} and docs/ROBUSTNESS.md.
@@ -109,6 +128,8 @@ val with_engine :
   ?budget:Budget.limits ->
   ?seed:int ->
   ?journal:Journal.t option ->
+  ?por:bool ->
+  ?por_certs:(string -> string -> bool) ->
   (unit -> 'a) ->
   'a
 (** Run [f] with the given engine defaults, restoring the previous ones
@@ -123,6 +144,8 @@ val check_triple :
   ?dedup:bool ->
   ?jobs:int ->
   ?prune:bool ->
+  ?por:bool ->
+  ?por_certs:(string -> string -> bool) ->
   ?budget:Budget.limits ->
   ?seed:int ->
   ?journal:Journal.t ->
@@ -152,6 +175,18 @@ val check_triple :
     verdict, and guarded dynamically by the scheduler's envelope
     monitor.  Outcome {e counts} may legitimately shrink under pruning;
     the per-spec verdict and failure set do not.
+
+    [por] (default: the engine default, off) arms sleep-set
+    partial-order reduction on the exhaustive and pruned rungs, with
+    [por_certs] as extra algebraic independence certificates (see
+    {!set_default_por_certs}).  Every reachable configuration — hence
+    every verdict, failure and counterexample — stays reachable; only
+    [states] (and, on diamond-heavy programs, wall-clock) drops.  A
+    refuted independence claim demotes that state's exploration to full
+    expansion, logs the located analyzer-lie diagnostic, and never
+    changes the verdict.  POR participates in the engine-parameter
+    digest, so journaled verdicts never replay across a POR on/off
+    change (the [states] count would be wrong).
 
     [budget] (default: the engine default, unlimited) arms cooperative
     resource ceilings — wall-clock deadline, major-heap words, explored

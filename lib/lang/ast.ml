@@ -110,10 +110,14 @@ let equal_proc a b =
 let equal_program a b =
   List.length a = List.length b && List.for_all2 equal_proc a b
 
-(* Sequencing normal form: [Seq] right-associated and binds absorbing
-   their continuations — the shape the parser produces.  Printing
-   reshuffles these without changing meaning, so round-trip tests
-   compare normal forms. *)
+(* Sequencing normal form: [Seq] right-associated, binds absorbing
+   their continuations, and [Skip] a unit of sequencing — the shape the
+   parser produces.  Printing reshuffles these without changing
+   meaning, so round-trip tests compare normal forms.  Dropping the
+   [Skip] units matters: a left-nested [Seq (Seq (bind, Skip), Skip)]
+   fuses both skips into the bind's continuation one at a time, while
+   its reparse carries them as a literal [Seq (Skip, Skip)] — without
+   the unit laws the two reach different normal forms. *)
 let rec normalize = function
   | Seq (a, b) -> seq_comb (normalize a) (normalize b)
   | BindCmd (p, r, k) -> BindCmd (p, r, normalize k)
@@ -121,11 +125,13 @@ let rec normalize = function
   | (Skip | Return _ | Assign _) as c -> c
 
 and seq_comb a b =
-  match a with
-  | Seq (x, y) -> seq_comb x (seq_comb y b)
-  | BindCmd (p, r, Skip) -> BindCmd (p, r, b)
-  | BindCmd (p, r, k) -> BindCmd (p, r, seq_comb k b)
-  | Skip | Return _ | Assign _ | If _ -> Seq (a, b)
+  match (a, b) with
+  | Skip, _ -> b
+  | _, Skip -> a
+  | Seq (x, y), _ -> seq_comb x (seq_comb y b)
+  | BindCmd (p, r, Skip), _ -> BindCmd (p, r, b)
+  | BindCmd (p, r, k), _ -> BindCmd (p, r, seq_comb k b)
+  | (Return _ | Assign _ | If _), _ -> Seq (a, b)
 
 (* The canonical span procedure (Figure 1), as an AST value: the parsing
    tests check that the concrete syntax file elaborates to exactly

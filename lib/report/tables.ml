@@ -49,19 +49,27 @@ let row_tier (r : row1) : Verify.tier =
       if rank rep.Verify.tier > rank worst then rep.Verify.tier else worst)
     Verify.Exhaustive r.r_reports
 
+(* Configurations explored across a row's reports — the column that
+   makes reductions visible: with --por the verdicts must not move but
+   States must shrink. *)
+let row_states (r : row1) : int =
+  List.fold_left (fun acc rep -> acc + rep.Verify.states) 0 r.r_reports
+
 let pp_table1 ppf rows =
-  Fmt.pf ppf "%-14s %5s %5s %5s %5s %5s %6s %8s %-10s %s@." "Program" "Libs"
-    "Conc" "Acts" "Stab" "Main" "Total" "Verify" "Tier" "Status";
+  Fmt.pf ppf "%-14s %5s %5s %5s %5s %5s %6s %8s %9s %-10s %s@." "Program"
+    "Libs" "Conc" "Acts" "Stab" "Main" "Total" "Verify" "States" "Tier"
+    "Status";
   List.iter
     (fun r ->
       let c = r.r_counts in
       let dash n = if n = 0 then "-" else string_of_int n in
       let ok = List.for_all Verify.ok r.r_reports in
       let degraded = List.exists Verify.degraded r.r_reports in
-      Fmt.pf ppf "%-14s %5s %5s %5s %5s %5s %6d %a %-10s %s@." r.r_name
+      Fmt.pf ppf "%-14s %5s %5s %5s %5s %5s %6d %a %9d %-10s %s@." r.r_name
         (dash c.Loc_stats.libs) (dash c.Loc_stats.conc)
         (dash c.Loc_stats.acts) (dash c.Loc_stats.stab)
         (dash c.Loc_stats.main) (Loc_stats.total c) pp_time r.r_verify_time
+        (row_states r)
         (Verify.tier_name (row_tier r))
         (if not ok then "FAILED"
          else if degraded then "DEGRADED"

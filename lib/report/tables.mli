@@ -24,10 +24,16 @@ val row_tier : row1 -> Fcsl_core.Verify.tier
     than Pruned worse than Exhaustive): a row is only as trustworthy as
     its weakest verdict. *)
 
+val row_states : row1 -> int
+(** Configurations explored across the row's reports — the States
+    column; under [--por] the verdicts must not move but this count
+    shrinks. *)
+
 val pp_table1 : Format.formatter -> row1 list -> unit
-(** Renders the Tier column from {!row_tier} and flags DEGRADED rows;
-    a trailing warning line appears when tiers are mixed (some rows
-    verified below exhaustive). *)
+(** Renders the Tier column from {!row_tier}, a States column from
+    {!row_states}, and flags DEGRADED rows; a trailing warning line
+    appears when tiers are mixed (some rows verified below
+    exhaustive). *)
 
 val columns : Registry.concurroid_use list
 val column_header : Registry.concurroid_use -> string

@@ -21,4 +21,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("robust", Test_robust.suite);
       ("journal", Test_journal.suite);
+      ("por", Test_por.suite);
     ]

@@ -46,6 +46,7 @@ let sample_records =
             Journal.si_outcomes = 17;
             si_diverged = 2;
             si_complete = true;
+            si_states = 340;
             si_failures = [ crash Crash.Postcondition "post failed" ];
           };
       };
@@ -59,6 +60,7 @@ let sample_records =
         ri_outcomes = 1234;
         ri_diverged = 5;
         ri_complete = false;
+        ri_states = 8080;
         ri_failures = [ (3, crash Crash.Postcondition "post failed") ];
         ri_worker_crashes = [ (1, crash Crash.Internal_error "worker died") ];
         ri_budget =
@@ -101,7 +103,7 @@ let test_round_trip () =
   (* openj writes a Meta record first *)
   match read_back with
   | Journal.Meta { version; _ } :: rest ->
-    Alcotest.(check int) "version" 1 version;
+    Alcotest.(check int) "version" 2 version;
     check "records round-trip" true (records_equal sample_records rest)
   | _ -> Alcotest.fail "journal does not start with Meta"
 
@@ -145,6 +147,7 @@ let test_params_change_invalidates_units () =
              Journal.si_outcomes = 1;
              si_diverged = 0;
              si_complete = true;
+             si_states = 1;
              si_failures = [];
            };
        });

@@ -123,10 +123,16 @@ let rec gen_cmd_sized n =
           (gen_cmd_sized (n - 1));
       ]
 
+let print_cmd cmd =
+  Pp.proc_to_string
+    Ast.
+      { p_name = "f"; p_params = [ ("x", "ptr") ]; p_return = "bool";
+        p_body = cmd }
+
 let prop_roundtrip =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count:200 ~name:"random cmd round-trips"
-       (gen_cmd_sized 3)
+       ~print:print_cmd (gen_cmd_sized 3)
        (fun cmd ->
          let proc =
            Ast.

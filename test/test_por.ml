@@ -1,0 +1,370 @@
+(* Sleep-set partial-order reduction is invisible in verdicts: for every
+   Table 1 row the [--por] engine returns the same per-spec ok/failure
+   answers as full exploration, the analyzer's rule-2 certificates
+   survive QCheck sampling on random coherent states, and a forged
+   certificate (an action whose declared footprint hides its writes)
+   demotes the run to full exploration with a located [Analyzer_lie]
+   diagnostic instead of changing any answer. *)
+
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+module Registry = Fcsl_report.Registry
+module Independence = Fcsl_analysis.Independence
+
+let check = Alcotest.(check bool)
+let p = Ptr.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Registry-wide differential: POR on/off agree on every verdict.     *)
+(* ------------------------------------------------------------------ *)
+
+let verdicts reports =
+  List.map
+    (fun r -> (r.Verify.spec_name, Verify.ok r, r.Verify.complete))
+    reports
+
+let pp_verdicts vs =
+  Fmt.str "%a"
+    Fmt.(list ~sep:(any "; ") (fun ppf (n, ok, c) -> pf ppf "%s:%b/%b" n ok c))
+    vs
+
+let test_registry_differential () =
+  let certs = Independence.certs_all () in
+  List.iter
+    (fun (c : Registry.case) ->
+      let full =
+        Verify.with_engine ~dedup:true ~por:false (fun () -> c.Registry.c_verify ())
+      in
+      let por =
+        Verify.with_engine ~dedup:true ~por:true ~por_certs:certs (fun () ->
+            c.Registry.c_verify ())
+      in
+      Alcotest.(check string)
+        (c.Registry.c_name ^ " verdicts")
+        (pp_verdicts (verdicts full))
+        (pp_verdicts (verdicts por)))
+    Registry.all
+
+(* With memoization off the reduction is visible in the raw counts:
+   same verdicts, strictly fewer explored configurations.  (With dedup
+   on the memo table is already the per-configuration lower bound, so
+   the bench compares both arms un-memoized — see bench --por-only.) *)
+let test_states_shrink () =
+  let case =
+    match Registry.find "FC-stack" with
+    | Some c -> c
+    | None -> Alcotest.fail "FC-stack not in registry"
+  in
+  let states reports =
+    List.fold_left (fun acc r -> acc + r.Verify.states) 0 reports
+  in
+  let full =
+    Verify.with_engine ~dedup:false ~por:false (fun () -> case.Registry.c_verify ())
+  in
+  let por =
+    Verify.with_engine ~dedup:false ~por:true
+      ~por_certs:(Independence.certs_all ())
+      (fun () -> case.Registry.c_verify ())
+  in
+  Alcotest.(check string)
+    "verdicts unchanged"
+    (pp_verdicts (verdicts full))
+    (pp_verdicts (verdicts por));
+  check "POR explores strictly fewer configurations" true
+    (states por < states full)
+
+(* The certificate table is shared across verification domains; its
+   first forcing must be safe when the forcers race (a plain [lazy]
+   raises [CamlinternalLazy.Undefined] here on OCaml 5). *)
+let test_parallel_certs () =
+  let case =
+    match Registry.find "CG increment" with
+    | Some c -> c
+    | None -> Alcotest.fail "CG increment not in registry"
+  in
+  let full =
+    Verify.with_engine ~dedup:true ~por:false (fun () -> case.Registry.c_verify ())
+  in
+  let por =
+    Verify.with_engine ~dedup:true ~jobs:4 ~por:true
+      ~por_certs:(Independence.certs_all ())
+      (fun () -> case.Registry.c_verify ())
+  in
+  Alcotest.(check string)
+    "verdicts unchanged under jobs=4"
+    (pp_verdicts (verdicts full))
+    (pp_verdicts (verdicts por))
+
+(* ------------------------------------------------------------------ *)
+(* Certified pairs really commute: QCheck over the coherent states.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each certified case paired with its name-indexed action inventory:
+   the sampling domain for the commutation property. *)
+let certed_cases =
+  lazy
+    (List.filter_map
+       (fun (m : Independence.matrix) ->
+         if m.Independence.x_certs = [] then None
+         else
+           match Independence.inventory_of_case m.Independence.x_case with
+           | None -> None
+           | Some inv ->
+             let by_name =
+               List.map
+                 (function
+                   | Independence.Any a as any -> (Action.name a, any))
+                 inv.Independence.i_actions
+             in
+             Some (m, inv.Independence.i_states, by_name))
+       (Independence.analyze_all ()))
+
+let prop_certs_commute =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"certified pairs commute on coherent states"
+       QCheck2.Gen.(triple (int_range 0 10_000) (int_range 0 10_000) (int_range 0 10_000))
+       (fun (ci, pi, si) ->
+         match Lazy.force certed_cases with
+         | [] -> QCheck2.Test.fail_report "no certified cases in the registry"
+         | cases ->
+           let m, states, by_name = List.nth cases (ci mod List.length cases) in
+           let certs = m.Independence.x_certs in
+           let a_name, b_name = List.nth certs (pi mod List.length certs) in
+           let st = List.nth states (si mod List.length states) in
+           let act n =
+             match List.assoc_opt n by_name with
+             | Some a -> a
+             | None ->
+               Alcotest.failf "%s: certified name %s not in inventory"
+                 m.Independence.x_case n
+           in
+           (match Independence.commute_sample (act a_name) (act b_name) st with
+           | Independence.Refuted why ->
+             QCheck2.Test.fail_reportf "%s: certified pair (%s, %s) refuted: %s"
+               m.Independence.x_case a_name b_name why
+           | Independence.Pass | Independence.Skip -> ());
+           true))
+
+(* The certificate's own bar: every certified pair has at least
+   [min_witnesses] Pass states in its case's enumeration. *)
+let test_cert_witnesses () =
+  List.iter
+    (fun (m, states, by_name) ->
+      List.iter
+        (fun (a_name, b_name) ->
+          let a = List.assoc a_name by_name and b = List.assoc b_name by_name in
+          let passes =
+            List.fold_left
+              (fun acc st ->
+                match Independence.commute_sample a b st with
+                | Independence.Pass -> acc + 1
+                | Independence.Skip -> acc
+                | Independence.Refuted why ->
+                  Alcotest.failf "%s: (%s, %s) refuted: %s"
+                    m.Independence.x_case a_name b_name why)
+              0 states
+          in
+          check
+            (Fmt.str "%s: (%s, %s) has >= %d witnesses" m.Independence.x_case
+               a_name b_name Independence.min_witnesses)
+            true
+            (passes >= Independence.min_witnesses))
+        m.Independence.x_certs)
+    (Lazy.force certed_cases)
+
+(* ------------------------------------------------------------------ *)
+(* Injected analyzer lie: demotion, diagnostic, unchanged verdict.    *)
+(* ------------------------------------------------------------------ *)
+
+let span_setup triples =
+  let sp = Label.make "por_lie_span" in
+  let conc = Span.concurroid sp in
+  let w = World.of_list [ conc ] in
+  let g = Graph_catalog.graph_of triples in
+  let st =
+    State.singleton sp
+      (Slice.make ~self:(Aux.set Ptr.Set.empty) ~joint:(Graph.to_heap g)
+         ~other:(Aux.set Ptr.Set.empty))
+  in
+  (sp, w, st)
+
+(* A real trymark wearing a false envelope: it declares no effects at
+   all, so its very first step mutates a label outside the declared
+   footprint and the POR soundness monitor must catch it. *)
+let lying_trymark sp x =
+  let real = Span.trymark sp x in
+  Action.make ~name:"lying_trymark"
+    ~enabled:(Action.enabled real)
+    ~fp:Footprint.bot
+    ~safe:(Action.safe real)
+    ~step:(Action.step_exn real)
+    ~phys:(Action.phys real) ()
+
+let canon_set (outs : (bool * bool) Sched.outcome list) =
+  List.sort_uniq String.compare
+    (List.map
+       (function
+         | Sched.Finished ((a, b), st) -> Fmt.str "F|(%b,%b)|%a" a b State.pp st
+         | Sched.Crashed c -> Fmt.str "C|%a" Crash.pp c
+         | Sched.Diverged -> "D")
+       outs)
+
+let test_analyzer_lie () =
+  let sp, w, st =
+    span_setup
+      [ (p 1, p 2, p 3); (p 2, Ptr.null, Ptr.null); (p 3, Ptr.null, Ptr.null) ]
+  in
+  let prog () =
+    Prog.par
+      (Prog.act (lying_trymark sp (p 2)))
+      (Prog.act (Span.trymark sp (p 3)))
+  in
+  let explore ?por () =
+    let genv, mine = Sched.genv_of_state w st in
+    Sched.explore ~fuel:12 ~interference:false ?por genv mine (prog ())
+  in
+  let reference, c_ref = explore () in
+  let por = Por.make ~extra:(fun _ _ -> true) () in
+  let reduced, c_por = explore ~por () in
+  (* The lie was caught: one demotion, a located diagnostic naming the
+     lying move, and the re-run reproduced the full answer. *)
+  Alcotest.(check int) "one demotion" 1 (Por.demotions por);
+  (match Por.lies por with
+  | [] -> Alcotest.fail "no analyzer-lie diagnostic recorded"
+  | c :: _ ->
+    let msg = Fmt.str "%a" Crash.pp c in
+    let contains needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    check "diagnostic names the move" true (contains "lying_trymark" msg);
+    check "diagnostic says analyzer lie" true (contains "analyzer lie" msg));
+  check "completeness unchanged" c_ref c_por;
+  Alcotest.(check (list string))
+    "outcome sets unchanged" (canon_set reference) (canon_set reduced)
+
+(* An honest oracle on the same program records no lies and loses no
+   outcomes. *)
+let test_honest_oracle () =
+  let sp, w, st =
+    span_setup
+      [ (p 1, p 2, p 3); (p 2, Ptr.null, Ptr.null); (p 3, Ptr.null, Ptr.null) ]
+  in
+  let prog () =
+    Prog.par
+      (Prog.act (Span.trymark sp (p 2)))
+      (Prog.act (Span.trymark sp (p 3)))
+  in
+  let explore ?por () =
+    let genv, mine = Sched.genv_of_state w st in
+    Sched.explore ~fuel:12 ~interference:false ?por genv mine (prog ())
+  in
+  let reference, _ = explore () in
+  let por = Por.make () in
+  let reduced, _ = explore ~por () in
+  Alcotest.(check int) "no demotions" 0 (Por.demotions por);
+  check "no lies" true (Por.lies por = []);
+  Alcotest.(check (list string))
+    "outcome sets unchanged" (canon_set reference) (canon_set reduced)
+
+(* ------------------------------------------------------------------ *)
+(* Footprint algebra: canonical of_list, hide-under-par, join laws.   *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_list_canonical () =
+  let l = Label.make "por_fp_a" and l2 = Label.make "por_fp_b" in
+  check "empty access list is bot" true
+    (Footprint.equal (Footprint.of_list [ (l, []) ]) Footprint.bot);
+  check "phantom label absent" false
+    (Footprint.mem (Footprint.of_list [ (l, []); (l2, [ Footprint.Read ]) ]) l);
+  check "repeated labels join" true
+    (Footprint.equal
+       (Footprint.of_list [ (l, [ Footprint.Read ]); (l, [ Footprint.Write ]) ])
+       (Footprint.of_list [ (l, [ Footprint.Read; Footprint.Write ]) ]))
+
+(* Regression: a [hide] nested under [par] scopes its installed label
+   away from the join, and the result is structurally canonical — equal
+   to building the same envelope directly. *)
+let test_hide_under_par () =
+  let hidden = Label.make "por_fp_hidden" in
+  let outer = Label.make "por_fp_outer" in
+  let priv = Label.make "por_fp_priv" in
+  let hs : Prog.hide_spec =
+    {
+      hs_priv = priv;
+      hs_conc = Span.concurroid hidden;
+      hs_decor = Fun.id;
+      hs_init = Aux.set Ptr.Set.empty;
+      hs_jaux = Aux.set Ptr.Set.empty;
+    }
+  in
+  let body = Prog.act (Span.trymark hidden (p 1)) in
+  let peer = Prog.act (Span.trymark outer (p 2)) in
+  let fp = Prog.footprint (Prog.par (Prog.hide hs body) peer) in
+  check "hidden label scoped away" false (Footprint.mem fp hidden);
+  check "peer label survives" true (Footprint.mem fp outer);
+  check "donating private label touched" true (Footprint.mem fp priv);
+  check "equals the directly built envelope" true
+    (Footprint.equal fp
+       (Footprint.join (Footprint.writes priv)
+          (Footprint.join
+             (Footprint.remove (Prog.footprint body) hidden)
+             (Prog.footprint peer))));
+  (* and the par join is symmetric *)
+  check "par join symmetric" true
+    (Footprint.equal fp
+       (Prog.footprint (Prog.par peer (Prog.hide hs body))))
+
+let fp_pool = lazy (Array.init 4 (fun i -> Label.make (Fmt.str "por_fp_p%d" i)))
+
+let gen_fp =
+  let open QCheck2.Gen in
+  let accesses =
+    oneofl
+      [
+        [];
+        [ Footprint.Read ];
+        [ Footprint.Read; Footprint.Write ];
+        [ Footprint.Read; Footprint.Cas ];
+        [ Footprint.Read; Footprint.Write; Footprint.Cas ];
+      ]
+  in
+  list_size (int_range 0 4) (pair (int_range 0 3) accesses) >|= fun bindings ->
+  let pool = Lazy.force fp_pool in
+  Footprint.of_list (List.map (fun (i, a) -> (pool.(i), a)) bindings)
+
+let prop_join_laws =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"footprint join commutative + idempotent"
+       QCheck2.Gen.(triple gen_fp gen_fp gen_fp)
+       (fun (a, b, c) ->
+         Footprint.equal (Footprint.join a b) (Footprint.join b a)
+         && Footprint.equal (Footprint.join a a) a
+         && Footprint.equal
+              (Footprint.join a (Footprint.join b c))
+              (Footprint.join (Footprint.join a b) c)
+         && Bool.equal (Footprint.commutes a b) (Footprint.commutes b a)))
+
+let suite =
+  [
+    Alcotest.test_case "registry: POR on/off verdicts agree" `Slow
+      test_registry_differential;
+    Alcotest.test_case "FC-stack: POR shrinks un-memoized states" `Quick
+      test_states_shrink;
+    Alcotest.test_case "certificate table races safely across domains" `Quick
+      test_parallel_certs;
+    prop_certs_commute;
+    Alcotest.test_case "certificates have enough witnesses" `Quick
+      test_cert_witnesses;
+    Alcotest.test_case "forged certificate demotes with diagnostic" `Quick
+      test_analyzer_lie;
+    Alcotest.test_case "honest oracle: no lies, same outcomes" `Quick
+      test_honest_oracle;
+    Alcotest.test_case "of_list is canonical" `Quick test_of_list_canonical;
+    Alcotest.test_case "hide under par scopes the label away" `Quick
+      test_hide_under_par;
+    prop_join_laws;
+  ]

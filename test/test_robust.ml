@@ -230,6 +230,7 @@ let test_exit_code_priority () =
       outcomes = 1;
       diverged = 0;
       complete = true;
+      states = 1;
       failures = [];
       worker_crashes = [];
       budget = None;
