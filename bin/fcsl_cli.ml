@@ -274,11 +274,22 @@ let jobs_cmd =
 (* tables *)
 
 let table1_cmd =
-  let run jobs prune por =
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Also print the exploration-counter companion table: per row, \
+             memo hits/misses, POR sleep skips, worst memo-bucket depth, \
+             and minor-heap words allocated by the explorations")
+  in
+  let run jobs prune por stats =
     Verify.with_engine ~prune ~por
       ~por_certs:(Fcsl_analysis.Independence.certs_all ())
     @@ fun () ->
-    Fmt.pr "%a@." Tables.pp_table1 (Tables.table1 ~jobs ());
+    let rows = Tables.table1 ~jobs () in
+    Fmt.pr "%a@." Tables.pp_table1 rows;
+    if stats then Fmt.pr "%a@." Tables.pp_table1_stats rows;
     exit_ok
   in
   Cmd.v
@@ -286,7 +297,7 @@ let table1_cmd =
        ~doc:
          "Regenerate Table 1 (LoC statistics + verify times + explored \
           states)")
-    Term.(const run $ jobs_arg $ prune_flag $ por_flag)
+    Term.(const run $ jobs_arg $ prune_flag $ por_flag $ stats_flag)
 
 let table2_cmd =
   let run () =

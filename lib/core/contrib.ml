@@ -13,6 +13,7 @@ let remove l (c : t) = Label.Map.remove l c
 let of_list bindings : t = Label.Map.of_seq (List.to_seq bindings)
 
 let labels (c : t) = Label.Map.keys c
+let iter f (c : t) = Label.Map.iter f c
 
 (* PCM join, pointwise; [None] on any per-label incompatibility. *)
 let join (c1 : t) (c2 : t) : t option =

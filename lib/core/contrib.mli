@@ -13,6 +13,9 @@ val remove : Label.t -> t -> t
 val of_list : (Label.t * Aux.t) list -> t
 val labels : t -> Label.t list
 
+val iter : (Label.t -> Aux.t -> unit) -> t -> unit
+(** Iterate the bindings without materialising the label list. *)
+
 val join : t -> t -> t option
 (** Pointwise PCM join; [None] on any per-label incompatibility. *)
 

@@ -2,21 +2,31 @@
    independence analysis (lib/analysis/independence.ml builds the
    relation; this module carries it into {!Sched.explore}).
 
-   A [t] bundles
+   The oracle is an interner plus a precomputed relation.  Moves are
+   identified by dense integers in two stages:
 
-   - the syntactic rule — two moves whose {!Footprint}s commute are
-     independent (rule 1 of the analyzer; environment transitions at
+   - a {e class} is a distinct (name, footprint) pair for program moves,
+     or a distinct (label, transition) pair for environment moves.  The
+     independence decision only depends on the class — the syntactic
+     rule (rule 1: {!Footprint.commutes}; environment transitions at
      distinct labels fall out of the same check, rule 3, because an env
-     move's envelope is [touches l] by construction);
-   - an [extra] certificate hook — name-keyed pairs the analyzer proved
-     independent algebraically (rule 2: same-label PCM contributions
-     whose composed effect is order-insensitive by the PCM laws).
-     Certificates are keyed by action *name* deliberately: rule 2
-     certifies the action transformers themselves, so any two
-     occurrences of the certified pair commute;
-   - the reduction's own accounting: subtrees skipped by the sleep set,
-     demotions to full expansion, and the analyzer-lie diagnostics that
-     forced them.
+     move's envelope is [touches l] by construction) reads the
+     footprint, and the certificate hook (rule 2: same-label PCM
+     contributions whose composed effect is order-insensitive by the
+     PCM laws) reads the name.  When a class is interned its row of the
+     flat byte-matrix [adj] is filled once, so {!Sched.explore} never
+     calls [Footprint.commutes] or the certificate hook on the hot
+     path: independence is one byte load.
+   - a {e move id} refines the class with the move's position (Par-spine
+     path for program moves, branch index for environment moves), so
+     sleep sets distinguish the two arms of [par a a].  Move ids index
+     the {!Sleepset} bitsets the scheduler threads through the DFS.
+
+   Certificates are keyed by action *name* deliberately: rule 2
+   certifies the action transformers themselves, so any two occurrences
+   of the certified pair commute.  The hook is queried in both orders
+   once per class pair at interning time (analyzers may emit ordered
+   pairs), never per configuration.
 
    Soundness envelope: the scheduler cross-checks every executed move's
    mutations against its declared footprint.  A mutation outside it
@@ -25,35 +35,331 @@
    here as a located [Crash.t] — a wrong static claim can cost time,
    never a verdict. *)
 
-type entry = {
-  en_id : string; (* stable move identity: spine path + action name *)
-  en_name : string;
-  en_fp : Footprint.t;
-}
+(* Immutable bitsets of interned move ids.  32 bits per word keeps the
+   shift arithmetic well inside OCaml's 63-bit ints; trailing zero
+   words are trimmed, so equal sets are structurally equal arrays and
+   hashing is an order-insensitive O(words) fold — the canonical-by-
+   construction memo component that replaces the sorted string lists. *)
+module Sleepset = struct
+  type t = int array
 
-let entry ~id ~name ~fp = { en_id = id; en_name = name; en_fp = fp }
-let entry_id e = e.en_id
-let entry_name e = e.en_name
-let entry_fp e = e.en_fp
+  let empty : t = [||]
+  let is_empty (s : t) = Array.length s = 0
+
+  let mem (s : t) i =
+    let w = i lsr 5 in
+    w < Array.length s && s.(w) land (1 lsl (i land 31)) <> 0
+
+  (* Canonical form: drop trailing zero words. *)
+  let trim (s : int array) : t =
+    let n = ref (Array.length s) in
+    while !n > 0 && s.(!n - 1) = 0 do
+      decr n
+    done;
+    if !n = Array.length s then s else Array.sub s 0 !n
+
+  let add (s : t) i =
+    let w = i lsr 5 in
+    let n = Array.length s in
+    let s' = Array.make (max n (w + 1)) 0 in
+    Array.blit s 0 s' 0 n;
+    s'.(w) <- s'.(w) lor (1 lsl (i land 31));
+    s'
+
+  let equal (a : t) (b : t) =
+    a == b
+    ||
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let hash (s : t) = Array.fold_left (fun acc w -> (acc * 33) lxor w) 5381 s
+
+  let cardinal (s : t) =
+    let pop w =
+      let c = ref 0 and w = ref w in
+      while !w <> 0 do
+        w := !w land (!w - 1);
+        incr c
+      done;
+      !c
+    in
+    Array.fold_left (fun acc w -> acc + pop w) 0 s
+
+  let fold f (s : t) init =
+    let acc = ref init in
+    Array.iteri
+      (fun wi w ->
+        if w <> 0 then
+          for b = 0 to 31 do
+            if w land (1 lsl b) <> 0 then acc := f ((wi lsl 5) lor b) !acc
+          done)
+      s;
+    !acc
+
+  let of_list ids = List.fold_left add empty ids
+  let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+end
 
 type t = {
   extra : string -> string -> bool;
+  (* classes: dense ints with arrays indexed by class id *)
+  mutable cap : int; (* capacity of the arrays and of one [adj] row *)
+  mutable n_classes : int;
+  mutable adj : Bytes.t; (* cap*cap; adj.[i*cap + j] <> 0 iff independent *)
+  mutable class_names : string array;
+  mutable class_fps : Footprint.t array;
+  mutable class_labels : (Label.Set.t * Label.t array) option array;
+  (* [Footprint.labels] of [class_fps], cached as both the set (for the
+     precise diff) and a flat array (the confinement pre-filter scans
+     it — the sets have a handful of labels, so a linear scan beats the
+     comparator-driven [Set.mem] tree walk), so the analyzer-lie check
+     never rebuilds the allowed-label set on the hot path *)
+  prog_classes : (string, (Footprint.t * int * int) list) Hashtbl.t;
+  (* action name -> (footprint, Footprint.hash, class) candidates *)
+  mutable trans_names : string array;
+  (* transition names interned to small ints by physical identity (they
+     are the literals in the concurroid definitions), so the env-move
+     class lookup below packs an immediate int key instead of hashing a
+     (label, string) tuple once per enabled env move *)
+  mutable n_trans : int;
+  env_classes : (int, int) Hashtbl.t;
+  (* label * radix + transition id -> class; the envelope is [touches l]
+     by construction, so the pair determines the class outright *)
+  (* move ids: dense ints refining classes with position *)
+  mutable n_moves : int;
+  mutable move_class : int array;
+  prog_moves : (int, int) Hashtbl.t; (* path * K + class -> move id *)
+  env_moves : (int, int) Hashtbl.t; (* index * K + class -> move id *)
+  (* accounting *)
   mutable skipped : int;
   mutable demotions : int;
   mutable lies : Crash.t list;
 }
 
+(* Move-table keys pack (position, class) into one immediate int so the
+   hot-path lookups allocate nothing.  Class ids stay far below the
+   radix: a case has a handful of distinct (name, footprint) pairs. *)
+let key_radix = 1 lsl 20
+
 let make ?(extra = fun _ _ -> false) () =
-  { extra; skipped = 0; demotions = 0; lies = [] }
+  {
+    extra;
+    cap = 0;
+    n_classes = 0;
+    adj = Bytes.empty;
+    class_names = [||];
+    class_fps = [||];
+    class_labels = [||];
+    prog_classes = Hashtbl.create 32;
+    trans_names = [||];
+    n_trans = 0;
+    env_classes = Hashtbl.create 32;
+    n_moves = 0;
+    move_class = [||];
+    prog_moves = Hashtbl.create 64;
+    env_moves = Hashtbl.create 64;
+    skipped = 0;
+    demotions = 0;
+    lies = [];
+  }
 
-(* The independence decision.  Footprint commutation is symmetric; the
-   certificate hook is queried both ways so analyzers may emit ordered
-   pairs. *)
+let ensure_class_cap t n =
+  if n > t.cap then begin
+    let cap' = max 8 (max n (2 * t.cap)) in
+    let adj' = Bytes.make (cap' * cap') '\000' in
+    for i = 0 to t.n_classes - 1 do
+      Bytes.blit t.adj (i * t.cap) adj' (i * cap') t.n_classes
+    done;
+    t.adj <- adj';
+    let names' = Array.make cap' "" in
+    Array.blit t.class_names 0 names' 0 t.n_classes;
+    t.class_names <- names';
+    let fps' = Array.make cap' Footprint.bot in
+    Array.blit t.class_fps 0 fps' 0 t.n_classes;
+    t.class_fps <- fps';
+    let labels' = Array.make cap' None in
+    Array.blit t.class_labels 0 labels' 0 t.n_classes;
+    t.class_labels <- labels';
+    t.cap <- cap'
+  end
+
+(* The independence decision, evaluated once per class pair when a
+   class is interned.  Footprint commutation is symmetric; the
+   certificate hook is queried in both orders so analyzers may emit
+   ordered pairs.  Both orientations of the matrix get the same bit. *)
+let fill_row t c ~name ~fp =
+  for j = 0 to c do
+    let ind =
+      Footprint.commutes fp t.class_fps.(j)
+      || t.extra name t.class_names.(j)
+      || t.extra t.class_names.(j) name
+    in
+    if ind then begin
+      Bytes.unsafe_set t.adj ((c * t.cap) + j) '\001';
+      Bytes.unsafe_set t.adj ((j * t.cap) + c) '\001'
+    end
+  done
+
+let new_class t ~name ~fp =
+  let c = t.n_classes in
+  if c + 1 >= key_radix then
+    invalid_arg "Por: class space exhausted (key_radix)";
+  ensure_class_cap t (c + 1);
+  t.class_names.(c) <- name;
+  t.class_fps.(c) <- fp;
+  t.class_labels.(c) <-
+    (match Footprint.labels fp with
+    | None -> None
+    | Some s -> Some (s, Array.of_list (Label.Set.elements s)));
+  t.n_classes <- c + 1;
+  (* after bumping n_classes so the row covers the diagonal *)
+  fill_row t c ~name ~fp;
+  c
+
+let prog_class t ~name ~fp =
+  let candidates = try Hashtbl.find t.prog_classes name with Not_found -> [] in
+  match candidates with
+  | (f0, _, c0) :: _ when f0 == fp ->
+    (* An action's declared footprint is one shared value, so the class
+       interned at its first sight is hit physically ever after — the
+       once-per-enabled-move path must not hash the footprint. *)
+    c0
+  | _ ->
+    let h = Footprint.hash fp in
+    let rec find = function
+      | [] ->
+        let c = new_class t ~name ~fp in
+        Hashtbl.replace t.prog_classes name ((fp, h, c) :: candidates);
+        c
+      | (f, fh, c) :: rest ->
+        if f == fp || (fh = h && Footprint.equal f fp) then c else find rest
+    in
+    find candidates
+
+(* Transition names to dense ints, by physical identity first: the
+   names are the literals in the concurroid's transition list, shared
+   across every state that re-enumerates its env moves.  The structural
+   scan only runs for a name the physical scan has never seen. *)
+let env_trans_radix = 256
+
+let trans_id t (n : string) =
+  let rec phys i =
+    if i >= t.n_trans then structural 0
+    else if t.trans_names.(i) == n then i
+    else phys (i + 1)
+  and structural i =
+    if i >= t.n_trans then begin
+      let k = t.n_trans in
+      if k + 1 >= env_trans_radix then
+        invalid_arg "Por: transition name space exhausted (env_trans_radix)";
+      if k >= Array.length t.trans_names then begin
+        let arr = Array.make (max 16 (2 * k)) "" in
+        Array.blit t.trans_names 0 arr 0 k;
+        t.trans_names <- arr
+      end;
+      t.trans_names.(k) <- n;
+      t.n_trans <- k + 1;
+      k
+    end
+    else if String.equal t.trans_names.(i) n then i
+    else structural (i + 1)
+  in
+  phys 0
+
+let env_class t ~label ~trans ~name =
+  let key = (Label.hash label * env_trans_radix) + trans_id t trans in
+  try Hashtbl.find t.env_classes key
+  with Not_found ->
+    let c = new_class t ~name:(Lazy.force name) ~fp:(Footprint.touches label) in
+    Hashtbl.replace t.env_classes key c;
+    c
+
+let new_move t c =
+  let m = t.n_moves in
+  let n = Array.length t.move_class in
+  if m >= n then begin
+    let arr = Array.make (max 64 (2 * n)) 0 in
+    Array.blit t.move_class 0 arr 0 n;
+    t.move_class <- arr
+  end;
+  t.move_class.(m) <- c;
+  t.n_moves <- m + 1;
+  m
+
+(* [Hashtbl.find] (not [find_opt]): these run once per enabled move
+   per explored configuration, and the hit path must not allocate an
+   option. *)
+let intern_prog t ~path ~name ~fp =
+  let c = prog_class t ~name ~fp in
+  let key = (path * key_radix) + c in
+  try Hashtbl.find t.prog_moves key
+  with Not_found ->
+    let m = new_move t c in
+    Hashtbl.replace t.prog_moves key m;
+    m
+
+let intern_env t ~label ~trans ~index ~name =
+  let c = env_class t ~label ~trans ~name in
+  let key = (index * key_radix) + c in
+  try Hashtbl.find t.env_moves key
+  with Not_found ->
+    let m = new_move t c in
+    Hashtbl.replace t.env_moves key m;
+    m
+
+(* Declared independence of two interned moves: one byte load. *)
 let independent t a b =
-  Footprint.commutes a.en_fp b.en_fp
-  || t.extra a.en_name b.en_name
-  || t.extra b.en_name a.en_name
+  Bytes.unsafe_get t.adj ((t.move_class.(a) * t.cap) + t.move_class.(b))
+  <> '\000'
 
+(* The child sleep set after executing [executed]: keep exactly the
+   slept moves independent of it.  Words are scanned bit-by-bit only
+   when non-zero; the input is returned unchanged (no allocation) when
+   nothing is dropped. *)
+let restrict t (s : Sleepset.t) ~executed =
+  let n = Array.length s in
+  if n = 0 then s
+  else begin
+    let row = t.move_class.(executed) * t.cap in
+    let kept_word wi w =
+      let kept = ref 0 in
+      if w <> 0 then
+        for b = 0 to 31 do
+          if w land (1 lsl b) <> 0 then begin
+            let m = (wi lsl 5) lor b in
+            if Bytes.unsafe_get t.adj (row + t.move_class.(m)) <> '\000' then
+              kept := !kept lor (1 lsl b)
+          end
+        done;
+      !kept
+    in
+    (* Scan before copying: most executions drop nothing (independent
+       moves stay asleep), and that case must return the input with no
+       allocation — this runs once per executed move. *)
+    let changed = ref false in
+    let wi = ref 0 in
+    while (not !changed) && !wi < n do
+      if kept_word !wi s.(!wi) <> s.(!wi) then changed := true else incr wi
+    done;
+    if not !changed then s
+    else begin
+      let out = Array.make n 0 in
+      Array.blit s 0 out 0 !wi;
+      for i = !wi to n - 1 do
+        out.(i) <- kept_word i s.(i)
+      done;
+      Sleepset.trim out
+    end
+  end
+
+let n_classes t = t.n_classes
+let n_moves t = t.n_moves
+let move_name t m = t.class_names.(t.move_class.(m))
+let move_fp t m = t.class_fps.(t.move_class.(m))
+let move_allowed t m = t.class_labels.(t.move_class.(m))
 let note_skip t = t.skipped <- t.skipped + 1
 
 let record_lie t c =

@@ -1,21 +1,37 @@
 (** Partial-order reduction oracle for {!Sched.explore}.
 
-    Carries the independence relation the static analyzer derived
-    (syntactic footprint commutation plus name-keyed algebraic
-    certificates) together with the reduction's runtime accounting:
-    sleep-set skips, demotions, and the analyzer-lie diagnostics that
-    caused them.  See docs/ANALYSIS.md §POR. *)
+    Interns schedulable moves into a dense integer space and
+    precomputes the full independence relation — syntactic footprint
+    commutation plus name-keyed algebraic certificates — into a flat
+    byte matrix, so the scheduler's hot path decides independence with
+    one byte load and tracks sleep sets as small int bitsets.  Also
+    carries the reduction's runtime accounting: sleep-set skips,
+    demotions, and the analyzer-lie diagnostics that caused them.  See
+    docs/ANALYSIS.md §POR and DESIGN.md Section 14. *)
 
-type entry
-(** One schedulable move as the reducer sees it: a stable identity
-    (Par-spine path + action name for program moves; label, transition
-    name and branch index for environment moves), the displayed name,
-    and the declared effect envelope. *)
+(** Immutable bitsets of interned move ids: the scheduler's sleep
+    sets.  Canonical by construction (no trailing zero words), so
+    {!Sleepset.equal} and {!Sleepset.hash} are order-insensitive
+    O(words) operations fit for memo keys. *)
+module Sleepset : sig
+  type t
 
-val entry : id:string -> name:string -> fp:Footprint.t -> entry
-val entry_id : entry -> string
-val entry_name : entry -> string
-val entry_fp : entry -> Footprint.t
+  val empty : t
+  val is_empty : t -> bool
+  val mem : t -> int -> bool
+
+  val add : t -> int -> t
+  (** Functional: returns a new set; the argument is unchanged. *)
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val cardinal : t -> int
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+  val of_list : int list -> t
+
+  val elements : t -> int list
+  (** Ascending. *)
+end
 
 type t
 
@@ -23,11 +39,57 @@ val make : ?extra:(string -> string -> bool) -> unit -> t
 (** [make ?extra ()]: a fresh oracle.  [extra a b] may certify the
     action pair [(a, b)] (by name) independent beyond what footprint
     commutation shows — e.g. the analyzer's PCM-commutation rule.  It
-    is queried in both orders.  Default: no extra certificates. *)
+    is queried in both orders, once per interned class pair (never per
+    configuration).  Default: no extra certificates. *)
 
-val independent : t -> entry -> entry -> bool
-(** Declared independence: {!Footprint.commutes} on the envelopes, or
-    an [extra] certificate for the name pair. *)
+val intern_prog : t -> path:int -> name:string -> fp:Footprint.t -> int
+(** The move id of a program move: [path] is the Par-spine position
+    (root 1, left child [2p], right child [2p+1]), [name]/[fp] the
+    action's name and declared envelope.  Idempotent: the same triple
+    always returns the same id. *)
+
+val intern_env :
+  t ->
+  label:Label.t ->
+  trans:string ->
+  index:int ->
+  name:string Lazy.t ->
+  int
+(** The move id of an environment move: the concurroid transition
+    [trans] at [label], branch [index].  Its envelope is
+    [Footprint.touches label] by construction.  [name] is the display
+    name handed to the certificate hook, forced only when the (label,
+    transition) class is first seen. *)
+
+val independent : t -> int -> int -> bool
+(** Declared independence of two interned moves — a precomputed byte
+    load: {!Footprint.commutes} on the class envelopes, or an [extra]
+    certificate for the name pair. *)
+
+val restrict : t -> Sleepset.t -> executed:int -> Sleepset.t
+(** The sleep set a child configuration inherits after executing a
+    move: exactly the slept moves independent of it.  Returns the
+    input unchanged when nothing is dropped. *)
+
+val n_classes : t -> int
+(** Distinct (name, footprint) / (label, transition) classes interned. *)
+
+val n_moves : t -> int
+(** Distinct move ids interned. *)
+
+val move_name : t -> int -> string
+(** The display name of an interned move's class. *)
+
+val move_fp : t -> int -> Footprint.t
+(** The declared envelope of an interned move's class. *)
+
+val move_allowed : t -> int -> (Label.Set.t * Label.t array) option
+(** [Footprint.labels (move_fp t m)], cached per class at intern time:
+    the labels a move of this class may touch ([None] for [Top]), as
+    both the set (for the precise mutation diff) and a flat array (the
+    confinement pre-filter scans it linearly — the sets are tiny).  The
+    scheduler's analyzer-lie check reads this on every executed program
+    move, so it must not allocate. *)
 
 val note_skip : t -> unit
 (** Account one sleep-set subtree skip (called by the scheduler). *)

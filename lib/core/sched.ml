@@ -30,7 +30,41 @@ type genv = {
   ext_other : Contrib.t;
   world : World.t; (* ambient + dynamically installed concurroids *)
   interfere : Label.Set.t; (* labels open to environment interference *)
+  ghash : int; (* incremental fingerprint of joints/jauxs/ext_other *)
 }
+
+(* Incremental shared-state hashing.  [ghash] is the XOR, over labels,
+   of one avalanche-mixed word per bound component, so every site that
+   rewrites a label patches the old word out and the new one in — O(1)
+   per touched label instead of re-folding three maps per config key.
+   Conventions mirror the semantic equalities the memo table uses:
+   every joint-heap binding is mixed (a bound empty heap differs from
+   an absent binding under [Label.Map.equal Heap.equal]); structural
+   [Aux.Unit] contribution bindings are skipped (indistinguishable from
+   absent ones under [Contrib.equal], cf. [Contrib.hash]).  Distinct
+   salts keep equal values in different components from cancelling. *)
+let mix_joint l h = State.mix ~salt:0x6a l (Heap.hash h)
+
+let mix_jaux l a =
+  match a with Aux.Unit -> 0 | _ -> State.mix ~salt:0x6b l (Aux.hash a)
+
+let mix_ext l a =
+  match a with Aux.Unit -> 0 | _ -> State.mix ~salt:0x6c l (Aux.hash a)
+
+let ghash_of ~joints ~jauxs ~ext_other =
+  let h = Label.Map.fold (fun l j acc -> acc lxor mix_joint l j) joints 0 in
+  let h =
+    List.fold_left
+      (fun acc l -> acc lxor mix_jaux l (Contrib.get l jauxs))
+      h (Contrib.labels jauxs)
+  in
+  List.fold_left
+    (fun acc l -> acc lxor mix_ext l (Contrib.get l ext_other))
+    h
+    (Contrib.labels ext_other)
+
+let recompute_ghash genv =
+  ghash_of ~joints:genv.joints ~jauxs:genv.jauxs ~ext_other:genv.ext_other
 
 (* Runtime thread trees. *)
 type _ rt =
@@ -83,23 +117,40 @@ let view genv ~around ~mine : State.t option =
     genv.joints (Some State.empty)
 
 (* Decompose an action's output state back into joints and self
-   contributions. *)
+   contributions.  Also returns the labels written through — the exact
+   set of bindings that can differ between input and output, which the
+   POR analyzer-lie check uses as its confinement pre-filter.  A view
+   label whose joint, jaux and self all come back physically unchanged
+   is not touched at all: the maps keep sharing the old bindings, the
+   hash contributions cancel, and the label stays off the touched list
+   (an action's view often spans labels it only reads — reporting those
+   would send every such move through the precise mutation diff). *)
 let unview st ~(genv : genv) ~(mine : Contrib.t) =
-  let joints =
-    List.fold_left
-      (fun j l -> Label.Map.add l (State.joint l st) j)
-      genv.joints (State.labels st)
+  let rec go j c m gh touched = function
+    | [] -> ({ genv with joints = j; jauxs = c; ghash = gh }, m, touched)
+    | l :: tl ->
+      let joint' = State.joint l st in
+      let jaux' = State.jaux l st in
+      let self' = State.self l st in
+      let joint0 = Label.Map.find_opt l j in
+      let jaux0 = Contrib.get l c in
+      let joint_same =
+        match joint0 with Some h -> h == joint' | None -> false
+      in
+      if joint_same && jaux0 == jaux' && Contrib.get l m == self' then
+        go j c m gh touched tl
+      else
+        let gh =
+          gh
+          lxor (match joint0 with Some h -> mix_joint l h | None -> 0)
+          lxor mix_joint l joint'
+          lxor mix_jaux l jaux0
+          lxor mix_jaux l jaux'
+        in
+        go (Label.Map.add l joint' j) (Contrib.set l jaux' c)
+          (Contrib.set l self' m) gh (l :: touched) tl
   in
-  let jauxs =
-    List.fold_left
-      (fun c l -> Contrib.set l (State.jaux l st) c)
-      genv.jauxs (State.labels st)
-  in
-  let mine =
-    List.fold_left (fun c l -> Contrib.set l (State.self l st) c) mine
-      (State.labels st)
-  in
-  ({ genv with joints; jauxs }, mine)
+  go genv.joints genv.jauxs mine genv.ghash [] (State.labels st)
 
 let as_ret : type a. a rt -> a option = function
   | RRet v -> Some v
@@ -186,6 +237,10 @@ and install : type a. genv -> Contrib.t -> Prog.hide_spec -> a Prog.t -> a norm
               joints = Label.Map.add l donated genv.joints;
               jauxs = Contrib.set l spec.hs_jaux genv.jauxs;
               world = World.entangle genv.world (World.of_list [ spec.hs_conc ]);
+              ghash =
+                genv.ghash lxor mix_joint l donated
+                lxor mix_jaux l (Contrib.get l genv.jauxs)
+                lxor mix_jaux l spec.hs_jaux;
             }
           in
           let mine =
@@ -228,6 +283,13 @@ and uninstall : type a. genv -> Contrib.t -> Prog.hide_spec -> a -> a norm =
                   (List.filter
                      (fun c -> not (Label.equal (Concurroid.label c) l))
                      (World.concurroids genv.world));
+              ghash =
+                genv.ghash
+                lxor (match Label.Map.find_opt l genv.joints with
+                     | Some h -> mix_joint l h
+                     | None -> 0)
+                lxor mix_jaux l (Contrib.get l genv.jauxs)
+                lxor mix_ext l (Contrib.get l genv.ext_other);
             }
           in
           let mine =
@@ -240,18 +302,22 @@ and uninstall : type a. genv -> Contrib.t -> Prog.hide_spec -> a -> a norm =
    enabled moves as continuations, or a crash witness if some enabled
    leaf is unsafe (a verification failure).
 
-   [mv_id] is the move's *identity* for partial-order reduction: the
-   Par-spine path to the leaf plus the action name.  It is stable along
-   a DFS descent — a leaf's pending action can only change by executing,
-   and a slept move is never executed, so a sleep-set entry always
-   denotes the same pending transition wherever it still matches.
-   [mv_fp] is the action's declared effect envelope.  Both are only
-   consumed under POR; ids are lazy so reduction-free exploration never
-   pays for the formatting. *)
+   [mv_path] locates the leaf on the Par spine for partial-order
+   reduction (root 1, left child [2p], right child [2p+1] — the binary
+   heap numbering, bijective with the old "L"/"R" path strings); the
+   {!Por} oracle interns [(path, name, footprint)] into a dense move
+   id.  The identity is stable along a DFS descent — a leaf's pending
+   action can only change by executing, and a slept move is never
+   executed, so a sleep-set entry always denotes the same pending
+   transition wherever it still matches.  [mv_fp] is the action's
+   declared effect envelope.  Both are only consumed under POR. *)
 type 'a move = {
   mv_name : string;
-  mv_id : string Lazy.t;
+  mv_path : int;
   mv_fp : Footprint.t;
+  mv_touched : Label.t list;
+      (* the labels the action wrote through [unview] — every binding
+         that can differ across this move; [] for error moves *)
   mv_next : (genv * Contrib.t * 'a rt, Crash.t) result;
 }
 
@@ -259,22 +325,22 @@ let move_name mv = mv.mv_name
 let move_next mv = mv.mv_next
 
 let rec moves_at : type a.
-    path:string -> genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
+    path:int -> genv -> Contrib.t -> Contrib.t -> a rt -> a move list =
  fun ~path genv around mine rt ->
   match rt with
   | RRet _ -> []
   | RParP _ -> [] (* eliminated by normalize *)
   | RHideP _ -> [] (* eliminated by normalize *)
   | RAct a -> (
-    let mv_id = lazy (path ^ ":" ^ Action.name a) in
     let mv_fp = Action.footprint a in
     match view genv ~around ~mine with
     | None ->
       [
         {
           mv_name = Action.name a;
-          mv_id;
+          mv_path = path;
           mv_fp;
+          mv_touched = [];
           mv_next = Error (Crash.make Crash.Ghost_algebra "invalid subjective view");
         };
       ]
@@ -283,8 +349,9 @@ let rec moves_at : type a.
         [
           {
             mv_name = Action.name a;
-            mv_id;
+            mv_path = path;
             mv_fp;
+            mv_touched = [];
             mv_next =
               Error
                 (Crash.make Crash.Unsafe_action
@@ -294,8 +361,16 @@ let rec moves_at : type a.
       else if not (Action.enabled a st) then [] (* blocked, not crashed *)
       else
         let r, st' = Action.step_exn a st in
-        let genv', mine' = unview st' ~genv ~mine in
-        [ { mv_name = Action.name a; mv_id; mv_fp; mv_next = Ok (genv', mine', RRet r) } ])
+        let genv', mine', touched = unview st' ~genv ~mine in
+        [
+          {
+            mv_name = Action.name a;
+            mv_path = path;
+            mv_fp;
+            mv_touched = touched;
+            mv_next = Ok (genv', mine', RRet r);
+          };
+        ])
   | RBind (p, k) ->
     List.map
       (fun mv ->
@@ -325,8 +400,9 @@ let rec moves_at : type a.
         [
           {
             mv_name = "par";
-            mv_id = lazy (path ^ ":par!");
+            mv_path = path;
             mv_fp = Footprint.top;
+            mv_touched = [];
             mv_next =
               Error (Crash.make Crash.Ghost_algebra "incompatible contributions");
           };
@@ -341,7 +417,7 @@ let rec moves_at : type a.
                   (fun (g, m_l, l') -> (g, mine, RPar (l', m_l, r, cr)))
                   mv.mv_next;
             })
-          (moves_at ~path:(path ^ "L") genv around_l cl l)
+          (moves_at ~path:(2 * path) genv around_l cl l)
     in
     let right =
       match around_of cl l with
@@ -349,8 +425,9 @@ let rec moves_at : type a.
         [
           {
             mv_name = "par";
-            mv_id = lazy (path ^ ":par!");
+            mv_path = path;
             mv_fp = Footprint.top;
+            mv_touched = [];
             mv_next =
               Error (Crash.make Crash.Ghost_algebra "incompatible contributions");
           };
@@ -365,11 +442,11 @@ let rec moves_at : type a.
                   (fun (g, m, r') -> (g, mine, RPar (l, cl, r', m)))
                   mv.mv_next;
             })
-          (moves_at ~path:(path ^ "R") genv around_r cr r)
+          (moves_at ~path:((2 * path) + 1) genv around_r cr r)
     in
     left @ right
 
-let moves genv around mine rt = moves_at ~path:"" genv around mine rt
+let moves genv around mine rt = moves_at ~path:1 genv around mine rt
 
 (* Environment interference: at any label open to interference, the
    environment may take any transition of that label's concurroid from
@@ -380,20 +457,21 @@ let moves genv around mine rt = moves_at ~path:"" genv around mine rt
    Move names are lazy: exhaustive exploration only renders a schedule
    when it reports a crash, so the (hot) happy paths never pay for the
    formatting. *)
-(* Like program moves, each env move carries a POR identity and an
-   effect envelope.  The identity is the label, transition name and the
-   branch index within the concurroid's (deterministic) step list —
-   stable under independent moves, which leave the whole slice at [l]
-   untouched and hence re-enumerate the identical list.  The envelope is
-   [touches l] *by construction*: an env step rewrites the joint heap,
-   joint auxiliary and external contribution at its own label and
-   nothing else (see the update below), so rule 3 of the independence
-   analyzer — transitions at distinct labels commute — is the footprint
-   check itself. *)
+(* Like program moves, each env move carries a POR identity: the label,
+   transition name and branch index within the concurroid's
+   (deterministic) step list — stable under independent moves, which
+   leave the whole slice at [l] untouched and hence re-enumerate the
+   identical list.  The {!Por} oracle interns the triple; the class
+   envelope is [touches l] *by construction*: an env step rewrites the
+   joint heap, joint auxiliary and external contribution at its own
+   label and nothing else (see the update below), so rule 3 of the
+   independence analyzer — transitions at distinct labels commute — is
+   the footprint check itself. *)
 type env_move = {
   ev_name : string Lazy.t;
-  ev_id : string Lazy.t;
-  ev_fp : Footprint.t;
+  ev_label : Label.t;
+  ev_trans : string;
+  ev_index : int;
   ev_genv : genv;
 }
 
@@ -410,20 +488,19 @@ let env_moves_aux : type a. genv -> Contrib.t -> a rt -> env_move list =
           match Label.Map.find_opt l genv.joints with
           | None -> []
           | Some joint ->
+            let jaux0 = Contrib.get l genv.jauxs in
+            let ext0 = Contrib.get l genv.ext_other in
             let env_slice =
-              Slice.make_jaux
-                ~jaux:(Contrib.get l genv.jauxs)
-                ~self:(Contrib.get l genv.ext_other)
-                ~joint ~other:(Contrib.get l ours)
+              Slice.make_jaux ~jaux:jaux0 ~self:ext0 ~joint
+                ~other:(Contrib.get l ours)
             in
-            let fp = Footprint.touches l in
             List.mapi
               (fun i (n, s') ->
                 {
                   ev_name = lazy (Fmt.str "env:%s.%s" (Concurroid.name c) n);
-                  ev_id =
-                    lazy (Fmt.str "env@%a:%s#%d" Label.pp l n i);
-                  ev_fp = fp;
+                  ev_label = l;
+                  ev_trans = n;
+                  ev_index = i;
                   ev_genv =
                     {
                       genv with
@@ -431,6 +508,13 @@ let env_moves_aux : type a. genv -> Contrib.t -> a rt -> env_move list =
                       jauxs = Contrib.set l (Slice.jaux s') genv.jauxs;
                       ext_other =
                         Contrib.set l (Slice.self s') genv.ext_other;
+                      ghash =
+                        genv.ghash lxor mix_joint l joint
+                        lxor mix_joint l (Slice.joint s')
+                        lxor mix_jaux l jaux0
+                        lxor mix_jaux l (Slice.jaux s')
+                        lxor mix_ext l ext0
+                        lxor mix_ext l (Slice.self s');
                     };
                 })
               (Concurroid.steps c env_slice))
@@ -456,6 +540,24 @@ let env_moves genv mine rt =
    (pathological depth, infix pointers of mutually recursive closure
    blocks) conservatively compares unequal, which only forfeits a
    pruning opportunity. *)
+(* The shape of a thread tree, with atoms replaced by registry codes
+   and the per-branch contributions kept as comparable values.  Keys
+   are hash-consed through the same per-exploration registry that
+   identifies the atoms: every structurally equal shape is represented
+   by one physical node carrying its precomputed hash, so memo-table
+   equality on the tree part degrades to pointer identity and hashing
+   to a field read. *)
+type rt_key = { kn : knode; kh : int }
+
+and knode =
+  | KRet of int
+  | KAct of int
+  | KBind of rt_key * int
+  | KPar of rt_key * Contrib.t * rt_key * Contrib.t
+  | KParP of int * int * int
+  | KHideP of int * int
+  | KHideI of int * rt_key
+
 module Keyer = struct
   (* Start-of-environment index of a closure block, decoded from the
      closinfo word as laid out by the OCaml 5 runtime: arity in the top
@@ -519,13 +621,20 @@ module Keyer = struct
     buckets : (int, (Obj.t * int) list) Hashtbl.t;
     mutable next : int;
     mutable stored : int;
+    kbuckets : (int, rt_key list) Hashtbl.t; (* hash-consed tree keys *)
   }
 
   (* Registered atoms are kept alive for the whole exploration, so cap
      the registry; atoms past the cap get fresh (never-matching) ids. *)
   let max_stored = 1 lsl 16
 
-  let create () = { buckets = Hashtbl.create 256; next = 0; stored = 0 }
+  let create () =
+    {
+      buckets = Hashtbl.create 256;
+      next = 0;
+      stored = 0;
+      kbuckets = Hashtbl.create 256;
+    }
 
   (* Immediates map to odd codes, registered blocks to even ones, so the
      two can never collide.  [Hashtbl.hash] is total (closures hash by
@@ -548,60 +657,69 @@ module Keyer = struct
         end;
         id
     end
+
+  (* Hash-consing of tree keys.  Children are compared by pointer only:
+     [cons] is the sole constructor, so within one registry equal
+     subtrees are already shared.  Per-branch contributions still
+     compare semantically — two [Contrib.equal] values unify on the
+     first-seen representative, exactly matching the memo table's old
+     structural equality. *)
+  let node_hash = function
+    | KRet i -> (3 * 33) lxor i
+    | KAct i -> (5 * 33) lxor i
+    | KBind (p, i) -> (((7 * 33) lxor p.kh) * 33) lxor i
+    | KPar (l, cl, r, cr) ->
+      (((((((11 * 33) lxor l.kh) * 33) lxor Contrib.hash cl) * 33) lxor r.kh)
+       * 33)
+      lxor Contrib.hash cr
+    | KParP (s, p, q) -> (((((13 * 33) lxor s) * 33) lxor p) * 33) lxor q
+    | KHideP (s, b) -> (((17 * 33) lxor s) * 33) lxor b
+    | KHideI (s, b) -> (((19 * 33) lxor s) * 33) lxor b.kh
+
+  let node_eq n1 n2 =
+    match (n1, n2) with
+    | KRet i, KRet j | KAct i, KAct j -> i = j
+    | KBind (p, i), KBind (q, j) -> i = j && p == q
+    | KPar (l1, cl1, r1, cr1), KPar (l2, cl2, r2, cr2) ->
+      l1 == l2 && r1 == r2 && Contrib.equal cl1 cl2 && Contrib.equal cr1 cr2
+    | KParP (s1, p1, q1), KParP (s2, p2, q2) -> s1 = s2 && p1 = p2 && q1 = q2
+    | KHideP (s1, b1), KHideP (s2, b2) -> s1 = s2 && b1 = b2
+    | KHideI (s1, b1), KHideI (s2, b2) -> s1 = s2 && b1 == b2
+    | (KRet _ | KAct _ | KBind _ | KPar _ | KParP _ | KHideP _ | KHideI _), _
+      ->
+      false
+
+  let cons t kn =
+    let h = node_hash kn in
+    let bucket = Option.value (Hashtbl.find_opt t.kbuckets h) ~default:[] in
+    match List.find_opt (fun k -> node_eq k.kn kn) bucket with
+    | Some k -> k
+    | None ->
+      let k = { kn; kh = h } in
+      Hashtbl.replace t.kbuckets h (k :: bucket);
+      k
 end
 
 type keyer = Keyer.t
 
 let new_keyer = Keyer.create
 
-(* The shape of a thread tree, with atoms replaced by registry codes and
-   the per-branch contributions kept as comparable values. *)
-type rt_key =
-  | KRet of int
-  | KAct of int
-  | KBind of rt_key * int
-  | KPar of rt_key * Contrib.t * rt_key * Contrib.t
-  | KParP of int * int * int
-  | KHideP of int * int
-  | KHideI of int * rt_key
-
 let rec rt_key : type a. keyer -> a rt -> rt_key =
  fun kr rt ->
   let atom v = Keyer.atom kr (Obj.repr v) in
   match rt with
-  | RRet v -> KRet (atom v)
-  | RAct a -> KAct (atom a)
-  | RBind (p, k) -> KBind (rt_key kr p, atom k)
-  | RPar (l, cl, r, cr) -> KPar (rt_key kr l, cl, rt_key kr r, cr)
-  | RParP (s, p, q) -> KParP (atom s, atom p, atom q)
-  | RHideP (s, b) -> KHideP (atom s, atom b)
-  | RHideI (s, b) -> KHideI (atom s, rt_key kr b)
+  | RRet v -> Keyer.cons kr (KRet (atom v))
+  | RAct a -> Keyer.cons kr (KAct (atom a))
+  | RBind (p, k) -> Keyer.cons kr (KBind (rt_key kr p, atom k))
+  | RPar (l, cl, r, cr) ->
+    Keyer.cons kr (KPar (rt_key kr l, cl, rt_key kr r, cr))
+  | RParP (s, p, q) -> Keyer.cons kr (KParP (atom s, atom p, atom q))
+  | RHideP (s, b) -> Keyer.cons kr (KHideP (atom s, atom b))
+  | RHideI (s, b) -> Keyer.cons kr (KHideI (atom s, rt_key kr b))
 
-let rec rt_key_equal k1 k2 =
-  match (k1, k2) with
-  | KRet i, KRet j | KAct i, KAct j -> i = j
-  | KBind (p, i), KBind (q, j) -> i = j && rt_key_equal p q
-  | KPar (l1, cl1, r1, cr1), KPar (l2, cl2, r2, cr2) ->
-    rt_key_equal l1 l2 && rt_key_equal r1 r2 && Contrib.equal cl1 cl2
-    && Contrib.equal cr1 cr2
-  | KParP (s1, p1, q1), KParP (s2, p2, q2) -> s1 = s2 && p1 = p2 && q1 = q2
-  | KHideP (s1, b1), KHideP (s2, b2) -> s1 = s2 && b1 = b2
-  | KHideI (s1, b1), KHideI (s2, b2) -> s1 = s2 && rt_key_equal b1 b2
-  | (KRet _ | KAct _ | KBind _ | KPar _ | KParP _ | KHideP _ | KHideI _), _ ->
-    false
-
-let rec rt_key_hash = function
-  | KRet i -> (3 * 33) lxor i
-  | KAct i -> (5 * 33) lxor i
-  | KBind (p, i) -> (((7 * 33) lxor rt_key_hash p) * 33) lxor i
-  | KPar (l, cl, r, cr) ->
-    (((((((11 * 33) lxor rt_key_hash l) * 33) lxor Contrib.hash cl) * 33)
-      lxor rt_key_hash r)
-     * 33)
-    lxor Contrib.hash cr
-  | KParP (s, p, q) -> (((((13 * 33) lxor s) * 33) lxor p) * 33) lxor q
-  | KHideP (s, b) -> (((17 * 33) lxor s) * 33) lxor b
-  | KHideI (s, b) -> (((19 * 33) lxor s) * 33) lxor rt_key_hash b
+(* Hash-consed: one physical node per shape within a registry. *)
+let rt_key_equal (k1 : rt_key) (k2 : rt_key) = k1 == k2
+let rt_key_hash (k : rt_key) = k.kh
 
 type config_key = {
   ck_rt : rt_key;
@@ -610,7 +728,7 @@ type config_key = {
   ck_ext : Contrib.t;
   ck_world : int list; (* concurroid identities, in world order *)
   ck_mine : Contrib.t;
-  ck_sleep : string list; (* POR sleep-set move ids, sorted; [] without POR *)
+  ck_sleep : Por.Sleepset.t; (* POR sleep set; empty without POR *)
   ck_hash : int; (* precomputed: keys are hashed more than once *)
 }
 
@@ -619,41 +737,39 @@ let config_key (kr : keyer) (genv : genv) (mine : Contrib.t) rt : config_key =
   let ck_world =
     List.map (fun c -> Keyer.atom kr (Obj.repr c)) (World.concurroids genv.world)
   in
-  let ck_joints = genv.joints in
-  let ck_jauxs = genv.jauxs in
-  let ck_ext = genv.ext_other in
-  let ck_mine = mine in
-  let joints_hash =
-    Label.Map.fold
-      (fun l h acc -> (((acc * 33) lxor Label.hash l) * 33) lxor Heap.hash h)
-      ck_joints 5381
-  in
+  (* The shared-state hash is the genv's incrementally maintained
+     fingerprint — no map re-folding here; only the (small) root
+     contribution is hashed per key. *)
   let ck_hash =
     List.fold_left
       (fun acc w -> (acc * 33) lxor w)
-      ((((((((rt_key_hash ck_rt * 33) lxor joints_hash) * 33)
-          lxor Contrib.hash ck_jauxs)
-         * 33)
-        lxor Contrib.hash ck_ext)
-       * 33)
-      lxor Contrib.hash ck_mine)
+      ((((rt_key_hash ck_rt * 33) lxor genv.ghash) * 33) lxor Contrib.hash mine)
       ck_world
   in
-  { ck_rt; ck_joints; ck_jauxs; ck_ext; ck_world; ck_mine; ck_sleep = []; ck_hash }
+  {
+    ck_rt;
+    ck_joints = genv.joints;
+    ck_jauxs = genv.jauxs;
+    ck_ext = genv.ext_other;
+    ck_world;
+    ck_mine = mine;
+    ck_sleep = Por.Sleepset.empty;
+    ck_hash;
+  }
 
 (* Under POR, the outcomes a configuration records depend on its sleep
    set (slept subtrees are omitted), so memo entries are only replayable
-   at the same sleep context: the ids join the key. *)
-let config_key_sleep kr genv mine rt sleep_ids =
+   at the same sleep context: the set joins the key.  Bitsets are
+   canonical by construction, so any two arrival orders of the same
+   slept moves produce equal keys with equal hashes. *)
+let config_key_sleep kr genv mine rt sleep =
   let k = config_key kr genv mine rt in
-  match sleep_ids with
-  | [] -> k
-  | ids ->
+  if Por.Sleepset.is_empty sleep then k
+  else
     {
       k with
-      ck_sleep = ids;
-      ck_hash =
-        List.fold_left (fun acc s -> (acc * 33) lxor Hashtbl.hash s) k.ck_hash ids;
+      ck_sleep = sleep;
+      ck_hash = (k.ck_hash * 33) lxor Por.Sleepset.hash sleep;
     }
 
 let config_key_hash k = k.ck_hash
@@ -666,7 +782,7 @@ let config_key_equal k1 k2 =
   && Contrib.equal k1.ck_ext k2.ck_ext
   && List.equal Int.equal k1.ck_world k2.ck_world
   && Contrib.equal k1.ck_mine k2.ck_mine
-  && List.equal String.equal k1.ck_sleep k2.ck_sleep
+  && Por.Sleepset.equal k1.ck_sleep k2.ck_sleep
 
 let fingerprint kr genv mine rt = config_key_hash (config_key kr genv mine rt)
 
@@ -733,11 +849,27 @@ type 'a memo_entry = {
 let memo_store_cap = 4096
 
 (* Exploration statistics: configurations actually entered (same cadence
-   as the budget tick), exposed so callers can report the effect of the
-   active reductions (dedup, pruning, POR). *)
-type explore_stats = { mutable es_configs : int }
+   as the budget tick), memo behaviour, sleep-set skips and allocation,
+   exposed so callers can report the effect of the active reductions
+   (dedup, pruning, POR) and measure — not guess — the hot path. *)
+type explore_stats = {
+  mutable es_configs : int; (* configurations entered *)
+  mutable es_memo_hits : int; (* memoized subtrees replayed *)
+  mutable es_memo_misses : int; (* configurations explored afresh *)
+  mutable es_sleep_skips : int; (* subtrees the sleep set pruned *)
+  mutable es_max_bucket : int; (* worst memo hash-bucket collision depth *)
+  mutable es_minor_words : float; (* Gc.minor_words allocated exploring *)
+}
 
-let new_stats () = { es_configs = 0 }
+let new_stats () =
+  {
+    es_configs = 0;
+    es_memo_hits = 0;
+    es_memo_misses = 0;
+    es_sleep_skips = 0;
+    es_max_bucket = 0;
+    es_minor_words = 0.;
+  }
 
 (* Raised (internally) when a move mutates a label outside its declared
    footprint while POR is active: every independence claim involving the
@@ -829,45 +961,72 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
      the same declaration contract but — exactly as with the prune
      monitor above — are trusted statically and cross-checked by the
      differential and QCheck suites rather than at runtime. *)
-  let find_lie ~fp ~(before : genv) ~(after : genv) ~mine ~mine' =
-    match Footprint.labels fp with
+  (* Runs once per executed move on the POR arm, so it must not build
+     candidate sets or lists: each component diff is checked by direct
+     iteration over its own keys (a label can only differ at a component
+     it is bound in on some side; re-checking a label is idempotent, so
+     no dedup set is needed), with physical-equality fast paths at both
+     the component and binding level — a confined move leaves untouched
+     labels' heaps and auxes physically shared. *)
+  (* Confinement pre-filter: [unview] rewrites bindings at exactly
+     [touched]; every other label stays physically shared.  All of them
+     inside the declared envelope means no binding outside it can
+     differ — the precise diff would return [None], so skip it.  This
+     is the hot-path case for every honest move; bare loops over the
+     oracle's cached label array because a [List.for_all] closure would
+     allocate once per executed move, and the arrays are small enough
+     that a linear scan beats [Label.Set.mem]. *)
+  let rec mem_lbl (a : Label.t array) n i l =
+    i < n && (Label.equal (Array.unsafe_get a i) l || mem_lbl a n (i + 1) l)
+  in
+  let rec all_allowed (a : Label.t array) n = function
+    | [] -> true
+    | l :: tl -> mem_lbl a n 0 l && all_allowed a n tl
+  in
+  let find_lie ~allowed ~touched ~(before : genv) ~(after : genv) ~mine ~mine'
+      =
+    match allowed with
     | None -> None
-    | Some allowed ->
-      let keys m = Label.Map.fold (fun l _ s -> Label.Set.add l s) m in
-      let of_contrib c s =
-        List.fold_left (fun s l -> Label.Set.add l s) s (Contrib.labels c)
+    | Some (_, arr) when all_allowed arr (Array.length arr) touched -> None
+    | Some (allowed, _) ->
+      let lie = ref None in
+      let joint_differs l =
+        match
+          (Label.Map.find_opt l before.joints, Label.Map.find_opt l after.joints)
+        with
+        | Some a, Some b -> not (a == b || Heap.equal a b)
+        | None, None -> false
+        | Some _, None | None, Some _ -> true
       in
-      let cand =
-        Label.Set.empty |> keys before.joints |> keys after.joints
-        |> of_contrib before.jauxs |> of_contrib after.jauxs
-        |> of_contrib before.ext_other |> of_contrib after.ext_other
-        |> of_contrib mine |> of_contrib mine'
+      let check_joint l =
+        if !lie = None && (not (Label.Set.mem l allowed)) && joint_differs l
+        then lie := Some l
       in
-      Label.Set.fold
-        (fun l found ->
-          match found with
-          | Some _ -> found
-          | None ->
-            if Label.Set.mem l allowed then None
-            else
-              let joint_eq =
-                match
-                  (Label.Map.find_opt l before.joints, Label.Map.find_opt l after.joints)
-                with
-                | Some a, Some b -> Heap.equal a b
-                | None, None -> true
-                | Some _, None | None, Some _ -> false
-              in
-              if
-                joint_eq
-                && Aux.equal (Contrib.get l before.jauxs) (Contrib.get l after.jauxs)
-                && Aux.equal
-                     (Contrib.get l before.ext_other)
-                     (Contrib.get l after.ext_other)
-                && Aux.equal (Contrib.get l mine) (Contrib.get l mine')
-              then None
-              else Some l)
-        cand None
+      if not (before.joints == after.joints) then begin
+        Label.Map.iter (fun l _ -> check_joint l) after.joints;
+        Label.Map.iter
+          (fun l _ -> if not (Label.Map.mem l after.joints) then check_joint l)
+          before.joints
+      end;
+      let check_contrib c c' =
+        if !lie = None && not (c == c') then begin
+          let chk l =
+            if
+              !lie = None
+              && (not (Label.Set.mem l allowed))
+              &&
+              let a = Contrib.get l c and a' = Contrib.get l c' in
+              not (a == a' || Aux.equal a a')
+            then lie := Some l
+          in
+          Contrib.iter (fun l _ -> chk l) c;
+          Contrib.iter (fun l _ -> chk l) c'
+        end
+      in
+      check_contrib before.jauxs after.jauxs;
+      check_contrib before.ext_other after.ext_other;
+      check_contrib mine mine';
+      !lie
   in
   let run por =
     let outcomes = ref [] in
@@ -900,7 +1059,7 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
     in
     let rec go :
         genv -> Contrib.t -> 'a rt -> int -> int -> string Lazy.t list ->
-        Por.entry list -> unit =
+        Por.Sleepset.t -> unit =
      fun genv mine rt depth budget trace sleep ->
       if depth > !deepest then deepest := depth;
       if budget < !shallow_budget then shallow_budget := budget;
@@ -924,12 +1083,7 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
         end
         else if not dedup then branch genv mine rt depth budget trace sleep
         else begin
-          let sleep_ids =
-            match por with
-            | None -> []
-            | Some _ -> List.sort String.compare (List.map Por.entry_id sleep)
-          in
-          let key = config_key_sleep keyer genv mine rt sleep_ids in
+          let key = config_key_sleep keyer genv mine rt sleep in
           let remaining = fuel - depth in
           match
             List.find_opt
@@ -939,6 +1093,9 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
               (Memo.find_all memo key)
           with
           | Some e ->
+            (match stats with
+            | Some s -> s.es_memo_hits <- s.es_memo_hits + 1
+            | None -> ());
             List.iter record e.e_outs;
             (* Fold the pruned subtree's needs into the enclosing one's. *)
             if e.e_need_fuel = max_int then fuel_cut := true
@@ -948,6 +1105,9 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
             else if budget - e.e_need_env < !shallow_budget then
               shallow_budget := budget - e.e_need_env
           | None ->
+            (match stats with
+            | Some s -> s.es_memo_misses <- s.es_memo_misses + 1
+            | None -> ());
             let n0 = !count in
             let saved_deep = !deepest
             and saved_low = !shallow_budget
@@ -1013,12 +1173,12 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
                 | None ->
                   go genv' mine' rt' (depth + 1) budget
                     (Lazy.from_val mv.mv_name :: trace)
-                    []))
+                    Por.Sleepset.empty))
             mvs;
           List.iter
             (fun ev ->
               go ev.ev_genv mine rt (depth + 1) (budget - 1) (ev.ev_name :: trace)
-                [])
+                Por.Sleepset.empty)
             envs
         | Some p ->
           (* Sleep-set reduction.  A slept move's subtree is exactly a
@@ -1026,13 +1186,16 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
              explored at an ancestor, so it is skipped whole.  After a
              move is explored it joins the sleep set for its later
              siblings; a child keeps only the entries independent of the
-             move just taken. *)
+             move just taken ([Por.restrict]).  Membership, restriction
+             and extension are all dense int/bitset operations against
+             the oracle's precomputed adjacency — no string ids, no
+             footprint recomputation. *)
           let sleeping = ref sleep in
-          let slept id =
-            List.exists (fun e -> String.equal (Por.entry_id e) id) !sleeping
-          in
-          let child_sleep entry =
-            List.filter (fun e -> Por.independent p e entry) !sleeping
+          let skip () =
+            Por.note_skip p;
+            match stats with
+            | Some s -> s.es_sleep_skips <- s.es_sleep_skips + 1
+            | None -> ()
           in
           List.iter
             (fun mv ->
@@ -1048,8 +1211,11 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
                         (trace_steps (Lazy.from_val mv.mv_name :: trace))
                         c))
               | Ok (genv', mine', rt') -> (
-                let id = Lazy.force mv.mv_id in
-                if slept id then Por.note_skip p
+                let id =
+                  Por.intern_prog p ~path:mv.mv_path ~name:mv.mv_name
+                    ~fp:mv.mv_fp
+                in
+                if Por.Sleepset.mem !sleeping id then skip ()
                 else
                   match envelope_violation genv genv' with
                   | Some l ->
@@ -1065,8 +1231,9 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
                                mv.mv_name Label.pp l)))
                   | None ->
                     (match
-                       find_lie ~fp:mv.mv_fp ~before:genv ~after:genv' ~mine
-                         ~mine'
+                       find_lie ~allowed:(Por.move_allowed p id)
+                         ~touched:mv.mv_touched ~before:genv ~after:genv'
+                         ~mine ~mine'
                      with
                     | Some l ->
                       raise
@@ -1082,46 +1249,57 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
                                   full exploration"
                                  mv.mv_name Label.pp l Footprint.pp mv.mv_fp)))
                     | None -> ());
-                    let entry =
-                      Por.entry ~id ~name:mv.mv_name ~fp:mv.mv_fp
-                    in
                     go genv' mine' rt' (depth + 1) budget
                       (Lazy.from_val mv.mv_name :: trace)
-                      (child_sleep entry);
-                    sleeping := entry :: !sleeping))
+                      (Por.restrict p !sleeping ~executed:id);
+                    sleeping := Por.Sleepset.add !sleeping id))
             mvs;
           List.iter
             (fun ev ->
-              let id = Lazy.force ev.ev_id in
-              if slept id then Por.note_skip p
+              let id =
+                Por.intern_env p ~label:ev.ev_label ~trans:ev.ev_trans
+                  ~index:ev.ev_index ~name:ev.ev_name
+              in
+              if Por.Sleepset.mem !sleeping id then skip ()
               else begin
-                let entry =
-                  Por.entry ~id ~name:(Lazy.force ev.ev_name) ~fp:ev.ev_fp
-                in
                 go ev.ev_genv mine rt (depth + 1) (budget - 1)
-                  (ev.ev_name :: trace) (child_sleep entry);
-                sleeping := entry :: !sleeping
+                  (ev.ev_name :: trace)
+                  (Por.restrict p !sleeping ~executed:id);
+                sleeping := Por.Sleepset.add !sleeping id
               end)
             envs
       end
     in
     let complete =
-      match go genv0 mine0 (inject prog) 0 env_budget [] [] with
+      match go genv0 mine0 (inject prog) 0 env_budget [] Por.Sleepset.empty with
       | () -> true
       | exception Stop -> false
     in
+    (match stats with
+    | Some s when dedup ->
+      let ms = Memo.stats memo in
+      if ms.Hashtbl.max_bucket_length > s.es_max_bucket then
+        s.es_max_bucket <- ms.Hashtbl.max_bucket_length
+    | Some _ | None -> ());
     (List.rev !outcomes, complete)
   in
-  match por with
-  | None -> run None
-  | Some p -> (
-    (* Restart-on-lie: outcomes recorded before the abort are discarded
-       (the rerun regenerates them); journal records already appended
-       are genuine discoveries and remain sound. *)
-    try run (Some p)
-    with Analyzer_lie_exn c ->
-      Por.record_lie p c;
-      run None)
+  let mw0 = match stats with Some _ -> Gc.minor_words () | None -> 0. in
+  let result =
+    match por with
+    | None -> run None
+    | Some p -> (
+      (* Restart-on-lie: outcomes recorded before the abort are discarded
+         (the rerun regenerates them); journal records already appended
+         are genuine discoveries and remain sound. *)
+      try run (Some p)
+      with Analyzer_lie_exn c ->
+        Por.record_lie p c;
+        run None)
+  in
+  (match stats with
+  | Some s -> s.es_minor_words <- s.es_minor_words +. (Gc.minor_words () -. mw0)
+  | None -> ());
+  result
 
 (* Run a single schedule chosen by [choose] (given the enabled move
    names, return the index to take); environment moves are not injected.
@@ -1233,5 +1411,6 @@ let genv_of_state ?(interfere = []) (w : World.t) (st : State.t) :
       ext_other;
       world = w;
       interfere = Label.Set.of_list interfere;
+      ghash = ghash_of ~joints ~jauxs ~ext_other;
     },
     mine )

@@ -21,7 +21,17 @@ type genv = {
   ext_other : Contrib.t;  (** the external environment's contribution *)
   world : World.t;  (** ambient + dynamically installed concurroids *)
   interfere : Label.Set.t;  (** labels open to environment interference *)
+  ghash : int;
+      (** incremental fingerprint of [joints]/[jauxs]/[ext_other],
+          XOR-patched per touched label as the scheduler steps; config
+          keys read it instead of re-folding the maps.  Maintained by
+          {!Sched} — always equal to {!recompute_ghash}. *)
 }
+
+val recompute_ghash : genv -> int
+(** The shared-state fingerprint recomputed from scratch — the value
+    [genv.ghash] must equal at every reachable configuration (checked
+    by the representation test suite). *)
 
 type _ rt
 (** Runtime thread trees. *)
@@ -80,6 +90,12 @@ type config_key
 val config_key : keyer -> genv -> Contrib.t -> 'a rt -> config_key
 (** The key of the configuration [(genv, mine, rt)]. *)
 
+val config_key_sleep :
+  keyer -> genv -> Contrib.t -> 'a rt -> Por.Sleepset.t -> config_key
+(** {!config_key} refined by a POR sleep set: the memo key the
+    POR-armed exploration uses.  Sleep sets are canonical bitsets, so
+    two permutations of the same slept moves produce equal keys. *)
+
 val config_key_equal : config_key -> config_key -> bool
 val config_key_hash : config_key -> int
 
@@ -98,10 +114,21 @@ type 'a outcome =
 val pp_outcome :
   (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a outcome -> unit
 
-type explore_stats = { mutable es_configs : int }
-(** Exploration accounting: configurations entered (the same cadence as
-    {!Budget.tick}) — the "explored states" the reports and benchmarks
-    surface, so the effect of dedup/pruning/POR is measurable. *)
+type explore_stats = {
+  mutable es_configs : int;
+      (** configurations entered (the same cadence as {!Budget.tick}) —
+          the "explored states" the reports and benchmarks surface *)
+  mutable es_memo_hits : int;  (** memoized subtrees replayed *)
+  mutable es_memo_misses : int;  (** configurations explored afresh *)
+  mutable es_sleep_skips : int;  (** subtrees the POR sleep set pruned *)
+  mutable es_max_bucket : int;
+      (** worst memo hash-bucket collision depth observed *)
+  mutable es_minor_words : float;
+      (** [Gc.minor_words] allocated during exploration *)
+}
+(** Exploration accounting, so the effect of dedup/pruning/POR — and
+    the cost of the hot path itself — is measured rather than
+    guessed. *)
 
 val new_stats : unit -> explore_stats
 

@@ -77,6 +77,18 @@ let hash (st : t) =
     (fun l s acc -> (((acc * 33) lxor Label.hash l) * 33) lxor Slice.hash s)
     st 5381
 
+(* Avalanche mixer for per-label incremental hashing (Sched's config
+   hash XORs one mixed word per label per component, so a binding's
+   contribution can be patched out and back in as moves mutate single
+   labels).  The finalizer is splitmix64's, truncated to OCaml's int;
+   the salt separates components so equal values at the same label in
+   different components do not cancel under XOR. *)
+let mix ~salt l v =
+  let x = (salt * 0x9e3779b9) lxor (Label.hash l * 0x85ebca6b) lxor v in
+  let x = (x lxor (x lsr 30)) * 0x3f58476d1ce4e5b9 in
+  let x = (x lxor (x lsr 27)) * 0x14d049bb133111eb in
+  (x lxor (x lsr 31)) land max_int
+
 (* Disjoint-label union, for entangled states. *)
 let union (st1 : t) (st2 : t) : t option =
   if Label.Map.for_all (fun l _ -> not (mem l st2)) st1 then

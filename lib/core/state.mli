@@ -51,6 +51,12 @@ val compare : t -> t -> int
 val hash : t -> int
 (** Consistent with {!equal}; used by memoized exploration. *)
 
+val mix : salt:int -> Label.t -> int -> int
+(** [mix ~salt l v]: avalanche-mix a per-label component hash into one
+    word, for XOR-combined incremental state hashing ({!Sched}'s config
+    keys patch single labels in and out without re-folding whole maps).
+    Distinct salts keep components from cancelling. *)
+
 val union : t -> t -> t option
 (** Disjoint-label union, for entangled states. *)
 

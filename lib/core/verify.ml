@@ -36,6 +36,56 @@ type failure = {
   crash : Crash.t;
 }
 
+(* Exploration counters aggregated across a verdict's initial states —
+   {!Sched.explore_stats} summed (bucket depth: maxed) over the fanned-
+   out explorations.  Always collected on the exhaustive-shaped rungs;
+   [None] for sampled verdicts and for reports replayed from a journal
+   (the journal image formats predate the counters and deliberately do
+   not carry them — a replayed verdict is the same verdict, and its
+   original run's perf profile is not reproducible data). *)
+type expl_stats = {
+  x_memo_hits : int;
+  x_memo_misses : int;
+  x_sleep_skips : int;
+  x_max_bucket : int;
+  x_minor_words : float;
+}
+
+let expl_of_sched (s : Sched.explore_stats) : expl_stats =
+  {
+    x_memo_hits = s.Sched.es_memo_hits;
+    x_memo_misses = s.Sched.es_memo_misses;
+    x_sleep_skips = s.Sched.es_sleep_skips;
+    x_max_bucket = s.Sched.es_max_bucket;
+    x_minor_words = s.Sched.es_minor_words;
+  }
+
+let merge_expl a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b ->
+    Some
+      {
+        x_memo_hits = a.x_memo_hits + b.x_memo_hits;
+        x_memo_misses = a.x_memo_misses + b.x_memo_misses;
+        x_sleep_skips = a.x_sleep_skips + b.x_sleep_skips;
+        x_max_bucket = max a.x_max_bucket b.x_max_bucket;
+        x_minor_words = a.x_minor_words +. b.x_minor_words;
+      }
+
+let pp_expl_stats ppf (x : expl_stats) =
+  Fmt.pf ppf
+    "memo %d hit%s / %d miss%s, %d sleep skip%s, bucket depth %d, %.0fk minor \
+     words"
+    x.x_memo_hits
+    (if x.x_memo_hits = 1 then "" else "s")
+    x.x_memo_misses
+    (if x.x_memo_misses = 1 then "" else "es")
+    x.x_sleep_skips
+    (if x.x_sleep_skips = 1 then "" else "s")
+    x.x_max_bucket
+    (x.x_minor_words /. 1000.)
+
 type report = {
   spec_name : string;
   tier : tier; (* the ladder tier that produced this verdict *)
@@ -49,6 +99,7 @@ type report = {
   failures : failure list;
   worker_crashes : failure list; (* quarantined pool items (engine, not spec) *)
   budget : Budget.stats option; (* consumed budget, when one was armed *)
+  expl : expl_stats option; (* exploration counters; None when sampled/replayed *)
 }
 
 let ok r = r.failures = [] && r.worker_crashes = []
@@ -203,6 +254,7 @@ type state_result = {
   sr_complete : bool;
   sr_states : int;
   sr_failures : failure list; (* capped at [max_failures], in order *)
+  sr_expl : expl_stats option; (* not journaled; replayed units get None *)
 }
 
 type core = {
@@ -213,6 +265,7 @@ type core = {
   c_states : int;
   c_failures : failure list;
   c_worker_crashes : failure list;
+  c_expl : expl_stats option;
 }
 
 let crash_of_pool_error (e : Pool.error) =
@@ -301,6 +354,7 @@ let sr_of_image (st : State.t) (si : Journal.state_image) : state_result =
     sr_states = si.Journal.si_states;
     sr_failures =
       List.map (fun crash -> { initial = st; crash }) si.Journal.si_failures;
+    sr_expl = None;
   }
 
 (* Failures are serialized with the index of their initial state in the
@@ -360,6 +414,7 @@ let report_of_image ~(eligible : State.t list) (ri : Journal.report_image) :
         failures;
         worker_crashes;
         budget = Option.map stats_of_image ri.Journal.ri_budget;
+        expl = None;
       }
   | _ -> None
 
@@ -464,6 +519,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
       sr_complete = compl;
       sr_states = stats.Sched.es_configs;
       sr_failures = List.rev !failures;
+      sr_expl = Some (expl_of_sched stats);
     }
   in
   (* Unbudgeted results are deterministic whatever the outcome (even a
@@ -484,6 +540,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
   let states = ref 0 in
   let failures = ref [] in
   let worker_crashes = ref [] in
+  let expl = ref None in
   List.iter2
     (fun (_, st) r ->
       if !failures = [] && !worker_crashes = [] then
@@ -494,6 +551,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
           diverged := !diverged + sr.sr_diverged;
           if not sr.sr_complete then complete := false;
           states := !states + sr.sr_states;
+          expl := merge_expl !expl sr.sr_expl;
           failures := sr.sr_failures
         | Error e ->
           (* The state's verdict is lost: record the quarantine and mark
@@ -510,6 +568,7 @@ let exhaustive_attempt ~fuel ~max_outcomes ~interference ~env_budget
     c_states = !states;
     c_failures = !failures;
     c_worker_crashes = !worker_crashes;
+    c_expl = !expl;
   }
 
 (* One sampled attempt: [trials] random schedules per eligible state,
@@ -577,6 +636,7 @@ let sampled_attempt ~fuel ~trials ~interference ~max_failures ~seed
           sr_complete = !s >= seed + trials;
           sr_states = 0;
           sr_failures = List.rev !fs;
+          sr_expl = None;
         })
   in
   List.iteri
@@ -597,6 +657,7 @@ let sampled_attempt ~fuel ~trials ~interference ~max_failures ~seed
     c_states = 0;
     c_failures = List.rev !failures;
     c_worker_crashes = [];
+    c_expl = None;
   }
 
 let assemble ~spec_name ~tier ~seed ~budget (c : core) : report =
@@ -612,6 +673,7 @@ let assemble ~spec_name ~tier ~seed ~budget (c : core) : report =
     failures = c.c_failures;
     worker_crashes = c.c_worker_crashes;
     budget;
+    expl = c.c_expl;
   }
 
 (* Fold the per-tier budget stats into one record for the report:
@@ -735,7 +797,10 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
       let b1 = Budget.arm lim in
       let deadline_at = Budget.deadline_at b1 in
       let rearm () = Budget.arm ?deadline_at lim in
-      let sample_with b stats_so_far =
+      (* Like the budget stats, exploration counters are cumulative
+         across rungs: the work the earlier failure-free tripped rungs
+         burned is part of what this verdict cost. *)
+      let sample_with b stats_so_far expl_so_far =
         let c =
           sampled_attempt ~fuel:(max fuel 256) ~trials:ladder_trials
             ~interference ~max_failures ~seed ~budget:(Some b)
@@ -743,7 +808,7 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
         in
         assemble ~spec_name ~tier:Sampled ~seed:(Some seed)
           ~budget:(Some (merge_stats (stats_so_far @ [ Budget.stats b ])))
-          c
+          { c with c_expl = expl_so_far }
       in
       let conclusive c s = s.Budget.st_tripped = None || c.c_failures <> [] in
       (* Which rung to start on: 0 = tier1, 1 = pruned (only reachable
@@ -756,7 +821,7 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
         | _ -> 0
       in
       finish
-        (if start >= 2 then sample_with b1 []
+        (if start >= 2 then sample_with b1 [] None
          else begin
            let first_tier = if start = 1 then Pruned else tier1 in
            let first_prune = if start = 1 then true else prune in
@@ -774,10 +839,12 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
              if conclusive c2 s2 then
                assemble ~spec_name ~tier:Pruned ~seed:None
                  ~budget:(Some (merge_stats [ s1; s2 ]))
-                 c2
-             else sample_with (rearm ()) [ s1; s2 ]
+                 { c2 with c_expl = merge_expl c1.c_expl c2.c_expl }
+             else
+               sample_with (rearm ()) [ s1; s2 ]
+                 (merge_expl c1.c_expl c2.c_expl)
            end
-           else sample_with (rearm ()) [ s1 ]
+           else sample_with (rearm ()) [ s1 ] c1.c_expl
          end)
     end
 

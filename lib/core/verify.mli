@@ -25,6 +25,32 @@ val pp_tier : Format.formatter -> tier -> unit
 
 type failure = { initial : State.t; crash : Crash.t }
 
+type expl_stats = {
+  x_memo_hits : int;  (** memoized-configuration cache hits *)
+  x_memo_misses : int;  (** cache misses (configurations actually expanded) *)
+  x_sleep_skips : int;  (** subtrees skipped by sleep-set POR *)
+  x_max_bucket : int;
+      (** deepest memo-table hash bucket observed — a collision-quality
+          probe for the hash-consed configuration keys *)
+  x_minor_words : float;
+      (** [Gc.minor_words] delta over the explorations — the allocation
+          cost of the hot path *)
+}
+(** Always-on exploration counters, summed ({!Sched.explore_stats}
+    [es_max_bucket]: maxed) over a verdict's initial states and,
+    under a budget, over its ladder rungs.  [None] on {!Sampled}
+    verdicts (single runs, not a search) and on reports replayed from a
+    journal — the journal image format deliberately does not carry perf
+    counters. *)
+
+val merge_expl :
+  expl_stats option -> expl_stats option -> expl_stats option
+(** Pointwise sum ([x_max_bucket]: max); [None] is the unit. *)
+
+val pp_expl_stats : Format.formatter -> expl_stats -> unit
+(** One-line rendering, e.g.
+    ["memo 120 hits / 80 misses, 14 sleep skips, bucket depth 3, 52k minor words"]. *)
+
 type report = {
   spec_name : string;
   tier : tier;  (** the ladder tier that produced this verdict *)
@@ -45,6 +71,9 @@ type report = {
   budget : Budget.stats option;
       (** consumed budget, cumulative across ladder tiers, when a budget
           was armed *)
+  expl : expl_stats option;
+      (** exploration counters, cumulative across ladder tiers; [None]
+          for {!Sampled} and journal-replayed verdicts *)
 }
 
 val ok : report -> bool
@@ -112,9 +141,11 @@ val set_default_por : bool -> unit
 
 val set_default_por_certs : (string -> string -> bool) -> unit
 (** Extra independence certificates for the POR oracle, keyed by action
-    name pair (queried both ways): the static analyzer's algebraic
-    (PCM-commutation) rule, beyond what footprint disjointness shows.
-    Default: none.  Only consulted when POR is on. *)
+    name pair (queried once per interned class pair, in both orders, so
+    tables may be ordered or symmetrically closed): the static
+    analyzer's algebraic (PCM-commutation) rule, beyond what footprint
+    disjointness shows.  Default: none.  Only consulted when POR is
+    on. *)
 
 val set_default_journal : Journal.t option -> unit
 (** The write-ahead journal verification progress is recorded to (and

@@ -7,53 +7,96 @@
    The [Undef] case of the paper's heap PCM is recovered in the [Pcm]
    layer by option-lifting. *)
 
-type t = Value.t Ptr.Map.t
+(* The canonical hash rides along with the map, Zobrist-style: each
+   cell contributes one avalanche-mixed word and the heap hash is their
+   XOR, so every operation patches the hash in O(1) per touched cell
+   and [hash] is a field read.  The scheduler's incremental
+   configuration fingerprint re-hashes the joint heap at every touched
+   label of every executed move; an O(n) fold there shows up directly
+   in exploration wall-clock.  XOR of per-cell words is canonical
+   (order-insensitive) and consistent with [equal]: equal heaps hold
+   the same cells.  A cell can occur at most once (it's a map), so
+   self-cancellation is impossible; cross-cell cancellations are
+   ordinary hash collisions, resolved by the semantic equality every
+   hash consumer falls back on. *)
+type t = { m : Value.t Ptr.Map.t; h : int }
 
-let empty : t = Ptr.Map.empty
-let is_empty = Ptr.Map.is_empty
-let cardinal = Ptr.Map.cardinal
+(* splitmix-style avalanche so nearby pointers/values spread over the
+   whole word before they meet the XOR *)
+let avalanche x =
+  let x = x lxor (x lsr 16) in
+  let x = x * 0x7feb352d in
+  let x = x lxor (x lsr 15) in
+  let x = x * 0x846ca68b in
+  (x lxor (x lsr 16)) land max_int
+
+let cell p v = avalanche ((Ptr.hash p * 0x9e3779b1) lxor (Value.hash v * 0x85ebca77))
+
+(* Rebuild the hash from scratch — the fallback for the filter-shaped
+   operations (hide decorations), never on the scheduler's hot path. *)
+let hash_of m = Ptr.Map.fold (fun p v acc -> acc lxor cell p v) m 0
+
+let empty : t = { m = Ptr.Map.empty; h = 0 }
+let is_empty t = Ptr.Map.is_empty t.m
+let cardinal t = Ptr.Map.cardinal t.m
 
 let singleton p v =
   if Ptr.is_null p then invalid_arg "Heap.singleton: null pointer"
-  else Ptr.Map.singleton p v
+  else { m = Ptr.Map.singleton p v; h = cell p v }
 
-let mem p (h : t) = Ptr.Map.mem p h
-let find p (h : t) = Ptr.Map.find_opt p h
+let mem p (h : t) = Ptr.Map.mem p h.m
+let find p (h : t) = Ptr.Map.find_opt p h.m
 
 let find_exn p (h : t) =
-  match Ptr.Map.find_opt p h with
+  match Ptr.Map.find_opt p h.m with
   | Some v -> v
   | None -> invalid_arg (Fmt.str "Heap.find_exn: %a unbound" Ptr.pp p)
 
 (* Domain as a list/set, folding over the keys directly: no intermediate
    bindings list. *)
-let dom (h : t) = List.rev (Ptr.Map.fold (fun p _ acc -> p :: acc) h [])
-let dom_set (h : t) = Ptr.Map.fold (fun p _ s -> Ptr.Set.add p s) h Ptr.Set.empty
+let dom (h : t) = List.rev (Ptr.Map.fold (fun p _ acc -> p :: acc) h.m [])
+
+let dom_set (h : t) =
+  Ptr.Map.fold (fun p _ s -> Ptr.Set.add p s) h.m Ptr.Set.empty
 
 let add p v (h : t) =
   if Ptr.is_null p then invalid_arg "Heap.add: null pointer"
-  else Ptr.Map.add p v h
+  else
+    let dropped =
+      match Ptr.Map.find_opt p h.m with Some v0 -> cell p v0 | None -> 0
+    in
+    { m = Ptr.Map.add p v h.m; h = h.h lxor dropped lxor cell p v }
 
 let update p v (h : t) =
-  if Ptr.Map.mem p h then Ptr.Map.add p v h
-  else invalid_arg (Fmt.str "Heap.update: %a unbound" Ptr.pp p)
+  match Ptr.Map.find_opt p h.m with
+  | Some v0 ->
+    { m = Ptr.Map.add p v h.m; h = h.h lxor cell p v0 lxor cell p v }
+  | None -> invalid_arg (Fmt.str "Heap.update: %a unbound" Ptr.pp p)
 
 (* [free p h] deallocates [p]; the paper's [free x h] (Section 3.2). *)
-let free p (h : t) = Ptr.Map.remove p h
+let free p (h : t) =
+  match Ptr.Map.find_opt p h.m with
+  | Some v0 -> { m = Ptr.Map.remove p h.m; h = h.h lxor cell p v0 }
+  | None -> h
 
 (* Disjointness and union iterate the smaller of the two maps: membership
    tests and inserts into the larger map are logarithmic, so scanning the
    smaller side wins whenever the sizes are lopsided (the common case:
    a one-cell action footprint against a large private heap). *)
 let disjoint (h1 : t) (h2 : t) =
-  let small, big = if cardinal h1 <= cardinal h2 then (h1, h2) else (h2, h1) in
+  let small, big =
+    if cardinal h1 <= cardinal h2 then (h1.m, h2.m) else (h2.m, h1.m)
+  in
   Ptr.Map.for_all (fun p _ -> not (Ptr.Map.mem p big)) small
 
-(* Disjoint union: the heap PCM join.  [None] when domains overlap. *)
+(* Disjoint union: the heap PCM join.  [None] when domains overlap.
+   Disjointness makes the hash of the union the XOR of the hashes. *)
 let union (h1 : t) (h2 : t) : t option =
   if disjoint h1 h2 then
-    let small, big = if cardinal h1 <= cardinal h2 then (h1, h2) else (h2, h1) in
-    Some (Ptr.Map.fold Ptr.Map.add small big)
+    let small, big =
+      if cardinal h1 <= cardinal h2 then (h1.m, h2.m) else (h2.m, h1.m)
+    in
+    Some { m = Ptr.Map.fold Ptr.Map.add small big; h = h1.h lxor h2.h }
   else None
 
 let union_exn h1 h2 =
@@ -66,26 +109,27 @@ let union_exn h1 h2 =
 let subheap (h1 : t) (h2 : t) =
   Ptr.Map.for_all
     (fun p v -> match find p h2 with Some w -> Value.equal v w | None -> false)
-    h1
+    h1.m
 
 (* [diff h1 h2] removes [h2]'s domain from [h1]: the frame left after
    carving out [h2]. *)
-let diff (h1 : t) (h2 : t) = Ptr.Map.filter (fun p _ -> not (mem p h2)) h1
+let diff (h1 : t) (h2 : t) =
+  let m = Ptr.Map.filter (fun p _ -> not (mem p h2)) h1.m in
+  { m; h = hash_of m }
 
 (* [restrict dom h] keeps only the cells of [h] whose pointer satisfies
    [dom]; used by hide decorations to select the donated subheap. *)
-let restrict pred (h : t) = Ptr.Map.filter (fun p _ -> pred p) h
+let restrict pred (h : t) =
+  let m = Ptr.Map.filter (fun p _ -> pred p) h.m in
+  { m; h = hash_of m }
 
-let equal (h1 : t) (h2 : t) = Ptr.Map.equal Value.equal h1 h2
+let hash (h : t) = h.h
 
-let compare (h1 : t) (h2 : t) = Ptr.Map.compare Value.compare h1 h2
+let equal (h1 : t) (h2 : t) =
+  h1 == h2 || (h1.h = h2.h && Ptr.Map.equal Value.equal h1.m h2.m)
 
-(* Canonical: folds in ascending pointer order, so equal heaps hash
-   equally regardless of how they were built. *)
-let hash (h : t) =
-  Ptr.Map.fold
-    (fun p v acc -> (((acc * 33) lxor Ptr.hash p) * 33) lxor Value.hash v)
-    h 5381
+let compare (h1 : t) (h2 : t) =
+  if h1 == h2 then 0 else Ptr.Map.compare Value.compare h1.m h2.m
 
 let of_list bindings =
   List.fold_left
@@ -94,12 +138,15 @@ let of_list bindings =
       else add p v h)
     empty bindings
 
-let bindings (h : t) = Ptr.Map.bindings h
-let fold f (h : t) acc = Ptr.Map.fold f h acc
-let iter f (h : t) = Ptr.Map.iter f h
-let for_all f (h : t) = Ptr.Map.for_all f h
-let exists f (h : t) = Ptr.Map.exists f h
-let filter f (h : t) = Ptr.Map.filter f h
+let bindings (h : t) = Ptr.Map.bindings h.m
+let fold f (h : t) acc = Ptr.Map.fold f h.m acc
+let iter f (h : t) = Ptr.Map.iter f h.m
+let for_all f (h : t) = Ptr.Map.for_all f h.m
+let exists f (h : t) = Ptr.Map.exists f h.m
+
+let filter f (h : t) =
+  let m = Ptr.Map.filter f h.m in
+  { m; h = hash_of m }
 
 (* A fresh pointer strictly greater than everything allocated in [h]. *)
 let fresh_ptr (h : t) =

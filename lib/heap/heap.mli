@@ -52,7 +52,10 @@ val compare : t -> t -> int
 
 val hash : t -> int
 (** Canonical: equal heaps hash equally regardless of construction
-    order.  Consistent with {!equal}; used by memoized exploration. *)
+    order.  Consistent with {!equal}; used by memoized exploration.
+    O(1): the hash is a XOR of per-cell mixed words maintained
+    incrementally by every operation, so hashing a heap on the
+    scheduler's hot path costs a field read. *)
 
 val of_list : (Ptr.t * Value.t) list -> t
 (** Raises [Invalid_argument] on duplicate or null pointers. *)

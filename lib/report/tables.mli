@@ -35,6 +35,17 @@ val pp_table1 : Format.formatter -> row1 list -> unit
     appears when tiers are mixed (some rows verified below
     exhaustive). *)
 
+val row_expl : row1 -> Fcsl_core.Verify.expl_stats option
+(** Exploration counters aggregated across the row's reports (see
+    {!Fcsl_core.Verify.merge_expl}); [None] when no report carries
+    counters. *)
+
+val pp_table1_stats : Format.formatter -> row1 list -> unit
+(** The [table1 --stats] companion table: per-row memo hits/misses,
+    POR sleep skips, worst memo-bucket depth, and minor-heap allocation
+    across the row's explorations.  Rows without counters (sampled or
+    replayed verdicts) render dashes. *)
+
 val columns : Registry.concurroid_use list
 val column_header : Registry.concurroid_use -> string
 val cell : Registry.concurroid_use list -> Registry.concurroid_use -> string

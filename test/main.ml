@@ -22,4 +22,5 @@ let () =
       ("robust", Test_robust.suite);
       ("journal", Test_journal.suite);
       ("por", Test_por.suite);
+      ("repr", Test_repr.suite);
     ]

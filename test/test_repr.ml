@@ -1,0 +1,354 @@
+(* The dense representations behind the POR hot path (DESIGN.md
+   Section 14) are exact: sleep-set bitsets agree with a reference
+   set model and are canonical under permutation, the move interner is
+   idempotent and its precomputed adjacency agrees with the footprint
+   rule, the incremental genv hash equals the from-scratch fold at
+   every reachable configuration, and the whole registry's verdicts
+   AND explored-state counts are bit-identical to the pre-rewrite
+   engine (the PR that introduced POR), with POR on and off, under
+   -j 1 and -j 4. *)
+
+open Fcsl_heap
+open Fcsl_core
+open Fcsl_casestudies
+module Aux = Fcsl_pcm.Aux
+module Registry = Fcsl_report.Registry
+module Independence = Fcsl_analysis.Independence
+module Sleepset = Por.Sleepset
+
+let check = Alcotest.(check bool)
+let p = Ptr.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Sleepset vs the reference model: an int Set.                       *)
+(* ------------------------------------------------------------------ *)
+
+module IntSet = Set.Make (Int)
+
+let prop_sleepset_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500
+       ~name:"Sleepset agrees with the Set model and is canonical"
+       QCheck2.Gen.(
+         pair (list_size (0 -- 40) (0 -- 300)) (list_size (0 -- 10) (0 -- 300)))
+       (fun (adds, probes) ->
+         let s = List.fold_left Sleepset.add Sleepset.empty adds in
+         let m = IntSet.of_list adds in
+         (* membership, cardinal, ascending elements *)
+         List.for_all (fun i -> Sleepset.mem s i = IntSet.mem i m) (adds @ probes)
+         && Sleepset.cardinal s = IntSet.cardinal m
+         && Sleepset.elements s = IntSet.elements m
+         && Sleepset.is_empty s = IntSet.is_empty m
+         (* canonical under permutation: reversed and sorted insertion
+            orders produce equal sets with equal hashes *)
+         &&
+         let rev = List.fold_left Sleepset.add Sleepset.empty (List.rev adds) in
+         let srt =
+           Sleepset.of_list (List.sort compare adds)
+         in
+         Sleepset.equal s rev && Sleepset.equal s srt
+         && Sleepset.hash s = Sleepset.hash rev
+         && Sleepset.hash s = Sleepset.hash srt
+         (* fold visits each member exactly once *)
+         && Sleepset.fold (fun i acc -> IntSet.add i acc) s IntSet.empty
+            |> IntSet.equal m))
+
+let test_sleepset_functional () =
+  let s0 = Sleepset.of_list [ 1; 33; 64 ] in
+  let s1 = Sleepset.add s0 200 in
+  check "add is functional: original unchanged" false (Sleepset.mem s0 200);
+  check "add is functional: new set extended" true (Sleepset.mem s1 200);
+  check "empty is empty" true (Sleepset.is_empty Sleepset.empty);
+  check "distinct sets differ" false (Sleepset.equal s0 s1)
+
+(* ------------------------------------------------------------------ *)
+(* The move interner: idempotent ids, faithful adjacency.             *)
+(* ------------------------------------------------------------------ *)
+
+let la = Label.make "repr_a"
+let lb = Label.make "repr_b"
+
+let fp_pool =
+  [ Footprint.bot; Footprint.reads la; Footprint.writes la; Footprint.cases la;
+    Footprint.touches la; Footprint.reads lb; Footprint.writes lb;
+    Footprint.touches lb;
+    Footprint.join (Footprint.reads la) (Footprint.writes lb); Footprint.top ]
+
+let prop_interner =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300
+       ~name:"interner: idempotent ids, adjacency = footprint rule"
+       QCheck2.Gen.(
+         list_size (1 -- 12)
+           (triple (1 -- 6) (0 -- 3) (0 -- (List.length fp_pool - 1))))
+       (fun moves ->
+         let por = Por.make () in
+         let ids =
+           List.map
+             (fun (path, n, f) ->
+               let name = Printf.sprintf "act%d" n in
+               let fp = List.nth fp_pool f in
+               (Por.intern_prog por ~path ~name ~fp, fp))
+             moves
+         in
+         (* re-interning every move returns the same id *)
+         List.for_all2
+           (fun (path, n, f) (id, _) ->
+             Por.intern_prog por ~path ~name:(Printf.sprintf "act%d" n)
+               ~fp:(List.nth fp_pool f)
+             = id)
+           moves ids
+         (* no extra certificates: declared independence is exactly
+            footprint commutation, and symmetric *)
+         && List.for_all
+              (fun (i, fpi) ->
+                List.for_all
+                  (fun (j, fpj) ->
+                    Por.independent por i j = Footprint.commutes fpi fpj
+                    && Por.independent por i j = Por.independent por j i)
+                  ids)
+              ids))
+
+let test_interner_roundtrip () =
+  let por = Por.make () in
+  let id1 = Por.intern_prog por ~path:2 ~name:"push" ~fp:(Footprint.cases la) in
+  let id2 = Por.intern_prog por ~path:3 ~name:"push" ~fp:(Footprint.cases la) in
+  let id3 = Por.intern_prog por ~path:2 ~name:"pop" ~fp:(Footprint.cases la) in
+  check "same class, distinct positions: distinct ids" true (id1 <> id2);
+  check "distinct names: distinct ids" true (id1 <> id3);
+  Alcotest.(check string) "name round-trips" "push" (Por.move_name por id2);
+  check "fp round-trips" true
+    (Footprint.equal (Por.move_fp por id1) (Footprint.cases la));
+  let e1 =
+    Por.intern_env por ~label:la ~trans:"tick" ~index:0 ~name:(lazy "env@a")
+  in
+  let e1' =
+    Por.intern_env por ~label:la ~trans:"tick" ~index:0 ~name:(lazy "env@a")
+  in
+  let e2 =
+    Por.intern_env por ~label:la ~trans:"tick" ~index:1 ~name:(lazy "env@a")
+  in
+  let e3 =
+    Por.intern_env por ~label:lb ~trans:"tick" ~index:0 ~name:(lazy "env@b")
+  in
+  check "env intern is idempotent" true (e1 = e1');
+  check "distinct branch index: distinct ids" true (e1 <> e2);
+  check "env move shares its class name across branches" true
+    (Por.move_name por e1 = Por.move_name por e2);
+  check "env envelope is touches(label)" true
+    (Footprint.equal (Por.move_fp por e1) (Footprint.touches la));
+  (* env moves at distinct labels are independent (rule 3); program
+     moves confined to a commute with env moves at b but not at a *)
+  check "env@a indep env@b" true (Por.independent por e1 e3);
+  check "env@a not indep env@a'" false (Por.independent por e1 e2);
+  check "write@a not indep env@a" false (Por.independent por id1 e1);
+  check "write@a indep env@b" true (Por.independent por id1 e3);
+  (* restrict keeps exactly the independent slept moves *)
+  let sleep = Sleepset.of_list [ id1; id3; e3 ] in
+  let kept = Por.restrict por sleep ~executed:e1 in
+  check "restrict drops dependent moves" true
+    (Sleepset.elements kept = [ e3 ])
+
+let test_certs_symmetric () =
+  (* The extra-certificate hook is consulted once per ordered class
+     pair, so a one-sided table still certifies both orders through the
+     adjacency matrix. *)
+  let extra a b = a = "foo" && b = "bar" in
+  let por = Por.make ~extra () in
+  let f = Por.intern_prog por ~path:2 ~name:"foo" ~fp:(Footprint.writes la) in
+  let b = Por.intern_prog por ~path:3 ~name:"bar" ~fp:(Footprint.writes la) in
+  check "certified pair independent" true (Por.independent por f b);
+  check "certified pair independent (swapped)" true (Por.independent por b f);
+  (* and the analyzer's own tables answer symmetrically after the
+     build-time closure *)
+  let certs = Independence.certs_all () in
+  List.iter
+    (fun (m : Independence.matrix) ->
+      List.iter
+        (fun (a, b) ->
+          check
+            (Printf.sprintf "%s: cert (%s,%s) symmetric" m.Independence.x_case
+               a b)
+            true
+            (certs a b && certs b a))
+        m.Independence.x_certs)
+    (Independence.analyze_all ())
+
+(* ------------------------------------------------------------------ *)
+(* Sleep-set permutation: equal config keys.                          *)
+(* ------------------------------------------------------------------ *)
+
+let span_setup triples =
+  let sp = Label.make "repr_span" in
+  let conc = Span.concurroid sp in
+  let w = World.of_list [ conc ] in
+  let g = Graph_catalog.graph_of triples in
+  let st =
+    State.singleton sp
+      (Slice.make ~self:(Aux.set Ptr.Set.empty) ~joint:(Graph.to_heap g)
+         ~other:(Aux.set Ptr.Set.empty))
+  in
+  (sp, w, st)
+
+let test_sleep_permutation_key () =
+  let sp, w, st = span_setup [ (p 1, Ptr.null, Ptr.null) ] in
+  let genv, mine = Sched.genv_of_state ~interfere:(World.labels w) w st in
+  let rt =
+    Sched.inject
+      (Prog.par
+         (Prog.act (Span.trymark sp (p 1)))
+         (Prog.act (Span.trymark sp (p 1))))
+  in
+  let keyer = Sched.new_keyer () in
+  let key ids =
+    Sched.config_key_sleep keyer genv mine rt
+      (List.fold_left Sleepset.add Sleepset.empty ids)
+  in
+  let k1 = key [ 3; 17; 42 ] and k2 = key [ 42; 3; 17 ] in
+  check "permuted sleep sets: equal keys" true (Sched.config_key_equal k1 k2);
+  check "permuted sleep sets: equal hashes" true
+    (Sched.config_key_hash k1 = Sched.config_key_hash k2);
+  let k3 = key [ 3; 17 ] in
+  check "different sleep sets: unequal keys" false
+    (Sched.config_key_equal k1 k3);
+  let k0 = key [] in
+  check "empty sleep set: the plain key" true
+    (Sched.config_key_equal k0 (Sched.config_key keyer genv mine rt))
+
+(* ------------------------------------------------------------------ *)
+(* The incremental genv hash is the from-scratch fold, everywhere.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded DFS over the real step relation (program moves and env
+   moves), checking [ghash = recompute_ghash] at every configuration
+   reached — the invariant every XOR patch in Sched must preserve. *)
+let check_ghash_reachable ~fuel genv mine rt =
+  let checked = ref 0 in
+  let rec go fuel genv mine rt =
+    Alcotest.(check int)
+      (Printf.sprintf "ghash invariant (config %d)" !checked)
+      (Sched.recompute_ghash genv) genv.Sched.ghash;
+    incr checked;
+    if fuel > 0 then
+      match Sched.normalize genv mine rt with
+      | Sched.Norm_crash _ -> ()
+      | Sched.Norm (genv, mine, rt) -> (
+        match Sched.as_ret rt with
+        | Some _ -> ()
+        | None ->
+          List.iter
+            (fun mv ->
+              match Sched.move_next mv with
+              | Ok (genv', mine', rt') -> go (fuel - 1) genv' mine' rt'
+              | Error _ -> ())
+            (Sched.moves genv Contrib.empty mine rt);
+          List.iter
+            (fun (_, genv') -> go (fuel - 1) genv' mine rt)
+            (Sched.env_moves genv mine rt))
+  in
+  go fuel genv mine rt;
+  check "explored some configurations" true (!checked > 1)
+
+let test_ghash_span () =
+  let sp, w, st = span_setup [ (p 1, p 2, Ptr.null); (p 2, Ptr.null, Ptr.null) ] in
+  let genv, mine = Sched.genv_of_state ~interfere:(World.labels w) w st in
+  check_ghash_reachable ~fuel:4 genv mine
+    (Sched.inject
+       (Prog.par
+          (Prog.act (Span.trymark sp (p 1)))
+          (Prog.act (Span.trymark sp (p 2)))))
+
+let test_ghash_snapshot () =
+  (* Histories and versioned cells: the Aux-heavy jaux path. *)
+  let w = Snapshot.world () in
+  List.iter
+    (fun st ->
+      let genv, mine = Sched.genv_of_state ~interfere:(World.labels w) w st in
+      check_ghash_reachable ~fuel:3 genv mine
+        (Sched.inject (Snapshot.read_pair Snapshot.sp_label)))
+    (Snapshot.init_states ())
+
+(* ------------------------------------------------------------------ *)
+(* Registry differential against the pre-rewrite engine.              *)
+(* ------------------------------------------------------------------ *)
+
+(* Explored-state counts recorded by the PR that introduced sleep-set
+   POR (BENCH_por.json of that revision), un-memoized, sequential.
+   The representation rewrite must not move a single count: move
+   identity, sleep semantics, and iteration order are preserved
+   exactly, only their encoding changed. *)
+let baseline =
+  [
+    ("CAS-lock", 960, 960);
+    ("Ticketed lock", 27472, 22288);
+    ("CG increment", 28432, 23248);
+    ("CG allocator", 104904, 66558);
+    ("Pair snapshot", 53355, 53355);
+    ("Treiber stack", 583938, 53541);
+    ("Spanning tree", 9172, 5551);
+    ("Flat combiner", 86990, 44218);
+    ("Seq. stack", 16, 16);
+    ("FC-stack", 53624, 10852);
+    ("Prod/Cons", 547, 88);
+  ]
+
+let verdicts reports =
+  List.map (fun r -> (r.Verify.spec_name, Verify.ok r)) reports
+
+let states reports =
+  List.fold_left (fun acc r -> acc + r.Verify.states) 0 reports
+
+let test_baseline_differential () =
+  let certs = Independence.certs_all () in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun (name, full_expected, por_expected) ->
+          let case =
+            match Registry.find name with
+            | Some c -> c
+            | None -> Alcotest.fail (name ^ " not in registry")
+          in
+          let full =
+            Verify.with_engine ~dedup:false ~jobs ~por:false (fun () ->
+                case.Registry.c_verify ())
+          in
+          let por =
+            Verify.with_engine ~dedup:false ~jobs ~por:true ~por_certs:certs
+              (fun () -> case.Registry.c_verify ())
+          in
+          check
+            (Printf.sprintf "%s (-j %d): all verdicts ok" name jobs)
+            true
+            (List.for_all (fun (_, ok) -> ok) (verdicts full));
+          Alcotest.(check (list (pair string bool)))
+            (Printf.sprintf "%s (-j %d): POR verdicts identical" name jobs)
+            (verdicts full) (verdicts por);
+          Alcotest.(check int)
+            (Printf.sprintf "%s (-j %d): full states = baseline" name jobs)
+            full_expected (states full);
+          Alcotest.(check int)
+            (Printf.sprintf "%s (-j %d): POR states = baseline" name jobs)
+            por_expected (states por))
+        baseline)
+    [ 1; 4 ]
+
+let suite =
+  [
+    prop_sleepset_model;
+    Alcotest.test_case "Sleepset add is functional" `Quick
+      test_sleepset_functional;
+    prop_interner;
+    Alcotest.test_case "interner round-trips names, fps, env classes" `Quick
+      test_interner_roundtrip;
+    Alcotest.test_case "certificates answer symmetrically" `Quick
+      test_certs_symmetric;
+    Alcotest.test_case "permuted sleep sets produce equal config keys" `Quick
+      test_sleep_permutation_key;
+    Alcotest.test_case "ghash invariant on span configurations" `Quick
+      test_ghash_span;
+    Alcotest.test_case "ghash invariant on snapshot configurations" `Quick
+      test_ghash_snapshot;
+    Alcotest.test_case "registry states identical to pre-rewrite engine" `Slow
+      test_baseline_differential;
+  ]

@@ -234,6 +234,7 @@ let test_exit_code_priority () =
       failures = [];
       worker_crashes = [];
       budget = None;
+      expl = None;
     }
   in
   let failure =
