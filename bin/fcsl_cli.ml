@@ -204,6 +204,23 @@ let verify_cmd =
             | 0 -> ""
             | n -> Fmt.str " (%d bytes of torn tail truncated)" n))
       journal;
+    (* Deadlock pre-flight: the static lock-order pass is orders of
+       magnitude cheaper than exploration, so surface its verdicts
+       before committing to the search.  A warning, not a gate — the
+       stuck-state detector inside the exploration is the sound layer;
+       the static pass narrows where to look. *)
+    List.iter
+      (fun (c : Registry.case) ->
+        match Fcsl_analysis.Deadlock.analyze_case c.Registry.c_name with
+        | Some v when not (Fcsl_analysis.Deadlock.clean v) ->
+          Fmt.epr
+            "warning: deadlock pre-flight flagged %s before verification:@."
+            c.Registry.c_name;
+          List.iter
+            (fun f -> Fmt.epr "  %a@." Fcsl_analysis.Diag.pp f)
+            (Fcsl_analysis.Diag.errors v.Fcsl_analysis.Deadlock.v_findings)
+        | Some _ | None -> ())
+      cases;
     Fun.protect ~finally:(fun () -> Option.iter Journal.close journal)
     @@ fun () ->
     Verify.with_engine ~dedup:(not no_dedup) ~prune ~por
@@ -507,6 +524,30 @@ let lint_cmd =
     Term.(const run $ const ())
 
 module Independence = Fcsl_analysis.Independence
+module Deadlock = Fcsl_analysis.Deadlock
+
+(* The deadlock section of the v2 JSON payload: registry verdicts plus
+   the two injected scenarios, which must come back flagged. *)
+let registry_deadlock_verdicts () = Deadlock.analyze_all ()
+
+let injected_deadlock_verdicts () =
+  [
+    Injected.deadlock_verdict Injected.lock_inversion_scenario;
+    Injected.deadlock_verdict Injected.leaked_lock_scenario;
+  ]
+
+let deadlock_json () =
+  Printf.sprintf "{\"verdicts\": [%s], \"injected\": [%s]}"
+    (String.concat ", "
+       (List.map Deadlock.verdict_to_json (registry_deadlock_verdicts ())))
+    (String.concat ", "
+       (List.map Deadlock.verdict_to_json (injected_deadlock_verdicts ())))
+
+let deadlock_ok () =
+  List.for_all Deadlock.clean (registry_deadlock_verdicts ())
+  && List.for_all
+       (fun v -> not (Deadlock.clean v))
+       (injected_deadlock_verdicts ())
 
 let analyze_cmd =
   let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
@@ -541,6 +582,52 @@ let analyze_cmd =
              confinement) — the relation $(b,--por) verification \
              consumes.  Combines with $(b,--json)")
   in
+  let deadlock_flag =
+    Arg.(
+      value & flag
+      & info [ "deadlock" ]
+          ~doc:
+            "Run the deadlock & progress analysis: census the \
+             lock-shaped concurroids of every Table 1 row, assemble \
+             lock-order graphs, report cycles and must-release \
+             violations, and certify a total lock order when acyclic.  \
+             The injected lock-inversion and leaked-lock scenarios must \
+             come back flagged.  With $(b,--json), emits the full \
+             schema-2 payload (identical to plain $(b,--json)), so both \
+             CI steps diff against one committed baseline")
+  in
+  (* Exit codes follow the Verify.exit_code taxonomy (see
+     docs/ROBUSTNESS.md): error-severity findings on genuine units — or
+     a missed injected variant — are verification failures (1) and
+     dominate; an input the analyzer could not run on at all
+     (parse/read error) is an engine failure (3); warnings alone are
+     not failures (0).  [broken] counts unanalyzable inputs, [results]
+     the units that must be clean, [injected] the variants that must be
+     flagged. *)
+  let analyze_exit ~broken ~results ~injected =
+    if
+      List.exists (fun (_, fs) -> Diag.has_errors fs) results
+      || List.exists (fun (_, fs) -> not (Diag.has_errors fs)) injected
+    then exit_failed
+    else if broken > 0 then exit_internal
+    else exit_ok
+  in
+  (* Analyze one surface file: [Ok findings], or [Error finding] when
+     the analysis could not run (the finding still renders, but counts
+     toward [broken], not toward the clean/flagged verdict). *)
+  let analyze_file file =
+    match Surface.analyze_source ~name:file (read_file file) with
+    | Ok fs -> Ok (file, fs)
+    | Error msg ->
+      Error
+        ( file,
+          [
+            Diag.error ~rule:"parse-error" ~loc:file
+              (Fmt.str "parse error: %s" msg);
+          ] )
+    | exception Sys_error msg ->
+      Error (file, [ Diag.error ~rule:"read-error" ~loc:file msg ])
+  in
   (* The independence matrices, prose or JSON. *)
   let run_independence json =
     let ms = Independence.analyze_all () in
@@ -555,23 +642,23 @@ let analyze_cmd =
     end
     else
       List.iter (fun m -> Fmt.pr "%a@.@." Independence.pp_matrix m) ms;
-    exit_ok
+    (* Lie demotions surface at verification time; the matrices
+       themselves carry no failure verdicts, so a completed derivation
+       is ok by the taxonomy. *)
+    analyze_exit ~broken:0 ~results:[] ~injected:[]
   in
   (* The lint pass as JSON: surface files, case studies, injected
-     variants, one entry each; exit logic identical to the prose path. *)
+     variants, one entry each, plus the schema-2 deadlock section; exit
+     logic identical to the prose path. *)
   let run_json files no_self_test =
-    let file_results =
-      List.map
-        (fun file ->
-          match Surface.analyze_source ~name:file (read_file file) with
-          | Ok fs -> (file, fs)
-          | Error msg ->
-            ( file,
-              [
-                Diag.error ~rule:"parse-error" ~loc:file
-                  (Fmt.str "parse error: %s" msg);
-              ] ))
-        files
+    let file_results = List.map analyze_file files in
+    let broken =
+      List.length (List.filter Result.is_error file_results)
+    in
+    let file_ok, file_broken =
+      List.partition_map
+        (function Ok r -> Left r | Error r -> Right r)
+        file_results
     in
     let case_results = Cases.analyze_all () in
     let injected_results =
@@ -582,62 +669,86 @@ let analyze_cmd =
           (Injected.all_variants ())
     in
     print_string
-      (Diag.results_to_json (file_results @ case_results @ injected_results));
+      (Diag.results_to_json
+         ~deadlock:(deadlock_json ())
+         (file_ok @ file_broken @ case_results @ injected_results));
     print_newline ();
-    let ok =
-      List.for_all
-        (fun (_, fs) -> not (Diag.has_errors fs))
-        (file_results @ case_results)
-      (* injected variants must each be FLAGGED *)
-      && List.for_all (fun (_, fs) -> Diag.has_errors fs) injected_results
+    let code =
+      analyze_exit ~broken
+        ~results:(file_ok @ case_results)
+        ~injected:injected_results
     in
-    if ok then exit_ok else exit_failed
+    if code = exit_ok && not (deadlock_ok ()) then exit_failed else code
   in
-  let run_prose files no_self_test =
-    (* 1. Surface files given on the command line. *)
-    let files_ok =
-      List.for_all
-        (fun file ->
-          match Surface.analyze_source ~name:file (read_file file) with
-          | Ok [] ->
-            Fmt.pr "%s: clean@." file;
-            true
-          | Ok fs ->
-            Fmt.pr "%s:@." file;
-            List.iter (fun f -> Fmt.pr "  %a@." Diag.pp f) fs;
-            not (Diag.has_errors fs)
-          | Error msg ->
-            Fmt.pr "%s: parse error: %s@." file msg;
-            false)
-        files
-    in
-    (* 2. Registered case studies must be clean. *)
-    let cases_ok = lint_cases () in
-    (* 3. Injected broken variants must each be flagged. *)
-    let self_ok =
-      if no_self_test then true
-      else begin
-        Fmt.pr "Failure-injection self-test (each variant must be flagged):@.";
-        List.for_all
-          (fun (name, fs) ->
-            let flagged = Diag.has_errors fs in
-            Fmt.pr "  %-28s %s@." name
-              (if flagged then
-                 Fmt.str "flagged (%d finding(s))" (List.length fs)
-               else "MISSED — analyzer failed to flag this variant");
-            List.iter (fun f -> Fmt.pr "    %a@." Diag.pp f) fs;
-            flagged)
-          (Injected.all_variants ())
-      end
-    in
-    if files_ok && cases_ok && self_ok then begin
-      Fmt.pr "analyze: ok@.";
+  (* Deadlock-only prose: the registry verdicts with their certified
+     orders, then the injected scenarios, which must be flagged. *)
+  let run_deadlock () =
+    Fmt.pr "Deadlock & progress analysis (lock-order graphs):@.";
+    let verdicts = registry_deadlock_verdicts () in
+    List.iter (fun v -> Fmt.pr "  %a@." Deadlock.pp_verdict v) verdicts;
+    Fmt.pr "Injected scenarios (each must be flagged):@.";
+    let injected = injected_deadlock_verdicts () in
+    List.iter
+      (fun (v : Deadlock.verdict) ->
+        Fmt.pr "  %-16s %s@." v.Deadlock.v_case
+          (if Deadlock.clean v then
+             "MISSED — analyzer failed to flag this scenario"
+           else Fmt.str "flagged (%d finding(s))" (List.length v.Deadlock.v_findings));
+        List.iter (fun f -> Fmt.pr "    %a@." Diag.pp f) v.Deadlock.v_findings)
+      injected;
+    if
+      List.for_all Deadlock.clean verdicts
+      && List.for_all (fun v -> not (Deadlock.clean v)) injected
+    then begin
+      Fmt.pr "deadlock: ok@.";
       exit_ok
     end
     else exit_failed
   in
-  let run files no_self_test json independence =
+  let run_prose files no_self_test =
+    (* 1. Surface files given on the command line.  Every file is
+       analyzed and printed before the verdict is computed — the exit
+       code reflects all of them, not just the first failure. *)
+    let file_results = List.map analyze_file files in
+    List.iter
+      (fun r ->
+        match r with
+        | Ok (file, []) -> Fmt.pr "%s: clean@." file
+        | Ok (file, fs) | Error (file, fs) ->
+          Fmt.pr "%s:@." file;
+          List.iter (fun f -> Fmt.pr "  %a@." Diag.pp f) fs)
+      file_results;
+    let broken = List.length (List.filter Result.is_error file_results) in
+    let file_ok = List.filter_map Result.to_option file_results in
+    (* 2. Registered case studies must be clean. *)
+    let cases_ok = lint_cases () in
+    (* 3. Injected broken variants must each be flagged. *)
+    let injected_results =
+      if no_self_test then []
+      else begin
+        Fmt.pr "Failure-injection self-test (each variant must be flagged):@.";
+        let vs = Injected.all_variants () in
+        List.iter
+          (fun (name, fs) ->
+            Fmt.pr "  %-28s %s@." name
+              (if Diag.has_errors fs then
+                 Fmt.str "flagged (%d finding(s))" (List.length fs)
+               else "MISSED — analyzer failed to flag this variant");
+            List.iter (fun f -> Fmt.pr "    %a@." Diag.pp f) fs)
+          vs;
+        vs
+      end
+    in
+    let code =
+      analyze_exit ~broken ~results:file_ok ~injected:injected_results
+    in
+    let code = if cases_ok then code else exit_failed in
+    if code = exit_ok then Fmt.pr "analyze: ok@.";
+    code
+  in
+  let run files no_self_test json independence deadlock =
     if independence then run_independence json
+    else if deadlock then if json then run_json [] no_self_test else run_deadlock ()
     else if json then run_json files no_self_test
     else run_prose files no_self_test
   in
@@ -645,12 +756,13 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Statically analyze surface-language files for races, lint the \
-          registered case studies, self-test against injected bugs, and \
+          registered case studies, self-test against injected bugs, run \
+          the deadlock & progress pass (with $(b,--deadlock)), and \
           (with $(b,--independence)) derive the action-independence \
           matrices consumed by $(b,--por) verification")
     Term.(
       const run $ files_arg $ no_self_test_flag $ json_flag
-      $ independence_flag)
+      $ independence_flag $ deadlock_flag)
 
 (* chaos *)
 

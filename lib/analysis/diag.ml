@@ -77,10 +77,20 @@ let finding_to_json f =
        (List.map (fun d -> Printf.sprintf "\"%s\"" (json_escape d)) f.f_detail))
 
 (* One object per analyzed unit (case study, file, injected variant):
-   {"cases": [{"case": NAME, "findings": [...]}, ...]} *)
-let results_to_json (results : (string * finding list) list) : string =
+   {"schema_version": 2, "cases": [{"case": NAME, "findings": [...]},
+   ...], "deadlock": ...}.  The [cases] array is byte-identical to the
+   schema-1 payload, so baseline diff logic scoped to the untouched
+   sections keeps passing; [deadlock] (when supplied, as pre-rendered
+   JSON — see {!Deadlock.verdict_to_json}) carries the lock-order
+   verdicts.  [schema_version] bumps whenever a consumer could need to
+   dispatch: 1 = the bare {"cases"} object, 2 = this shape. *)
+let schema_version = 2
+
+let results_to_json ?deadlock (results : (string * finding list) list) : string
+    =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"cases\": [";
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema_version\": %d, \"cases\": [" schema_version);
   List.iteri
     (fun i (name, fs) ->
       if i > 0 then Buffer.add_string b ", ";
@@ -89,5 +99,11 @@ let results_to_json (results : (string * finding list) list) : string =
            (json_escape name)
            (String.concat ", " (List.map finding_to_json fs))))
     results;
-  Buffer.add_string b "]}";
+  Buffer.add_string b "]";
+  Option.iter
+    (fun dl ->
+      Buffer.add_string b ", \"deadlock\": ";
+      Buffer.add_string b dl)
+    deadlock;
+  Buffer.add_string b "}";
   Buffer.contents b

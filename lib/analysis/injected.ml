@@ -154,10 +154,164 @@ let aba_findings () : Diag.finding list =
   in
   laws @ pinned
 
-(* All three, keyed for the CLI's self-test section and the tests. *)
+(* 4 & 5. Deadlock injections: an AB/BA lock inversion and a leaked
+   lock (a path returning past its release).
+
+   Both scenarios live over the same two-spinlock world: CLock "A"
+   guarding cell 95 and CLock "B" guarding cell 96.  Each scenario is
+   declared ONCE, as {!Deadlock.script}s; the static findings come from
+   analyzing the scripts, and the dynamic programs are compiled from
+   the very same scripts ({!prog_of_script}) — so the static claim and
+   the executed behavior cannot drift.  The differential tests then
+   demand that the scheduler's stuck-state witness names the same locks
+   the static cycle (resp. must-release path) does. *)
+
+module Aux = Fcsl_pcm.Aux
+
+let lock_a_label = Label.make "A"
+let lock_b_label = Label.make "B"
+let lock_a_cfg : Caslock.config = { lk = Ptr.of_int 93 }
+let lock_b_cfg : Caslock.config = { lk = Ptr.of_int 94 }
+let cell_a = Ptr.of_int 95
+let cell_b = Ptr.of_int 96
+let resource_a = Lock_intf.cell_resource cell_a
+let resource_b = Lock_intf.cell_resource cell_b
+
+let deadlock_world () =
+  World.of_list
+    [
+      Caslock.concurroid ~label:lock_a_label lock_a_cfg resource_a;
+      Caslock.concurroid ~label:lock_b_label lock_b_cfg resource_b;
+    ]
+
+let deadlock_init_state () =
+  let slice cfg res cell =
+    Caslock.initial_slice cfg res (Heap.singleton cell (Value.int 0)) Aux.Unit
+  in
+  State.add lock_b_label
+    (slice lock_b_cfg resource_b cell_b)
+    (State.singleton lock_a_label (slice lock_a_cfg resource_a cell_a))
+
+let lock_of_name = function
+  | "A" -> (lock_a_label, lock_a_cfg, resource_a)
+  | "B" -> (lock_b_label, lock_b_cfg, resource_b)
+  | n -> invalid_arg ("Injected.lock_of_name: unknown lock " ^ n)
+
+(* Compile one script thread to the DSL: acquire = the CLock spin loop,
+   release = the invariant-restoring unlock. *)
+let prog_of_script (sc : Deadlock.script) : unit Prog.t =
+  List.fold_left
+    (fun acc step ->
+      let p =
+        match step with
+        | Deadlock.S_acquire n ->
+          let l, cfg, _ = lock_of_name n in
+          Caslock.lock l cfg
+        | Deadlock.S_release n ->
+          let l, cfg, res = lock_of_name n in
+          Caslock.unlock l cfg res ~delta:Aux.Unit
+      in
+      Prog.seq acc p)
+    (Prog.ret ()) sc.Deadlock.sc_steps
+
+type deadlock_scenario = {
+  dl_name : string;
+  dl_scripts : Deadlock.script list; (* exactly two threads *)
+  dl_expect_locks : string list;
+      (* lock names both layers must report: the static cycle's (resp.
+         leaked lock's) names, and the dynamic witness's held+awaited
+         set *)
+}
+
+let lock_inversion_scenario =
+  {
+    dl_name = "lock inversion";
+    dl_scripts =
+      [
+        {
+          Deadlock.sc_thread = "left";
+          sc_steps =
+            [
+              Deadlock.S_acquire "A";
+              S_acquire "B";
+              S_release "B";
+              S_release "A";
+            ];
+          sc_exit = Deadlock.Returns;
+        };
+        {
+          Deadlock.sc_thread = "right";
+          sc_steps =
+            [
+              Deadlock.S_acquire "B";
+              S_acquire "A";
+              S_release "A";
+              S_release "B";
+            ];
+          sc_exit = Deadlock.Returns;
+        };
+      ];
+    dl_expect_locks = [ "A"; "B" ];
+  }
+
+let leaked_lock_scenario =
+  {
+    dl_name = "leaked lock";
+    dl_scripts =
+      [
+        (* the leaker returns still holding A — the must-release
+           violation ... *)
+        {
+          Deadlock.sc_thread = "leaker";
+          sc_steps = [ Deadlock.S_acquire "A" ];
+          sc_exit = Deadlock.Returns;
+        };
+        (* ... which starves the well-behaved neighbour for good. *)
+        {
+          Deadlock.sc_thread = "neighbour";
+          sc_steps = [ Deadlock.S_acquire "A"; S_release "A" ];
+          sc_exit = Deadlock.Returns;
+        };
+      ];
+    dl_expect_locks = [ "A" ];
+  }
+
+let deadlock_verdict (sc : deadlock_scenario) : Deadlock.verdict =
+  Deadlock.analyze_scripts ~case:sc.dl_name
+    ~locks:(Deadlock.locks_of_world (deadlock_world ()))
+    sc.dl_scripts
+
+let lock_inversion_findings () : Diag.finding list =
+  (deadlock_verdict lock_inversion_scenario).Deadlock.v_findings
+
+let leaked_lock_findings () : Diag.finding list =
+  (deadlock_verdict leaked_lock_scenario).Deadlock.v_findings
+
+(* Run a scenario's compiled program under exhaustive exploration (no
+   environment interference: the two threads ARE the whole system) and
+   return the stuck-state witnesses the scheduler found. *)
+let explore_scenario ?(fuel = 64) (sc : deadlock_scenario) : Crash.t list =
+  let w = deadlock_world () in
+  let st = deadlock_init_state () in
+  let genv, mine = Sched.genv_of_state w st in
+  let prog =
+    match sc.dl_scripts with
+    | [ a; b ] -> Prog.par (prog_of_script a) (prog_of_script b)
+    | _ -> invalid_arg "Injected.explore_scenario: expected two threads"
+  in
+  let outcomes, _complete = Sched.explore ~fuel ~dedup:true genv mine prog in
+  List.filter_map
+    (function
+      | Sched.Crashed c when Crash.kind c = Crash.Deadlock -> Some c
+      | _ -> None)
+    outcomes
+
+(* All five, keyed for the CLI's self-test section and the tests. *)
 let all_variants () : (string * Diag.finding list) list =
   [
     ("span without CAS", span_nocas_findings ());
     ("skipped ticket check", ticket_skip_findings ());
     ("ABA stack", aba_findings ());
+    ("lock inversion", lock_inversion_findings ());
+    ("leaked lock", leaked_lock_findings ());
   ]

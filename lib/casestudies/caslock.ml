@@ -165,6 +165,16 @@ let enum cfg resource () =
 
 let concurroid ~label cfg resource =
   Concurroid.make ~label ~name:"CLock" ~coh:(coh cfg resource)
+    ~lock:
+      {
+        Concurroid.li_held =
+          (fun s ->
+            match mutex_of (Slice.self s) with
+            | Some Mutex.Own -> true
+            | Some Mutex.Not_own | None -> false);
+        li_acquires = [ "try_lock(" ];
+        li_releases = [ "unlock(" ];
+      }
     ~transitions:[ lock_tr cfg; unlock_tr cfg resource; mutate_tr cfg resource ]
     ~enum:(enum cfg resource) ()
 (*!Acts*)

@@ -387,6 +387,16 @@ let enum so cfg ?(depth = 3) () =
 
 let concurroid so cfg ?(depth = 3) label =
   Concurroid.make ~label ~name:"FlatCombine" ~coh:(coh so cfg)
+    ~lock:
+      {
+        Concurroid.li_held =
+          (fun s ->
+            match split_aux (Slice.self s) with
+            | Some (Mutex.Own, _, _) -> true
+            | Some ((Mutex.Not_own : Mutex.t), _, _) | None -> false);
+        li_acquires = [ "fc_try_lock" ];
+        li_releases = [ "fc_unlock" ];
+      }
     ~transitions:(transitions so cfg)
     ~enum:(fun () -> enum so cfg ~depth ())
     ()

@@ -174,6 +174,16 @@ let enum cfg resource () =
 
 let concurroid ~label cfg resource =
   Concurroid.make ~label ~name:"TLock" ~coh:(coh cfg resource)
+    ~lock:
+      {
+        Concurroid.li_held =
+          (fun s ->
+            match (owner_of cfg (Slice.joint s), split_aux (Slice.self s)) with
+            | Some o, Some (tickets, _) -> Ptr.Set.mem (ticket o) tickets
+            | _ -> false);
+        li_acquires = [ "take_ticket("; "read_owner(" ];
+        li_releases = [ "tl_unlock(" ];
+      }
     ~transitions:
       [ take_ticket_tr cfg; unlock_tr cfg resource; mutate_tr cfg resource ]
     ~enum:(enum cfg resource) ()

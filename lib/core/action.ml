@@ -65,6 +65,10 @@ type 'a t = {
          acquisition spins) their blocking semantics during exhaustive
          exploration — sound for partial correctness, since failed spins
          do not change the state. *)
+  blocking : bool;
+      (* Whether an [enabled] guard was declared at all: the static
+         deadlock analysis classifies guarded actions as potential
+         blocking points, unguarded ones as always schedulable. *)
   step : State.t -> 'a * State.t;
   phys : State.t -> phys;
       (* The physical operation this step performs in this state. *)
@@ -80,13 +84,16 @@ type 'a t = {
          dynamically by {!Sched}'s envelope monitor. *)
 }
 
-let make ?(communicating = false) ?(enabled = fun _ -> true)
-    ?(fp = Footprint.top) ~name ~safe ~step ~phys () =
-  { name; safe; enabled; step; phys; communicating; fp }
+let make ?(communicating = false) ?enabled ?(fp = Footprint.top) ~name ~safe
+    ~step ~phys () =
+  let blocking = Option.is_some enabled in
+  let enabled = Option.value enabled ~default:(fun _ -> true) in
+  { name; safe; enabled; step; phys; communicating; fp; blocking }
 
 let name a = a.name
 let safe a st = a.safe st
 let enabled a st = a.enabled st
+let blocking a = a.blocking
 let phys a st = a.phys st
 let footprint a = a.fp
 

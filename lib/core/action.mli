@@ -46,6 +46,12 @@ val make :
 val name : 'a t -> string
 val safe : 'a t -> State.t -> bool
 val enabled : 'a t -> State.t -> bool
+
+val blocking : 'a t -> bool
+(** Whether an [enabled] guard was declared: guarded actions are the
+    potential blocking points the static deadlock analysis classifies
+    as acquisitions. *)
+
 val phys : 'a t -> State.t -> phys
 
 val footprint : 'a t -> Footprint.t

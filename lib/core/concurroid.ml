@@ -32,6 +32,21 @@ type transition = {
 let internal ~name step = { tr_name = name; tr_external = false; tr_step = step }
 let external_ ~name step = { tr_name = name; tr_external = true; tr_step = step }
 
+(* Lock-shaped concurroids declare how they are a lock: a dynamic
+   holding observer plus the action-name prefixes that acquire and
+   release it.  The declaration feeds the static deadlock analysis
+   (lock census, acquire/release classification) and the scheduler's
+   stuck-state witness (which locks the blocked configuration holds);
+   the registry-wide static/dynamic differential keeps it honest. *)
+type lock_info = {
+  li_held : Slice.t -> bool;
+      (* Does the observing thread hold the lock in this slice? *)
+  li_acquires : string list;
+      (* Action-name prefixes that (begin to) acquire the lock. *)
+  li_releases : string list;
+      (* Action-name prefixes that release the lock. *)
+}
+
 type t = {
   label : Label.t;
   cname : string;
@@ -46,10 +61,16 @@ type t = {
   enum : unit -> Slice.t list;
       (* A finite universe of representative coherent slices, the domain
          over which laws and stability are checked. *)
+  lock : lock_info option;
 }
 
-let make ?justifies ~label ~name ~coh ~transitions ~enum () =
-  { label; cname = name; coh; transitions; justifies; enum }
+let make ?justifies ?lock ~label ~name ~coh ~transitions ~enum () =
+  { label; cname = name; coh; transitions; justifies; enum; lock }
+
+let lock_info c = c.lock
+
+let held c s =
+  match c.lock with None -> false | Some li -> li.li_held s
 
 let justified c s s' =
   match c.justifies with Some j -> j s s' | None -> false

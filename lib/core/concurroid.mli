@@ -24,8 +24,21 @@ val external_ : name:string -> (Slice.t -> Slice.t list) -> transition
 
 type t
 
+(** A lock-shaped concurroid's self-declaration: how to observe that
+    the viewing thread holds it, and which action-name prefixes acquire
+    and release it.  Consumed by the static deadlock analysis (lock
+    census, acquire/release classification) and by the scheduler's
+    stuck-state witness; kept honest by the registry-wide
+    static/dynamic differential. *)
+type lock_info = {
+  li_held : Slice.t -> bool;
+  li_acquires : string list;
+  li_releases : string list;
+}
+
 val make :
   ?justifies:(Slice.t -> Slice.t -> bool) ->
+  ?lock:lock_info ->
   label:Label.t ->
   name:string ->
   coh:(Slice.t -> bool) ->
@@ -35,7 +48,15 @@ val make :
   t
 (** [justifies] is an optional semantic transition relation for
     concurroids whose transitions quantify over unenumerable data (e.g.
-    Priv lets a thread rewrite its own cells with arbitrary values). *)
+    Priv lets a thread rewrite its own cells with arbitrary values).
+    [lock] marks the concurroid as lock-shaped (see {!lock_info}). *)
+
+val lock_info : t -> lock_info option
+(** The lock self-declaration, for lock-shaped concurroids. *)
+
+val held : t -> Slice.t -> bool
+(** [held c s]: the viewing thread holds lock [c] in slice [s] ([false]
+    for concurroids without a {!lock_info}). *)
 
 val label : t -> Label.t
 val name : t -> string

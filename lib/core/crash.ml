@@ -13,6 +13,7 @@ type kind =
   | Injected_fault
   | Internal_error
   | Analyzer_lie
+  | Deadlock
 
 let kind_name = function
   | Unsafe_action -> "unsafe-action"
@@ -23,6 +24,7 @@ let kind_name = function
   | Injected_fault -> "injected-fault"
   | Internal_error -> "internal-error"
   | Analyzer_lie -> "analyzer-lie"
+  | Deadlock -> "deadlock"
 
 let pp_kind ppf k = Fmt.string ppf (kind_name k)
 
@@ -90,6 +92,7 @@ let kind_of_name = function
   | "injected-fault" -> Some Injected_fault
   | "internal-error" -> Some Internal_error
   | "analyzer-lie" -> Some Analyzer_lie
+  | "deadlock" -> Some Deadlock
   | _ -> None
 
 exception Parse of string

@@ -23,6 +23,12 @@ type kind =
       (** a statically claimed independence was refuted at runtime: a
           move mutated a label its declared footprint excludes, so the
           partial-order reducer demoted the run to full expansion *)
+  | Deadlock
+      (** a reachable configuration where every program move is
+          disabled and no environment path can re-enable one: all
+          threads are blocked for good.  The message carries the
+          held-lock set and the blocked moves (see {!Sched.explore}'s
+          stuck-state detector). *)
 
 val kind_name : kind -> string
 (** Stable kebab-case name: ["unsafe-action"], ["ghost-algebra"], ... *)

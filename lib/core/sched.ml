@@ -523,6 +523,147 @@ let env_moves_aux : type a. genv -> Contrib.t -> a rt -> env_move list =
 let env_moves genv mine rt =
   List.map (fun ev -> (Lazy.force ev.ev_name, ev.ev_genv)) (env_moves_aux genv mine rt)
 
+(* Stuck-state detection.  When every program leaf is blocked on a
+   disabled action, the configuration is either a genuine deadlock or
+   merely waiting on environment interference.  [confirms_stuck] closes
+   over the environment's transitions from the current shared state —
+   deliberately ignoring the remaining interference budget, whose
+   exhaustion must never manufacture a deadlock — and reports a genuine
+   deadlock only when no reachable environment state re-enables any
+   program move.  The closure is bounded; past [stuck_closure_cap]
+   distinct shared states the answer is conservatively "not stuck"
+   (divergence, exactly as before).  Labels closed to interference
+   ([genv.interfere]) cannot be changed by the environment, so a
+   no-interference verification confirms immediately. *)
+
+let stuck_closure_cap = 512
+
+let genv_same a b =
+  a.ghash = b.ghash
+  && Label.Map.equal Heap.equal a.joints b.joints
+  && Contrib.equal a.jauxs b.jauxs
+  && Contrib.equal a.ext_other b.ext_other
+
+exception Not_stuck
+
+let confirms_stuck : type a. genv -> Contrib.t -> a rt -> bool =
+ fun genv0 mine rt ->
+  let visited = ref [ genv0 ] in
+  let nvisited = ref 1 in
+  let rec bfs = function
+    | [] -> ()
+    | g :: rest ->
+      let fresh =
+        List.filter_map
+          (fun ev ->
+            let g' = ev.ev_genv in
+            (* Any program move becoming schedulable — including an
+               unsafe one, which the real search would report as a
+               crash — counts as progress. *)
+            if moves g' Contrib.empty mine rt <> [] then raise Not_stuck;
+            if List.exists (genv_same g') !visited then None
+            else begin
+              if !nvisited >= stuck_closure_cap then raise Not_stuck;
+              visited := g' :: !visited;
+              incr nvisited;
+              Some g'
+            end)
+          (env_moves_aux g mine rt)
+      in
+      bfs (rest @ fresh)
+  in
+  match bfs [ genv0 ] with () -> true | exception Not_stuck -> false
+
+(* The held-lock witness: lock-shaped world concurroids whose holding
+   observer is true of the slice seen by the pooled program
+   contributions — some thread of ours holds them. *)
+let held_locks genv mine rt =
+  match Option.bind (inner_contribs rt) (Contrib.join mine) with
+  | None -> []
+  | Some ours ->
+    List.filter_map
+      (fun c ->
+        match Concurroid.lock_info c with
+        | None -> None
+        | Some _ -> (
+          let l = Concurroid.label c in
+          match Label.Map.find_opt l genv.joints with
+          | None -> None
+          | Some joint ->
+            let s =
+              Slice.make_jaux
+                ~jaux:(Contrib.get l genv.jauxs)
+                ~self:(Contrib.get l ours) ~joint
+                ~other:(Contrib.get l genv.ext_other)
+            in
+            if Concurroid.held c s then Some (Label.name l) else None))
+      (World.concurroids genv.world)
+
+(* The blocked leaves of an all-blocked tree: every action leaf with a
+   valid view that is safe but disabled, with its declared footprint
+   (to name the lock it blocks on).  Only called off the hot path, when
+   [moves] is already known to be empty. *)
+let rec blocked_at : type a.
+    genv -> Contrib.t -> Contrib.t -> a rt -> (string * Footprint.t) list =
+ fun genv around mine rt ->
+  match rt with
+  | RRet _ | RParP _ | RHideP _ -> []
+  | RAct a -> (
+    match view genv ~around ~mine with
+    | None -> []
+    | Some st ->
+      if Action.safe a st && not (Action.enabled a st) then
+        [ (Action.name a, Action.footprint a) ]
+      else [])
+  | RBind (p, _) -> blocked_at genv around mine p
+  | RHideI (_, body) -> blocked_at genv around mine body
+  | RPar (l, cl, r, cr) ->
+    let around_of sibling_contrib sibling_tree =
+      Option.bind (inner_contribs sibling_tree) (fun inner ->
+          Contrib.join_all [ around; mine; sibling_contrib; inner ])
+    in
+    (match around_of cr r with
+    | None -> []
+    | Some around_l -> blocked_at genv around_l cl l)
+    @
+    (match around_of cl l with
+    | None -> []
+    | Some around_r -> blocked_at genv around_r cr r)
+
+(* The stable witness message the deadlock crash carries.  The static
+   analyzer's differential tests parse the lock names back out of it
+   (see [Deadlock.locks_of_witness] in fcsl.analysis), so the
+   "held locks: {...}" and "blocked: [...]" shapes are load-bearing. *)
+let deadlock_message genv mine rt =
+  let lock_labels =
+    List.filter_map
+      (fun c ->
+        if Concurroid.lock_info c <> None then Some (Concurroid.label c)
+        else None)
+      (World.concurroids genv.world)
+  in
+  let blocked =
+    List.map
+      (fun (n, fp) ->
+        match
+          List.find_opt
+            (fun l ->
+              match Footprint.labels fp with
+              | Some ls -> Label.Set.mem l ls
+              | None -> false)
+            lock_labels
+        with
+        | Some l -> n ^ " awaiting " ^ Label.name l
+        | None -> n)
+      (blocked_at genv Contrib.empty mine rt)
+  in
+  let held = List.sort String.compare (held_locks genv mine rt) in
+  Fmt.str
+    "deadlock: every program move is disabled and no environment step \
+     re-enables one; held locks: {%s}; blocked: [%s]"
+    (String.concat ", " held)
+    (String.concat ", " blocked)
+
 (* Configuration fingerprinting, the backbone of memoized exploration.
 
    A configuration is (genv, mine, rt).  The state-like parts (joint
@@ -1144,8 +1285,17 @@ let explore ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
         if interference && budget > 0 then env_moves_aux genv mine rt else []
       in
       if mvs = [] && envs = [] then
-        (* every thread blocked on a disabled action: divergence *)
-        record Diverged
+        (* Every thread is blocked on a disabled action.  If no
+           environment future (budget notwithstanding) re-enables any
+           move, this is a genuine deadlock — crash with the held-lock
+           and blocked-move witness; otherwise the interference budget
+           merely ran out: divergence, as before. *)
+        if confirms_stuck genv mine rt then
+          record
+            (Crashed
+               (Crash.make ~trace:(trace_steps trace) Crash.Deadlock
+                  (deadlock_message genv mine rt)))
+        else record Diverged
       else begin
         match por with
         | None ->

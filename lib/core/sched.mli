@@ -109,7 +109,10 @@ type 'a outcome =
       (** an enabled action was unsafe, or ghost algebra failed: a
           verification failure with its witness (kind, diagnosis and
           discovering schedule) *)
-  | Diverged  (** fuel exhausted or all threads blocked *)
+  | Diverged
+      (** fuel exhausted, or all threads blocked while environment
+          interference can still unblock one (a budget artifact, not a
+          deadlock) *)
 
 val pp_outcome :
   (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a outcome -> unit
@@ -188,7 +191,16 @@ val explore :
     set, so [dedup] and [por] compose soundly.
 
     With [stats], explored-configuration counts are accumulated into the
-    given record (cumulative across a demotion's re-run). *)
+    given record (cumulative across a demotion's re-run).
+
+    Stuck-state detection is always on: a configuration where every
+    program move is disabled is checked against the bounded closure of
+    environment transitions (ignoring the remaining interference
+    budget, whose exhaustion must never manufacture a deadlock).  When
+    no reachable environment state re-enables any program move, the
+    path records a {!Crash.Deadlock} crash whose message carries the
+    held-lock set (per {!Concurroid.lock_info}) and the blocked moves;
+    otherwise it remains [Diverged] exactly as before. *)
 
 val run_with_chooser :
   ?fuel:int ->

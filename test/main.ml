@@ -19,6 +19,7 @@ let () =
       ("misc", Test_misc.suite);
       ("report", Test_report.suite);
       ("analysis", Test_analysis.suite);
+      ("deadlock", Test_deadlock.suite);
       ("robust", Test_robust.suite);
       ("journal", Test_journal.suite);
       ("por", Test_por.suite);
