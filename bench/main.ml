@@ -971,11 +971,183 @@ let run_por () =
   write_por_json ~path:"BENCH_por.json" rows;
   Fmt.pr "wrote BENCH_por.json@.@."
 
-(* [--robust-only] / [--journal-only] / [--por-only] regenerate just the
-   corresponding CI artifact without paying for the bechamel suite. *)
+(* --- BENCH_serve.json: the service memoization record. --- *)
+
+(* Cold-vs-memoized latency through the daemon itself ([fcsl serve]):
+   one in-process server on a fresh journal; every Table 1 case is
+   submitted cold once (a full exploration) and then repeatedly (served
+   from the journal memo), measuring wall-clock per submission at the
+   client.  The gate is registry-total: the memoized pass must beat the
+   cold pass by at least 10x (tiny rows are dominated by socket
+   round-trips, so per-case ratios are reported but not gated).  A
+   sustained-throughput row then drives 4 concurrent clients across the
+   memoized registry. *)
+
+module Sv_server = Fcsl_service.Server
+module Sv_client = Fcsl_service.Client
+
+type serve_row = {
+  sv_name : string;
+  sv_cold_s : float;
+  sv_memo_p50_s : float;
+}
+
+type serve_throughput = { st_submissions : int; st_elapsed_s : float }
+
+let serve_target_speedup = 10.0
+let serve_memo_trials = 5
+let serve_clients = 4
+
+let sv_speedup r =
+  if r.sv_memo_p50_s > 0. then r.sv_cold_s /. r.sv_memo_p50_s else nan
+
+let with_serve_daemon f =
+  let tmp = Filename.get_temp_dir_name () in
+  let stamp = Printf.sprintf "fcsl-bench-serve-%d" (Unix.getpid ()) in
+  let dir = Filename.concat tmp stamp in
+  let socket = Filename.concat tmp (stamp ^ ".sock") in
+  Journal.close (Journal.openj ~resume:false dir);
+  let t =
+    Sv_server.create
+      (Sv_server.config ~signals:false ~jobs:1 ~socket ~journal_dir:dir ())
+  in
+  let th = Thread.create Sv_server.run t in
+  if not (Sv_client.wait_ready ~socket ()) then
+    failwith "bench: the in-process daemon never answered a ping";
+  Fun.protect
+    ~finally:(fun () ->
+      Sv_server.stop t;
+      Thread.join th)
+    (fun () -> f ~socket)
+
+let timed_submit cn case =
+  let t0 = Unix.gettimeofday () in
+  match Sv_client.submit cn ~case with
+  | Ok v -> (Unix.gettimeofday () -. t0, v)
+  | Error e ->
+    failwith (Fmt.str "bench: submit %s: %a" case Sv_client.pp_submit_error e)
+
+let serve_comparison () =
+  with_serve_daemon (fun ~socket ->
+      let cn = Sv_client.connect ~socket in
+      let rows =
+        List.map
+          (fun (c : Registry.case) ->
+            let name = c.Registry.c_name in
+            (* NB: a first submission may legitimately come back
+               memoized when an earlier case already journalled its
+               underlying specs (e.g. the lock cases verify through CG
+               increment's counter resource), so cold_s is "first
+               submission in registry order", not "guaranteed fresh". *)
+            let cold_s, _cold = timed_submit cn name in
+            let memo_times =
+              List.init serve_memo_trials (fun _ ->
+                  let s, v = timed_submit cn name in
+                  if not v.Sv_client.v_memo then
+                    failwith (name ^ ": repeat submission re-explored");
+                  s)
+            in
+            let sorted = List.sort compare memo_times in
+            let p50 = List.nth sorted (serve_memo_trials / 2) in
+            { sv_name = name; sv_cold_s = cold_s; sv_memo_p50_s = p50 })
+          Registry.all
+      in
+      Sv_client.close cn;
+      (* sustained throughput: [serve_clients] concurrent clients each
+         re-submitting the whole (memoized) registry *)
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        List.init serve_clients (fun _ ->
+            Thread.create
+              (fun () ->
+                let cn = Sv_client.connect ~socket in
+                List.iter
+                  (fun (c : Registry.case) ->
+                    ignore (timed_submit cn c.Registry.c_name))
+                  Registry.all;
+                Sv_client.close cn)
+              ())
+      in
+      List.iter Thread.join threads;
+      let tput =
+        {
+          st_submissions = serve_clients * List.length Registry.all;
+          st_elapsed_s = Unix.gettimeofday () -. t0;
+        }
+      in
+      (rows, tput))
+
+let serve_total_cold rows =
+  List.fold_left (fun a r -> a +. r.sv_cold_s) 0. rows
+
+let serve_total_memo rows =
+  List.fold_left (fun a r -> a +. r.sv_memo_p50_s) 0. rows
+
+let serve_total_speedup rows =
+  let m = serve_total_memo rows in
+  if m > 0. then serve_total_cold rows /. m else nan
+
+let serve_targets_met rows = serve_total_speedup rows >= serve_target_speedup
+
+let pp_serve_rows ppf rows =
+  Fmt.pf ppf "  %-28s %12s %14s %10s@." "case" "cold (s)" "memo p50 (s)"
+    "speedup";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %-28s %12.4f %14.5f %9.1fx@." r.sv_name r.sv_cold_s
+        r.sv_memo_p50_s (sv_speedup r))
+    rows;
+  Fmt.pf ppf "  %-28s %12.4f %14.5f %9.1fx@." "TOTAL" (serve_total_cold rows)
+    (serve_total_memo rows) (serve_total_speedup rows)
+
+let write_serve_json ~path ((rows, tput) : serve_row list * serve_throughput)
+    =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "{\n  \"serve\": {\n    \"target_speedup\": %.1f,\n    \"cases\": [\n"
+    serve_target_speedup;
+  List.iteri
+    (fun i r ->
+      pr
+        "      {\"name\": \"%s\", \"cold_s\": %.4f, \"memo_p50_s\": %.5f, \
+         \"speedup\": %s}%s\n"
+        (json_escape r.sv_name) r.sv_cold_s r.sv_memo_p50_s
+        (json_num (sv_speedup r))
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pr "    ],\n    \"total_cold_s\": %.4f,\n    \"total_memo_p50_s\": %.5f,\n"
+    (serve_total_cold rows) (serve_total_memo rows);
+  pr "    \"total_speedup\": %s,\n" (json_num (serve_total_speedup rows));
+  pr
+    "    \"throughput\": {\"clients\": %d, \"submissions\": %d, \
+     \"elapsed_s\": %.4f, \"verdicts_per_s\": %s},\n"
+    serve_clients tput.st_submissions tput.st_elapsed_s
+    (json_num
+       (if tput.st_elapsed_s > 0. then
+          float_of_int tput.st_submissions /. tput.st_elapsed_s
+        else nan));
+  pr "    \"targets_met\": %b\n  }\n}\n" (serve_targets_met rows);
+  close_out oc
+
+let run_serve () =
+  Fmt.pr "== Service memoization: cold vs journal-memoized latency ==@.";
+  let (rows, tput) as result = serve_comparison () in
+  Fmt.pr "%a@." pp_serve_rows rows;
+  Fmt.pr "  throughput: %d clients, %d memoized verdicts in %.2fs (%.0f/s)@."
+    serve_clients tput.st_submissions tput.st_elapsed_s
+    (float_of_int tput.st_submissions /. tput.st_elapsed_s);
+  Fmt.pr "memoization target (total >= %.0fx): %s@." serve_target_speedup
+    (if serve_targets_met rows then "met" else "NOT MET");
+  write_serve_json ~path:"BENCH_serve.json" result;
+  Fmt.pr "wrote BENCH_serve.json@.@."
+
+(* [--robust-only] / [--journal-only] / [--por-only] / [--serve-only]
+   regenerate just the corresponding CI artifact without paying for the
+   bechamel suite. *)
 let robust_only = Array.exists (String.equal "--robust-only") Sys.argv
 let journal_only = Array.exists (String.equal "--journal-only") Sys.argv
 let por_only = Array.exists (String.equal "--por-only") Sys.argv
+let serve_only = Array.exists (String.equal "--serve-only") Sys.argv
 
 let () =
   if robust_only then (
@@ -989,6 +1161,10 @@ let () =
   if por_only then (
     Fmt.pr "FCSL reduction benchmark (sleep-set POR states reduction)@.@.";
     run_por ();
+    exit 0);
+  if serve_only then (
+    Fmt.pr "FCSL service benchmark (cold vs memoized verdict latency)@.@.";
+    run_serve ();
     exit 0);
   Fmt.pr "FCSL benchmark & evaluation harness (paper: PLDI 2015)@.@.";
   let bench_rows = run_benchmarks () in
@@ -1007,6 +1183,7 @@ let () =
   run_por ();
   run_robust ();
   run_journal ();
+  run_serve ();
   Fmt.pr "== Table 1: statistics for implemented programs ==@.";
   Fmt.pr "%a@." Tables.pp_table1 (Tables.table1 ());
   Fmt.pr "== Table 2: primitive concurroids employed by programs ==@.";

@@ -11,6 +11,8 @@
      fcsl lint               spec/concurroid lints over the case studies
      fcsl chaos              fault-injection harness over the registry
      fcsl jobs status DIR    inspect a write-ahead verification journal
+     fcsl serve              run the verification daemon (docs/SERVICE.md)
+     fcsl submit CASE...     submit cases to a running daemon
 
    Exit codes (stable; see docs/ROBUSTNESS.md): 0 everything verified,
    1 verification failure, 2 degraded-inconclusive (a budget forced the
@@ -258,7 +260,17 @@ let jobs_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"DIR" ~doc:"Journal directory (see $(b,fcsl verify --journal))")
   in
-  let status dir =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the schema-versioned JSON rendering instead of the \
+             table — the exact payload the service daemon's status \
+             endpoint returns (minus its live queue fields), so the \
+             offline CLI and the daemon share one renderer")
+  in
+  let status dir json =
     if not (Sys.file_exists (Journal.wal_path dir))
        && not (Sys.file_exists (Journal.snapshot_path dir))
     then begin
@@ -269,9 +281,14 @@ let jobs_cmd =
       (* Pure read: inspecting a journal never mutates it, so a status
          query is safe while a verification run is writing. *)
       let records, torn = Journal.read dir in
-      if torn > 0 then
-        Fmt.pr "(%d bytes of torn tail would be truncated on resume)@." torn;
-      Fmt.pr "%a@." Journal.pp_jobs (Journal.jobs_of_records records);
+      let jobs = Journal.jobs_of_records records in
+      if json then
+        print_endline (Fcsl_service.Protocol.jobs_to_json jobs)
+      else begin
+        if torn > 0 then
+          Fmt.pr "(%d bytes of torn tail would be truncated on resume)@." torn;
+        Fmt.pr "%a@." Journal.pp_jobs jobs
+      end;
       exit_ok
     end
   in
@@ -285,8 +302,197 @@ let jobs_cmd =
               degraded, failed, or still in flight — with their tier, \
               durable units, and consumed budget.  Read-only: safe \
               against a live journal")
-        Term.(const status $ dir_arg);
+        Term.(const status $ dir_arg $ json_flag);
     ]
+
+(* serve / submit *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on / the client dials")
+
+let serve_cmd =
+  let queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Cold-queue bound: submissions needing fresh exploration \
+             beyond $(docv) queued jobs receive a structured shed frame \
+             (memo-served submissions are never shed — they cost no \
+             exploration)")
+  in
+  let idle_exit_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "idle-exit" ] ~docv:"SECS"
+          ~doc:
+            "Drain and exit after $(docv) seconds with no connections \
+             and no queued work (CI hygiene: a forgotten daemon \
+             reaps itself)")
+  in
+  let job_delay_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "job-delay" ] ~docv:"SECS"
+          ~doc:
+            "Sleep $(docv) seconds before each job's exploration — a \
+             testing/chaos aid that makes mid-job kills and queue \
+             overflow deterministic")
+  in
+  let run socket journal_dir resume fsync queue jobs idle_exit job_delay =
+    let fsync =
+      Option.map
+        (fun s ->
+          match Journal.fsync_policy_of_string s with
+          | Ok p -> p
+          | Error e ->
+            Fmt.epr "bad --fsync: %s@." e;
+            exit exit_internal)
+        fsync
+    in
+    let cfg =
+      Fcsl_service.Server.config ~resume ?fsync ~queue_bound:queue ~jobs
+        ?idle_exit_s:idle_exit ~job_delay_s:job_delay ~socket
+        ~journal_dir:journal_dir ()
+    in
+    let t = Fcsl_service.Server.create cfg in
+    Fmt.pr "fcsl serve: listening on %s (journal %s%s)@." socket journal_dir
+      (if resume then ", resumed" else "");
+    Fcsl_service.Server.run t;
+    Fmt.pr "fcsl serve: drained.@.";
+    exit_ok
+  in
+  let journal_req =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Journal directory backing the daemon: every job is \
+             journaled through it, and its verdict records double as \
+             the memo cache keyed by parameter digests")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification daemon: accept spec-verification jobs \
+          over a Unix-domain socket (newline-delimited JSON), schedule \
+          them under per-job QoS budgets, journal everything, and serve \
+          unchanged digests from the journal memo without re-exploring. \
+          SIGTERM drains gracefully; see docs/SERVICE.md")
+    Term.(
+      const run $ socket_arg $ journal_req $ resume_flag $ fsync_arg
+      $ queue_arg $ jobs_arg $ idle_exit_arg $ job_delay_arg)
+
+let submit_cmd =
+  let cases_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"CASE")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Submit every Table 1 registry case, in order")
+  in
+  let qos_arg =
+    Arg.(
+      value & opt string "gold"
+      & info [ "qos" ] ~docv:"TIER"
+          ~doc:
+            "QoS tier: $(b,gold) (unbounded, conclusive or bust), \
+             $(b,silver) (20s wall clock), $(b,bronze) (5s + 20k-state \
+             ceiling); bounded tiers degrade through the verification \
+             ladder instead of hanging")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print each verdict frame as one JSON line (the wire form)")
+  in
+  let canonical_flag =
+    Arg.(
+      value & flag
+      & info [ "canonical" ]
+          ~doc:
+            "Print each verdict's diff-stable subset (case, status, \
+             timing-stripped reports) as one JSON line — what the CI \
+             resilience proof compares across daemon restarts")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 600.
+      & info [ "timeout" ] ~docv:"SECS" ~doc:"Per-submission verdict timeout")
+  in
+  let run socket cases all qos json canonical timeout =
+    let qos =
+      match Fcsl_service.Protocol.qos_of_name qos with
+      | Some q -> q
+      | None ->
+        Fmt.epr "unknown QoS tier %S (gold, silver, bronze)@." qos;
+        exit exit_internal
+    in
+    let cases =
+      if all then List.map (fun c -> c.Registry.c_name) Registry.all
+      else if cases = [] then begin
+        Fmt.epr "no cases given (name them or pass --all)@.";
+        exit exit_internal
+      end
+      else cases
+    in
+    let conn =
+      try Fcsl_service.Client.connect ~socket
+      with e ->
+        Fmt.epr "cannot reach the daemon at %s: %s@." socket
+          (Printexc.to_string e);
+        exit exit_internal
+    in
+    Fun.protect ~finally:(fun () -> Fcsl_service.Client.close conn)
+    @@ fun () ->
+    let statuses =
+      List.map
+        (fun case ->
+          match
+            Fcsl_service.Client.submit ~qos ~timeout_s:timeout conn ~case
+          with
+          | Ok v ->
+            if json then
+              print_endline (Fcsl_service.Json.to_string v.Fcsl_service.Client.v_frame)
+            else if canonical then
+              print_endline
+                (Fcsl_service.Json.to_string
+                   (Fcsl_service.Protocol.canonical_verdict
+                      v.Fcsl_service.Client.v_frame))
+            else
+              Fmt.pr "%s: status %d%s%s@." case
+                v.Fcsl_service.Client.v_status
+                (if v.Fcsl_service.Client.v_memo then " (memo)" else "")
+                (if v.Fcsl_service.Client.v_cancelled then " (cancelled)"
+                 else "");
+            v.Fcsl_service.Client.v_status
+          | Error e ->
+            Fmt.epr "%s: %a@." case Fcsl_service.Client.pp_submit_error e;
+            exit_internal)
+        cases
+    in
+    (* The exit-code dominance of Verify.exit_code, applied to wire
+       statuses: failures beat internal errors beat degradation. *)
+    if List.mem Verify.exit_failed statuses then Verify.exit_failed
+    else if List.mem exit_internal statuses then exit_internal
+    else if List.mem Verify.exit_degraded statuses then Verify.exit_degraded
+    else exit_ok
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit registry cases to a running $(b,fcsl serve) daemon and \
+          wait for verdicts (exit code follows the verify taxonomy)")
+    Term.(
+      const run $ socket_arg $ cases_arg $ all_flag $ qos_arg $ json_flag
+      $ canonical_flag $ timeout_arg)
 
 (* tables *)
 
@@ -785,8 +991,9 @@ let chaos_cmd =
           ~doc:
             "Run a single injection mode (pool-transient, \
              pool-persistent, mid-explore, budget-starve, spurious-cas, \
-             transient-unsafe, env-burst, kill9-midrun); default: all \
-             modes")
+             transient-unsafe, env-burst, kill9-midrun, \
+             service-client-kill, service-torn-frames, service-kill9); \
+             default: all modes")
   in
   let case_arg =
     Arg.(
@@ -841,6 +1048,7 @@ let main_cmd =
     [
       verify_cmd; table1_cmd; table2_cmd; deps_cmd; laws_cmd; parse_cmd;
       run_cmd; span_cmd; analyze_cmd; lint_cmd; chaos_cmd; jobs_cmd;
+      serve_cmd; submit_cmd;
     ]
 
 (* Anything escaping a subcommand is an engine failure: exit 3, never a

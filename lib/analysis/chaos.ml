@@ -34,11 +34,15 @@ type mode =
   | Transient_unsafe
   | Env_burst
   | Kill9_midrun
+  | Service_client_kill
+  | Service_torn_frames
+  | Service_kill9
 
 let all_modes =
   [
     Pool_transient; Pool_persistent; Mid_explore; Budget_starve; Spurious_cas;
-    Transient_unsafe; Env_burst; Kill9_midrun;
+    Transient_unsafe; Env_burst; Kill9_midrun; Service_client_kill;
+    Service_torn_frames; Service_kill9;
   ]
 
 let mode_name = function
@@ -50,6 +54,9 @@ let mode_name = function
   | Transient_unsafe -> "transient-unsafe"
   | Env_burst -> "env-burst"
   | Kill9_midrun -> "kill9-midrun"
+  | Service_client_kill -> "service-client-kill"
+  | Service_torn_frames -> "service-torn-frames"
+  | Service_kill9 -> "service-kill9"
 
 let mode_of_name n = List.find_opt (fun m -> mode_name m = n) all_modes
 let pp_mode ppf m = Fmt.string ppf (mode_name m)
@@ -544,6 +551,389 @@ let run_kill9 ?cases ?(seed = 1) () =
                    units))))
     (registry_cases ?cases ())
 
+(* --- service modes -------------------------------------------------- *)
+
+(* The remaining modes attack the verification daemon ([fcsl serve])
+   rather than the engine underneath it: clients killed mid-stream,
+   torn or malformed wire frames, and a kill -9 of the daemon itself
+   between group commits followed by a [--resume] restart.  The
+   invariants are the service's robustness contract: verdicts never
+   flip (canonical wire verdicts stay baseline-identical), durable
+   units stay monotone across daemon deaths, cancelled work is never
+   journaled as a memoizable verdict, and every frame — garbage
+   included — gets a structured answer, never a hang or a crash. *)
+
+module Json = Fcsl_service.Json
+module Protocol = Fcsl_service.Protocol
+module Server = Fcsl_service.Server
+module Client = Fcsl_service.Client
+
+let ( let* ) = Result.bind
+
+(* Service modes default to a small case subset: each outcome stands up
+   (and tears down) a whole daemon, so a registry-wide sweep would
+   re-verify Table 1 many times over.  An explicit [cases] restriction
+   still wins. *)
+let service_cases ?cases ~default () =
+  registry_cases ~cases:(Option.value cases ~default) ()
+
+let svc_counter = ref 0
+
+let svc_paths tag =
+  incr svc_counter;
+  let stamp = Fmt.str "fcsl-chaos-%s-%d-%d" tag (Unix.getpid ()) !svc_counter in
+  let tmp = Filename.get_temp_dir_name () in
+  (Filename.concat tmp (stamp ^ ".sock"), Filename.concat tmp stamp)
+
+(* Run [f] against a fresh in-process daemon on a fresh journal.
+   [jobs] stays 1 — an in-process server must not spawn domains, or a
+   later [Service_kill9] fork in the same chaos run would be forbidden
+   by the runtime — and the baseline of any case [f] compares against
+   must be computed *before* this call: the executor thread and
+   [baseline] both go through the engine's process-global defaults. *)
+let with_server ?(job_delay_s = 0.) ~tag f =
+  let socket, dir = svc_paths tag in
+  Journal.close (Journal.openj ~resume:false dir);
+  let cfg =
+    Server.config ~signals:false ~jobs:1 ~job_delay_s ~socket ~journal_dir:dir
+      ()
+  in
+  let t = Server.create cfg in
+  let th = Thread.create Server.run t in
+  let finish () =
+    Server.stop t;
+    Thread.join th
+  in
+  if not (Client.wait_ready ~socket ()) then begin
+    finish ();
+    Error "in-process daemon never answered a ping"
+  end
+  else Fun.protect ~finally:finish (fun () -> f ~socket ~dir)
+
+let canon frame = Json.to_string (Protocol.canonical_verdict frame)
+
+(* Render the fault-free baseline through the same wire path the daemon
+   uses, so chaos verdicts compare canonical-to-canonical. *)
+let baseline_canon (c : Registry.case) =
+  let frame =
+    Protocol.verdict ~job:0 ~case:c.Registry.c_name ~digest:"" ~memo:false
+      ~fresh_units:0 ~cancelled:false ~reports:(baseline c)
+  in
+  match Json.parse frame with
+  | Ok v -> canon v
+  | Error e -> Fmt.failwith "unrenderable baseline verdict: %s" e
+
+(* A client SIGKILLed mid-stream: the daemon must cancel the orphaned
+   job through the budget's cancel probe, settle it in the ledger as
+   cancelled (never as a memoizable verdict), stay responsive, and
+   serve a fresh resubmission whose verdict equals the baseline. *)
+let run_service_client_kill ?cases () =
+  List.map
+    (fun c ->
+      let name = c.Registry.c_name in
+      outcome Service_client_kill name (fun () ->
+          let expect = baseline_canon c in
+          with_server ~tag:"ckill" ~job_delay_s:0.4 (fun ~socket ~dir ->
+              (* submit, read the ack, vanish mid-stream: the delay
+                 keeps the job pre-exploration while the disconnect
+                 lands, so cancellation goes through the cancel probe *)
+              let c1 = Client.connect ~socket in
+              Client.send c1
+                (Protocol.Submit { case = name; qos = Protocol.Gold });
+              let* _ack =
+                Result.map_error
+                  (fun e -> "no ack before the kill: " ^ e)
+                  (Client.read_frame ~timeout_s:10. c1)
+              in
+              Client.abandon c1;
+              (* wait for the ledger to settle the orphan *)
+              let spec = "job/" ^ name in
+              let tiers_of () =
+                let records, _ = Journal.read dir in
+                List.filter_map
+                  (function
+                    | Journal.Spec_done ri when ri.Journal.ri_spec = spec ->
+                      Some ri.Journal.ri_tier
+                    | _ -> None)
+                  records
+              in
+              let deadline = Unix.gettimeofday () +. 15. in
+              let rec settle () =
+                match tiers_of () with
+                | [] when Unix.gettimeofday () < deadline ->
+                  Thread.delay 0.05;
+                  settle ()
+                | tiers -> tiers
+              in
+              match settle () with
+              | [] -> Error "the orphaned job never settled in the ledger"
+              | tiers when List.mem "service" tiers ->
+                Error "a cancelled job was journaled as a memoizable verdict"
+              | _ ->
+                (* the daemon survived; a fresh client re-explores and
+                   lands exactly the baseline verdict *)
+                let c2 = Client.connect ~socket in
+                if not (Client.ping c2) then
+                  Error "daemon unresponsive after the client kill"
+                else (
+                  match Client.submit c2 ~case:name with
+                  | Error e ->
+                    Error
+                      (Fmt.str "resubmit failed: %a" Client.pp_submit_error e)
+                  | Ok v ->
+                    Client.close c2;
+                    if v.Client.v_memo then
+                      Error "resubmission hit a memo that must not exist"
+                    else if canon v.Client.v_frame <> expect then
+                      Error "resubmitted verdict differs from the baseline"
+                    else
+                      Ok
+                        "orphan cancelled and never memoized; resubmission \
+                         matches the baseline"))))
+    (service_cases ?cases ~default:[ "CAS-lock" ] ())
+
+(* Garbage the torn-frames mode feeds the daemon, one frame per failure
+   class of the protocol parser plus raw non-JSON bytes. *)
+let torn_lines =
+  [
+    "{\"op\": \"submit\", \"ca";
+    "\001\002\255 binary garbage";
+    "[1, 2, 3]";
+    "{\"op\": \"frobnicate\"}";
+    "{\"op\": \"submit\"}";
+    "{\"op\": \"submit\", \"case\": \"CAS-lock\", \"qos\": \"platinum\"}";
+    "{\"op\": \"cancel\"}";
+    "{\"msg\": \"no op at all\"}";
+  ]
+
+(* Torn and malformed frames: every garbage line must come back as a
+   structured protocol-error crash frame — never a hang, a dropped
+   connection or a daemon crash — and the same connection must keep
+   serving well-formed traffic afterwards, with verdicts unchanged. *)
+let run_service_torn_frames ?cases () =
+  List.map
+    (fun c ->
+      let name = c.Registry.c_name in
+      outcome Service_torn_frames name (fun () ->
+          let expect = baseline_canon c in
+          with_server ~tag:"torn" (fun ~socket ~dir:_ ->
+              let cn = Client.connect ~socket in
+              let answer line =
+                Client.send_raw cn line;
+                match Client.read_frame ~timeout_s:10. cn with
+                | Error e ->
+                  Error (Fmt.str "no answer to torn frame %S: %s" line e)
+                | Ok frame -> (
+                  let kind =
+                    Option.bind (Json.member "crash" frame) (fun cr ->
+                        Option.bind (Json.member "kind" cr) Json.to_str)
+                  in
+                  match
+                    (Option.bind (Json.member "type" frame) Json.to_str, kind)
+                  with
+                  | Some "error", Some "protocol-error" -> Ok ()
+                  | ty, _ ->
+                    Error
+                      (Fmt.str
+                         "torn frame %S answered with %s, wanted a \
+                          protocol-error crash"
+                         line
+                         (Option.value ty ~default:"nothing")))
+              in
+              let* () =
+                List.fold_left
+                  (fun acc line -> Result.bind acc (fun () -> answer line))
+                  (Ok ()) torn_lines
+              in
+              (* an unknown case through a well-formed submit is the
+                 same structured answer *)
+              let* () =
+                match Client.submit cn ~case:"No Such Case" with
+                | Error (Client.Server_error cr)
+                  when Crash.kind cr = Crash.Protocol_error ->
+                  Ok ()
+                | Error e ->
+                  Error
+                    (Fmt.str "unknown case: wanted a protocol-error, got %a"
+                       Client.pp_submit_error e)
+                | Ok _ -> Error "unknown case: got a verdict"
+              in
+              if not (Client.ping cn) then
+                Error "daemon stopped answering pings after the garbage"
+              else (
+                match Client.submit cn ~case:name with
+                | Error e ->
+                  Error
+                    (Fmt.str "well-formed submit after garbage failed: %a"
+                       Client.pp_submit_error e)
+                | Ok v ->
+                  Client.close cn;
+                  if canon v.Client.v_frame <> expect then
+                    Error "verdict after garbage differs from the baseline"
+                  else
+                    Ok
+                      (Fmt.str
+                         "%d torn frames answered with structured \
+                          protocol-error crashes; verdict unchanged"
+                         (List.length torn_lines + 1))))))
+    (service_cases ?cases ~default:[ "CAS-lock" ] ())
+
+(* kill -9 the daemon itself between group commits, restart with
+   resume, and demand baseline-identical canonical verdicts plus a
+   fully-memoized repeat pass.  Forks a real daemon process, so — like
+   [Kill9_midrun] — it only runs where no domain was ever spawned (the
+   standalone chaos CLI); under the test binary it reports skipped. *)
+let run_service_kill9 ?cases () =
+  let cs =
+    service_cases ?cases
+      ~default:[ "CAS-lock"; "Ticketed lock"; "Pair snapshot" ] ()
+  in
+  match cs with
+  | [] -> []
+  | _ ->
+    let names = List.map (fun c -> c.Registry.c_name) cs in
+    [
+      outcome Service_kill9 (String.concat ", " names) (fun () ->
+          (* writes to a SIGKILLed daemon's socket must be EPIPE
+             errors, not a process-killing signal *)
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+          let expects =
+            List.map (fun c -> (c.Registry.c_name, baseline_canon c)) cs
+          in
+          let socket, dir = svc_paths "skill9" in
+          Journal.close (Journal.openj ~resume:false dir);
+          let count_units () =
+            let records, _ = Journal.read dir in
+            List.fold_left
+              (fun acc j -> acc + j.Journal.j_units)
+              0
+              (Journal.jobs_of_records records)
+          in
+          let spawn ~resume ~job_delay_s =
+            flush stdout;
+            flush stderr;
+            match Unix.fork () with
+            | 0 ->
+              let code =
+                match
+                  Server.run
+                    (Server.create
+                       (Server.config ~resume ~fsync:Journal.Always
+                          ~signals:false ~job_delay_s ~socket ~journal_dir:dir
+                          ()))
+                with
+                | () -> 0
+                | exception _ -> 10
+              in
+              Unix._exit code
+            | pid -> pid
+          in
+          let reap pid = ignore (Unix.waitpid [] pid) in
+          match spawn ~resume:false ~job_delay_s:0.2 with
+          | exception Failure msg when str_contains msg "fork" ->
+            Ok (Fmt.str "skipped: fork unavailable (%s)" msg)
+          | pid1 ->
+            if not (Client.wait_ready ~socket ()) then begin
+              (try Unix.kill pid1 Sys.sigkill with _ -> ());
+              reap pid1;
+              Error "the first daemon never answered a ping"
+            end
+            else begin
+              (* fire the cases from a background thread so submissions
+                 are mid-flight when the SIGKILL lands *)
+              let submitter =
+                Thread.create
+                  (fun () ->
+                    try
+                      let cn = Client.connect ~socket in
+                      List.iter
+                        (fun case -> ignore (Client.submit cn ~case))
+                        names;
+                      Client.close cn
+                    with _ -> ())
+                  ()
+              in
+              Thread.delay 0.6;
+              let u1 = count_units () in
+              Unix.kill pid1 Sys.sigkill;
+              reap pid1;
+              Thread.join submitter;
+              let pid2 = spawn ~resume:true ~job_delay_s:0. in
+              if not (Client.wait_ready ~socket ()) then begin
+                (try Unix.kill pid2 Sys.sigkill with _ -> ());
+                reap pid2;
+                Error "the resumed daemon never answered a ping"
+              end
+              else begin
+                let cn = Client.connect ~socket in
+                let submit_all check =
+                  List.fold_left
+                    (fun acc case ->
+                      let* () = acc in
+                      match Client.submit cn ~case with
+                      | Error e ->
+                        Error
+                          (Fmt.str "%s after resume: %a" case
+                             Client.pp_submit_error e)
+                      | Ok v -> check case v)
+                    (Ok ()) names
+                in
+                (* drain the daemon whatever happened, so the child is
+                   reaped and the socket unlinked *)
+                let finishing r =
+                  ignore (Client.drain cn);
+                  Client.close cn;
+                  match (Unix.waitpid [] pid2, r) with
+                  | (_, Unix.WEXITED 0), _ | _, Error _ -> r
+                  | (_, st), Ok _ ->
+                    let show = function
+                      | Unix.WEXITED n -> Fmt.str "exited %d" n
+                      | Unix.WSIGNALED s -> Fmt.str "killed by signal %d" s
+                      | Unix.WSTOPPED s -> Fmt.str "stopped by signal %d" s
+                    in
+                    Error
+                      (Fmt.str "resumed daemon did not drain cleanly (%s)"
+                         (show st))
+                in
+                finishing
+                  (let* () =
+                     submit_all (fun case v ->
+                         match List.assoc_opt case expects with
+                         | Some expect when canon v.Client.v_frame = expect ->
+                           Ok ()
+                         | Some _ ->
+                           Error
+                             (Fmt.str
+                                "%s: resumed verdict differs from baseline"
+                                case)
+                         | None -> Error (case ^ ": no baseline"))
+                   in
+                   let u2 = count_units () in
+                   if u2 < u1 then
+                     Error
+                       (Fmt.str "durable units shrank across the kill: %d -> %d"
+                          u1 u2)
+                   else
+                     let* () =
+                       submit_all (fun case v ->
+                           if not v.Client.v_memo then
+                             Error (case ^ ": repeat submission re-explored")
+                           else if v.Client.v_fresh_units <> 0 then
+                             Error
+                               (Fmt.str "%s: repeat submission added %d units"
+                                  case v.Client.v_fresh_units)
+                           else Ok ())
+                     in
+                     Ok
+                       (Fmt.str
+                          "daemon SIGKILLed mid-run (%d units durable), \
+                           resumed verdicts identical to baseline, repeat \
+                           pass fully memoized (%d units total)"
+                          u1 u2))
+              end
+            end);
+    ]
+
 (* --- drivers -------------------------------------------------------- *)
 
 let run ?cases ?(seed = 1) mode : outcome list =
@@ -556,6 +946,9 @@ let run ?cases ?(seed = 1) mode : outcome list =
   | Transient_unsafe -> run_transient_unsafe ~seed ()
   | Env_burst -> run_env_burst ~seed ()
   | Kill9_midrun -> run_kill9 ?cases ~seed ()
+  | Service_client_kill -> run_service_client_kill ?cases ()
+  | Service_torn_frames -> run_service_torn_frames ?cases ()
+  | Service_kill9 -> run_service_kill9 ?cases ()
 
 let run_all ?cases ?(seed = 1) () =
   List.concat_map (run ?cases ~seed) all_modes

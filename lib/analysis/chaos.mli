@@ -44,6 +44,26 @@ type mode =
           durable-unit count must grow monotonically across the kills
           and the eventually-completed run's verdicts must equal the
           uninterrupted baseline's (see {!Journal}) *)
+  | Service_client_kill
+      (** a daemon client killed mid-stream: the orphaned job must be
+          cancelled through the budget's cancel probe, settled in the
+          job ledger as cancelled (never as a memoizable verdict), and
+          a fresh resubmission must re-explore to exactly the baseline
+          verdict *)
+  | Service_torn_frames
+      (** torn and malformed wire frames fed to the daemon: every
+          garbage line must be answered with a structured
+          [Crash.Protocol_error] frame — never a hang, a dropped
+          connection or a daemon crash — and the same connection must
+          keep serving well-formed traffic with unchanged verdicts *)
+  | Service_kill9
+      (** kill -9 of the daemon itself mid-run, then a resumed restart:
+          canonical wire verdicts must equal the baseline, durable
+          units must stay monotone across the death, and a repeat
+          submission pass must be served entirely from the journal memo
+          (zero fresh units).  Forks a real daemon process, so — like
+          [Kill9_midrun] — it reports skipped wherever a domain was
+          already spawned (the test binary) *)
 
 val all_modes : mode list
 
@@ -66,9 +86,11 @@ val run : ?cases:string list -> ?seed:int -> mode -> outcome list
 (** Run one injection mode.  Registry-wide modes ([Pool_transient],
     [Pool_persistent], [Mid_explore], [Budget_starve]) run over every
     Table 1 registry row (restricted to [cases] when given, by row
-    name); action-level modes run their bespoke scenarios.  [seed]
-    (default 1) seeds every randomized component.  Never raises: an
-    exception escaping the engine is itself a failed outcome. *)
+    name); action-level modes run their bespoke scenarios; service
+    modes default to a small case subset (each outcome stands up a
+    whole daemon) unless [cases] overrides it.  [seed] (default 1)
+    seeds every randomized component.  Never raises: an exception
+    escaping the engine is itself a failed outcome. *)
 
 val run_all : ?cases:string list -> ?seed:int -> unit -> outcome list
 (** {!run} every mode of {!all_modes}, in order. *)

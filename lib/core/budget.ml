@@ -12,6 +12,7 @@ type limits = {
   l_max_major_words : int option;
   l_max_states : int option;
   l_tick_hook : (unit -> unit) option;
+  l_cancel : (unit -> bool) option;
 }
 
 let no_limits =
@@ -20,27 +21,31 @@ let no_limits =
     l_max_major_words = None;
     l_max_states = None;
     l_tick_hook = None;
+    l_cancel = None;
   }
 
-let limits ?deadline_s ?max_major_words ?max_states ?tick_hook () =
+let limits ?deadline_s ?max_major_words ?max_states ?tick_hook ?cancel () =
   {
     l_deadline_s = deadline_s;
     l_max_major_words = max_major_words;
     l_max_states = max_states;
     l_tick_hook = tick_hook;
+    l_cancel = cancel;
   }
 
 let is_unlimited l =
   l.l_deadline_s = None && l.l_max_major_words = None
   && l.l_max_states = None
   && l.l_tick_hook = None
+  && l.l_cancel = None
 
-type reason = Deadline | Heap_ceiling | State_ceiling
+type reason = Deadline | Heap_ceiling | State_ceiling | Cancelled
 
 let reason_name = function
   | Deadline -> "deadline"
   | Heap_ceiling -> "heap-ceiling"
   | State_ceiling -> "state-ceiling"
+  | Cancelled -> "cancelled"
 
 let pp_reason ppf r = Fmt.string ppf (reason_name r)
 
@@ -88,6 +93,12 @@ let tick b =
   let n = Atomic.fetch_and_add b.count 1 + 1 in
   (match b.lim.l_tick_hook with Some h -> h () | None -> ());
   if Atomic.get b.trip = None then begin
+    (* Cancellation is a one-way signal from outside the run (a client
+       hanging up on the service); probe it every tick so every rung of
+       a ladder observes it within one configuration's worth of work. *)
+    (match b.lim.l_cancel with
+    | Some cancelled when cancelled () -> trip b Cancelled
+    | _ -> ());
     (match b.lim.l_max_states with
     | Some cap when n >= cap -> trip b State_ceiling
     | _ -> ());

@@ -20,6 +20,11 @@ type limits = {
   l_tick_hook : (unit -> unit) option;
       (** run on (a sample of) ticks; the chaos harness's injection
           point — may raise, e.g. {!Crash.Injected} *)
+  l_cancel : (unit -> bool) option;
+      (** probed on every tick; returning [true] trips {!Cancelled}.
+          The verification service's client-disconnect path: abandoning
+          every waiter flips an atomic this closure reads, and the job
+          winds down cooperatively within one tick *)
 }
 
 val no_limits : limits
@@ -31,15 +36,16 @@ val limits :
   ?max_major_words:int ->
   ?max_states:int ->
   ?tick_hook:(unit -> unit) ->
+  ?cancel:(unit -> bool) ->
   unit ->
   limits
 
 val is_unlimited : limits -> bool
 
-type reason = Deadline | Heap_ceiling | State_ceiling
+type reason = Deadline | Heap_ceiling | State_ceiling | Cancelled
 
 val reason_name : reason -> string
-(** ["deadline"], ["heap-ceiling"], ["state-ceiling"]. *)
+(** ["deadline"], ["heap-ceiling"], ["state-ceiling"], ["cancelled"]. *)
 
 val pp_reason : Format.formatter -> reason -> unit
 

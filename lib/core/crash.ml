@@ -14,6 +14,7 @@ type kind =
   | Internal_error
   | Analyzer_lie
   | Deadlock
+  | Protocol_error
 
 let kind_name = function
   | Unsafe_action -> "unsafe-action"
@@ -25,6 +26,7 @@ let kind_name = function
   | Internal_error -> "internal-error"
   | Analyzer_lie -> "analyzer-lie"
   | Deadlock -> "deadlock"
+  | Protocol_error -> "protocol-error"
 
 let pp_kind ppf k = Fmt.string ppf (kind_name k)
 
@@ -93,6 +95,7 @@ let kind_of_name = function
   | "internal-error" -> Some Internal_error
   | "analyzer-lie" -> Some Analyzer_lie
   | "deadlock" -> Some Deadlock
+  | "protocol-error" -> Some Protocol_error
   | _ -> None
 
 exception Parse of string

@@ -29,6 +29,13 @@ type kind =
           threads are blocked for good.  The message carries the
           held-lock set and the blocked moves (see {!Sched.explore}'s
           stuck-state detector). *)
+  | Protocol_error
+      (** a malformed or unreadable wire frame on the verification
+          service's socket protocol: bad JSON, a non-object frame, an
+          unknown op, or a request missing required fields.  The daemon
+          answers these with a structured error frame carrying this
+          crash (see docs/SERVICE.md) instead of dropping the
+          connection. *)
 
 val kind_name : kind -> string
 (** Stable kebab-case name: ["unsafe-action"], ["ghost-algebra"], ... *)

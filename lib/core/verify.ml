@@ -116,6 +116,15 @@ let degraded r =
   | Some s -> s.Budget.st_tripped <> None
   | None -> false
 
+(* A verdict cut short because every waiter went away (the service's
+   client-disconnect path), as opposed to one that ran out of a
+   resource.  Cancelled verdicts are an artifact of who was listening,
+   not a property of the triple. *)
+let cancelled r =
+  match r.budget with
+  | Some s -> s.Budget.st_tripped = Some (Budget.reason_name Budget.Cancelled)
+  | None -> false
+
 (* Stable CLI exit codes.  Counterexamples dominate: a failure found
    under any tier (or alongside worker losses) is sound.  Worker crashes
    dominate degradation: an "ok" claim with quarantined workers is
@@ -764,7 +773,14 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
     let finish r =
       Option.iter
         (fun j ->
-          Journal.append j (Journal.Spec_done (image_of_report ~params ~eligible r));
+          (* A cancelled verdict must not be memoized: replaying it for
+             the next submission of the same digest would serve the
+             aborted answer as if it were a real exploration.  The
+             unit-level records are already excluded by the tripped-
+             budget [keep] predicate; skip the verdict record too. *)
+          if not (cancelled r) then
+            Journal.append j
+              (Journal.Spec_done (image_of_report ~params ~eligible r));
           Journal.flush j)
         journal;
       r
@@ -810,7 +826,16 @@ let check_triple ?(fuel = 64) ?(max_outcomes = 200_000) ?(interference = true)
           ~budget:(Some (merge_stats (stats_so_far @ [ Budget.stats b ])))
           { c with c_expl = expl_so_far }
       in
-      let conclusive c s = s.Budget.st_tripped = None || c.c_failures <> [] in
+      (* A cancel trip aborts the ladder at the current rung:
+         degradation is for resource exhaustion, and descending would
+         journal lower-rung markers that a later resubmission of the
+         same digest would wrongly resume into (serving a sampled
+         verdict where an exhaustive one was never even attempted). *)
+      let conclusive c s =
+        s.Budget.st_tripped = None
+        || c.c_failures <> []
+        || s.Budget.st_tripped = Some (Budget.reason_name Budget.Cancelled)
+      in
       (* Which rung to start on: 0 = tier1, 1 = pruned (only reachable
          when tier1 is exhaustive and the footprint is known), 2 =
          sampled. *)
@@ -898,7 +923,8 @@ let check_triple_random ?(fuel = 2000) ?(trials = 100) ?(interference = false)
     in
     Option.iter
       (fun j ->
-        Journal.append j (Journal.Spec_done (image_of_report ~params ~eligible r));
+        if not (cancelled r) then
+          Journal.append j (Journal.Spec_done (image_of_report ~params ~eligible r));
         Journal.flush j)
       journal;
     r

@@ -84,6 +84,12 @@ val degraded : report -> bool
     exploration — "no failures found" is not a proof.  Unbudgeted
     incomplete runs (a [max_outcomes] cap) are not degraded. *)
 
+val cancelled : report -> bool
+(** The budget tripped {!Budget.Cancelled}: the run was cut short from
+    outside (every service client hung up), not by a resource ceiling.
+    Cancelled verdicts are never journaled — memoizing them would serve
+    the aborted answer to the next submission of the same digest. *)
+
 val pp_failure : Format.formatter -> failure -> unit
 val pp_report : Format.formatter -> report -> unit
 

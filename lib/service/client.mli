@@ -1,0 +1,63 @@
+(** The client side of the service protocol — what [fcsl submit], the
+    tests, the bench harness and the chaos modes speak.  Blocking,
+    line-framed, one request in flight per connection. *)
+
+open Fcsl_core
+
+type conn
+
+val connect : socket:string -> conn
+(** Raises [Unix.Unix_error] when the daemon isn't there. *)
+
+val close : conn -> unit
+
+val abandon : conn -> unit
+(** Abrupt teardown mid-stream — from the server's side
+    indistinguishable from a SIGKILLed client.  The chaos harness's
+    client-kill mode. *)
+
+val send : conn -> Protocol.request -> unit
+val send_raw : conn -> string -> unit
+(** Write one raw line (no validation) — the torn-frames chaos mode. *)
+
+val read_frame : ?timeout_s:float -> conn -> (Json.t, string) result
+
+val ping : ?timeout_s:float -> conn -> bool
+
+type verdict = {
+  v_job : int;
+  v_case : string;
+  v_status : int;  (** the [Verify.exit_code] taxonomy: 0/1/2/3 *)
+  v_memo : bool;  (** served entirely from the journal memo *)
+  v_fresh_units : int;  (** durable units this job added *)
+  v_cancelled : bool;
+  v_frame : Json.t;  (** the full verdict frame *)
+}
+
+type submit_error =
+  | Shed of string  (** structured overload answer, with its reason *)
+  | Server_error of Crash.t
+  | Transport of string
+
+val pp_submit_error : Format.formatter -> submit_error -> unit
+
+val submit :
+  ?qos:Protocol.qos ->
+  ?timeout_s:float ->
+  ?on_progress:(int -> unit) ->
+  conn ->
+  case:string ->
+  (verdict, submit_error) result
+(** Submit one registry case and block until the terminal frame.
+    [on_progress] sees the streamed states counter.  Defaults:
+    gold QoS, 600s timeout. *)
+
+val status : ?timeout_s:float -> conn -> (Json.t, submit_error) result
+(** The daemon's live status frame: the journal-derived jobs rendering
+    (same schema as [fcsl jobs status --json]) plus queue depth and the
+    drain flag. *)
+
+val drain : ?timeout_s:float -> conn -> (unit, submit_error) result
+
+val wait_ready : ?timeout_s:float -> socket:string -> unit -> bool
+(** Poll until the daemon answers a ping (default 10s). *)

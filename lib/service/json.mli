@@ -1,0 +1,35 @@
+(** A minimal JSON value type with a hand-rolled parser and printer —
+    the generic sibling of [Crash.of_json]'s fixed-shape parser, grown
+    because the service must read arbitrary client frames.  The engine
+    still carries no JSON library dependency.
+
+    Scope: one-line protocol frames.  Integers that fit [int] parse as
+    {!Int}; other numbers as {!Float}.  The printer emits the same
+    escapes [Crash.to_json] does. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One-line rendering (no pretty-printing). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete value: trailing garbage, bad escapes and
+    unescaped control characters are [Error]s. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on a non-object. *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_float : t -> float option
+(** Accepts {!Int} too (a whole-number latency is still a float). *)
+
+val to_list : t -> t list option

@@ -1,0 +1,601 @@
+(* The verification daemon: accept loop + per-connection reader threads
+   + one executor thread, sharing a journal that doubles as the verdict
+   memo and the crash-recovery ledger.
+
+   Why a single executor: the Verify engine's defaults ([with_engine])
+   are process-global, so two jobs running under different QoS budgets
+   concurrently would race on them.  Jobs therefore run one at a time —
+   each exploration still fans out over [sc_jobs] domains internally,
+   which is where the parallelism that matters lives.  Everything else
+   (socket reads, frame writes, status queries) is fully concurrent.
+
+   Robustness invariants, in one place:
+   - overload: cold submissions past [sc_queue_bound] get a structured
+     shed frame; memo-known submissions are always accepted (serving a
+     journaled verdict costs no exploration, so shedding it would be
+     degradation for nothing);
+   - disconnects: a job whose last waiter hangs up has its budget's
+     cancel probe flipped; the exploration winds down cooperatively
+     within one tick and the aborted verdict is never journaled;
+   - crashes: the job ledger (synthetic "job/CASE" records in the same
+     WAL) marks submissions at enqueue; a daemon restarted with
+     [sc_resume] re-enqueues exactly the ledger's in-flight entries;
+   - drain: SIGTERM (or a drain frame) stops intake, finishes the
+     queue, flushes the journal and exits 0. *)
+
+open Fcsl_core
+open Fcsl_report
+
+type config = {
+  sc_socket : string;
+  sc_journal_dir : string;
+  sc_resume : bool;
+  sc_fsync : Journal.fsync_policy option;
+  sc_queue_bound : int;
+  sc_jobs : int;
+  sc_signals : bool;
+  sc_idle_exit_s : float option;
+  sc_job_delay_s : float;
+}
+
+let config ?(resume = false) ?fsync ?(queue_bound = 16) ?(jobs = 1)
+    ?(signals = true) ?idle_exit_s ?(job_delay_s = 0.) ~socket ~journal_dir ()
+    =
+  {
+    sc_socket = socket;
+    sc_journal_dir = journal_dir;
+    sc_resume = resume;
+    sc_fsync = fsync;
+    sc_queue_bound = queue_bound;
+    sc_jobs = jobs;
+    sc_signals = signals;
+    sc_idle_exit_s = idle_exit_s;
+    sc_job_delay_s = job_delay_s;
+  }
+
+(* --- Connections ------------------------------------------------------- *)
+
+type conn = {
+  cn_fd : Unix.file_descr;
+  cn_mu : Mutex.t;
+  mutable cn_alive : bool;
+}
+
+(* Frame writes are mutexed per connection (the executor, the progress
+   thread and the reader thread all answer on the same socket) and a
+   failed write just marks the connection dead: the disconnect path
+   owns the cleanup. *)
+let send conn line =
+  Mutex.lock conn.cn_mu;
+  (try
+     if conn.cn_alive then begin
+       let data = Bytes.of_string (line ^ "\n") in
+       let len = Bytes.length data in
+       let off = ref 0 in
+       while !off < len do
+         off := !off + Unix.write conn.cn_fd data !off (len - !off)
+       done
+     end
+   with _ -> conn.cn_alive <- false);
+  Mutex.unlock conn.cn_mu
+
+(* --- Jobs -------------------------------------------------------------- *)
+
+type job = {
+  jb_id : int;
+  jb_case : string;
+  jb_qos : Protocol.qos;
+  jb_digest : string;
+  jb_cached : bool;  (* memo-known at submit: skips the cold queue *)
+  jb_keep : bool;  (* resumed from the ledger: runs without waiters *)
+  jb_cancel : bool Atomic.t;
+  jb_ticks : int Atomic.t;
+  mutable jb_state : [ `Queued | `Running | `Done | `Cancelled ];
+  mutable jb_waiters : conn list;
+}
+
+type t = {
+  cfg : config;
+  mu : Mutex.t;
+  cv : Condition.t;  (* wakes the executor: new work or drain *)
+  jrnl : Journal.t;
+  mutable cold : job list;  (* FIFO, bounded by sc_queue_bound *)
+  mutable fast : job list;  (* memo-known FIFO, never shed *)
+  live : (string, job) Hashtbl.t;  (* digest -> queued/running job *)
+  mutable next_id : int;
+  mutable draining : bool;
+  mutable exec_done : bool;
+  mutable conns : conn list;
+  mutable last_activity : float;
+  stop_req : bool Atomic.t;  (* set from the SIGTERM handler *)
+}
+
+let ledger_spec case = "job/" ^ case
+
+let is_ledger_spec s =
+  String.length s > 4 && String.sub s 0 4 = "job/"
+
+let now () = Unix.gettimeofday ()
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* A ledger record for the job itself, riding the same WAL as the spec
+   verdicts.  [tier] distinguishes a finished job ("service") from a
+   cancelled one ("service-cancelled"): only the former is a memo hit
+   for [Journal.verdict_of_digest], and neither resumes. *)
+let ledger_done t job ~tier ~cancelled ~elapsed_s ~states =
+  Journal.append t.jrnl
+    (Journal.Spec_done
+       {
+         Journal.ri_spec = ledger_spec job.jb_case;
+         ri_params = job.jb_digest;
+         ri_tier = tier;
+         ri_seed = None;
+         ri_initial_states = 0;
+         ri_outcomes = 0;
+         ri_diverged = 0;
+         ri_complete = not cancelled;
+         ri_states = states;
+         ri_failures = [];
+         ri_worker_crashes = [];
+         ri_budget =
+           (if cancelled then
+              Some
+                {
+                  Journal.bi_elapsed_s = elapsed_s;
+                  bi_states = states;
+                  bi_major_words = 0;
+                  bi_tripped = Some (Budget.reason_name Budget.Cancelled);
+                }
+            else None);
+       });
+  Journal.flush t.jrnl
+
+(* Is this digest already served by the journal?  Only a *finished* job
+   ledger record counts: a cancelled one must re-explore. *)
+let memo_hit t digest =
+  match Journal.verdict_of_digest t.jrnl ~digest with
+  | Some ri -> ri.Journal.ri_tier = "service"
+  | None -> false
+
+(* --- Creation and resume ----------------------------------------------- *)
+
+let mkjob t ~case ~qos ~cached ~keep =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  {
+    jb_id = id;
+    jb_case = case;
+    jb_qos = qos;
+    jb_digest = Protocol.digest ~case ~qos;
+    jb_cached = cached;
+    jb_keep = keep;
+    jb_cancel = Atomic.make false;
+    jb_ticks = Atomic.make 0;
+    jb_state = `Queued;
+    jb_waiters = [];
+  }
+
+let create cfg =
+  let jrnl =
+    Journal.openj ?fsync:cfg.sc_fsync ~resume:cfg.sc_resume cfg.sc_journal_dir
+  in
+  let t =
+    {
+      cfg;
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      jrnl;
+      cold = [];
+      fast = [];
+      live = Hashtbl.create 16;
+      next_id = 1;
+      draining = false;
+      exec_done = false;
+      conns = [];
+      last_activity = now ();
+      stop_req = Atomic.make false;
+    }
+  in
+  (* Crash recovery: the ledger's in-flight entries are jobs a previous
+     daemon accepted but never finished (and never cancelled — a
+     cancelled job writes its terminal record immediately).  Re-enqueue
+     them as waiter-less keepers: their clients are gone, but the
+     verdicts become durable for everyone who resubmits the digest. *)
+  if cfg.sc_resume then begin
+    let records, _torn = Journal.read cfg.sc_journal_dir in
+    let jobs = Journal.jobs_of_records records in
+    List.iter
+      (fun (j : Journal.job) ->
+        if j.Journal.j_status = `In_flight && is_ledger_spec j.Journal.j_spec
+        then
+          match
+            ( Protocol.case_of_digest j.Journal.j_params,
+              Protocol.qos_of_digest j.Journal.j_params )
+          with
+          | Some case, Some qos when Registry.find case <> None ->
+            let job = mkjob t ~case ~qos ~cached:false ~keep:true in
+            Hashtbl.replace t.live job.jb_digest job;
+            t.cold <- t.cold @ [ job ]
+          | _ -> ())
+      jobs
+  end;
+  t
+
+let drain t =
+  locked t (fun () ->
+      if not t.draining then begin
+        t.draining <- true;
+        Condition.broadcast t.cv
+      end)
+
+let stop t = drain t
+
+(* --- The executor ------------------------------------------------------ *)
+
+let notify_waiters t job frame =
+  let waiters = locked t (fun () -> job.jb_waiters) in
+  List.iter (fun c -> send c frame) waiters
+
+let run_job t job =
+  (* The chaos/test hook: an artificial pre-exploration delay makes
+     "kill the client mid-job" and "fill the queue" deterministic.  It
+     polls the cancel flag so a dead client doesn't hold the executor
+     for the full delay. *)
+  let rec delay left =
+    if left > 0. && not (Atomic.get job.jb_cancel) then begin
+      let step = Float.min 0.02 left in
+      Thread.delay step;
+      delay (left -. step)
+    end
+  in
+  delay t.cfg.sc_job_delay_s;
+  let case =
+    match Registry.find job.jb_case with
+    | Some c -> c
+    | None -> assert false (* submit rejects unknown cases *)
+  in
+  let lim =
+    Protocol.qos_limits
+      ~tick_hook:(fun () -> Atomic.incr job.jb_ticks)
+      ~cancel:(fun () -> Atomic.get job.jb_cancel)
+      job.jb_qos
+  in
+  (* Progress frames ride a side thread: the tick hook runs on worker
+     domains inside the exploration and must stay allocation-trivial,
+     so it only bumps an atomic that this thread samples. *)
+  let progressing = Atomic.make true in
+  let progress_thread =
+    Thread.create
+      (fun () ->
+        let last = ref 0 in
+        while Atomic.get progressing do
+          Thread.delay 0.25;
+          let n = Atomic.get job.jb_ticks in
+          if n > !last && Atomic.get progressing then begin
+            last := n;
+            notify_waiters t job (Protocol.progress ~job:job.jb_id ~states:n)
+          end
+        done)
+      ()
+  in
+  let started = now () in
+  let units0 = Journal.completed_units t.jrnl in
+  let outcome =
+    try
+      Ok
+        (Verify.with_engine ~jobs:t.cfg.sc_jobs ~budget:lim
+           ~journal:(Some t.jrnl) case.Registry.c_verify)
+    with e -> Error (Crash.of_exn e)
+  in
+  Atomic.set progressing false;
+  Thread.join progress_thread;
+  let elapsed_s = now () -. started in
+  let fresh_units = Journal.completed_units t.jrnl - units0 in
+  let frame =
+    match outcome with
+    | Ok reports ->
+      let cancelled = List.exists Verify.cancelled reports in
+      (* fresh_units = 0 <=> every spec verdict replayed from the
+         journal: the memo proof the tests and CI assert on. *)
+      if not cancelled then
+        ledger_done t job ~tier:"service" ~cancelled:false ~elapsed_s
+          ~states:(Atomic.get job.jb_ticks)
+      else
+        ledger_done t job ~tier:"service-cancelled" ~cancelled:true ~elapsed_s
+          ~states:(Atomic.get job.jb_ticks);
+      Protocol.verdict ~job:job.jb_id ~case:job.jb_case ~digest:job.jb_digest
+        ~memo:(fresh_units = 0) ~fresh_units ~cancelled ~reports
+    | Error crash ->
+      (* An exception escaping the engine is an internal error; the
+         ledger keeps the job out of the resume set (re-running a
+         crasher in a loop would be a restart storm), and the client
+         gets the structured crash. *)
+      ledger_done t job ~tier:"service-error" ~cancelled:true ~elapsed_s
+        ~states:(Atomic.get job.jb_ticks);
+      Protocol.error_frame ~job:job.jb_id crash
+  in
+  (* Mark the job done, unmap it and snapshot the waiters in ONE
+     critical section before broadcasting the verdict: a submit racing
+     this completion must either attach before the snapshot (and so
+     receive the frame below) or find the job gone and take the memo
+     path.  Flipping the state after the broadcast leaves a window
+     where a freshly-attached waiter is acked but never answered. *)
+  let waiters =
+    locked t (fun () ->
+        job.jb_state <- `Done;
+        (* Only unmap the digest if it still maps to this job: a
+           cancelled-then-resubmitted digest already points at its
+           successor. *)
+        (match Hashtbl.find_opt t.live job.jb_digest with
+        | Some j when j == job -> Hashtbl.remove t.live job.jb_digest
+        | _ -> ());
+        t.last_activity <- now ();
+        job.jb_waiters)
+  in
+  List.iter (fun c -> send c frame) waiters
+
+let exec_loop t =
+  let rec next () =
+    Mutex.lock t.mu;
+    let rec wait () =
+      if t.fast = [] && t.cold = [] then
+        if t.draining then None
+        else begin
+          Condition.wait t.cv t.mu;
+          wait ()
+        end
+      else
+        match t.fast with
+        | j :: rest ->
+          t.fast <- rest;
+          Some j
+        | [] -> (
+          match t.cold with
+          | j :: rest ->
+            t.cold <- rest;
+            Some j
+          | [] -> None)
+    in
+    let picked = wait () in
+    (match picked with
+    | Some j when j.jb_state = `Queued -> j.jb_state <- `Running
+    | _ -> ());
+    Mutex.unlock t.mu;
+    match picked with
+    | None -> ()
+    | Some j ->
+      if j.jb_state = `Running then run_job t j;
+      next ()
+  in
+  next ();
+  locked t (fun () -> t.exec_done <- true)
+
+(* --- Request handling -------------------------------------------------- *)
+
+let proto_error msg = Crash.make Crash.Protocol_error msg
+
+let submit t conn ~case ~qos =
+  let reply =
+    locked t (fun () ->
+        t.last_activity <- now ();
+        if t.draining then Protocol.shed ~reason:"draining" ~queue:(List.length t.cold)
+        else if Registry.find case = None then
+          Protocol.error_frame (proto_error (Printf.sprintf "unknown case %S" case))
+        else begin
+          let digest = Protocol.digest ~case ~qos in
+          let attachable =
+            match Hashtbl.find_opt t.live digest with
+            | Some j
+              when j.jb_state <> `Done
+                   && j.jb_state <> `Cancelled
+                   && not (Atomic.get j.jb_cancel) ->
+              Some j
+            | _ -> None
+          in
+          match attachable with
+          | Some j ->
+            (* In-flight dedup: N clients asking for one digest share
+               one exploration and all get the same verdict frame. *)
+            j.jb_waiters <- conn :: j.jb_waiters;
+            Protocol.ack ~job:j.jb_id ~digest ~position:0 ~cached:j.jb_cached
+          | None ->
+            let cached = memo_hit t digest in
+            if
+              (not cached)
+              && List.length t.cold >= t.cfg.sc_queue_bound
+            then Protocol.shed ~reason:"queue-full" ~queue:(List.length t.cold)
+            else begin
+              let job = mkjob t ~case ~qos ~cached ~keep:false in
+              job.jb_waiters <- [ conn ];
+              Hashtbl.replace t.live digest job;
+              if cached then t.fast <- t.fast @ [ job ]
+              else begin
+                (* The ledger entry makes the accepted job durable
+                   before any exploration starts: a daemon killed right
+                   here resumes it. *)
+                Journal.append t.jrnl
+                  (Journal.Spec_begin
+                     { spec = ledger_spec case; params = digest });
+                Journal.flush t.jrnl;
+                t.cold <- t.cold @ [ job ]
+              end;
+              Condition.broadcast t.cv;
+              Protocol.ack ~job:job.jb_id ~digest
+                ~position:(List.length (if cached then t.fast else t.cold))
+                ~cached
+            end
+        end)
+  in
+  send conn reply
+
+let status_frame t =
+  (* Flush so [Journal.read] (which scans the files, not the handle's
+     index) sees everything appended so far, then render through the
+     same code path as [fcsl jobs status --json]. *)
+  Journal.flush t.jrnl;
+  let records, _ = Journal.read t.cfg.sc_journal_dir in
+  let jobs = Journal.jobs_of_records records in
+  let extra =
+    locked t (fun () ->
+        [
+          ("type", Json.Str "status");
+          ("queue", Json.Int (List.length t.cold));
+          ("fast", Json.Int (List.length t.fast));
+          ("draining", Json.Bool t.draining);
+        ])
+  in
+  Protocol.jobs_to_json ~extra jobs
+
+let withdraw_conn_from t conn job =
+  job.jb_waiters <- List.filter (fun c -> c != conn) job.jb_waiters;
+  if job.jb_waiters = [] && not job.jb_keep then begin
+    match job.jb_state with
+    | `Queued ->
+      (* Never started: drop it from the queue and write the terminal
+         ledger record now, so a restart doesn't resurrect a job
+         nobody wants. *)
+      job.jb_state <- `Cancelled;
+      t.cold <- List.filter (fun j -> j != job) t.cold;
+      t.fast <- List.filter (fun j -> j != job) t.fast;
+      (match Hashtbl.find_opt t.live job.jb_digest with
+      | Some j when j == job -> Hashtbl.remove t.live job.jb_digest
+      | _ -> ());
+      if not job.jb_cached then
+        ledger_done t job ~tier:"service-cancelled" ~cancelled:true
+          ~elapsed_s:0. ~states:0
+    | `Running ->
+      (* The budget's cancel probe trips within one tick; the verdict
+         is reported cancelled and never journaled. *)
+      Atomic.set job.jb_cancel true
+    | `Done | `Cancelled -> ()
+  end
+
+let cancel t conn ~id =
+  locked t (fun () ->
+      let found = ref false in
+      Hashtbl.iter
+        (fun _ job ->
+          if job.jb_id = id then begin
+            found := true;
+            withdraw_conn_from t conn job
+          end)
+        t.live;
+      if !found then
+        Json.to_string
+          (Json.Obj [ ("type", Json.Str "cancelled"); ("job", Json.Int id) ])
+      else Protocol.error_frame (proto_error (Printf.sprintf "unknown job %d" id)))
+
+let disconnect t conn =
+  locked t (fun () ->
+      conn.cn_alive <- false;
+      t.conns <- List.filter (fun c -> c != conn) t.conns;
+      Hashtbl.iter (fun _ job -> withdraw_conn_from t conn job) t.live;
+      t.last_activity <- now ());
+  try Unix.close conn.cn_fd with _ -> ()
+
+let handle_line t conn line =
+  match Protocol.parse_request line with
+  | Error crash -> send conn (Protocol.error_frame crash)
+  | Ok Protocol.Ping -> send conn Protocol.pong
+  | Ok Protocol.Status -> send conn (status_frame t)
+  | Ok Protocol.Drain ->
+    drain t;
+    send conn Protocol.drained
+  | Ok (Protocol.Cancel id) -> send conn (cancel t conn ~id)
+  | Ok (Protocol.Submit { case; qos }) -> submit t conn ~case ~qos
+
+(* A line cap keeps one hostile client from ballooning the daemon's
+   memory: past it the frame is answered with a protocol error and the
+   connection is dropped. *)
+let max_line = 1 lsl 20
+
+let conn_loop t conn =
+  let chunk = Bytes.create 4096 in
+  let pending = ref "" in
+  let overlong = ref false in
+  let rec go () =
+    match Unix.read conn.cn_fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      pending := !pending ^ Bytes.sub_string chunk 0 n;
+      let rec split () =
+        match String.index_opt !pending '\n' with
+        | Some i ->
+          let line = String.sub !pending 0 i in
+          pending := String.sub !pending (i + 1) (String.length !pending - i - 1);
+          if String.trim line <> "" then handle_line t conn line;
+          split ()
+        | None -> ()
+      in
+      split ();
+      if String.length !pending > max_line then begin
+        send conn
+          (Protocol.error_frame
+             (proto_error "frame exceeds the 1 MiB line limit"));
+        overlong := true
+      end;
+      if not !overlong then go ()
+    | exception _ -> ()
+  in
+  (try go () with _ -> ());
+  disconnect t conn
+
+(* --- The accept loop --------------------------------------------------- *)
+
+let install_signals t =
+  (* The handler body runs at an allocation safepoint of whatever
+     thread is interrupted: it must not take locks.  It flips an
+     atomic the accept loop polls. *)
+  let request _ = Atomic.set t.stop_req true in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request) with _ -> ());
+  try Sys.set_signal Sys.sigint (Sys.Signal_handle request) with _ -> ()
+
+let run t =
+  (* A write to a freshly-dead client must surface as EPIPE, not kill
+     the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  if t.cfg.sc_signals then install_signals t;
+  (try Unix.unlink t.cfg.sc_socket with _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX t.cfg.sc_socket);
+  Unix.listen listen_fd 64;
+  let executor = Thread.create exec_loop t in
+  let conn_threads = ref [] in
+  let finished () = locked t (fun () -> t.exec_done) in
+  while not (finished ()) do
+    if Atomic.get t.stop_req then drain t;
+    (match t.cfg.sc_idle_exit_s with
+    | Some idle ->
+      let quiet =
+        locked t (fun () ->
+            t.conns = [] && t.cold = [] && t.fast = []
+            && now () -. t.last_activity > idle)
+      in
+      if quiet then drain t
+    | None -> ());
+    match Unix.select [ listen_fd ] [] [] 0.2 with
+    | [ _ ], _, _ when not (finished ()) ->
+      let fd, _ = Unix.accept listen_fd in
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0 with _ -> ());
+      let conn = { cn_fd = fd; cn_mu = Mutex.create (); cn_alive = true } in
+      locked t (fun () ->
+          t.conns <- conn :: t.conns;
+          t.last_activity <- now ());
+      conn_threads := Thread.create (conn_loop t) conn :: !conn_threads
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Thread.join executor;
+  (try Unix.close listen_fd with _ -> ());
+  (try Unix.unlink t.cfg.sc_socket with _ -> ());
+  (* Unblock the reader threads: shutting the sockets down makes their
+     reads return 0/fail, and each thread runs its own disconnect. *)
+  let conns = locked t (fun () -> t.conns) in
+  List.iter
+    (fun c -> try Unix.shutdown c.cn_fd Unix.SHUTDOWN_ALL with _ -> ())
+    conns;
+  List.iter (fun th -> try Thread.join th with _ -> ()) !conn_threads;
+  Journal.close t.jrnl

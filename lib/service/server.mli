@@ -1,0 +1,68 @@
+(** The verification daemon behind [fcsl serve]: a Unix-domain-socket
+    server scheduling registry cases on the engine, with journal-backed
+    memoized verdicts (see docs/SERVICE.md).
+
+    Concurrency shape: one accept loop, one reader thread per
+    connection, one executor thread running jobs sequentially (the
+    engine's [with_engine] defaults are process-global; the exploration
+    itself fans out over [sc_jobs] domains).  Robustness contract:
+    bounded cold queue with structured shed frames, client-disconnect
+    cancellation through the budget's cancel probe, crash-safe resume
+    from the job ledger, graceful drain on SIGTERM. *)
+
+open Fcsl_core
+
+type config = {
+  sc_socket : string;  (** Unix-domain socket path *)
+  sc_journal_dir : string;  (** journal directory (WAL + snapshot) *)
+  sc_resume : bool;
+      (** recover the journal and re-enqueue in-flight ledger jobs *)
+  sc_fsync : Journal.fsync_policy option;  (** [None]: journal default *)
+  sc_queue_bound : int;
+      (** cold-queue capacity; submissions past it are shed.  Memo-known
+          submissions bypass the bound — they cost no exploration *)
+  sc_jobs : int;  (** domains per exploration (not concurrent jobs) *)
+  sc_signals : bool;
+      (** install SIGTERM/SIGINT drain handlers (off for in-process
+          servers inside tests and the chaos harness) *)
+  sc_idle_exit_s : float option;
+      (** drain after this long with no connections and no work *)
+  sc_job_delay_s : float;
+      (** artificial pre-exploration delay per job — the chaos/test
+          hook that makes mid-job kills and queue overflow
+          deterministic *)
+}
+
+val config :
+  ?resume:bool ->
+  ?fsync:Journal.fsync_policy ->
+  ?queue_bound:int ->
+  ?jobs:int ->
+  ?signals:bool ->
+  ?idle_exit_s:float ->
+  ?job_delay_s:float ->
+  socket:string ->
+  journal_dir:string ->
+  unit ->
+  config
+(** Defaults: no resume, journal-default fsync, queue bound 16, 1
+    domain, signals installed, no idle exit, no delay. *)
+
+type t
+
+val create : config -> t
+(** Open (or recover) the journal and, under [sc_resume], re-enqueue
+    the ledger's in-flight jobs as waiter-less keepers. *)
+
+val run : t -> unit
+(** Serve until drained: blocks the calling thread through the accept
+    loop and returns after the queue is empty, every verdict is
+    journaled and the socket is unlinked.  Closes the journal. *)
+
+val drain : t -> unit
+(** Stop accepting submissions (they shed with reason ["draining"]),
+    finish queued work, then let {!run} return.  Idempotent; also
+    triggered by SIGTERM/SIGINT when [sc_signals] is set. *)
+
+val stop : t -> unit
+(** Alias of {!drain} — the in-process shutdown used by tests. *)

@@ -24,4 +24,5 @@ let () =
       ("journal", Test_journal.suite);
       ("por", Test_por.suite);
       ("repr", Test_repr.suite);
+      ("service", Test_service.suite);
     ]

@@ -309,6 +309,7 @@ let prop_crash_json_round_trip =
       Crash.Unsafe_action; Crash.Ghost_algebra; Crash.Envelope_violation;
       Crash.Postcondition; Crash.Budget_exhausted; Crash.Injected_fault;
       Crash.Internal_error; Crash.Analyzer_lie; Crash.Deadlock;
+      Crash.Protocol_error;
     ]
   in
   let gen =

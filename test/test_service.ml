@@ -1,0 +1,480 @@
+(* The verification service (docs/SERVICE.md): the wire JSON layer,
+   protocol parsing (malformed frames are structured protocol-error
+   crashes, never exceptions), the journal's read-only digest lookup —
+   including the torn-tail case, which must forget the verdict rather
+   than serve a stale one — and the daemon end to end: cold vs
+   memoized verdicts, concurrent same-digest dedup (one exploration, N
+   identical verdicts), queue shedding, graceful drain, disconnect
+   cancellation, and crash-safe resume of in-flight ledger jobs. *)
+
+open Fcsl_core
+module Json = Fcsl_service.Json
+module Protocol = Fcsl_service.Protocol
+module Server = Fcsl_service.Server
+module Client = Fcsl_service.Client
+
+let check = Alcotest.(check bool)
+
+let tmp_base =
+  let n = ref 0 in
+  fun tag ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fcsl-test-service-%s-%d-%d" tag (Unix.getpid ()) !n)
+
+let fresh_dir tag =
+  let d = tmp_base tag in
+  (* discard any leftover from a previous run of the same pid *)
+  Journal.close (Journal.openj ~resume:false d);
+  d
+
+(* An in-process daemon on a fresh (or given) journal.  [jobs] stays 1:
+   the service suite must not be the reason the test binary spawns
+   domains. *)
+let with_server ?(resume = false) ?queue_bound ?(job_delay_s = 0.) ?dir ~tag f
+    =
+  let dir = match dir with Some d -> d | None -> fresh_dir tag in
+  let socket = tmp_base (tag ^ "-sock") ^ ".sock" in
+  let cfg =
+    Server.config ~resume ?queue_bound ~jobs:1 ~signals:false ~job_delay_s
+      ~socket ~journal_dir:dir ()
+  in
+  let t = Server.create cfg in
+  let th = Thread.create Server.run t in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Thread.join th)
+    (fun () ->
+      check "daemon answers ping" true (Client.wait_ready ~socket ());
+      f ~socket ~dir)
+
+let failf fmt = Alcotest.failf fmt
+
+(* --- wire JSON ------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.Arr [ Json.Null; Json.Bool false; Json.Str "x\n\"\\y" ]);
+        ("c", Json.Float 1.5);
+        ("d", Json.Obj [ ("nested", Json.Int (-7)) ]);
+        ("e", Json.Str "caf\xc3\xa9");
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> check "parse inverts to_string" true (v = v')
+  | Error e -> failf "round-trip failed: %s" e
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> failf "parsed garbage %S" s
+      | Error _ -> ())
+    [
+      ""; "{"; "[1, 2"; "tru"; "\"unterminated"; "{\"a\": }"; "{} trailing";
+      "{'single': 1}"; "[1,]";
+    ]
+
+(* --- protocol requests ----------------------------------------------- *)
+
+let test_request_round_trip () =
+  List.iter
+    (fun r ->
+      let line = Json.to_string (Protocol.request_to_json r) in
+      match Protocol.parse_request line with
+      | Ok r' -> check "request round-trips" true (r = r')
+      | Error c -> failf "parse of %s failed: %s" line (Crash.message c))
+    [
+      Protocol.Ping;
+      Protocol.Status;
+      Protocol.Drain;
+      Protocol.Cancel 7;
+      Protocol.Submit { case = "CAS-lock"; qos = Protocol.Silver };
+      Protocol.Submit { case = "Treiber stack"; qos = Protocol.Gold };
+    ]
+
+let test_request_malformed () =
+  List.iter
+    (fun line ->
+      match Protocol.parse_request line with
+      | Ok _ -> failf "parsed malformed frame %S" line
+      | Error c ->
+        check "malformed frame is a protocol-error" true
+          (Crash.kind c = Crash.Protocol_error))
+    [
+      "{"; "[1]"; "42"; "{\"op\": \"zap\"}"; "{\"op\": \"submit\"}";
+      "{\"op\": \"submit\", \"case\": \"x\", \"qos\": \"pewter\"}";
+      "{\"op\": \"cancel\"}"; "{\"no\": \"op\"}";
+    ]
+
+let test_digest () =
+  let d = Protocol.digest ~case:"Treiber stack" ~qos:Protocol.Bronze in
+  check "case recovered" true
+    (Protocol.case_of_digest d = Some "Treiber stack");
+  check "qos recovered" true (Protocol.qos_of_digest d = Some Protocol.Bronze);
+  check "gold is unbounded" true
+    (Budget.is_unlimited (Protocol.qos_limits Protocol.Gold));
+  check "bronze is bounded" false
+    (Budget.is_unlimited (Protocol.qos_limits Protocol.Bronze))
+
+(* --- budget cancel probe --------------------------------------------- *)
+
+let test_budget_cancel_probe () =
+  let flag = ref false in
+  let b = Budget.arm (Budget.limits ~cancel:(fun () -> !flag) ()) in
+  Budget.tick b;
+  check "not tripped while the probe is false" true (Budget.tripped b = None);
+  flag := true;
+  Budget.tick b;
+  check "tripped on the next tick" true
+    (Budget.tripped b = Some Budget.Cancelled);
+  flag := false;
+  Budget.tick b;
+  check "the trip is sticky" true (Budget.tripped b = Some Budget.Cancelled)
+
+(* --- journal digest lookup ------------------------------------------- *)
+
+let ledger_image ?(tier = "service") ~spec ~params () =
+  {
+    Journal.ri_spec = spec;
+    ri_params = params;
+    ri_tier = tier;
+    ri_seed = None;
+    ri_initial_states = 1;
+    ri_outcomes = 2;
+    ri_diverged = 0;
+    ri_complete = true;
+    ri_states = 3;
+    ri_failures = [];
+    ri_worker_crashes = [];
+    ri_budget = None;
+  }
+
+let test_verdict_of_digest () =
+  let dir = fresh_dir "vod" in
+  let digest = "case=X;qos=gold" in
+  let j = Journal.openj ~resume:false dir in
+  Journal.append j (Journal.Spec_begin { spec = "job/X"; params = digest });
+  Journal.append j
+    (Journal.Spec_done (ledger_image ~spec:"job/X" ~params:digest ()));
+  Journal.flush j;
+  (match Journal.verdict_of_digest j ~digest with
+  | Some ri -> check "tier preserved" true (ri.Journal.ri_tier = "service")
+  | None -> failf "journaled digest not found");
+  check "other digests miss" true
+    (Journal.verdict_of_digest j ~digest:"case=X;qos=bronze" = None);
+  Journal.close j;
+  (* reopen and look up again: the memo must survive a restart *)
+  let j = Journal.openj ~resume:true dir in
+  check "memo survives a restart" true
+    (Option.is_some (Journal.verdict_of_digest j ~digest));
+  Journal.close j
+
+(* A torn tail that eats the verdict record must make the lookup return
+   [None] — re-exploration — never the stale (now non-durable) verdict. *)
+let test_verdict_of_digest_torn_tail () =
+  let dir = fresh_dir "torn" in
+  let digest = "case=Y;qos=gold" in
+  let j = Journal.openj ~resume:false dir in
+  Journal.append j (Journal.Spec_begin { spec = "job/Y"; params = digest });
+  Journal.flush j;
+  let before = (Unix.stat (Journal.wal_path dir)).Unix.st_size in
+  Journal.append j
+    (Journal.Spec_done (ledger_image ~spec:"job/Y" ~params:digest ()));
+  Journal.flush j;
+  Journal.close j;
+  (* tear the verdict record: cut a few bytes into it *)
+  let fd = Unix.openfile (Journal.wal_path dir) [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (before + 4);
+  Unix.close fd;
+  let j = Journal.openj ~resume:true dir in
+  check "torn verdict is forgotten, not served" true
+    (Journal.verdict_of_digest j ~digest = None);
+  Journal.close j
+
+(* --- jobs-status JSON (the shared renderer) -------------------------- *)
+
+let test_jobs_json_schema () =
+  let records =
+    [
+      Journal.Spec_begin { spec = "done-spec"; params = "p1" };
+      Journal.Spec_done (ledger_image ~tier:"exhaustive" ~spec:"done-spec"
+                           ~params:"p1" ());
+      Journal.Spec_begin { spec = "wip-spec"; params = "p2" };
+    ]
+  in
+  let jobs = Journal.jobs_of_records records in
+  match Json.parse (Protocol.jobs_to_json jobs) with
+  | Error e -> failf "jobs JSON does not parse: %s" e
+  | Ok v -> (
+    check "schema_version" true
+      (Option.bind (Json.member "schema_version" v) Json.to_int
+      = Some Protocol.schema_version);
+    match Option.bind (Json.member "jobs" v) Json.to_list with
+    | Some ([ _; _ ] as js) ->
+      let field k j = Option.bind (Json.member k j) Json.to_str in
+      let row spec =
+        match List.find_opt (fun j -> field "spec" j = Some spec) js with
+        | Some j -> j
+        | None -> failf "no job row for %s" spec
+      in
+      check "complete status" true
+        (field "status" (row "done-spec") = Some "complete");
+      check "in-flight status" true
+        (field "status" (row "wip-spec") = Some "in-flight");
+      check "units field present" true
+        (Option.bind (Json.member "units" (row "done-spec")) Json.to_int
+        <> None)
+    | _ -> failf "expected exactly two job rows")
+
+(* --- the daemon end to end ------------------------------------------- *)
+
+let test_serve_cold_then_memo () =
+  with_server ~tag:"memo" (fun ~socket ~dir:_ ->
+      let cn = Client.connect ~socket in
+      (match Client.submit cn ~case:"CAS-lock" with
+      | Ok v ->
+        check "cold verdict is not a memo" false v.Client.v_memo;
+        check "cold run adds durable units" true (v.Client.v_fresh_units > 0);
+        check "verdict ok" true (v.Client.v_status = 0)
+      | Error e -> failf "cold submit: %a" Client.pp_submit_error e);
+      (match Client.submit cn ~case:"CAS-lock" with
+      | Ok v ->
+        check "second submission is memoized" true v.Client.v_memo;
+        check "memoized verdict adds no units" true
+          (v.Client.v_fresh_units = 0)
+      | Error e -> failf "memo submit: %a" Client.pp_submit_error e);
+      (match Client.status cn with
+      | Ok v ->
+        check "status carries the schema version" true
+          (Option.bind (Json.member "schema_version" v) Json.to_int
+          = Some Protocol.schema_version);
+        check "status carries the drain flag" true
+          (Option.bind (Json.member "draining" v) Json.to_bool = Some false)
+      | Error e -> failf "status: %a" Client.pp_submit_error e);
+      Client.close cn)
+
+(* M clients race the same digest: exactly one exploration runs and all
+   M get the identical verdict. *)
+let test_concurrent_same_digest () =
+  with_server ~tag:"dedup" ~job_delay_s:0.3 (fun ~socket ~dir ->
+      let m = 4 in
+      let results = Array.make m (Error (Client.Transport "unset")) in
+      let threads =
+        List.init m (fun i ->
+            Thread.create
+              (fun () ->
+                let cn = Client.connect ~socket in
+                results.(i) <- Client.submit cn ~case:"CAS-lock";
+                Client.close cn)
+              ())
+      in
+      List.iter Thread.join threads;
+      let canons =
+        Array.to_list results
+        |> List.map (function
+             | Ok v ->
+               Json.to_string (Protocol.canonical_verdict v.Client.v_frame)
+             | Error e -> failf "concurrent submit: %a" Client.pp_submit_error e)
+      in
+      (match canons with
+      | c0 :: rest ->
+        check "all clients got the identical verdict" true
+          (List.for_all (String.equal c0) rest)
+      | [] -> ());
+      (* exactly one exploration: one service ledger verdict, and no
+         underlying spec verified twice *)
+      let records, _ = Journal.read dir in
+      let spec_dones =
+        List.filter_map
+          (function Journal.Spec_done ri -> Some ri.Journal.ri_spec | _ -> None)
+          records
+      in
+      check "one job ledger verdict" true
+        (List.length (List.filter (String.equal "job/CAS-lock") spec_dones)
+        = 1);
+      let explored =
+        List.filter (fun s -> s <> "job/CAS-lock") spec_dones
+      in
+      check "exactly one exploration ran" true
+        (explored <> []
+        && List.length explored
+           = List.length (List.sort_uniq compare explored)))
+
+let test_shed_past_queue_bound () =
+  with_server ~tag:"shed" ~queue_bound:1 ~job_delay_s:0.8
+    (fun ~socket ~dir:_ ->
+      let submit_bg case res =
+        Thread.create
+          (fun () ->
+            let cn = Client.connect ~socket in
+            res := Some (Client.submit cn ~case);
+            Client.close cn)
+          ()
+      in
+      let r1 = ref None and r2 = ref None in
+      let t1 = submit_bg "CAS-lock" r1 in
+      Thread.delay 0.2;
+      (* the first job is running its pre-exploration delay *)
+      let t2 = submit_bg "Treiber stack" r2 in
+      Thread.delay 0.2;
+      (* the cold queue now holds one job: the bound *)
+      let cn = Client.connect ~socket in
+      (match Client.submit cn ~case:"Ticketed lock" with
+      | Error (Client.Shed reason) ->
+        check "shed reason" true (reason = "queue-full")
+      | Ok _ -> failf "submission past the bound was not shed"
+      | Error e -> failf "wanted a shed, got %a" Client.pp_submit_error e);
+      Client.close cn;
+      Thread.join t1;
+      Thread.join t2;
+      match (!r1, !r2) with
+      | Some (Ok _), Some (Ok _) -> ()
+      | _ -> failf "accepted submissions did not complete")
+
+let test_drain_finishes_then_sheds () =
+  with_server ~tag:"drain" ~job_delay_s:0.5 (fun ~socket ~dir:_ ->
+      let r1 = ref None in
+      let t1 =
+        Thread.create
+          (fun () ->
+            let cn = Client.connect ~socket in
+            r1 := Some (Client.submit cn ~case:"CAS-lock");
+            Client.close cn)
+          ()
+      in
+      Thread.delay 0.15;
+      let cn = Client.connect ~socket in
+      (match Client.drain cn with
+      | Ok () -> ()
+      | Error e -> failf "drain: %a" Client.pp_submit_error e);
+      (match Client.submit cn ~case:"Treiber stack" with
+      | Error (Client.Shed reason) ->
+        check "post-drain submissions shed" true (reason = "draining")
+      | Ok _ -> failf "post-drain submission was accepted"
+      | Error e -> failf "wanted a draining shed, got %a" Client.pp_submit_error e);
+      Client.close cn;
+      Thread.join t1;
+      match !r1 with
+      | Some (Ok v) ->
+        check "in-flight work still completed" true (v.Client.v_status = 0)
+      | _ -> failf "the draining daemon dropped in-flight work")
+
+let test_disconnect_cancels () =
+  with_server ~tag:"cancel" ~job_delay_s:0.5 (fun ~socket ~dir ->
+      let c1 = Client.connect ~socket in
+      Client.send c1 (Protocol.Submit { case = "CAS-lock"; qos = Protocol.Gold });
+      (match Client.read_frame ~timeout_s:10. c1 with
+      | Ok _ack -> ()
+      | Error e -> failf "no ack: %s" e);
+      Client.abandon c1;
+      (* the orphan settles as cancelled in the ledger *)
+      let deadline = Unix.gettimeofday () +. 15. in
+      let rec tier () =
+        let records, _ = Journal.read dir in
+        match
+          List.filter_map
+            (function
+              | Journal.Spec_done ri when ri.Journal.ri_spec = "job/CAS-lock"
+                ->
+                Some ri.Journal.ri_tier
+              | _ -> None)
+            records
+        with
+        | t :: _ -> Some t
+        | [] ->
+          if Unix.gettimeofday () > deadline then None
+          else begin
+            Thread.delay 0.05;
+            tier ()
+          end
+      in
+      (match tier () with
+      | Some t -> check "settled as cancelled, not memoizable" true
+          (t = "service-cancelled")
+      | None -> failf "orphaned job never settled");
+      (* a fresh client re-explores to a real verdict *)
+      let c2 = Client.connect ~socket in
+      (match Client.submit c2 ~case:"CAS-lock" with
+      | Ok v ->
+        check "resubmission re-explores" false v.Client.v_memo;
+        check "resubmission verdict ok" true (v.Client.v_status = 0)
+      | Error e -> failf "resubmit: %a" Client.pp_submit_error e);
+      Client.close c2)
+
+(* A daemon restarted with [--resume] re-runs the ledger's in-flight
+   jobs without any client asking. *)
+let test_resume_requeues_in_flight () =
+  let dir = fresh_dir "resume" in
+  let j = Journal.openj ~resume:true dir in
+  Journal.append j
+    (Journal.Spec_begin
+       { spec = "job/CAS-lock"; params = "case=CAS-lock;qos=gold" });
+  Journal.flush j;
+  Journal.close j;
+  with_server ~resume:true ~dir ~tag:"resume" (fun ~socket ~dir ->
+      let deadline = Unix.gettimeofday () +. 60. in
+      let rec wait () =
+        let records, _ = Journal.read dir in
+        let finished =
+          List.exists
+            (function
+              | Journal.Spec_done ri ->
+                ri.Journal.ri_spec = "job/CAS-lock"
+                && ri.Journal.ri_tier = "service"
+              | _ -> false)
+            records
+        in
+        finished
+        || Unix.gettimeofday () < deadline
+           && begin
+                Thread.delay 0.05;
+                wait ()
+              end
+      in
+      check "the in-flight ledger job re-ran to a verdict" true (wait ());
+      (* and a client is now served from the memo *)
+      let cn = Client.connect ~socket in
+      (match Client.submit cn ~case:"CAS-lock" with
+      | Ok v ->
+        check "served from the memo" true
+          (v.Client.v_memo && v.Client.v_fresh_units = 0)
+      | Error e -> failf "post-resume submit: %a" Client.pp_submit_error e);
+      Client.close cn)
+
+let suite =
+  [
+    Alcotest.test_case "json: parse inverts to_string" `Quick
+      test_json_round_trip;
+    Alcotest.test_case "json: garbage rejected" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "protocol: requests round-trip" `Quick
+      test_request_round_trip;
+    Alcotest.test_case "protocol: malformed frames are protocol-errors" `Quick
+      test_request_malformed;
+    Alcotest.test_case "protocol: digest and QoS ladder" `Quick test_digest;
+    Alcotest.test_case "budget: cancel probe trips sticky" `Quick
+      test_budget_cancel_probe;
+    Alcotest.test_case "journal: verdict_of_digest lookup" `Quick
+      test_verdict_of_digest;
+    Alcotest.test_case "journal: torn tail forgets the verdict" `Quick
+      test_verdict_of_digest_torn_tail;
+    Alcotest.test_case "jobs: one JSON renderer, versioned schema" `Quick
+      test_jobs_json_schema;
+    Alcotest.test_case "serve: cold then memoized verdict" `Quick
+      test_serve_cold_then_memo;
+    Alcotest.test_case "serve: M clients, one exploration" `Quick
+      test_concurrent_same_digest;
+    Alcotest.test_case "serve: shed past the queue bound" `Quick
+      test_shed_past_queue_bound;
+    Alcotest.test_case "serve: drain finishes work, sheds intake" `Quick
+      test_drain_finishes_then_sheds;
+    Alcotest.test_case "serve: disconnect cancels, never memoizes" `Quick
+      test_disconnect_cancels;
+    Alcotest.test_case "serve: resume requeues in-flight ledger jobs" `Quick
+      test_resume_requeues_in_flight;
+  ]
