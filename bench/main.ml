@@ -994,22 +994,64 @@ type serve_row = {
 
 type serve_throughput = { st_submissions : int; st_elapsed_s : float }
 
+type serve_overload = {
+  so_submissions : int;  (** flood submissions attempted (all clients) *)
+  so_shed : int;  (** answered with a structured shed frame *)
+  so_gold_idle_p50_s : float;  (** memoized gold latency, quiet daemon *)
+  so_gold_flood_p50_s : float;  (** same probe while the flood runs *)
+}
+
 let serve_target_speedup = 10.0
 let serve_memo_trials = 5
 let serve_clients = 4
 
+(* The overload gate: a saturated queue may slow the gold fast lane —
+   probes wait behind whichever exploration the executor is running —
+   but degradation must stay graceful, not unbounded. *)
+let serve_overload_max_degrade = 5.0
+let serve_overload_queue_bound = 2
+
+(* The per-job delay is the flood's dominant, uniform work unit: the
+   flood cases below are the registry's near-free rows, so queue
+   pressure (and the gold probe's wait) is set by this knob rather
+   than by whichever case's exploration happens to be running — that
+   keeps the degradation ratio a property of the queue, not of the
+   workload mix. *)
+let serve_overload_job_delay_s = 0.08
+
+let serve_overload_flood_cases =
+  List.filter
+    (fun (c : Registry.case) ->
+      List.mem c.Registry.c_name [ "CG increment"; "FC-stack"; "Prod/Cons" ])
+    Registry.all
+
 let sv_speedup r =
   if r.sv_memo_p50_s > 0. then r.sv_cold_s /. r.sv_memo_p50_s else nan
 
-let with_serve_daemon f =
+let so_degrade ov =
+  if ov.so_gold_idle_p50_s > 0. then
+    ov.so_gold_flood_p50_s /. ov.so_gold_idle_p50_s
+  else nan
+
+let so_shed_rate ov =
+  if ov.so_submissions > 0 then
+    float_of_int ov.so_shed /. float_of_int ov.so_submissions
+  else nan
+
+let serve_overload_met ov =
+  ov.so_shed > 0 && so_degrade ov < serve_overload_max_degrade
+
+let with_serve_daemon ?(tag = "") ?queue_bound ?overload_high ?overload_low
+    ?(job_delay_s = 0.) f =
   let tmp = Filename.get_temp_dir_name () in
-  let stamp = Printf.sprintf "fcsl-bench-serve-%d" (Unix.getpid ()) in
+  let stamp = Printf.sprintf "fcsl-bench-serve-%d%s" (Unix.getpid ()) tag in
   let dir = Filename.concat tmp stamp in
   let socket = Filename.concat tmp (stamp ^ ".sock") in
   Journal.close (Journal.openj ~resume:false dir);
   let t =
     Sv_server.create
-      (Sv_server.config ~signals:false ~jobs:1 ~socket ~journal_dir:dir ())
+      (Sv_server.config ~signals:false ~jobs:1 ?queue_bound ?overload_high
+         ?overload_low ~job_delay_s ~socket ~journal_dir:dir ())
   in
   let th = Thread.create Sv_server.run t in
   if not (Sv_client.wait_ready ~socket ()) then
@@ -1077,6 +1119,96 @@ let serve_comparison () =
       in
       (rows, tput))
 
+(* The overload row: [serve_clients] concurrent clients flood a
+   deliberately tiny queue (bound 2, high watermark 1) with bronze
+   submissions — each client walks the registry once, rotated so
+   distinct digests hit the cold queue together — while a gold client
+   keeps probing a memoized case.  Reported: the shed rate the flood
+   observed and the gold p50 during the flood vs on the quiet daemon.
+   Gated: sheds happened at all (the queue really saturated) and the
+   gold fast lane degraded by less than
+   [serve_overload_max_degrade]. *)
+let serve_overload_run () =
+  with_serve_daemon ~tag:"-overload" ~queue_bound:serve_overload_queue_bound
+    ~overload_high:1 ~overload_low:0 ~job_delay_s:serve_overload_job_delay_s
+    (fun ~socket ->
+      let probe_case = (List.hd Registry.all).Registry.c_name in
+      let p50 = function
+        | [] -> nan
+        | times -> List.nth (List.sort compare times) (List.length times / 2)
+      in
+      let cn = Sv_client.connect ~socket in
+      (* warm the probe's gold memo, then measure the quiet baseline *)
+      ignore (timed_submit cn probe_case);
+      let idle = List.init 9 (fun _ -> fst (timed_submit cn probe_case)) in
+      let running = Atomic.make 0 in
+      let subs = Atomic.make 0 in
+      let sheds = Atomic.make 0 in
+      let flood_err = Atomic.make None in
+      let flooder i () =
+        Atomic.incr running;
+        let cases =
+          (* rotate per client so distinct fresh digests arrive
+             together instead of deduplicating into one job; alternate
+             silver and bronze — silver is admitted (and demoted) so
+             it saturates the queue, bronze sheds against it *)
+          let all = serve_overload_flood_cases in
+          let n = List.length all in
+          List.concat
+            (List.init n (fun k ->
+                 let c = List.nth all ((k + i) mod n) in
+                 [
+                   (c, Fcsl_service.Protocol.Bronze);
+                   (c, Fcsl_service.Protocol.Silver);
+                 ]))
+        in
+        let cn = Sv_client.connect ~socket in
+        for _round = 1 to 2 do
+          List.iter
+            (fun ((c : Registry.case), qos) ->
+              Atomic.incr subs;
+              (match Sv_client.submit ~qos cn ~case:c.Registry.c_name with
+              | Ok _ -> ()
+              | Error (Sv_client.Shed _) -> Atomic.incr sheds
+              | Error e ->
+                Atomic.set flood_err
+                  (Some (Fmt.str "%a" Sv_client.pp_submit_error e)));
+              Thread.delay 0.02)
+            cases
+        done;
+        Sv_client.close cn;
+        Atomic.decr running
+      in
+      let threads =
+        List.init serve_clients (fun i -> Thread.create (flooder i) ())
+      in
+      (* gold probes for as long as the flood lasts: the memo fast lane
+         is never shed, so every probe must come back a verdict *)
+      let rec probes acc =
+        let s, _ = timed_submit cn probe_case in
+        if Atomic.get running > 0 then begin
+          Thread.delay 0.03;
+          probes (s :: acc)
+        end
+        else s :: acc
+      in
+      (* wait for the flood to actually start before probing *)
+      while Atomic.get subs = 0 do
+        Thread.delay 0.005
+      done;
+      let flood = probes [] in
+      List.iter Thread.join threads;
+      Sv_client.close cn;
+      (match Atomic.get flood_err with
+      | Some msg -> failwith ("bench overload flood: " ^ msg)
+      | None -> ());
+      {
+        so_submissions = Atomic.get subs;
+        so_shed = Atomic.get sheds;
+        so_gold_idle_p50_s = p50 idle;
+        so_gold_flood_p50_s = p50 flood;
+      })
+
 let serve_total_cold rows =
   List.fold_left (fun a r -> a +. r.sv_cold_s) 0. rows
 
@@ -1100,8 +1232,20 @@ let pp_serve_rows ppf rows =
   Fmt.pf ppf "  %-28s %12.4f %14.5f %9.1fx@." "TOTAL" (serve_total_cold rows)
     (serve_total_memo rows) (serve_total_speedup rows)
 
-let write_serve_json ~path ((rows, tput) : serve_row list * serve_throughput)
-    =
+let pp_serve_overload ppf ov =
+  Fmt.pf ppf
+    "  overload: %d clients vs queue bound %d: %d/%d flood submissions shed \
+     (%.0f%%)@."
+    serve_clients serve_overload_queue_bound ov.so_shed ov.so_submissions
+    (100. *. so_shed_rate ov);
+  Fmt.pf ppf
+    "  gold p50 idle %.5fs, under flood %.5fs (%.1fx, gate < %.0fx)@."
+    ov.so_gold_idle_p50_s ov.so_gold_flood_p50_s (so_degrade ov)
+    serve_overload_max_degrade
+
+let write_serve_json ~path
+    ((rows, tput, ov) :
+      serve_row list * serve_throughput * serve_overload) =
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
   pr "{\n  \"serve\": {\n    \"target_speedup\": %.1f,\n    \"cases\": [\n"
@@ -1126,19 +1270,35 @@ let write_serve_json ~path ((rows, tput) : serve_row list * serve_throughput)
        (if tput.st_elapsed_s > 0. then
           float_of_int tput.st_submissions /. tput.st_elapsed_s
         else nan));
-  pr "    \"targets_met\": %b\n  }\n}\n" (serve_targets_met rows);
+  pr
+    "    \"overload\": {\"clients\": %d, \"queue_bound\": %d, \
+     \"submissions\": %d, \"shed\": %d, \"shed_rate\": %s, \
+     \"gold_idle_p50_s\": %.5f, \"gold_flood_p50_s\": %.5f, \
+     \"degrade\": %s, \"max_degrade\": %.1f},\n"
+    serve_clients serve_overload_queue_bound ov.so_submissions ov.so_shed
+    (json_num (so_shed_rate ov))
+    ov.so_gold_idle_p50_s ov.so_gold_flood_p50_s
+    (json_num (so_degrade ov))
+    serve_overload_max_degrade;
+  pr "    \"targets_met\": %b\n  }\n}\n"
+    (serve_targets_met rows && serve_overload_met ov);
   close_out oc
 
 let run_serve () =
   Fmt.pr "== Service memoization: cold vs journal-memoized latency ==@.";
-  let (rows, tput) as result = serve_comparison () in
+  let rows, tput = serve_comparison () in
   Fmt.pr "%a@." pp_serve_rows rows;
   Fmt.pr "  throughput: %d clients, %d memoized verdicts in %.2fs (%.0f/s)@."
     serve_clients tput.st_submissions tput.st_elapsed_s
     (float_of_int tput.st_submissions /. tput.st_elapsed_s);
+  let ov = serve_overload_run () in
+  Fmt.pr "%a@." pp_serve_overload ov;
   Fmt.pr "memoization target (total >= %.0fx): %s@." serve_target_speedup
     (if serve_targets_met rows then "met" else "NOT MET");
-  write_serve_json ~path:"BENCH_serve.json" result;
+  Fmt.pr "overload target (sheds > 0, gold p50 degrades < %.0fx): %s@."
+    serve_overload_max_degrade
+    (if serve_overload_met ov then "met" else "NOT MET");
+  write_serve_json ~path:"BENCH_serve.json" (rows, tput, ov);
   Fmt.pr "wrote BENCH_serve.json@.@."
 
 (* [--robust-only] / [--journal-only] / [--por-only] / [--serve-only]

@@ -282,8 +282,27 @@ let jobs_cmd =
          query is safe while a verification run is writing. *)
       let records, torn = Journal.read dir in
       let jobs = Journal.jobs_of_records records in
-      if json then
-        print_endline (Fcsl_service.Protocol.jobs_to_json jobs)
+      if json then begin
+        (* The journal-derived subset of the health fields: the shed
+           ledger's cumulative counter.  Live-only gauges (uptime,
+           queue depth, ...) render as null — same schema as the
+           daemon's status endpoint, one renderer. *)
+        let shed_total =
+          List.fold_left
+            (fun acc -> function
+              | Journal.Spec_done ri
+                when String.length ri.Journal.ri_spec > 5
+                     && String.sub ri.Journal.ri_spec 0 5 = "shed/" ->
+                max acc ri.Journal.ri_states
+              | _ -> acc)
+            0 records
+        in
+        let extra =
+          Fcsl_service.Protocol.health_fields ~shed_total
+            ~overload_state:Fcsl_service.Protocol.Normal ()
+        in
+        print_endline (Fcsl_service.Protocol.jobs_to_json ~extra jobs)
+      end
       else begin
         if torn > 0 then
           Fmt.pr "(%d bytes of torn tail would be truncated on resume)@." torn;
@@ -343,7 +362,79 @@ let serve_cmd =
              testing/chaos aid that makes mid-job kills and queue \
              overflow deterministic")
   in
-  let run socket journal_dir resume fsync queue jobs idle_exit job_delay =
+  let supervise_flag =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Run the daemon under a watchdog parent: child death (crash, \
+             kill -9, OOM) is answered with a jittered-backoff restart \
+             with $(b,--resume) semantics, until $(b,--restart-limit) \
+             failures land inside $(b,--restart-window) seconds — then \
+             the supervisor gives up with exit code 4")
+  in
+  let restart_limit_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "restart-limit" ] ~docv:"N"
+          ~doc:"Give up after $(docv) child failures inside the window")
+  in
+  let restart_window_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "restart-window" ] ~docv:"SECS"
+          ~doc:"The sliding failure window for $(b,--restart-limit)")
+  in
+  let restart_backoff_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "restart-backoff" ] ~docv:"SECS"
+          ~doc:
+            "Base restart delay; doubles per failure in the window, with \
+             jitter")
+  in
+  let pidfile_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "pidfile" ] ~docv:"PATH"
+          ~doc:
+            "Where the supervisor records the current child's pid \
+             (default: $(i,JOURNAL)/daemon.pid when supervising)")
+  in
+  let overload_high_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "overload-high" ] ~docv:"N"
+          ~doc:
+            "Cold-queue depth that declares overload: bronze submissions \
+             shed, gold/silver demoted one QoS rung with verdicts marked \
+             degraded (default: 3/4 of $(b,--queue))")
+  in
+  let overload_low_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "overload-low" ] ~docv:"N"
+          ~doc:
+            "Cold-queue depth that releases overload (hysteresis; \
+             default: 1/4 of $(b,--queue))")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"PER_SEC"
+          ~doc:
+            "Per-client token-bucket rate limit: submissions past the \
+             bucket shed with reason rate-limited (off by default)")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "burst" ] ~docv:"N"
+          ~doc:"Token-bucket burst capacity (with $(b,--rate))")
+  in
+  let run socket journal_dir resume fsync queue jobs idle_exit job_delay
+      supervise restart_limit restart_window restart_backoff pidfile
+      overload_high overload_low rate burst =
     let fsync =
       Option.map
         (fun s ->
@@ -354,17 +445,60 @@ let serve_cmd =
             exit exit_internal)
         fsync
     in
-    let cfg =
+    let mkcfg ~resume =
       Fcsl_service.Server.config ~resume ?fsync ~queue_bound:queue ~jobs
-        ?idle_exit_s:idle_exit ~job_delay_s:job_delay ~socket
-        ~journal_dir:journal_dir ()
+        ?idle_exit_s:idle_exit ~job_delay_s:job_delay ?overload_high
+        ?overload_low
+        ?rate:(Option.map (fun r -> (r, burst)) rate)
+        ~socket ~journal_dir:journal_dir ()
     in
-    let t = Fcsl_service.Server.create cfg in
-    Fmt.pr "fcsl serve: listening on %s (journal %s%s)@." socket journal_dir
-      (if resume then ", resumed" else "");
-    Fcsl_service.Server.run t;
-    Fmt.pr "fcsl serve: drained.@.";
-    exit_ok
+    if not supervise then begin
+      let t = Fcsl_service.Server.create (mkcfg ~resume) in
+      Fmt.pr "fcsl serve: listening on %s (journal %s%s)@." socket journal_dir
+        (if resume then ", resumed" else "");
+      Fcsl_service.Server.run t;
+      Fmt.pr "fcsl serve: drained.@.";
+      exit_ok
+    end
+    else begin
+      (* The watchdog: fork daemon children and restart them under the
+         backoff budget.  The fork happens before this process ever
+         spawns a domain — only the children run the engine. *)
+      (try Unix.mkdir journal_dir 0o755
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      let pidfile =
+        Option.value pidfile
+          ~default:(Filename.concat journal_dir "daemon.pid")
+      in
+      let spawn ~restart =
+        flush stdout;
+        flush stderr;
+        match Unix.fork () with
+        | 0 ->
+          let code =
+            try
+              (* every restarted child resumes: its predecessor died
+                 with work possibly in flight *)
+              Fcsl_service.Server.run
+                (Fcsl_service.Server.create (mkcfg ~resume:(resume || restart)));
+              exit_ok
+            with e ->
+              Fmt.epr "fcsl serve: %s@." (Printexc.to_string e);
+              exit_internal
+          in
+          Unix._exit code
+        | pid -> pid
+      in
+      let sup =
+        Fcsl_service.Supervisor.config ~restart_limit ~window_s:restart_window
+          ~backoff_base_s:restart_backoff ~pidfile
+          ~log:(fun m -> Fmt.epr "%s@." m)
+          ()
+      in
+      Fmt.pr "fcsl serve: supervising on %s (journal %s, pidfile %s)@." socket
+        journal_dir pidfile;
+      Fcsl_service.Supervisor.run sup ~spawn
+    end
   in
   let journal_req =
     Arg.(
@@ -386,7 +520,10 @@ let serve_cmd =
           SIGTERM drains gracefully; see docs/SERVICE.md")
     Term.(
       const run $ socket_arg $ journal_req $ resume_flag $ fsync_arg
-      $ queue_arg $ jobs_arg $ idle_exit_arg $ job_delay_arg)
+      $ queue_arg $ jobs_arg $ idle_exit_arg $ job_delay_arg
+      $ supervise_flag $ restart_limit_arg $ restart_window_arg
+      $ restart_backoff_arg $ pidfile_arg $ overload_high_arg
+      $ overload_low_arg $ rate_arg $ burst_arg)
 
 let submit_cmd =
   let cases_arg =
@@ -427,7 +564,26 @@ let submit_cmd =
       value & opt float 600.
       & info [ "timeout" ] ~docv:"SECS" ~doc:"Per-submission verdict timeout")
   in
-  let run socket cases all qos json canonical timeout =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry transport failures and sheds up to $(docv) times per \
+             case with jittered exponential backoff and a fresh \
+             connection per attempt (a supervised daemon may be \
+             mid-restart); resubmission is idempotent — a retry landing \
+             after the first attempt completed is served from the memo")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "retry-budget-s" ] ~docv:"SECS"
+          ~doc:
+            "Total wall-clock budget per case across all attempts and \
+             backoff sleeps (with $(b,--retries))")
+  in
+  let run socket cases all qos json canonical timeout retries retry_budget =
     let qos =
       match Fcsl_service.Protocol.qos_of_name qos with
       | Some q -> q
@@ -443,21 +599,41 @@ let submit_cmd =
       end
       else cases
     in
-    let conn =
-      try Fcsl_service.Client.connect ~socket
-      with e ->
-        Fmt.epr "cannot reach the daemon at %s: %s@." socket
-          (Printexc.to_string e);
-        exit exit_internal
+    (* Retrying submissions open a fresh connection per attempt (the
+       whole point: the previous daemon incarnation may be gone), so the
+       shared connection only exists on the non-retry path. *)
+    let with_conn f =
+      if retries > 0 then f None
+      else begin
+        let conn =
+          try Fcsl_service.Client.connect ~socket
+          with e ->
+            Fmt.epr "cannot reach the daemon at %s: %s@." socket
+              (Printexc.to_string e);
+            exit exit_internal
+        in
+        Fun.protect ~finally:(fun () -> Fcsl_service.Client.close conn)
+        @@ fun () -> f (Some conn)
+      end
     in
-    Fun.protect ~finally:(fun () -> Fcsl_service.Client.close conn)
-    @@ fun () ->
+    with_conn @@ fun conn ->
     let statuses =
       List.map
         (fun case ->
-          match
-            Fcsl_service.Client.submit ~qos ~timeout_s:timeout conn ~case
-          with
+          let outcome =
+            match conn with
+            | Some conn ->
+              Fcsl_service.Client.submit ~qos ~timeout_s:timeout conn ~case
+            | None -> (
+              match
+                Fcsl_service.Client.submit_retry ~qos ~retries
+                  ~retry_budget_s:retry_budget ~attempt_timeout_s:timeout
+                  ~socket ~case ()
+              with
+              | Ok rv -> Ok rv.Fcsl_service.Client.rv_verdict
+              | Error e -> Error e)
+          in
+          match outcome with
           | Ok v ->
             if json then
               print_endline (Fcsl_service.Json.to_string v.Fcsl_service.Client.v_frame)
@@ -492,7 +668,7 @@ let submit_cmd =
           wait for verdicts (exit code follows the verify taxonomy)")
     Term.(
       const run $ socket_arg $ cases_arg $ all_flag $ qos_arg $ json_flag
-      $ canonical_flag $ timeout_arg)
+      $ canonical_flag $ timeout_arg $ retries_arg $ retry_budget_arg)
 
 (* tables *)
 
@@ -992,8 +1168,9 @@ let chaos_cmd =
             "Run a single injection mode (pool-transient, \
              pool-persistent, mid-explore, budget-starve, spurious-cas, \
              transient-unsafe, env-burst, kill9-midrun, \
-             service-client-kill, service-torn-frames, service-kill9); \
-             default: all modes")
+             service-client-kill, service-torn-frames, service-kill9, \
+             service-supervisor-kill, service-overload-flood, \
+             journal-enospc, client-retry-partition); default: all modes")
   in
   let case_arg =
     Arg.(

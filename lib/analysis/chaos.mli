@@ -64,6 +64,43 @@ type mode =
           (zero fresh units).  Forks a real daemon process, so — like
           [Kill9_midrun] — it reports skipped wherever a domain was
           already spawned (the test binary) *)
+  | Service_supervisor_kill
+      (** kill -9 the daemon under [Supervisor.run], twice: the
+          supervisor must restart a resumed child within its backoff
+          budget each time, verdicts must stay baseline-identical
+          across both deaths, and a SIGTERM to the supervisor must
+          drain the child gracefully and propagate the clean exit.
+          A second scenario spawns a crash-looping child (dead on
+          arrival, every time) and asserts the supervisor gives up
+          with its stable exit code once the sliding failure window
+          fills, instead of restarting forever.  Forks real
+          processes, so it reports skipped wherever a domain was
+          already spawned (the test binary) *)
+  | Service_overload_flood
+      (** saturate a small-queue daemon past its high watermark:
+          bronze submissions must shed with a structured reason,
+          gold must be admitted but demoted one QoS rung (verdict
+          marked [degraded]), the memo fast lane must never be shed,
+          shed decisions must be journaled and surfaced in health,
+          and a post-flood gold resubmission must re-explore at full
+          QoS to the baseline verdict — a demoted verdict is never a
+          memo hit (no phantom full-QoS verdicts) *)
+  | Journal_enospc
+      (** syscall-level faults injected through {!Journal.io} —
+          ENOSPC and EIO mid-append, fsync failures, short writes,
+          a rename failure during compaction: every fault must leave
+          the journal wounded with a structured [Crash.Io_fault]
+          (short writes wound nothing), later appends must be disk
+          no-ops that never raise, in-memory lookups must keep
+          answering, and a real-io reopen must recover a verbatim
+          prefix — lost records re-verify, none ever flips *)
+  | Client_retry_partition
+      (** a proxy severs the client's connection mid-stream exactly
+          after the server journaled the verdict but before the
+          client heard it: [Client.submit_retry] must reconnect with
+          backoff and be served from the journal memo — idempotent
+          resubmission on the params digest, verdict identical to
+          the baseline, one exploration total *)
 
 val all_modes : mode list
 

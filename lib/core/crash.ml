@@ -15,6 +15,7 @@ type kind =
   | Analyzer_lie
   | Deadlock
   | Protocol_error
+  | Io_fault
 
 let kind_name = function
   | Unsafe_action -> "unsafe-action"
@@ -27,6 +28,7 @@ let kind_name = function
   | Analyzer_lie -> "analyzer-lie"
   | Deadlock -> "deadlock"
   | Protocol_error -> "protocol-error"
+  | Io_fault -> "io-fault"
 
 let pp_kind ppf k = Fmt.string ppf (kind_name k)
 
@@ -96,6 +98,7 @@ let kind_of_name = function
   | "analyzer-lie" -> Some Analyzer_lie
   | "deadlock" -> Some Deadlock
   | "protocol-error" -> Some Protocol_error
+  | "io-fault" -> Some Io_fault
   | _ -> None
 
 exception Parse of string

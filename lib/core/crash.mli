@@ -36,6 +36,13 @@ type kind =
           answers these with a structured error frame carrying this
           crash (see docs/SERVICE.md) instead of dropping the
           connection. *)
+  | Io_fault
+      (** a journal syscall failed: ENOSPC/EIO on a write, a short
+          write that could not complete, a failed fsync or rename.
+          The journal absorbs the fault — it stops persisting and
+          exposes the crash via {!Journal.io_failure} — so
+          verification continues and verdicts are computed fresh
+          instead of flipped or phantom (docs/SERVICE.md §6). *)
 
 val kind_name : kind -> string
 (** Stable kebab-case name: ["unsafe-action"], ["ghost-algebra"], ... *)

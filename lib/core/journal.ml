@@ -548,12 +548,31 @@ let index_live_records ix : record list =
 
 (* --- The handle -------------------------------------------------------- *)
 
+(* The syscall boundary, pluggable so the chaos harness can inject
+   ENOSPC/EIO/short writes/fsync failures without touching a real
+   filesystem knob.  Everything the journal persists flows through one
+   of these three hooks. *)
+type io = {
+  io_write : Unix.file_descr -> string -> int -> int -> int;
+      (* write_substring: may write fewer bytes than asked *)
+  io_fsync : Unix.file_descr -> unit;
+  io_rename : string -> string -> unit;
+}
+
+let real_io =
+  {
+    io_write = Unix.write_substring;
+    io_fsync = Unix.fsync;
+    io_rename = Unix.rename;
+  }
+
 type t = {
   t_dir : string;
   t_fsync : fsync_policy;
   t_compact_every : int;
   t_recovered : record list;
   t_truncated : int;
+  t_io : io;
   mu : Mutex.t;
   ix : index;
   mutable fd : Unix.file_descr;
@@ -562,6 +581,12 @@ type t = {
   mutable unsynced : bool;
   mutable since_compact : int;
   mutable closed : bool;
+  mutable failed : Crash.t option;
+      (* first unabsorbable I/O fault: the journal is wounded — it
+         stops persisting (in-memory lookups keep working) and every
+         later mutation is a no-op.  Degradation, never corruption:
+         whatever half-record the fault left on disk is dropped by
+         CRC recovery on the next open. *)
 }
 
 let dir t = t.t_dir
@@ -575,55 +600,88 @@ let rec mkdirs d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let write_all fd s =
+(* A short write that returns 0 would loop forever; treat it as the
+   I/O error it is.  Partial writes — real or injected — just continue
+   from the written offset. *)
+let write_all_io io fd s =
   let n = String.length s in
   let written = ref 0 in
   while !written < n do
-    written := !written + Unix.write_substring fd s !written (n - !written)
+    let k = io.io_write fd s !written (n - !written) in
+    if k <= 0 then raise (Unix.Unix_error (Unix.EIO, "write", "zero-byte write"));
+    written := !written + k
   done
+
+(* Run a mutation under the wounded-journal discipline: once [failed]
+   is set nothing touches the disk again, and the first I/O fault to
+   escape the hooks sets it, as a structured [Crash.Io_fault].  The
+   caller's in-memory state (index, pending buffer) is already updated
+   by then, so lookups stay truthful for this process; the next open
+   simply re-verifies what never landed. *)
+let absorb_io t f =
+  match t.failed with
+  | Some _ -> ()
+  | None -> (
+    try f ()
+    with Unix.Unix_error (e, fn, _) ->
+      t.failed <-
+        Some
+          (Crash.make Crash.Io_fault
+             (Printf.sprintf "journal %s: %s (%s)" fn (Unix.error_message e)
+                t.t_dir)))
 
 (* Flush the pending buffer to the fd; [sync] additionally fsyncs. *)
 let commit_locked t ~sync =
-  if Buffer.length t.pending > 0 then begin
-    write_all t.fd (Buffer.contents t.pending);
-    Buffer.clear t.pending;
-    t.unsynced <- true
-  end;
-  if sync && t.unsynced then begin
-    Unix.fsync t.fd;
-    t.unsynced <- false
-  end;
-  t.last_sync <- Unix.gettimeofday ()
+  absorb_io t (fun () ->
+      if Buffer.length t.pending > 0 then begin
+        write_all_io t.t_io t.fd (Buffer.contents t.pending);
+        Buffer.clear t.pending;
+        t.unsynced <- true
+      end;
+      if sync && t.unsynced then begin
+        t.t_io.io_fsync t.fd;
+        t.unsynced <- false
+      end;
+      t.last_sync <- Unix.gettimeofday ())
 
-let fsync_dir dirpath =
+let fsync_dir io dirpath =
   (* best effort: not every filesystem supports fsync on a directory *)
   match Unix.openfile dirpath [ Unix.O_RDONLY ] 0 with
   | dfd ->
-    (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+    (try io.io_fsync dfd with Unix.Unix_error _ -> ());
     Unix.close dfd
   | exception Unix.Unix_error _ -> ()
 
 let compact_locked t =
   commit_locked t ~sync:(t.t_fsync <> Never);
-  let tmp = snapshot_path t.t_dir ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  let b = Buffer.create 4096 in
-  Buffer.add_string b magic;
-  List.iter (fun r -> Buffer.add_string b (frame r)) (index_live_records t.ix);
-  write_all fd (Buffer.contents b);
-  if t.t_fsync <> Never then Unix.fsync fd;
-  Unix.close fd;
-  Unix.rename tmp (snapshot_path t.t_dir);
-  if t.t_fsync <> Never then fsync_dir t.t_dir;
-  (* the snapshot now owns every live record: reset the WAL *)
-  Unix.ftruncate t.fd (String.length magic);
-  ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
-  if t.t_fsync <> Never then Unix.fsync t.fd;
-  t.unsynced <- false;
-  t.since_compact <- 0
+  absorb_io t (fun () ->
+      let tmp = snapshot_path t.t_dir ^ ".tmp" in
+      let fd =
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      let b = Buffer.create 4096 in
+      Buffer.add_string b magic;
+      List.iter (fun r -> Buffer.add_string b (frame r)) (index_live_records t.ix);
+      (match write_all_io t.t_io fd (Buffer.contents b) with
+      | () -> ()
+      | exception e ->
+        (* never leak the tmp fd; the half-written tmp file is inert
+           until a successful rename, so the snapshot stays intact *)
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e);
+      if t.t_fsync <> Never then t.t_io.io_fsync fd;
+      Unix.close fd;
+      t.t_io.io_rename tmp (snapshot_path t.t_dir);
+      if t.t_fsync <> Never then fsync_dir t.t_io t.t_dir;
+      (* the snapshot now owns every live record: reset the WAL *)
+      Unix.ftruncate t.fd (String.length magic);
+      ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+      if t.t_fsync <> Never then t.t_io.io_fsync t.fd;
+      t.unsynced <- false;
+      t.since_compact <- 0)
 
 let openj ?(fsync = Interval default_interval_s) ?(compact_every = 2048)
-    ?(resume = false) dirpath : t =
+    ?(resume = false) ?(io = real_io) dirpath : t =
   mkdirs dirpath;
   if not resume then begin
     (try Sys.remove (wal_path dirpath) with Sys_error _ -> ());
@@ -635,15 +693,26 @@ let openj ?(fsync = Interval default_interval_s) ?(compact_every = 2048)
   let fd =
     Unix.openfile (wal_path dirpath) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
   in
-  if file_len < 0 || file_len < String.length magic then begin
-    (* fresh or headerless file: (re)write the magic *)
-    Unix.ftruncate fd 0;
-    write_all fd magic
-  end
-  else
-    (* recovery: physically drop the torn/corrupt tail *)
-    Unix.ftruncate fd valid_end;
-  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  (* an I/O fault this early wounds the handle rather than raising:
+     the caller gets a journal that remembers nothing durable but
+     still answers lookups and absorbs appends *)
+  let failed0 = ref None in
+  (try
+     if file_len < 0 || file_len < String.length magic then begin
+       (* fresh or headerless file: (re)write the magic *)
+       Unix.ftruncate fd 0;
+       write_all_io io fd magic
+     end
+     else
+       (* recovery: physically drop the torn/corrupt tail *)
+       Unix.ftruncate fd valid_end;
+     ignore (Unix.lseek fd 0 Unix.SEEK_END)
+   with Unix.Unix_error (e, fn, _) ->
+     failed0 :=
+       Some
+         (Crash.make Crash.Io_fault
+            (Printf.sprintf "journal %s: %s (%s)" fn (Unix.error_message e)
+               dirpath)));
   let recovered = snap_records @ wal_records in
   let ix = index_create () in
   List.iter (index_record ix) recovered;
@@ -654,6 +723,7 @@ let openj ?(fsync = Interval default_interval_s) ?(compact_every = 2048)
       t_compact_every = max 16 compact_every;
       t_recovered = recovered;
       t_truncated = (if file_len < 0 then 0 else max 0 (file_len - valid_end));
+      t_io = io;
       mu = Mutex.create ();
       ix;
       fd;
@@ -662,6 +732,7 @@ let openj ?(fsync = Interval default_interval_s) ?(compact_every = 2048)
       unsynced = false;
       since_compact = List.length wal_records;
       closed = false;
+      failed = !failed0;
     }
   in
   (* one Meta per process generation appending to this journal; it
@@ -679,27 +750,36 @@ let locked t f =
 
 let append_locked t r =
   if t.closed then invalid_arg "Journal.append: closed";
+  (* the in-memory index always advances — this process's lookups stay
+     truthful even when a wounded journal persists nothing *)
   index_record t.ix r;
-  Buffer.add_string t.pending (frame r);
-  t.since_compact <- t.since_compact + 1;
-  (match t.t_fsync with
-  | Always -> commit_locked t ~sync:true
-  | Interval s ->
-    if Unix.gettimeofday () -. t.last_sync >= s then commit_locked t ~sync:true
-    else if Buffer.length t.pending >= 1 lsl 18 then commit_locked t ~sync:false
-  | Never ->
-    if Buffer.length t.pending >= 1 lsl 18 then commit_locked t ~sync:false);
-  if t.since_compact >= t.t_compact_every then compact_locked t
+  if t.failed = None then begin
+    Buffer.add_string t.pending (frame r);
+    t.since_compact <- t.since_compact + 1;
+    (match t.t_fsync with
+    | Always -> commit_locked t ~sync:true
+    | Interval s ->
+      if Unix.gettimeofday () -. t.last_sync >= s then
+        commit_locked t ~sync:true
+      else if Buffer.length t.pending >= 1 lsl 18 then
+        commit_locked t ~sync:false
+    | Never ->
+      if Buffer.length t.pending >= 1 lsl 18 then commit_locked t ~sync:false);
+    if t.failed = None && t.since_compact >= t.t_compact_every then
+      compact_locked t
+  end
 
 let append t r = locked t (fun () -> append_locked t r)
 let flush t = locked t (fun () -> commit_locked t ~sync:(t.t_fsync <> Never))
 let compact t = locked t (fun () -> compact_locked t)
+let io_failure t = locked t (fun () -> t.failed)
+let pending_bytes t = locked t (fun () -> Buffer.length t.pending)
 
 let close t =
   locked t (fun () ->
       if not t.closed then begin
         commit_locked t ~sync:(t.t_fsync <> Never);
-        Unix.close t.fd;
+        (try Unix.close t.fd with Unix.Unix_error _ -> ());
         t.closed <- true
       end)
 

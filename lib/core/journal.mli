@@ -102,12 +102,31 @@ val pp_record : Format.formatter -> record -> unit
 
 (** {1 The journal handle} *)
 
+type io = {
+  io_write : Unix.file_descr -> string -> int -> int -> int;
+      (** [write_substring]-shaped: may write fewer bytes than asked
+          (the journal loops); must raise [Unix.Unix_error] on failure
+          and never return [<= 0] for a non-empty buffer *)
+  io_fsync : Unix.file_descr -> unit;
+  io_rename : string -> string -> unit;
+}
+(** The journal's syscall boundary.  Every byte the journal persists
+    flows through these three hooks, so a chaos harness can inject
+    ENOSPC, EIO, short writes, fsync failures and rename failures at
+    arbitrary offsets without a real filesystem knob
+    (docs/SERVICE.md §6). *)
+
+val real_io : io
+(** The default hooks: [Unix.write_substring] / [Unix.fsync] /
+    [Unix.rename]. *)
+
 type t
 
 val openj :
   ?fsync:fsync_policy ->
   ?compact_every:int ->
   ?resume:bool ->
+  ?io:io ->
   string ->
   t
 (** [openj dir] opens (creating the directory and files as needed) the
@@ -117,7 +136,8 @@ val openj :
     functions below; without it any existing journal is discarded and
     the run starts fresh.  [fsync] defaults to [Interval 0.05];
     [compact_every] (default 2048) bounds how many records accumulate
-    in the WAL before it is folded into the snapshot.  Domain-safe: one
+    in the WAL before it is folded into the snapshot.  [io] (default
+    {!real_io}) is the syscall boundary — see {!io}.  Domain-safe: one
     handle may be shared by every worker of a verification fan-out. *)
 
 val dir : t -> string
@@ -148,6 +168,21 @@ val compact : t -> unit
 
 val close : t -> unit
 (** Flush and release the handle (never deletes the files). *)
+
+val pending_bytes : t -> int
+(** Bytes appended but not yet written to the WAL — the journal lag the
+    service's health frame reports (0 right after a {!flush}). *)
+
+val io_failure : t -> Crash.t option
+(** The wounded-journal flag.  The first I/O fault to escape the {!io}
+    hooks (ENOSPC, EIO, a zero-byte write, a failed fsync or rename)
+    marks the journal failed with a structured {!Crash.Io_fault} and
+    every later mutation becomes a disk no-op: in-memory lookups keep
+    answering for this process, nothing further persists, and — because
+    whatever half-record the fault tore is dropped by CRC recovery on
+    the next open — a resume re-verifies instead of trusting a corrupt
+    suffix.  Degradation to re-verification, never a flipped or phantom
+    verdict. *)
 
 (** {1 Resume lookups}
 

@@ -31,22 +31,13 @@ let close c =
    SIGKILLed process holding the other end. *)
 let abandon = close
 
+(* Request writes ride [Wire.write_line]: EINTR and partial writes are
+   retried until the whole line is out — a signal landing mid-submit
+   must not tear the frame and desynchronize the stream. *)
 let send c (req : Protocol.request) =
-  let line = Json.to_string (Protocol.request_to_json req) ^ "\n" in
-  let data = Bytes.of_string line in
-  let len = Bytes.length data in
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write c.fd data !off (len - !off)
-  done
+  Wire.write_line c.fd (Json.to_string (Protocol.request_to_json req))
 
-let send_raw c line =
-  let data = Bytes.of_string (line ^ "\n") in
-  let len = Bytes.length data in
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write c.fd data !off (len - !off)
-  done
+let send_raw c line = Wire.write_line c.fd line
 
 let read_frame ?(timeout_s = 60.) c : (Json.t, string) result =
   let chunk = Bytes.create 4096 in
@@ -184,6 +175,34 @@ let submit ?(qos = Protocol.Gold) ?(timeout_s = 600.) ?on_progress c ~case :
     in
     await None)
 
+let health ?(timeout_s = 10.) c : (Json.t, submit_error) result =
+  match send c Protocol.Health with
+  | exception e -> Error (Transport (Printexc.to_string e))
+  | () -> (
+    match read_frame ~timeout_s c with
+    | Error e -> Error (Transport e)
+    | Ok v -> (
+      match frame_type v with
+      | Some "health" -> Ok v
+      | Some "error" -> Error (Server_error (crash_of_frame v))
+      | _ -> Error (Transport "expected a health frame")))
+
+let ready ?(timeout_s = 10.) c : (bool, submit_error) result =
+  match send c Protocol.Ready with
+  | exception e -> Error (Transport (Printexc.to_string e))
+  | () -> (
+    match read_frame ~timeout_s c with
+    | Error e -> Error (Transport e)
+    | Ok v -> (
+      match frame_type v with
+      | Some "ready" ->
+        Ok
+          (Option.value
+             (Option.bind (Json.member "ready" v) Json.to_bool)
+             ~default:false)
+      | Some "error" -> Error (Server_error (crash_of_frame v))
+      | _ -> Error (Transport "expected a ready frame")))
+
 let status ?(timeout_s = 10.) c : (Json.t, submit_error) result =
   match send c Protocol.Status with
   | exception e -> Error (Transport (Printexc.to_string e))
@@ -206,6 +225,58 @@ let drain ?(timeout_s = 10.) c : (unit, submit_error) result =
       match frame_type v with
       | Some "draining" -> Ok ()
       | _ -> Error (Transport "expected a draining frame")))
+
+(* --- The retrying client ----------------------------------------------- *)
+
+type retry_verdict = {
+  rv_verdict : verdict;
+  rv_attempts : int;  (* 1 = the first attempt succeeded *)
+  rv_backoff_s : float;  (* total seconds slept between attempts *)
+}
+
+(* Resubmission is idempotent by construction: the submission is keyed
+   on its params digest (case + QoS), so a retry that lands after the
+   first attempt already completed server-side is answered from the
+   journal memo — observable as [v_memo = true] on the returned
+   verdict.  Each attempt opens a fresh connection (the old one is
+   exactly what we no longer trust); Transport failures and sheds
+   retry under jittered exponential backoff ([Pool.backoff_delay], the
+   engine's one backoff schedule), structured server errors are
+   deterministic and fail fast.  Two deadlines bound the loop: each
+   attempt gets at most [attempt_timeout_s], the whole affair at most
+   [retry_budget_s]. *)
+let submit_retry ?(qos = Protocol.Gold) ?(retries = 3) ?(retry_budget_s = 60.)
+    ?(attempt_timeout_s = 600.) ?(backoff_base_s = 0.05) ?(backoff_seed = 0)
+    ?on_progress ~socket ~case () : (retry_verdict, submit_error) result =
+  let deadline = Unix.gettimeofday () +. retry_budget_s in
+  let attempt () =
+    match connect ~socket with
+    | exception e -> Error (Transport (Printexc.to_string e))
+    | c ->
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          let timeout_s =
+            Float.min attempt_timeout_s
+              (Float.max 0.1 (deadline -. Unix.gettimeofday ()))
+          in
+          submit ~qos ~timeout_s ?on_progress c ~case)
+  in
+  let rec go k slept =
+    match attempt () with
+    | Ok v -> Ok { rv_verdict = v; rv_attempts = k; rv_backoff_s = slept }
+    | Error (Server_error _ as e) -> Error e
+    | Error ((Shed _ | Transport _) as e) ->
+      if k > retries then Error e
+      else
+        let d = Pool.backoff_delay ~seed:backoff_seed ~base:backoff_base_s 0 (k + 1) in
+        if Unix.gettimeofday () +. d >= deadline then Error e
+        else begin
+          Unix.sleepf d;
+          go (k + 1) (slept +. d)
+        end
+  in
+  go 1 0.
 
 (* Poll until the daemon answers a ping — the "wait for the socket to
    exist" helper every embedder needs. *)

@@ -52,10 +52,50 @@ val submit :
     [on_progress] sees the streamed states counter.  Defaults:
     gold QoS, 600s timeout. *)
 
+val health : ?timeout_s:float -> conn -> (Json.t, submit_error) result
+(** The daemon's health frame: uptime, queue depth, in-flight count,
+    shed total, memo-hit rate, overload state, journal lag and the
+    wounded-journal diagnosis if any (schema: {!Protocol.health_fields}). *)
+
+val ready : ?timeout_s:float -> conn -> (bool, submit_error) result
+(** The readiness probe: [Ok true] while the daemon accepts fresh work
+    (i.e. it is not draining).  Liveness is the probe answering at
+    all. *)
+
 val status : ?timeout_s:float -> conn -> (Json.t, submit_error) result
 (** The daemon's live status frame: the journal-derived jobs rendering
-    (same schema as [fcsl jobs status --json]) plus queue depth and the
-    drain flag. *)
+    (same schema as [fcsl jobs status --json]) plus queue depth, the
+    drain flag and the health fields. *)
+
+type retry_verdict = {
+  rv_verdict : verdict;
+  rv_attempts : int;  (** 1 = the first attempt succeeded *)
+  rv_backoff_s : float;  (** total seconds slept between attempts *)
+}
+
+val submit_retry :
+  ?qos:Protocol.qos ->
+  ?retries:int ->
+  ?retry_budget_s:float ->
+  ?attempt_timeout_s:float ->
+  ?backoff_base_s:float ->
+  ?backoff_seed:int ->
+  ?on_progress:(int -> unit) ->
+  socket:string ->
+  case:string ->
+  unit ->
+  (retry_verdict, submit_error) result
+(** Submit with retries: a fresh connection per attempt, jittered
+    exponential backoff ([Pool.backoff_delay]) between attempts,
+    retrying transport failures and sheds (a supervised daemon may be
+    mid-restart; an overloaded one may recover).  Structured server
+    errors are deterministic and fail fast.  [retries] (default 3)
+    bounds the retries after the first attempt, [retry_budget_s]
+    (default 60) the total wall clock including backoff,
+    [attempt_timeout_s] (default 600) each attempt.  Resubmission is
+    idempotent on the params digest: a retry landing after the first
+    attempt completed server-side is served from the journal memo,
+    observable as [v_memo = true]. *)
 
 val drain : ?timeout_s:float -> conn -> (unit, submit_error) result
 

@@ -25,6 +25,11 @@ let qos_of_name = function
   | "bronze" -> Some Bronze
   | _ -> None
 
+(* One rung down the ladder: what an overloaded server demotes a
+   bounded-or-unbounded submission to.  Bronze has nowhere lower to go
+   — under pressure it is shed, not demoted. *)
+let qos_demote = function Gold -> Silver | Silver -> Bronze | Bronze -> Bronze
+
 (* The ladder mapping: gold runs unbounded (conclusive or bust), silver
    gets a generous wall clock, bronze a tight one plus a state ceiling —
    each degrades through Verify's ladder instead of hanging.  [cancel]
@@ -63,6 +68,8 @@ type request =
   | Ping
   | Submit of { case : string; qos : qos }
   | Status
+  | Health
+  | Ready
   | Cancel of int
   | Drain
 
@@ -75,6 +82,8 @@ let request_of_json (v : Json.t) : (request, Crash.t) result =
     | None -> Error (proto_error "frame has no string \"op\" field")
     | Some "ping" -> Ok Ping
     | Some "status" -> Ok Status
+    | Some "health" -> Ok Health
+    | Some "ready" -> Ok Ready
     | Some "drain" -> Ok Drain
     | Some "cancel" -> (
       match Option.bind (Json.member "job" v) Json.to_int with
@@ -104,6 +113,8 @@ let parse_request line =
 let request_to_json = function
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Status -> Json.Obj [ ("op", Json.Str "status") ]
+  | Health -> Json.Obj [ ("op", Json.Str "health") ]
+  | Ready -> Json.Obj [ ("op", Json.Str "ready") ]
   | Drain -> Json.Obj [ ("op", Json.Str "drain") ]
   | Cancel id -> Json.Obj [ ("op", Json.Str "cancel"); ("job", Json.Int id) ]
   | Submit { case; qos } ->
@@ -149,6 +160,50 @@ let progress ~job ~states =
     ]
 
 let drained = frame [ ("type", Json.Str "draining") ]
+
+(* --- Health and readiness ---------------------------------------------- *)
+
+type overload_state = Normal | Overloaded
+
+let overload_state_name = function
+  | Normal -> "normal"
+  | Overloaded -> "overloaded"
+
+(* The one health rendering shared by the live `health` frame, the
+   live `status` frame's extra fields, and the offline
+   [fcsl jobs status --json] (which knows only the journal-derived
+   subset and passes [None] for the live-only gauges). *)
+let health_fields ?uptime_s ?queue_depth ?inflight ?memo_hit_rate
+    ?journal_lag_bytes ?journal_fault ~shed_total ~overload_state () =
+  let opt_f = function Some f -> Json.Float f | None -> Json.Null in
+  let opt_i = function Some i -> Json.Int i | None -> Json.Null in
+  [
+    ("uptime_s", opt_f uptime_s);
+    ("queue_depth", opt_i queue_depth);
+    ("inflight", opt_i inflight);
+    ("shed_total", Json.Int shed_total);
+    ("memo_hit_rate", opt_f memo_hit_rate);
+    ("overload_state", Json.Str (overload_state_name overload_state));
+    ("journal_lag_bytes", opt_i journal_lag_bytes);
+    ( "journal_fault",
+      match journal_fault with
+      | Some c -> Json.Str (Crash.message c)
+      | None -> Json.Null );
+  ]
+
+(* Liveness vs readiness: a daemon that answers at all is live; it is
+   *ready* only when it will still accept fresh work (not draining).
+   An overloaded daemon is ready — it degrades and sheds by policy —
+   but the state rides along so orchestrators can stop routing to it
+   early. *)
+let ready ~ready:r ~draining ~overload_state =
+  frame
+    [
+      ("type", Json.Str "ready");
+      ("ready", Json.Bool r);
+      ("draining", Json.Bool draining);
+      ("overload_state", Json.Str (overload_state_name overload_state));
+    ]
 
 let error_frame ?job crash =
   (* Crash.to_json is already a rendered object; splice it verbatim so
@@ -207,7 +262,8 @@ let report_json (r : Verify.report) : Json.t =
       ("expl", expl);
     ]
 
-let verdict ~job ~case ~digest:d ~memo ~fresh_units ~cancelled ~reports =
+let verdict ~job ~case ~digest:d ~memo ~fresh_units ~cancelled
+    ?(degraded = false) ~reports () =
   frame
     [
       ("type", Json.Str "verdict");
@@ -218,6 +274,12 @@ let verdict ~job ~case ~digest:d ~memo ~fresh_units ~cancelled ~reports =
       ("memo", Json.Bool memo);
       ("fresh_units", Json.Int fresh_units);
       ("cancelled", Json.Bool cancelled);
+      (* the QoS-demotion marker: the verdict was computed under a
+         lower budget tier than the submission asked for, because the
+         server was overloaded when the job started.  Excluded from
+         the canonical projection (a flooded run legitimately differs
+         here) and never memoized as the full-tier answer. *)
+      ("degraded", Json.Bool degraded);
       ("reports", Json.Arr (List.map report_json reports));
     ]
 
@@ -245,7 +307,10 @@ let canonical_verdict (v : Json.t) : Json.t =
 
 (* --- Job-status rendering ---------------------------------------------- *)
 
-let schema_version = 1
+(* v2: the health fields (uptime_s, queue_depth, inflight, shed_total,
+   memo_hit_rate, overload_state, journal_lag_bytes, journal_fault)
+   joined the status/jobs renderings. *)
+let schema_version = 2
 
 let job_status_name = function
   | `Complete -> "complete"

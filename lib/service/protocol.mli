@@ -20,6 +20,11 @@ val qos_name : qos -> string
 
 val qos_of_name : string -> qos option
 
+val qos_demote : qos -> qos
+(** One rung down the ladder: [Gold -> Silver -> Bronze -> Bronze].
+    What an overloaded server demotes an accepted submission to;
+    bronze, having nowhere lower to go, is shed instead. *)
+
 val qos_limits :
   ?tick_hook:(unit -> unit) -> ?cancel:(unit -> bool) -> qos -> Budget.limits
 (** The ladder mapping: gold is unbounded, silver gets a 20s wall
@@ -39,6 +44,8 @@ type request =
   | Ping
   | Submit of { case : string; qos : qos }
   | Status
+  | Health
+  | Ready
   | Cancel of int
   | Drain
 
@@ -66,6 +73,36 @@ val shed : reason:string -> queue:int -> string
 val progress : job:int -> states:int -> string
 val drained : string
 
+(** {1 Health and readiness} *)
+
+type overload_state = Normal | Overloaded
+
+val overload_state_name : overload_state -> string
+(** ["normal"], ["overloaded"]. *)
+
+val health_fields :
+  ?uptime_s:float ->
+  ?queue_depth:int ->
+  ?inflight:int ->
+  ?memo_hit_rate:float ->
+  ?journal_lag_bytes:int ->
+  ?journal_fault:Crash.t ->
+  shed_total:int ->
+  overload_state:overload_state ->
+  unit ->
+  (string * Json.t) list
+(** The one health rendering, shared by the live [health] frame, the
+    live [status] frame's extra fields, and the offline
+    [fcsl jobs status --json] (which passes [None] for the live-only
+    gauges — they render as [null]). *)
+
+val ready :
+  ready:bool -> draining:bool -> overload_state:overload_state -> string
+(** The [ready] frame.  Liveness vs readiness: answering at all is
+    liveness; [ready] is true only while the daemon still accepts fresh
+    work (not draining).  Overload does not unready the daemon — it
+    degrades by policy — but the state rides along. *)
+
 val error_frame : ?job:int -> Crash.t -> string
 (** [{"type": "error", "crash": {...}}] with the crash rendered by
     [Crash.to_json], so clients round-trip it through [Crash.of_json].
@@ -83,10 +120,14 @@ val verdict :
   memo:bool ->
   fresh_units:int ->
   cancelled:bool ->
+  ?degraded:bool ->
   reports:Verify.report list ->
+  unit ->
   string
 (** The terminal frame of a submission; ["status"] is
-    [Verify.exit_code reports]. *)
+    [Verify.exit_code reports].  [degraded] (default false) marks a
+    verdict computed under a QoS tier demoted by overload; such a
+    verdict is never memoized as the full-tier answer. *)
 
 val canonical_verdict : Json.t -> Json.t
 (** Project a verdict frame onto its diff-stable subset (case, status,
@@ -98,7 +139,8 @@ val canonical_verdict : Json.t -> Json.t
 (** {1 Job-status rendering} *)
 
 val schema_version : int
-(** Version 1 of the jobs-status JSON schema. *)
+(** Version 2 of the jobs-status JSON schema (v2 added the health
+    fields). *)
 
 val jobs_json : ?extra:(string * Json.t) list -> Journal.job list -> Json.t
 val jobs_to_json : ?extra:(string * Json.t) list -> Journal.job list -> string

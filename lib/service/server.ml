@@ -36,11 +36,27 @@ type config = {
   sc_signals : bool;
   sc_idle_exit_s : float option;
   sc_job_delay_s : float;
+  sc_overload_high : int;
+  sc_overload_low : int;
+  sc_rate : (float * int) option;
 }
 
 let config ?(resume = false) ?fsync ?(queue_bound = 16) ?(jobs = 1)
-    ?(signals = true) ?idle_exit_s ?(job_delay_s = 0.) ~socket ~journal_dir ()
-    =
+    ?(signals = true) ?idle_exit_s ?(job_delay_s = 0.) ?overload_high
+    ?overload_low ?rate ~socket ~journal_dir () =
+  (* Watermark defaults frame the queue bound: pressure is declared at
+     3/4 of capacity and released at 1/4, so the overload state can't
+     flap on a queue oscillating around one threshold. *)
+  let high =
+    match overload_high with
+    | Some h -> max 1 h
+    | None -> max 1 (queue_bound * 3 / 4)
+  in
+  let low =
+    match overload_low with
+    | Some l -> max 0 (min l (high - 1))
+    | None -> min (high - 1) (queue_bound / 4)
+  in
   {
     sc_socket = socket;
     sc_journal_dir = journal_dir;
@@ -51,6 +67,9 @@ let config ?(resume = false) ?fsync ?(queue_bound = 16) ?(jobs = 1)
     sc_signals = signals;
     sc_idle_exit_s = idle_exit_s;
     sc_job_delay_s = job_delay_s;
+    sc_overload_high = high;
+    sc_overload_low = low;
+    sc_rate = rate;
   }
 
 (* --- Connections ------------------------------------------------------- *)
@@ -59,23 +78,22 @@ type conn = {
   cn_fd : Unix.file_descr;
   cn_mu : Mutex.t;
   mutable cn_alive : bool;
+  (* admission control: a per-connection token bucket (when the config
+     arms one).  Refilled lazily at each submit under the server lock. *)
+  mutable cn_tokens : float;
+  mutable cn_refill_t : float;
 }
 
 (* Frame writes are mutexed per connection (the executor, the progress
-   thread and the reader thread all answer on the same socket) and a
-   failed write just marks the connection dead: the disconnect path
-   owns the cleanup. *)
+   thread and the reader thread all answer on the same socket) and go
+   through [Wire.write_line], which survives EINTR and partial writes
+   — a slow or signal-interrupted socket must never tear a frame
+   mid-line.  A hard write failure (dead peer, stalled past the bound)
+   just marks the connection dead: the disconnect path owns the
+   cleanup. *)
 let send conn line =
   Mutex.lock conn.cn_mu;
-  (try
-     if conn.cn_alive then begin
-       let data = Bytes.of_string (line ^ "\n") in
-       let len = Bytes.length data in
-       let off = ref 0 in
-       while !off < len do
-         off := !off + Unix.write conn.cn_fd data !off (len - !off)
-       done
-     end
+  (try if conn.cn_alive then Wire.write_line conn.cn_fd line
    with _ -> conn.cn_alive <- false);
   Mutex.unlock conn.cn_mu
 
@@ -84,7 +102,11 @@ let send conn line =
 type job = {
   jb_id : int;
   jb_case : string;
-  jb_qos : Protocol.qos;
+  jb_qos : Protocol.qos;  (* the tier the client asked for (digest key) *)
+  jb_run_qos : Protocol.qos;
+      (* the tier the job actually runs under: one rung below [jb_qos]
+         when admission happened under overload.  A demoted verdict is
+         marked [degraded] and never memoized as the full-tier answer. *)
   jb_digest : string;
   jb_cached : bool;  (* memo-known at submit: skips the cold queue *)
   jb_keep : bool;  (* resumed from the ledger: runs without waiters *)
@@ -108,12 +130,27 @@ type t = {
   mutable conns : conn list;
   mutable last_activity : float;
   stop_req : bool Atomic.t;  (* set from the SIGTERM handler *)
+  (* health gauges (all under [mu]) *)
+  started : float;
+  mutable overload : Protocol.overload_state;
+  mutable shed_total : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
 }
 
 let ledger_spec case = "job/" ^ case
 
 let is_ledger_spec s =
   String.length s > 4 && String.sub s 0 4 = "job/"
+
+(* Shed decisions are journaled under their own spec namespace so
+   [--resume] restores the overload accounting honestly: the record's
+   states field carries the *cumulative* shed count, so recovering the
+   maximum over surviving records rebuilds the counter even after
+   compaction collapses duplicates. *)
+let shed_spec case = "shed/" ^ case
+
+let is_shed_spec s = String.length s > 5 && String.sub s 0 5 = "shed/"
 
 let now () = Unix.gettimeofday ()
 
@@ -153,22 +190,79 @@ let ledger_done t job ~tier ~cancelled ~elapsed_s ~states =
        });
   Journal.flush t.jrnl
 
-(* Is this digest already served by the journal?  Only a *finished* job
-   ledger record counts: a cancelled one must re-explore. *)
+(* Is this digest already served by the journal?  Only a *finished*,
+   full-tier job ledger record counts: a cancelled one must re-explore,
+   and a demoted one ("service-degraded") answered under a lower budget
+   than its digest promises — serving it as the memo would be a phantom
+   full-tier verdict. *)
 let memo_hit t digest =
   match Journal.verdict_of_digest t.jrnl ~digest with
   | Some ri -> ri.Journal.ri_tier = "service"
   | None -> false
 
+(* --- Overload state machine -------------------------------------------- *)
+
+(* Hysteresis on the cold-queue depth: pressure is declared at the high
+   watermark and only released at the low one.  Called under [mu]
+   whenever the cold queue changes length. *)
+let update_overload t =
+  let depth = List.length t.cold in
+  match t.overload with
+  | Protocol.Normal ->
+    if depth >= t.cfg.sc_overload_high then t.overload <- Protocol.Overloaded
+  | Protocol.Overloaded ->
+    if depth <= t.cfg.sc_overload_low then t.overload <- Protocol.Normal
+
+(* Answer a submission with a structured shed frame, count it, and
+   journal the decision (group-committed — a flood must not turn every
+   shed into an fsync).  Called under [mu]. *)
+let shed_reply t ~case ~digest ~reason =
+  t.shed_total <- t.shed_total + 1;
+  Journal.append t.jrnl
+    (Journal.Spec_done
+       {
+         Journal.ri_spec = shed_spec case;
+         ri_params = digest;
+         ri_tier = "service-shed";
+         ri_seed = None;
+         ri_initial_states = 0;
+         ri_outcomes = 0;
+         ri_diverged = 0;
+         ri_complete = true;
+         ri_states = t.shed_total;
+         ri_failures = [];
+         ri_worker_crashes = [];
+         ri_budget = None;
+       });
+  Protocol.shed ~reason ~queue:(List.length t.cold)
+
+(* Lazy token-bucket refill; [true] when the submission may pass.
+   Called under [mu]. *)
+let admit_rate t conn =
+  match t.cfg.sc_rate with
+  | None -> true
+  | Some (rate, burst) ->
+    let tnow = now () in
+    conn.cn_tokens <-
+      Float.min (float_of_int burst)
+        (conn.cn_tokens +. ((tnow -. conn.cn_refill_t) *. rate));
+    conn.cn_refill_t <- tnow;
+    if conn.cn_tokens >= 1. then begin
+      conn.cn_tokens <- conn.cn_tokens -. 1.;
+      true
+    end
+    else false
+
 (* --- Creation and resume ----------------------------------------------- *)
 
-let mkjob t ~case ~qos ~cached ~keep =
+let mkjob t ~case ~qos ?(run_qos = None) ~cached ~keep () =
   let id = t.next_id in
   t.next_id <- id + 1;
   {
     jb_id = id;
     jb_case = case;
     jb_qos = qos;
+    jb_run_qos = Option.value run_qos ~default:qos;
     jb_digest = Protocol.digest ~case ~qos;
     jb_cached = cached;
     jb_keep = keep;
@@ -197,15 +291,28 @@ let create cfg =
       conns = [];
       last_activity = now ();
       stop_req = Atomic.make false;
+      started = now ();
+      overload = Protocol.Normal;
+      shed_total = 0;
+      memo_hits = 0;
+      memo_misses = 0;
     }
   in
   (* Crash recovery: the ledger's in-flight entries are jobs a previous
      daemon accepted but never finished (and never cancelled — a
      cancelled job writes its terminal record immediately).  Re-enqueue
      them as waiter-less keepers: their clients are gone, but the
-     verdicts become durable for everyone who resubmits the digest. *)
+     verdicts become durable for everyone who resubmits the digest.
+     The shed ledger restores the cumulative shed counter the same
+     way, so health accounting is honest across the restart. *)
   if cfg.sc_resume then begin
     let records, _torn = Journal.read cfg.sc_journal_dir in
+    List.iter
+      (function
+        | Journal.Spec_done ri when is_shed_spec ri.Journal.ri_spec ->
+          t.shed_total <- max t.shed_total ri.Journal.ri_states
+        | _ -> ())
+      records;
     let jobs = Journal.jobs_of_records records in
     List.iter
       (fun (j : Journal.job) ->
@@ -216,11 +323,16 @@ let create cfg =
               Protocol.qos_of_digest j.Journal.j_params )
           with
           | Some case, Some qos when Registry.find case <> None ->
-            let job = mkjob t ~case ~qos ~cached:false ~keep:true in
+            let job = mkjob t ~case ~qos ~cached:false ~keep:true () in
             Hashtbl.replace t.live job.jb_digest job;
             t.cold <- t.cold @ [ job ]
           | _ -> ())
-      jobs
+      jobs;
+    (* the overload state is a function of the restored queue depth —
+       recomputing it here is exactly the honest restoration: a daemon
+       that died overloaded resumes overloaded *)
+    if List.length t.cold >= t.cfg.sc_overload_high then
+      t.overload <- Protocol.Overloaded
   end;
   t
 
@@ -257,11 +369,13 @@ let run_job t job =
     | Some c -> c
     | None -> assert false (* submit rejects unknown cases *)
   in
+  (* [jb_run_qos] — the admission-time tier, demoted under overload —
+     not the digest tier the client asked for *)
   let lim =
     Protocol.qos_limits
       ~tick_hook:(fun () -> Atomic.incr job.jb_ticks)
       ~cancel:(fun () -> Atomic.get job.jb_cancel)
-      job.jb_qos
+      job.jb_run_qos
   in
   (* Progress frames ride a side thread: the tick hook runs on worker
      domains inside the exploration and must stay allocation-trivial,
@@ -298,16 +412,22 @@ let run_job t job =
     match outcome with
     | Ok reports ->
       let cancelled = List.exists Verify.cancelled reports in
+      let degraded = job.jb_run_qos <> job.jb_qos in
       (* fresh_units = 0 <=> every spec verdict replayed from the
-         journal: the memo proof the tests and CI assert on. *)
-      if not cancelled then
-        ledger_done t job ~tier:"service" ~cancelled:false ~elapsed_s
+         journal: the memo proof the tests and CI assert on.  A demoted
+         job's ledger tier is "service-degraded": real evidence for the
+         waiters it answers, but never a memo hit for its full-tier
+         digest — that would be a phantom verdict. *)
+      if cancelled then
+        ledger_done t job ~tier:"service-cancelled" ~cancelled:true ~elapsed_s
           ~states:(Atomic.get job.jb_ticks)
       else
-        ledger_done t job ~tier:"service-cancelled" ~cancelled:true ~elapsed_s
+        ledger_done t job
+          ~tier:(if degraded then "service-degraded" else "service")
+          ~cancelled:false ~elapsed_s
           ~states:(Atomic.get job.jb_ticks);
       Protocol.verdict ~job:job.jb_id ~case:job.jb_case ~digest:job.jb_digest
-        ~memo:(fresh_units = 0) ~fresh_units ~cancelled ~reports
+        ~memo:(fresh_units = 0) ~fresh_units ~cancelled ~degraded ~reports ()
     | Error crash ->
       (* An exception escaping the engine is an internal error; the
          ledger keeps the job out of the resume set (re-running a
@@ -356,6 +476,7 @@ let exec_loop t =
           match t.cold with
           | j :: rest ->
             t.cold <- rest;
+            update_overload t;
             Some j
           | [] -> None)
     in
@@ -381,11 +502,11 @@ let submit t conn ~case ~qos =
   let reply =
     locked t (fun () ->
         t.last_activity <- now ();
-        if t.draining then Protocol.shed ~reason:"draining" ~queue:(List.length t.cold)
+        let digest = Protocol.digest ~case ~qos in
+        if t.draining then shed_reply t ~case ~digest ~reason:"draining"
         else if Registry.find case = None then
           Protocol.error_frame (proto_error (Printf.sprintf "unknown case %S" case))
         else begin
-          let digest = Protocol.digest ~case ~qos in
           let attachable =
             match Hashtbl.find_opt t.live digest with
             | Some j
@@ -403,33 +524,81 @@ let submit t conn ~case ~qos =
             Protocol.ack ~job:j.jb_id ~digest ~position:0 ~cached:j.jb_cached
           | None ->
             let cached = memo_hit t digest in
-            if
-              (not cached)
-              && List.length t.cold >= t.cfg.sc_queue_bound
-            then Protocol.shed ~reason:"queue-full" ~queue:(List.length t.cold)
-            else begin
-              let job = mkjob t ~case ~qos ~cached ~keep:false in
+            update_overload t;
+            if cached then begin
+              (* the memo fast lane is never shed and never demoted:
+                 serving a journaled verdict costs no exploration *)
+              t.memo_hits <- t.memo_hits + 1;
+              let job = mkjob t ~case ~qos ~cached:true ~keep:false () in
               job.jb_waiters <- [ conn ];
               Hashtbl.replace t.live digest job;
-              if cached then t.fast <- t.fast @ [ job ]
-              else begin
-                (* The ledger entry makes the accepted job durable
-                   before any exploration starts: a daemon killed right
-                   here resumes it. *)
-                Journal.append t.jrnl
-                  (Journal.Spec_begin
-                     { spec = ledger_spec case; params = digest });
-                Journal.flush t.jrnl;
-                t.cold <- t.cold @ [ job ]
-              end;
+              t.fast <- t.fast @ [ job ];
               Condition.broadcast t.cv;
               Protocol.ack ~job:job.jb_id ~digest
-                ~position:(List.length (if cached then t.fast else t.cold))
-                ~cached
+                ~position:(List.length t.fast) ~cached:true
+            end
+            else if not (admit_rate t conn) then
+              (* per-client token bucket: one flooding client is
+                 answered with structured sheds before it can saturate
+                 the queue everyone shares.  Only fresh work spends
+                 tokens — attaching and memo hits cost no exploration,
+                 so the memo fast lane is never rate-shed either *)
+              shed_reply t ~case ~digest ~reason:"rate-limited"
+            else if
+              t.overload = Protocol.Overloaded && qos = Protocol.Bronze
+            then
+              (* graceful degradation, cheapest traffic first: under
+                 pressure bronze is shed outright (it has no lower tier
+                 to demote to) while gold/silver stay admitted below *)
+              shed_reply t ~case ~digest ~reason:"overload"
+            else if List.length t.cold >= t.cfg.sc_queue_bound then
+              shed_reply t ~case ~digest ~reason:"queue-full"
+            else begin
+              let run_qos =
+                if t.overload = Protocol.Overloaded then
+                  Some (Protocol.qos_demote qos)
+                else None
+              in
+              t.memo_misses <- t.memo_misses + 1;
+              let job = mkjob t ~case ~qos ~run_qos ~cached:false ~keep:false () in
+              job.jb_waiters <- [ conn ];
+              Hashtbl.replace t.live digest job;
+              (* The ledger entry makes the accepted job durable
+                 before any exploration starts: a daemon killed right
+                 here resumes it. *)
+              Journal.append t.jrnl
+                (Journal.Spec_begin { spec = ledger_spec case; params = digest });
+              Journal.flush t.jrnl;
+              t.cold <- t.cold @ [ job ];
+              update_overload t;
+              Condition.broadcast t.cv;
+              Protocol.ack ~job:job.jb_id ~digest
+                ~position:(List.length t.cold) ~cached:false
             end
         end)
   in
   send conn reply
+
+(* The live health gauges, computed under [mu].  Shared by the health
+   frame, the ready frame and the status endpoint's extra fields. *)
+let health_snapshot t =
+  locked t (fun () ->
+      let inflight =
+        Hashtbl.fold
+          (fun _ j n -> if j.jb_state = `Running then n + 1 else n)
+          t.live 0
+      in
+      let served = t.memo_hits + t.memo_misses in
+      ( Protocol.health_fields ~uptime_s:(now () -. t.started)
+          ~queue_depth:(List.length t.cold) ~inflight
+          ?memo_hit_rate:
+            (if served = 0 then None
+             else Some (float_of_int t.memo_hits /. float_of_int served))
+          ~journal_lag_bytes:(Journal.pending_bytes t.jrnl)
+          ?journal_fault:(Journal.io_failure t.jrnl)
+          ~shed_total:t.shed_total ~overload_state:t.overload (),
+        t.draining,
+        t.overload ))
 
 let status_frame t =
   (* Flush so [Journal.read] (which scans the files, not the handle's
@@ -438,16 +607,26 @@ let status_frame t =
   Journal.flush t.jrnl;
   let records, _ = Journal.read t.cfg.sc_journal_dir in
   let jobs = Journal.jobs_of_records records in
+  let health, draining, _ = health_snapshot t in
   let extra =
     locked t (fun () ->
         [
           ("type", Json.Str "status");
           ("queue", Json.Int (List.length t.cold));
           ("fast", Json.Int (List.length t.fast));
-          ("draining", Json.Bool t.draining);
-        ])
+          ("draining", Json.Bool draining);
+        ]
+        @ health)
   in
   Protocol.jobs_to_json ~extra jobs
+
+let health_frame t =
+  let fields, _, _ = health_snapshot t in
+  Json.to_string (Json.Obj (("type", Json.Str "health") :: fields))
+
+let ready_frame t =
+  let _, draining, overload = health_snapshot t in
+  Protocol.ready ~ready:(not draining) ~draining ~overload_state:overload
 
 let withdraw_conn_from t conn job =
   job.jb_waiters <- List.filter (fun c -> c != conn) job.jb_waiters;
@@ -460,6 +639,7 @@ let withdraw_conn_from t conn job =
       job.jb_state <- `Cancelled;
       t.cold <- List.filter (fun j -> j != job) t.cold;
       t.fast <- List.filter (fun j -> j != job) t.fast;
+      update_overload t;
       (match Hashtbl.find_opt t.live job.jb_digest with
       | Some j when j == job -> Hashtbl.remove t.live job.jb_digest
       | _ -> ());
@@ -501,6 +681,8 @@ let handle_line t conn line =
   | Error crash -> send conn (Protocol.error_frame crash)
   | Ok Protocol.Ping -> send conn Protocol.pong
   | Ok Protocol.Status -> send conn (status_frame t)
+  | Ok Protocol.Health -> send conn (health_frame t)
+  | Ok Protocol.Ready -> send conn (ready_frame t)
   | Ok Protocol.Drain ->
     drain t;
     send conn Protocol.drained
@@ -580,7 +762,18 @@ let run t =
     | [ _ ], _, _ when not (finished ()) ->
       let fd, _ = Unix.accept listen_fd in
       (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0 with _ -> ());
-      let conn = { cn_fd = fd; cn_mu = Mutex.create (); cn_alive = true } in
+      let conn =
+        {
+          cn_fd = fd;
+          cn_mu = Mutex.create ();
+          cn_alive = true;
+          cn_tokens =
+            (match t.cfg.sc_rate with
+            | Some (_, burst) -> float_of_int burst
+            | None -> 0.);
+          cn_refill_t = now ();
+        }
+      in
       locked t (fun () ->
           t.conns <- conn :: t.conns;
           t.last_activity <- now ());

@@ -31,6 +31,17 @@ type config = {
       (** artificial pre-exploration delay per job — the chaos/test
           hook that makes mid-job kills and queue overflow
           deterministic *)
+  sc_overload_high : int;
+      (** cold-queue depth at which the overload state machine declares
+          pressure: bronze submissions shed, gold/silver demoted one
+          QoS rung (verdicts marked [degraded]) *)
+  sc_overload_low : int;
+      (** depth at which pressure is released (hysteresis: strictly
+          below [sc_overload_high], so the state can't flap) *)
+  sc_rate : (float * int) option;
+      (** per-client token bucket [(rate_per_s, burst)]; [None]
+          disables rate limiting.  A client past its bucket is answered
+          with [shed {"reason": "rate-limited"}] *)
 }
 
 val config :
@@ -41,12 +52,16 @@ val config :
   ?signals:bool ->
   ?idle_exit_s:float ->
   ?job_delay_s:float ->
+  ?overload_high:int ->
+  ?overload_low:int ->
+  ?rate:float * int ->
   socket:string ->
   journal_dir:string ->
   unit ->
   config
 (** Defaults: no resume, journal-default fsync, queue bound 16, 1
-    domain, signals installed, no idle exit, no delay. *)
+    domain, signals installed, no idle exit, no delay, watermarks at
+    3/4 and 1/4 of the queue bound, no rate limit. *)
 
 type t
 

@@ -1,0 +1,31 @@
+(* The one socket-write helper both ends of the NDJSON transport use.
+
+   A Unix socket write may be interrupted (EINTR), may accept only part
+   of the buffer (a slow peer, a full send buffer), or may report the
+   buffer full outright (EAGAIN/EWOULDBLOCK — the server arms
+   SO_SNDTIMEO, under which a stalled peer surfaces exactly this way).
+   Erroring on any of those tears a frame mid-line and desynchronizes
+   the stream; instead we loop until the full line is on the wire,
+   retrying EINTR immediately and waiting for writability on EAGAIN,
+   and only a hard error (EPIPE, ECONNRESET, a dead peer past
+   [stall_s]) escapes. *)
+
+let stall_s = 10.
+
+exception Stalled
+
+let write_line fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let deadline = Unix.gettimeofday () +. stall_s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd data !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* the peer's buffer is full: wait for writability, bounded so a
+         peer that never drains can't wedge the writer forever *)
+      if Unix.gettimeofday () >= deadline then raise Stalled
+      else ignore (Unix.select [] [ fd ] [] 0.25)
+  done

@@ -1,0 +1,14 @@
+(** The robust line writer shared by the server's and client's NDJSON
+    transports: loops until the whole line (plus newline) is written,
+    retries [EINTR] immediately, waits for writability on
+    [EAGAIN]/[EWOULDBLOCK], and never tears a frame on a partial
+    [write].  Hard socket errors ([EPIPE], [ECONNRESET], ...) still
+    raise [Unix.Unix_error]; a peer that stays unwritable past
+    {!stall_s} raises {!Stalled}. *)
+
+val stall_s : float
+(** How long a blocked writer waits for the peer to drain (10 s). *)
+
+exception Stalled
+
+val write_line : Unix.file_descr -> string -> unit

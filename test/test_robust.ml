@@ -262,6 +262,74 @@ let test_exit_code_priority () =
   Alcotest.(check int) "failures beat everything" Verify.exit_failed
     (Verify.exit_code [ degraded; crashed; failed ])
 
+(* --- Cancel racing the deadline -------------------------------------- *)
+
+(* Both trip causes live at once, hammered from several threads: the
+   sticky compare-and-set must record exactly one cause, every observer
+   must agree on it, and later ticks under both still-live conditions
+   must never change it. *)
+let test_cancel_deadline_race () =
+  let b =
+    Budget.arm (Budget.limits ~deadline_s:0. ~cancel:(fun () -> true) ())
+  in
+  let m = 4 in
+  let seen = Array.make m None in
+  let threads =
+    List.init m (fun i ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 500 do
+              Budget.tick b
+            done;
+            seen.(i) <- Budget.tripped b)
+          ())
+  in
+  List.iter Thread.join threads;
+  let final = Budget.tripped b in
+  check "the race tripped" true (Option.is_some final);
+  check "the cause is one of the racers" true
+    (final = Some Budget.Deadline || final = Some Budget.Cancelled);
+  Array.iter
+    (fun s -> check "every thread observed the same single cause" true
+        (s = final))
+    seen;
+  for _ = 1 to 100 do
+    Budget.tick b
+  done;
+  check "the cause is sticky with both conditions still live" true
+    (Budget.tripped b = final)
+
+(* A cancel trip mid-exhaustive aborts the ladder at its current rung:
+   no pruned or sampled attempt may run after the trip, so a cancelled
+   job can never surface a lower-rung verdict that could be mistaken
+   for honest degradation. *)
+let test_cancel_aborts_ladder () =
+  with_watchdog 60 (fun () ->
+      let module C = Cg_incr.Cas in
+      let n = ref 0 in
+      let r =
+        Verify.check_triple ~fuel:12 ~env_budget:1
+          ~budget:
+            (Budget.limits
+               ~tick_hook:(fun () -> incr n)
+               ~cancel:(fun () -> !n > 30)
+               ~deadline_s:20.0 ())
+          ~seed:7 ~world:(C.world ()) ~init:(C.init_states ())
+          (C.incr_pair C.label)
+          (C.incr_pair_spec C.label)
+      in
+      check "ladder stopped at the rung the cancel hit" true
+        (r.Verify.tier = Verify.Exhaustive);
+      check "no sampled rung ran after the trip" true (r.Verify.seed = None);
+      check "cancellation cannot prove" false r.Verify.complete;
+      check "no spurious failure" true (r.Verify.failures = []);
+      match r.Verify.budget with
+      | Some st ->
+        Alcotest.(check (option string))
+          "exactly the cancel cause recorded" (Some "cancelled")
+          st.Budget.st_tripped
+      | None -> Alcotest.fail "no budget stats on a cancelled report")
+
 (* --- Seeded replay --------------------------------------------------- *)
 
 (* Everything a sampled report promises, rendered canonically; budget
@@ -309,7 +377,7 @@ let prop_crash_json_round_trip =
       Crash.Unsafe_action; Crash.Ghost_algebra; Crash.Envelope_violation;
       Crash.Postcondition; Crash.Budget_exhausted; Crash.Injected_fault;
       Crash.Internal_error; Crash.Analyzer_lie; Crash.Deadlock;
-      Crash.Protocol_error;
+      Crash.Protocol_error; Crash.Io_fault;
     ]
   in
   let gen =
@@ -355,7 +423,7 @@ let test_crash_json_errors () =
 (* The full registry sweep runs in CI ([fcsl chaos --registry]); here a
    cheap row exercises every mode end to end. *)
 let test_chaos_subset () =
-  with_watchdog 120 (fun () ->
+  with_watchdog 240 (fun () ->
       let outs = Fcsl_analysis.Chaos.run_all ~cases:[ "CAS-lock" ] () in
       check "every mode produced outcomes" true
         (List.length outs >= List.length Fcsl_analysis.Chaos.all_modes);
@@ -383,6 +451,10 @@ let suite =
       test_ladder_degrades;
     Alcotest.test_case "ladder: found failures beat degradation" `Quick
       test_failures_beat_degradation;
+    Alcotest.test_case "budget: cancel racing deadline, one sticky cause"
+      `Quick test_cancel_deadline_race;
+    Alcotest.test_case "ladder: cancel aborts at the tripped rung" `Quick
+      test_cancel_aborts_ladder;
     Alcotest.test_case "exit codes: priority" `Quick test_exit_code_priority;
     prop_seeded_replay;
     prop_crash_json_round_trip;

@@ -32,13 +32,13 @@ let fresh_dir tag =
 (* An in-process daemon on a fresh (or given) journal.  [jobs] stays 1:
    the service suite must not be the reason the test binary spawns
    domains. *)
-let with_server ?(resume = false) ?queue_bound ?(job_delay_s = 0.) ?dir ~tag f
-    =
+let with_server ?(resume = false) ?queue_bound ?(job_delay_s = 0.)
+    ?overload_high ?overload_low ?rate ?dir ~tag f =
   let dir = match dir with Some d -> d | None -> fresh_dir tag in
   let socket = tmp_base (tag ^ "-sock") ^ ".sock" in
   let cfg =
     Server.config ~resume ?queue_bound ~jobs:1 ~signals:false ~job_delay_s
-      ~socket ~journal_dir:dir ()
+      ?overload_high ?overload_low ?rate ~socket ~journal_dir:dir ()
   in
   let t = Server.create cfg in
   let th = Thread.create Server.run t in
@@ -93,6 +93,8 @@ let test_request_round_trip () =
       Protocol.Ping;
       Protocol.Status;
       Protocol.Drain;
+      Protocol.Health;
+      Protocol.Ready;
       Protocol.Cancel 7;
       Protocol.Submit { case = "CAS-lock"; qos = Protocol.Silver };
       Protocol.Submit { case = "Treiber stack"; qos = Protocol.Gold };
@@ -447,6 +449,220 @@ let test_resume_requeues_in_flight () =
       | Error e -> failf "post-resume submit: %a" Client.pp_submit_error e);
       Client.close cn)
 
+(* --- health, readiness, overload, rate limits, retries --------------- *)
+
+let test_health_and_ready () =
+  with_server ~tag:"health" (fun ~socket ~dir:_ ->
+      let cn = Client.connect ~socket in
+      (match Client.health cn with
+      | Error e -> failf "health: %a" Client.pp_submit_error e
+      | Ok frame ->
+        let int_field k = Option.bind (Json.member k frame) Json.to_int in
+        check "uptime present and sane" true
+          (match Option.bind (Json.member "uptime_s" frame) Json.to_float with
+          | Some u -> u >= 0.
+          | None -> false);
+        check "queue empty" true (int_field "queue_depth" = Some 0);
+        check "nothing in flight" true (int_field "inflight" = Some 0);
+        check "nothing shed" true (int_field "shed_total" = Some 0);
+        check "overload state is normal" true
+          (Option.bind (Json.member "overload_state" frame) Json.to_str
+          = Some "normal");
+        check "journal lag present" true
+          (match int_field "journal_lag_bytes" with
+          | Some n -> n >= 0
+          | None -> false);
+        check "healthy journal: null fault" true
+          (Json.member "journal_fault" frame = Some Json.Null));
+      (match Client.ready cn with
+      | Ok r -> check "fresh daemon is ready" true r
+      | Error e -> failf "ready: %a" Client.pp_submit_error e);
+      (match Client.drain cn with
+      | Ok () -> ()
+      | Error e -> failf "drain: %a" Client.pp_submit_error e);
+      (match Client.ready cn with
+      | Ok r -> check "a draining daemon is alive but not ready" false r
+      | Error e -> failf "ready while draining: %a" Client.pp_submit_error e);
+      Client.close cn)
+
+(* Overload: past the high watermark bronze sheds, gold is admitted but
+   demoted one rung with the verdict marked degraded — and the demoted
+   verdict is never served from the memo (no phantom full-QoS verdict). *)
+let test_overload_demotes_and_sheds () =
+  with_server ~tag:"overload" ~job_delay_s:0.4 ~queue_bound:8
+    ~overload_high:1 ~overload_low:0 (fun ~socket ~dir ->
+      (* two bronze fillers: one runs, one queues past the watermark *)
+      let fillers =
+        List.map
+          (fun case ->
+            let cn = Client.connect ~socket in
+            Client.send cn
+              (Protocol.Submit { case; qos = Protocol.Bronze });
+            (match Client.read_frame ~timeout_s:10. cn with
+            | Ok _ack -> ()
+            | Error e -> failf "filler ack: %s" e);
+            cn)
+          [ "Ticketed lock"; "Pair snapshot" ]
+      in
+      (* bronze under pressure has no lower rung: structured shed *)
+      let shed_cn = Client.connect ~socket in
+      (match Client.submit ~qos:Protocol.Bronze shed_cn ~case:"CAS-lock" with
+      | Error (Client.Shed reason) ->
+        check "bronze shed with the overload reason" true (reason = "overload")
+      | Ok _ -> failf "bronze was admitted past the watermark"
+      | Error e -> failf "wanted an overload shed, got %a" Client.pp_submit_error e);
+      Client.close shed_cn;
+      (* gold under pressure: admitted, demoted, marked degraded *)
+      let gold_cn = Client.connect ~socket in
+      (match Client.submit ~timeout_s:60. gold_cn ~case:"CAS-lock" with
+      | Error e -> failf "gold under overload: %a" Client.pp_submit_error e
+      | Ok v ->
+        check "demoted verdict still ok" true (v.Client.v_status = 0);
+        check "verdict carries degraded=true" true
+          (Option.bind (Json.member "degraded" v.Client.v_frame) Json.to_bool
+          = Some true));
+      Client.close gold_cn;
+      List.iter Client.close fillers;
+      (* the phantom-verdict guard: a fresh gold submission re-explores
+         at full QoS instead of reusing the demoted verdict *)
+      let fresh_cn = Client.connect ~socket in
+      (match Client.submit ~timeout_s:60. fresh_cn ~case:"CAS-lock" with
+      | Error e -> failf "post-overload gold: %a" Client.pp_submit_error e
+      | Ok v ->
+        check "demoted verdict is not a memo hit" false v.Client.v_memo;
+        check "full-QoS verdict not marked degraded" true
+          (Option.bind (Json.member "degraded" v.Client.v_frame) Json.to_bool
+          = Some false));
+      (* shed decisions are journaled (and survive as ledger records) *)
+      let records, _ = Journal.read dir in
+      check "the shed was journaled" true
+        (List.exists
+           (function
+             | Journal.Spec_done ri -> ri.Journal.ri_tier = "service-shed"
+             | _ -> false)
+           records);
+      (* and surfaced in health *)
+      (match Client.health fresh_cn with
+      | Ok frame ->
+        check "health counts the shed" true
+          (match Option.bind (Json.member "shed_total" frame) Json.to_int with
+          | Some n -> n >= 1
+          | None -> false)
+      | Error e -> failf "health after overload: %a" Client.pp_submit_error e);
+      Client.close fresh_cn)
+
+(* The per-client token bucket: a client past its burst is answered
+   with structured rate-limited sheds, not queue pressure. *)
+let test_rate_limit_sheds () =
+  with_server ~tag:"rate" ~job_delay_s:0.3 ~rate:(0.1, 2)
+    (fun ~socket ~dir:_ ->
+      let cn = Client.connect ~socket in
+      List.iter
+        (fun case -> Client.send cn (Protocol.Submit { case; qos = Protocol.Gold }))
+        [ "CAS-lock"; "Ticketed lock"; "Pair snapshot"; "CG increment" ];
+      let frame_type f =
+        match Option.bind (Json.member "type" f) Json.to_str with
+        | Some t -> t
+        | None -> "?"
+      in
+      let frames =
+        List.init 4 (fun i ->
+            match Client.read_frame ~timeout_s:10. cn with
+            | Ok f -> f
+            | Error e -> failf "reply %d: %s" i e)
+      in
+      (match List.map frame_type frames with
+      | [ "ack"; "ack"; "shed"; "shed" ] -> ()
+      | ts -> failf "wanted ack,ack,shed,shed; got %s" (String.concat "," ts));
+      List.iter
+        (fun f ->
+          if frame_type f = "shed" then
+            check "shed reason is rate-limited" true
+              (Option.bind (Json.member "reason" f) Json.to_str
+              = Some "rate-limited"))
+        frames;
+      Client.abandon cn)
+
+let test_submit_retry_first_attempt () =
+  with_server ~tag:"retry" (fun ~socket ~dir:_ ->
+      (match
+         Client.submit_retry ~retries:2 ~backoff_base_s:0.05 ~socket
+           ~case:"CAS-lock" ()
+       with
+      | Ok rv ->
+        check "one attempt sufficed" true (rv.Client.rv_attempts = 1);
+        check "no backoff slept" true (rv.Client.rv_backoff_s = 0.);
+        check "verdict ok" true (rv.Client.rv_verdict.Client.v_status = 0)
+      | Error e -> failf "submit_retry: %a" Client.pp_submit_error e);
+      (* deterministic server errors fail fast, no retries burned *)
+      let t0 = Unix.gettimeofday () in
+      match
+        Client.submit_retry ~retries:3 ~backoff_base_s:0.5 ~socket
+          ~case:"No Such Case" ()
+      with
+      | Error (Client.Server_error c) ->
+        check "structured protocol error" true
+          (Crash.kind c = Crash.Protocol_error);
+        check "failed fast, without backoff" true
+          (Unix.gettimeofday () -. t0 < 0.5)
+      | Error e -> failf "wanted a server error, got %a" Client.pp_submit_error e
+      | Ok _ -> failf "an unknown case produced a verdict")
+
+(* --- journal syscall faults ------------------------------------------ *)
+
+(* The wounded-journal contract at unit scale: the first injected write
+   fault flips [io_failure] to a structured [Io_fault], later appends
+   are disk no-ops that never raise, and in-memory lookups keep
+   answering for this process. *)
+let test_journal_wounded_by_enospc () =
+  let dir = fresh_dir "wound" in
+  let budget = ref 512 in
+  let io =
+    {
+      Journal.io_write =
+        (fun fd s pos len ->
+          if !budget - len < 0 then
+            raise (Unix.Unix_error (Unix.ENOSPC, "write", "test"))
+          else begin
+            let k = Journal.real_io.Journal.io_write fd s pos len in
+            budget := !budget - k;
+            k
+          end);
+      io_fsync = Journal.real_io.Journal.io_fsync;
+      io_rename = Journal.real_io.Journal.io_rename;
+    }
+  in
+  let j = Journal.openj ~io ~fsync:Journal.Always ~resume:false dir in
+  let n = ref 0 in
+  while Journal.io_failure j = None && !n < 100 do
+    Journal.append j
+      (Journal.Spec_done
+         (ledger_image
+            ~spec:(Printf.sprintf "job/w%d" !n)
+            ~params:(Printf.sprintf "digest-w%d" !n)
+            ()));
+    incr n
+  done;
+  (match Journal.io_failure j with
+  | Some c ->
+    check "wounded with a structured io-fault" true
+      (Crash.kind c = Crash.Io_fault)
+  | None -> failf "the write fault never wounded the journal");
+  (* appends after the wound: no exception, index still answers *)
+  Journal.append j
+    (Journal.Spec_done (ledger_image ~spec:"job/after" ~params:"digest-after" ()));
+  check "post-wound append is visible in memory" true
+    (Option.is_some (Journal.verdict_of_digest j ~digest:"digest-after"));
+  Journal.flush j;
+  Journal.close j;
+  (* a real-io reopen recovers a clean prefix and forgets the rest *)
+  let j2 = Journal.openj ~resume:true dir in
+  check "the post-wound record was never persisted" true
+    (Journal.verdict_of_digest j2 ~digest:"digest-after" = None);
+  check "a persisted prefix survived" true
+    (Option.is_some (Journal.verdict_of_digest j2 ~digest:"digest-w0"));
+  Journal.close j2
+
 let suite =
   [
     Alcotest.test_case "json: parse inverts to_string" `Quick
@@ -477,4 +693,14 @@ let suite =
       test_disconnect_cancels;
     Alcotest.test_case "serve: resume requeues in-flight ledger jobs" `Quick
       test_resume_requeues_in_flight;
+    Alcotest.test_case "serve: health fields and readiness flip" `Quick
+      test_health_and_ready;
+    Alcotest.test_case "serve: overload demotes gold, sheds bronze" `Quick
+      test_overload_demotes_and_sheds;
+    Alcotest.test_case "serve: per-client token bucket sheds" `Quick
+      test_rate_limit_sheds;
+    Alcotest.test_case "client: submit_retry first attempt and fail-fast"
+      `Quick test_submit_retry_first_attempt;
+    Alcotest.test_case "journal: wounded by ENOSPC, degrades honestly" `Quick
+      test_journal_wounded_by_enospc;
   ]
